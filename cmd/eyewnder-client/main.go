@@ -1,0 +1,142 @@
+// Command eyewnder-client is a simulated browser-extension user: it
+// connects to a running eyewnder-server pair, registers its blinding key,
+// browses simulator-rendered pages for a week, uploads its blinded
+// report, and audits the ads it saw once the round is closed.
+//
+// Run one process per user, then close the round with -close once every
+// user has reported:
+//
+//	eyewnder-client -user 0 -total 3 &
+//	eyewnder-client -user 1 -total 3 &
+//	eyewnder-client -user 2 -total 3 -close
+package main
+
+import (
+	"flag"
+	"log"
+	"time"
+
+	"eyewnder/internal/adsim"
+	"eyewnder/internal/client"
+	"eyewnder/internal/detector"
+	"eyewnder/internal/group"
+	"eyewnder/internal/privacy"
+	"eyewnder/internal/wire"
+)
+
+func main() {
+	var (
+		backendAddr = flag.String("backend", "127.0.0.1:7001", "back-end address")
+		oprfAddr    = flag.String("oprf", "127.0.0.1:7002", "oprf-server address")
+		user        = flag.Int("user", 0, "this user's roster index")
+		total       = flag.Int("total", 3, "total roster size (must match the server)")
+		visits      = flag.Int("visits", 40, "page visits to simulate")
+		round       = flag.Uint64("round", 1, "reporting round")
+		closeRound  = flag.Bool("close", false, "close the round after reporting and audit")
+		seed        = flag.Int64("seed", 1, "browsing seed")
+		epsilon     = flag.Float64("epsilon", 0.01, "CMS epsilon (must match the server)")
+		delta       = flag.Float64("delta", 0.01, "CMS delta (must match the server)")
+		idSpace     = flag.Uint64("id-space", 100000, "ad-ID space (must match the server)")
+	)
+	flag.Parse()
+
+	beConn, err := wire.Dial(*backendAddr)
+	if err != nil {
+		log.Fatalf("dial back-end: %v", err)
+	}
+	defer beConn.Close()
+	opConn, err := wire.Dial(*oprfAddr)
+	if err != nil {
+		log.Fatalf("dial oprf-server: %v", err)
+	}
+	defer opConn.Close()
+	pub, err := client.FetchOPRFPublicKey(opConn)
+	if err != nil {
+		log.Fatalf("fetch oprf key: %v", err)
+	}
+
+	params := privacy.Params{Epsilon: *epsilon, Delta: *delta, IDSpace: *idSpace, Suite: group.P256()}
+	ext, err := client.New(client.Options{
+		User: *user, Detector: detector.DefaultConfig(), Params: params,
+	}, &client.WireBackend{C: beConn}, &client.WireEvaluator{C: opConn}, pub)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := ext.Register(); err != nil {
+		log.Fatalf("register: %v", err)
+	}
+	log.Printf("user %d registered; waiting for full roster of %d", *user, *total)
+	for {
+		if err := ext.Join(); err == nil {
+			break
+		}
+		time.Sleep(300 * time.Millisecond)
+	}
+	log.Printf("user %d joined the roster", *user)
+
+	// Browse simulator-generated pages.
+	cfg := adsim.DefaultConfig()
+	cfg.Users = *total
+	cfg.Sites = 200
+	cfg.Campaigns = 400
+	cfg.Seed = *seed
+	sim, err := adsim.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := sim.Run()
+	t0 := adsim.SimStart
+	seen := map[string]bool{}
+	n := 0
+	for _, imp := range res.Impressions {
+		if imp.User != *user || n >= *visits {
+			continue
+		}
+		n++
+		site := sim.Sites()[imp.Site]
+		camp := sim.Campaign(imp.Campaign)
+		page := adsim.RenderPage(site, []*adsim.Campaign{camp}, int64(n))
+		ads, err := ext.VisitPage(site.Domain, page, imp.Time)
+		if err != nil {
+			log.Fatalf("visit: %v", err)
+		}
+		for _, ad := range ads {
+			seen[ad.Key()] = true
+		}
+	}
+	log.Printf("user %d browsed %d pages, observed %d distinct ads", *user, n, len(seen))
+
+	if err := ext.SubmitReport(*round); err != nil {
+		log.Fatalf("report: %v", err)
+	}
+	log.Printf("user %d submitted blinded report for round %d", *user, *round)
+
+	if !*closeRound {
+		return
+	}
+	// Wait until everyone reported, then close and audit.
+	for {
+		reported, _, _, err := (&client.WireBackend{C: beConn}).RoundStatus(*round)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if reported >= *total {
+			break
+		}
+		time.Sleep(300 * time.Millisecond)
+	}
+	var resp wire.CloseRoundResp
+	if err := beConn.Do(wire.TypeCloseRound, wire.CloseRoundReq{Round: *round}, &resp); err != nil {
+		log.Fatalf("close round: %v", err)
+	}
+	log.Printf("round %d closed: Users_th=%.2f over %d distinct ads", *round, resp.UsersTh, resp.DistinctAds)
+	now := t0.Add(6 * 24 * time.Hour)
+	for key := range seen {
+		v, err := ext.AuditAd(key, *round, now)
+		if err != nil {
+			log.Fatalf("audit: %v", err)
+		}
+		log.Printf("audit %-60s → %-12s (#domains=%d th=%.2f  #users=%d th=%.2f)",
+			key, v.Class, v.DomainCount, v.DomainsThreshold, v.UserCount, v.UsersThreshold)
+	}
+}

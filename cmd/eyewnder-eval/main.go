@@ -1,0 +1,91 @@
+// Command eyewnder-eval runs the live-validation analogue (Section 7.3)
+// and the socio-economic bias analysis (Section 8):
+//
+//	eyewnder-eval -fig4      # evaluation tree + unknown resolution + precision
+//	eyewnder-eval -table2    # logistic regression odds ratios
+//	eyewnder-eval -fig5      # predicted targeting probability per level
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+
+	"eyewnder/internal/experiments"
+)
+
+func main() {
+	var (
+		fig4   = flag.Bool("fig4", false, "run the Figure 4 evaluation tree")
+		table2 = flag.Bool("table2", false, "run the Table 2 regression")
+		fig5   = flag.Bool("fig5", false, "print the Figure 5 predicted probabilities")
+	)
+	flag.Parse()
+
+	switch {
+	case *fig4:
+		res, err := experiments.Fig4(experiments.DefaultFig4Config())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("Figure 4: evaluation tree over %d ads (%d targeted / %d static)\n",
+			res.TotalAds, res.TargetedAds, res.StaticAds)
+		tb, nb, r := res.Tree.Targeted, res.Tree.NonTargeted, res.Rates
+		fmt.Printf("classified targeted:      %5d\n", tb.N)
+		fmt.Printf("  FP(CR)                  %5d  (%.2f%%)\n", tb.CR, r.FPCRPct)
+		fmt.Printf("  TP(CB)                  %5d  (%.2f%%)\n", tb.CB, r.TPCBPct)
+		fmt.Printf("  TP(F8)                  %5d  (%.2f%% of labeled)\n", tb.F8Agree, r.TPF8Pct)
+		fmt.Printf("  FP(F8)                  %5d  (%.2f%% of labeled)\n", tb.F8Disagree, r.FPF8Pct)
+		fmt.Printf("  UNKNOWN                 %5d  (%.2f%%)\n", tb.Unknown, r.UnknownTargetedPct)
+		fmt.Printf("classified non-targeted:  %5d\n", nb.N)
+		fmt.Printf("  TN(CR)                  %5d  (%.2f%%)\n", nb.CR, r.TNCRPct)
+		fmt.Printf("  FN(CB)                  %5d  (%.2f%%)\n", nb.CB, r.FNCBPct)
+		fmt.Printf("  TN(F8)                  %5d  (%.2f%% of labeled)\n", nb.F8Agree, r.TNF8Pct)
+		fmt.Printf("  FN(F8)                  %5d  (%.2f%% of labeled)\n", nb.F8Disagree, r.FNF8Pct)
+		fmt.Printf("  UNKNOWN                 %5d  (%.2f%%)\n", nb.Unknown, r.UnknownNonTargetedPct)
+		fmt.Printf("unknown resolution (§7.3.3): likely-TP=%d likely-FP=%d; sampled %d non-targeted → TN=%d FN=%d\n",
+			res.Resolution.LikelyTP, res.Resolution.LikelyFP,
+			res.Resolution.SampledNonTargeted, res.Resolution.LikelyTN, res.Resolution.LikelyFN)
+		fmt.Printf("precision (§7.3.4): likely-TP rate %.0f%% (paper: 78%%), likely-TN rate %.0f%% (paper: 87%%), high-confidence TN %.0f%% (paper: 27%%)\n",
+			100*res.Summary.LikelyTPRate, 100*res.Summary.LikelyTNRate, 100*res.Summary.HighConfidenceTNRate)
+
+	case *table2 || *fig5:
+		res, err := experiments.Table2(experiments.DefaultTable2Config())
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *table2 {
+			fmt.Printf("Table 2: logistic regression over %d delivered ads (D ~ G + A + L)\n", res.Observations)
+			fmt.Printf("%-18s %8s %8s %8s %10s %18s\n", "Variable", "OR", "SE", "Z-val", "P>|z|", "95% CI")
+			for _, row := range res.Rows {
+				fmt.Printf("%-18s %8.3f %8.3f %8.3f %10.2g %9.3f-%.3f\n",
+					row.Name, row.OR, row.SE, row.Z, row.P, row.CILo, row.CIHi)
+			}
+			fmt.Printf("employment LRT: stat=%.3f df=%d p=%.3f (dropped, as in the paper)\n",
+				res.EmploymentLRTStat, res.EmploymentLRTDF, res.EmploymentLRTP)
+		}
+		if *fig5 {
+			fmt.Println("Figure 5: predicted targeting probability per level")
+			factors := make([]string, 0, len(res.Fig5))
+			for f := range res.Fig5 {
+				factors = append(factors, f)
+			}
+			sort.Strings(factors)
+			for _, f := range factors {
+				fmt.Printf("  %s:\n", f)
+				levels := make([]string, 0, len(res.Fig5[f]))
+				for lv := range res.Fig5[f] {
+					levels = append(levels, lv)
+				}
+				sort.Strings(levels)
+				for _, lv := range levels {
+					fmt.Printf("    %-14s %.3f\n", lv, res.Fig5[f][lv])
+				}
+			}
+		}
+
+	default:
+		flag.Usage()
+	}
+}

@@ -1,0 +1,68 @@
+// Command eyewnder-server runs the two server-side components of the
+// eyeWnder deployment: the back-end (bulletin board, blinded-report
+// aggregation, threshold publication, audits) and the oprf-server (which
+// holds the ad-ID mapping key the back-end must never see).
+//
+// Usage:
+//
+//	eyewnder-server -backend 127.0.0.1:7001 -oprf 127.0.0.1:7002 -users 100
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+
+	"eyewnder/internal/backend"
+	"eyewnder/internal/detector"
+	"eyewnder/internal/group"
+	"eyewnder/internal/oprf"
+	"eyewnder/internal/privacy"
+)
+
+func main() {
+	var (
+		backendAddr = flag.String("backend", "127.0.0.1:7001", "back-end listen address")
+		oprfAddr    = flag.String("oprf", "127.0.0.1:7002", "oprf-server listen address")
+		users       = flag.Int("users", 100, "roster size (number of enrolled users)")
+		rsaBits     = flag.Int("rsa-bits", 2048, "oprf RSA modulus size")
+		epsilon     = flag.Float64("epsilon", 0.01, "CMS epsilon")
+		delta       = flag.Float64("delta", 0.01, "CMS delta")
+		idSpace     = flag.Uint64("id-space", 100000, "ad-ID space size |A| (overestimate)")
+	)
+	flag.Parse()
+
+	osrv, err := oprf.NewServer(*rsaBits)
+	if err != nil {
+		log.Fatalf("oprf key generation: %v", err)
+	}
+	params := privacy.Params{Epsilon: *epsilon, Delta: *delta, IDSpace: *idSpace, Suite: group.P256()}
+	be, err := backend.New(backend.Config{
+		Params:         params,
+		Users:          *users,
+		UsersEstimator: detector.EstimatorMean,
+	})
+	if err != nil {
+		log.Fatalf("back-end: %v", err)
+	}
+	beSrv, err := be.Serve(*backendAddr)
+	if err != nil {
+		log.Fatalf("back-end listen: %v", err)
+	}
+	defer beSrv.Close()
+	opSrv, err := backend.ServeOPRF(*oprfAddr, osrv)
+	if err != nil {
+		log.Fatalf("oprf listen: %v", err)
+	}
+	defer opSrv.Close()
+
+	log.Printf("back-end on %s (roster %d users, ε=%g δ=%g |A|=%d)",
+		beSrv.Addr(), *users, *epsilon, *delta, *idSpace)
+	log.Printf("oprf-server on %s (RSA-%d)", opSrv.Addr(), *rsaBits)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	log.Print("shutting down")
+}

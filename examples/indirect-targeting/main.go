@@ -1,0 +1,89 @@
+// Indirect-targeting example: the paper's headline capability. A dating
+// ad is targeted at computer enthusiasts — zero semantic overlap between
+// audience and offering, so the content-based baseline cannot see it.
+// The count-based detector flags it anyway, because counting is blind to
+// semantics: the ad follows few users across many domains.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"eyewnder"
+	"eyewnder/internal/contentbased"
+	"eyewnder/internal/taxonomy"
+)
+
+func main() {
+	params := eyewnder.Params{Epsilon: 0.01, Delta: 0.01, IDSpace: 10000,
+		Suite: eyewnder.DefaultParams().Suite}
+	sys, err := eyewnder.NewSystem(eyewnder.SystemConfig{
+		Users: 5, Params: &params, RSABits: 1024,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// User 0 is the computer enthusiast. The indirect campaign: a DATING
+	// offer, targeted at the computers segment (the paper's example (1)).
+	const datingAd = "https://lonely-hearts.example/dating/meet-someone"
+	const techAd = "https://gadget-shop.example/computers/deal"
+	adSlot := func(landing, creative string) string {
+		return `<div class="ad-slot"><a href="` + landing + `"><img src="` + creative + `"></a></div>`
+	}
+
+	t0 := time.Date(2019, 3, 4, 9, 0, 0, 0, time.UTC)
+	profile := contentbased.NewProfile()
+	for site := 0; site < 6; site++ {
+		domain := fmt.Sprintf("www.computers-%d.example", site)
+		profile.VisitSite(domain, taxonomy.Computers)
+		at := t0.Add(time.Duration(site) * 10 * time.Hour)
+		// The dating ad chases user 0 across every tech site; a broad
+		// contextual tech ad shows to all users.
+		page0 := "<html><body>" +
+			adSlot(datingAd, "https://ads.adx1.example/creative/1") +
+			adSlot(techAd, "https://ads.adx2.example/creative/2") + "</body></html>"
+		pageRest := "<html><body>" +
+			adSlot(techAd, "https://ads.adx2.example/creative/2") + "</body></html>"
+		for i, ext := range sys.Extensions {
+			html := pageRest
+			if i == 0 {
+				html = page0
+			}
+			if _, err := ext.VisitPage(domain, html, at); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	const round = 1
+	if err := sys.SubmitAllReports(round); err != nil {
+		log.Fatal(err)
+	}
+	if _, _, err := sys.CloseRound(round); err != nil {
+		log.Fatal(err)
+	}
+
+	// The content-based baseline: the user profiles as "computers"; the
+	// dating ad shares no semantic overlap, so CB says non-targeted.
+	cb := contentbased.New(3)
+	datingCat, _ := contentbased.LandingCategory(datingAd)
+	fmt.Printf("content-based baseline on the dating ad:  targeted=%v (overlap=%v)\n",
+		cb.IsTargeted(profile, datingCat),
+		cb.HasSemanticOverlap(profile, datingCat))
+
+	// eyeWnder's count-based audit flags it regardless.
+	now := t0.Add(5 * 24 * time.Hour)
+	v, err := sys.Extensions[0].AuditAd(datingAd, round, now)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("eyeWnder count-based audit:                %s (#domains=%d ≥ %.1f, #users=%d ≤ %.1f)\n",
+		v.Class, v.DomainCount, v.DomainsThreshold, v.UserCount, v.UsersThreshold)
+	v, err = sys.Extensions[0].AuditAd(techAd, round, now)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("(control) broad tech ad:                   %s\n", v.Class)
+}

@@ -1,0 +1,73 @@
+// Quickstart: stand up a complete in-process eyeWnder deployment, browse
+// a few pages, run the weekly privacy-preserving report, and audit two
+// ads in real time — one that chases a single user across sites (it gets
+// flagged targeted) and one broad brand campaign (it does not).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"eyewnder"
+)
+
+func main() {
+	// Four users; small sketch so the demo is instant.
+	params := eyewnder.Params{Epsilon: 0.01, Delta: 0.01, IDSpace: 10000,
+		Suite: eyewnder.DefaultParams().Suite}
+	sys, err := eyewnder.NewSystem(eyewnder.SystemConfig{
+		Users: 4, Params: &params, RSABits: 1024,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	page := func(withChaser bool) string {
+		html := `<html><body>
+<div class="ad-slot"><a href="https://brand.example/shopping/everywhere"><img src="https://ads.adx0.example/creative/1"></a></div>`
+		if withChaser {
+			html += `
+<div class="ad-slot"><a href="https://boutique.example/fashion/just-for-you"><img src="https://ads.adx1.example/creative/2"></a></div>`
+		}
+		return html + "</body></html>"
+	}
+
+	// A week of browsing: user 0 is chased by the boutique ad across six
+	// domains; everyone sees the brand ad everywhere.
+	t0 := time.Date(2019, 3, 4, 9, 0, 0, 0, time.UTC)
+	for site := 0; site < 6; site++ {
+		domain := fmt.Sprintf("www.site-%d.example", site)
+		at := t0.Add(time.Duration(site) * 12 * time.Hour)
+		for i, ext := range sys.Extensions {
+			if _, err := ext.VisitPage(domain, page(i == 0), at); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	// Weekly round: blinded reports, aggregation, threshold publication.
+	const round = 1
+	if err := sys.SubmitAllReports(round); err != nil {
+		log.Fatal(err)
+	}
+	usersTh, distinct, err := sys.CloseRound(round)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("round closed: %d distinct ads observed, Users_th = %.2f\n", distinct, usersTh)
+
+	// Real-time audits from user 0's browser.
+	now := t0.Add(4 * 24 * time.Hour)
+	for _, adKey := range []string{
+		"https://boutique.example/fashion/just-for-you",
+		"https://brand.example/shopping/everywhere",
+	} {
+		v, err := sys.Extensions[0].AuditAd(adKey, round, now)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-48s → %-12s (#domains=%d ≥ %.1f?  #users=%d ≤ %.1f?)\n",
+			adKey, v.Class, v.DomainCount, v.DomainsThreshold, v.UserCount, v.UsersThreshold)
+	}
+}

@@ -1,0 +1,42 @@
+// Simulation example: a compact version of the paper's Figure 3 study —
+// sweep the advertisers' frequency cap and watch the detector's false
+// negatives collapse once an ad "follows" its target often enough.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"eyewnder/internal/adsim"
+	"eyewnder/internal/experiments"
+)
+
+func main() {
+	base := adsim.DefaultConfig()
+	base.Users = 150
+	base.Sites = 400
+	base.Campaigns = 600 // keep ads ≫ users, like the real web
+	base.AvgVisitsPerWeek = 90
+
+	cfg := experiments.Fig3Config{
+		Base:        base,
+		Caps:        []int{1, 2, 3, 4, 6, 8, 10, 12},
+		Repetitions: 2,
+	}
+	pts, err := experiments.Fig3(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("False negatives vs. frequency cap (mini Figure 3)")
+	fmt.Printf("%-6s %10s %16s  %s\n", "cap", "Mean FN%", "Mean+Median FN%", "bar (Mean)")
+	for _, p := range pts {
+		bar := ""
+		for i := 0.0; i < p.FNMeanPct; i += 4 {
+			bar += "#"
+		}
+		fmt.Printf("%-6d %10.1f %16.1f  %s\n", p.FrequencyCap, p.FNMeanPct, p.FNMeanMedianPct, bar)
+	}
+	fmt.Println("\nReading: a cap of 1 makes targeted ads indistinguishable (FN ~100%);")
+	fmt.Println("a handful of repetitions makes them detectable, and Mean+Median trades")
+	fmt.Println("later detection for a lower floor — the paper's Figure 3 shape.")
+}

@@ -1,0 +1,280 @@
+// Package addetect implements the browser-extension half of eyeWnder's
+// data collection (Section 5, "Browser extension"): finding display ads
+// inside a page and inferring each ad's landing page WITHOUT clicking it
+// (click-fraud avoidance).
+//
+// Ad detection follows the AdBlockPlus approach the paper adapts: a rule
+// list of URL substrings and element markers identifies ad elements. The
+// goal is analysis, not blocking, so detection is deliberately permissive.
+//
+// Landing-page detection applies the paper's three heuristics in order:
+//
+//  1. <a href="..."> around or inside the ad element;
+//  2. onclick handlers carrying a URL (directly or via a JS call);
+//  3. a URL-shaped string inside associated <script> text.
+//
+// A discovered URL that belongs to a known ad network is NOT resolved
+// (that could constitute click fraud and would ping the delivery chain);
+// the ad is then identified by its content fingerprint instead — the
+// fallback the paper uses for randomized landing URLs (malicious or
+// dynamically customized ads).
+package addetect
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"regexp"
+	"strings"
+
+	"eyewnder/internal/htmlscan"
+)
+
+// Ad is one detected display advertisement.
+type Ad struct {
+	// CreativeURL is the resource the ad element loads (image/iframe
+	// src), when present.
+	CreativeURL string
+	// LandingURL is the inferred click destination; empty when only a
+	// known ad-network URL was found (never resolved, per the click-fraud
+	// rule).
+	LandingURL string
+	// ContentID fingerprints the ad content; it identifies the same
+	// creative across impressions when landing URLs are randomized.
+	ContentID string
+	// Method records which heuristic produced LandingURL: "href",
+	// "onclick", "script", or "" when none applied.
+	Method string
+}
+
+// Key returns the stable identifier the extension reports for this ad:
+// the landing URL when one was inferred, otherwise the content
+// fingerprint. This is the "ad URL" fed into the OPRF mapping.
+func (a *Ad) Key() string {
+	if a.LandingURL != "" {
+		return a.LandingURL
+	}
+	return "content:" + a.ContentID
+}
+
+// Ruleset is the filter list driving detection.
+type Ruleset struct {
+	// URLSubstrings mark a resource URL as ad-delivered ("/adserver/",
+	// "doubleclick", ...).
+	URLSubstrings []string
+	// ClassMarkers mark an element class/id as an ad slot ("ad-slot",
+	// "sponsored", ...).
+	ClassMarkers []string
+	// AdNetworkHosts are hosts whose URLs must never be resolved; a URL
+	// pointing there is delivery machinery, not a landing page.
+	AdNetworkHosts []string
+}
+
+// DefaultRuleset returns a compact filter list in the spirit of the
+// AdBlockPlus EasyList entries the paper's extension uses.
+func DefaultRuleset() *Ruleset {
+	return &Ruleset{
+		URLSubstrings: []string{
+			"/adserver/", "/adserv/", "/ads/", "/adx/", "/banner",
+			"doubleclick", "adsystem", "adnxs", "creative/",
+			"ads.", "adx", "pagead",
+		},
+		ClassMarkers: []string{
+			"ad-slot", "ad_slot", "adbox", "ad-banner", "sponsored",
+			"advert", "dfp-", "gpt-ad",
+		},
+		AdNetworkHosts: []string{
+			"ads.", "adx", "doubleclick.net", "adnxs.com",
+			"googlesyndication.com", "adsystem",
+		},
+	}
+}
+
+var urlRe = regexp.MustCompile(`https?://[^\s"'<>)]+`)
+
+// Detector scans pages for ads under a ruleset.
+type Detector struct {
+	rules *Ruleset
+}
+
+// New returns a detector; a nil ruleset selects DefaultRuleset.
+func New(rules *Ruleset) *Detector {
+	if rules == nil {
+		rules = DefaultRuleset()
+	}
+	return &Detector{rules: rules}
+}
+
+// isAdURL reports whether a resource URL matches the filter list.
+func (d *Detector) isAdURL(url string) bool {
+	lower := strings.ToLower(url)
+	for _, sub := range d.rules.URLSubstrings {
+		if strings.Contains(lower, sub) {
+			return true
+		}
+	}
+	return false
+}
+
+// isAdElement reports whether class/id markers flag the element.
+func (d *Detector) isAdElement(tok *htmlscan.Token) bool {
+	class, _ := tok.Attr("class")
+	id, _ := tok.Attr("id")
+	hay := strings.ToLower(class + " " + id)
+	for _, m := range d.rules.ClassMarkers {
+		if strings.Contains(hay, m) {
+			return true
+		}
+	}
+	return false
+}
+
+// IsAdNetworkURL reports whether the URL points at known ad-delivery
+// infrastructure (and therefore must not be resolved).
+func (d *Detector) IsAdNetworkURL(url string) bool {
+	host := hostOf(url)
+	for _, h := range d.rules.AdNetworkHosts {
+		if strings.Contains(host, h) {
+			return true
+		}
+	}
+	return false
+}
+
+func hostOf(url string) string {
+	s := url
+	if i := strings.Index(s, "://"); i >= 0 {
+		s = s[i+3:]
+	}
+	if i := strings.IndexAny(s, "/?#"); i >= 0 {
+		s = s[:i]
+	}
+	return strings.ToLower(s)
+}
+
+// extractOnclickURL pulls a URL out of an onclick handler. It accepts
+// direct location assignments and URL arguments to arbitrary JS calls
+// (footnote 3: the handler often redirects through a function).
+func extractOnclickURL(js string) string {
+	if m := urlRe.FindString(js); m != "" {
+		return strings.TrimRight(m, "\"');")
+	}
+	return ""
+}
+
+// adCandidate accumulates evidence about one ad slot while scanning.
+type adCandidate struct {
+	creativeURL string
+	hrefURL     string
+	onclickURL  string
+	scriptURL   string
+	content     strings.Builder
+}
+
+// Scan detects the ads in an HTML page. Detection is structural: an "ad
+// region" opens when an ad-marked element or ad-URL resource appears, and
+// evidence (hrefs, onclick handlers, script URLs, content) accumulates
+// until the region's root element closes.
+func (d *Detector) Scan(page string) []*Ad {
+	sc := htmlscan.NewScanner(page)
+	var ads []*Ad
+	var cur *adCandidate
+	depth := 0 // element nesting inside the open ad region
+	var inScript bool
+
+	flush := func() {
+		if cur == nil {
+			return
+		}
+		ads = append(ads, d.finalize(cur))
+		cur = nil
+		depth = 0
+	}
+
+	for tok := sc.Next(); tok != nil; tok = sc.Next() {
+		switch tok.Type {
+		case htmlscan.StartTag:
+			src, _ := tok.Attr("src")
+			href, _ := tok.Attr("href")
+			onclick, _ := tok.Attr("onclick")
+			opensRegion := d.isAdElement(tok) ||
+				(src != "" && d.isAdURL(src)) ||
+				(href != "" && d.isAdURL(href) && tok.Name == "a")
+			if cur == nil && opensRegion {
+				cur = &adCandidate{}
+			}
+			if cur != nil {
+				if src != "" && d.isAdURL(src) && cur.creativeURL == "" {
+					cur.creativeURL = src
+				}
+				if href != "" && cur.hrefURL == "" && tok.Name == "a" {
+					cur.hrefURL = href
+				}
+				if onclick != "" && cur.onclickURL == "" {
+					if u := extractOnclickURL(onclick); u != "" {
+						cur.onclickURL = u
+					}
+				}
+				if !tok.SelfClosing && tok.Name != "img" && tok.Name != "br" {
+					depth++
+				}
+				if tok.Name == "script" && !tok.SelfClosing {
+					inScript = true
+				}
+			}
+		case htmlscan.EndTag:
+			if cur != nil {
+				if tok.Name == "script" {
+					inScript = false
+				}
+				depth--
+				if depth <= 0 {
+					flush()
+				}
+			}
+		case htmlscan.Text:
+			if cur != nil {
+				if inScript && cur.scriptURL == "" {
+					if m := urlRe.FindString(tok.Data); m != "" {
+						cur.scriptURL = strings.TrimRight(m, "\"');")
+					}
+				}
+				if !inScript {
+					cur.content.WriteString(strings.TrimSpace(tok.Data))
+				}
+			}
+		}
+	}
+	flush()
+	return ads
+}
+
+// finalize applies the landing-page heuristics in the paper's order and
+// builds the Ad record.
+func (d *Detector) finalize(c *adCandidate) *Ad {
+	ad := &Ad{CreativeURL: c.creativeURL}
+	// Heuristic order: href, onclick, script-text URL.
+	type try struct{ url, method string }
+	for _, t := range []try{
+		{c.hrefURL, "href"},
+		{c.onclickURL, "onclick"},
+		{c.scriptURL, "script"},
+	} {
+		if t.url == "" {
+			continue
+		}
+		if d.IsAdNetworkURL(t.url) {
+			// Delivery-chain URL: refrain from resolving (click fraud).
+			continue
+		}
+		ad.LandingURL = t.url
+		ad.Method = t.method
+		break
+	}
+	// Content fingerprint for randomized-landing-page identification.
+	h := sha256.New()
+	h.Write([]byte(c.creativeURL))
+	h.Write([]byte{0})
+	h.Write([]byte(c.content.String()))
+	ad.ContentID = hex.EncodeToString(h.Sum(nil)[:16])
+	return ad
+}

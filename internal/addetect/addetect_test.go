@@ -1,0 +1,240 @@
+package addetect
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestHrefHeuristic(t *testing.T) {
+	page := `
+<html><body>
+<div class="content"><p>article text</p></div>
+<div class="ad-slot">
+  <a href="https://shop3.example/fishing/offer-12">
+    <img src="https://ads.adx1.example/creative/12">
+  </a>
+</div>
+</body></html>`
+	ads := New(nil).Scan(page)
+	if len(ads) != 1 {
+		t.Fatalf("found %d ads, want 1", len(ads))
+	}
+	ad := ads[0]
+	if ad.LandingURL != "https://shop3.example/fishing/offer-12" {
+		t.Fatalf("landing = %q", ad.LandingURL)
+	}
+	if ad.Method != "href" {
+		t.Fatalf("method = %q", ad.Method)
+	}
+	if ad.CreativeURL != "https://ads.adx1.example/creative/12" {
+		t.Fatalf("creative = %q", ad.CreativeURL)
+	}
+	if ad.Key() != ad.LandingURL {
+		t.Fatalf("key = %q", ad.Key())
+	}
+}
+
+func TestOnclickHeuristic(t *testing.T) {
+	page := `
+<div class="adbox" onclick="window.location='https://shop1.example/cars/offer-9'">
+  <img src="https://ads.adx2.example/creative/9">
+</div>`
+	ads := New(nil).Scan(page)
+	if len(ads) != 1 {
+		t.Fatalf("found %d ads", len(ads))
+	}
+	if ads[0].Method != "onclick" {
+		t.Fatalf("method = %q (landing %q)", ads[0].Method, ads[0].LandingURL)
+	}
+	if ads[0].LandingURL != "https://shop1.example/cars/offer-9" {
+		t.Fatalf("landing = %q", ads[0].LandingURL)
+	}
+}
+
+func TestOnclickViaJSFunction(t *testing.T) {
+	// Footnote 3: onclick often redirects through a JS helper.
+	page := `<div class="sponsored" onclick="trackAndGo('https://shop2.example/travel/offer-3', 42)"><img src="https://ads.adx0.example/creative/3"></div>`
+	ads := New(nil).Scan(page)
+	if len(ads) != 1 || ads[0].LandingURL != "https://shop2.example/travel/offer-3" {
+		t.Fatalf("ads = %+v", ads)
+	}
+}
+
+func TestScriptURLHeuristic(t *testing.T) {
+	page := `
+<div id="gpt-ad-1">
+  <img src="https://ads.adx3.example/creative/77">
+  <script>
+    var dest = "https://shop5.example/beauty/offer-77";
+    bindClick(dest);
+  </script>
+</div>`
+	ads := New(nil).Scan(page)
+	if len(ads) != 1 {
+		t.Fatalf("found %d ads", len(ads))
+	}
+	if ads[0].Method != "script" || ads[0].LandingURL != "https://shop5.example/beauty/offer-77" {
+		t.Fatalf("ad = %+v", ads[0])
+	}
+}
+
+func TestAdNetworkURLNotResolved(t *testing.T) {
+	// A landing candidate living on ad-network infrastructure must be
+	// skipped; the ad falls back to content identification.
+	page := `
+<div class="ad-banner">
+  <a href="https://adx9.doubleclick.net/click?r=xyz123">
+    <img src="https://ads.adx4.example/creative/55">
+  </a>
+</div>`
+	ads := New(nil).Scan(page)
+	if len(ads) != 1 {
+		t.Fatalf("found %d ads", len(ads))
+	}
+	if ads[0].LandingURL != "" {
+		t.Fatalf("ad-network URL was resolved: %q", ads[0].LandingURL)
+	}
+	if !strings.HasPrefix(ads[0].Key(), "content:") {
+		t.Fatalf("key = %q, want content fingerprint", ads[0].Key())
+	}
+}
+
+func TestRandomizedLandingPagesShareContentID(t *testing.T) {
+	// Same creative, randomized delivery URLs: the fingerprint must
+	// identify the two impressions as one advertisement.
+	mk := func(nonce string) string {
+		return fmt.Sprintf(`<div class="ad-slot"><a href="https://ads.adnxs.com/r/%s"><img src="https://ads.adx5.example/creative/88">Buy now!</a></div>`, nonce)
+	}
+	d := New(nil)
+	a1 := d.Scan(mk("abc"))
+	a2 := d.Scan(mk("def"))
+	if len(a1) != 1 || len(a2) != 1 {
+		t.Fatalf("detection failed: %d/%d", len(a1), len(a2))
+	}
+	if a1[0].ContentID != a2[0].ContentID {
+		t.Fatal("randomized impressions got different content IDs")
+	}
+	if a1[0].Key() != a2[0].Key() {
+		t.Fatal("keys differ across randomized impressions")
+	}
+}
+
+func TestDifferentCreativesDifferentContentIDs(t *testing.T) {
+	d := New(nil)
+	a1 := d.Scan(`<div class="ad-slot"><img src="https://ads.x.example/creative/1">text A</div>`)
+	a2 := d.Scan(`<div class="ad-slot"><img src="https://ads.x.example/creative/2">text B</div>`)
+	if len(a1) != 1 || len(a2) != 1 {
+		t.Fatalf("detection failed")
+	}
+	if a1[0].ContentID == a2[0].ContentID {
+		t.Fatal("distinct creatives share a content ID")
+	}
+}
+
+func TestMultipleAdsOnOnePage(t *testing.T) {
+	page := `
+<html><body>
+<div class="ad-slot"><a href="https://shop1.example/a/1"><img src="https://ads.adx1.example/creative/1"></a></div>
+<p>editorial content</p>
+<div class="ad-slot"><a href="https://shop2.example/b/2"><img src="https://ads.adx2.example/creative/2"></a></div>
+<div class="adbox"><a href="https://shop3.example/c/3"><img src="https://ads.adx3.example/creative/3"></a></div>
+</body></html>`
+	ads := New(nil).Scan(page)
+	if len(ads) != 3 {
+		t.Fatalf("found %d ads, want 3", len(ads))
+	}
+	seen := map[string]bool{}
+	for _, ad := range ads {
+		seen[ad.LandingURL] = true
+	}
+	for _, want := range []string{
+		"https://shop1.example/a/1", "https://shop2.example/b/2", "https://shop3.example/c/3",
+	} {
+		if !seen[want] {
+			t.Fatalf("missing landing %q (got %v)", want, seen)
+		}
+	}
+}
+
+func TestNoAdsOnCleanPage(t *testing.T) {
+	page := `
+<html><body>
+<h1>Article</h1>
+<p>Just text with a <a href="https://news.example/story">link</a>.</p>
+<img src="https://static.news.example/images/photo.jpg">
+</body></html>`
+	if ads := New(nil).Scan(page); len(ads) != 0 {
+		t.Fatalf("false positives on clean page: %+v", ads)
+	}
+}
+
+func TestEmptyAndGarbageInput(t *testing.T) {
+	d := New(nil)
+	if ads := d.Scan(""); len(ads) != 0 {
+		t.Fatal("ads in empty page")
+	}
+	if ads := d.Scan("<<<>>> not html at all & certainly no ads"); len(ads) != 0 {
+		t.Fatal("ads in garbage")
+	}
+	// Unclosed ad region must still flush.
+	ads := d.Scan(`<div class="ad-slot"><a href="https://shop.example/x/1"><img src="https://ads.a.example/creative/1">`)
+	if len(ads) != 1 {
+		t.Fatalf("unclosed region: %d ads", len(ads))
+	}
+}
+
+func TestIsAdNetworkURL(t *testing.T) {
+	d := New(nil)
+	cases := map[string]bool{
+		"https://ads.adx1.example/creative/1": true,
+		"https://x.doubleclick.net/c?x=1":     true,
+		"https://shop1.example/product":       false,
+		"https://news.example/article":        false,
+		"https://sub.googlesyndication.com/x": true,
+	}
+	for url, want := range cases {
+		if got := d.IsAdNetworkURL(url); got != want {
+			t.Errorf("IsAdNetworkURL(%q) = %v, want %v", url, got, want)
+		}
+	}
+}
+
+func TestCustomRuleset(t *testing.T) {
+	rules := &Ruleset{
+		URLSubstrings:  []string{"/promos/"},
+		ClassMarkers:   []string{"promo-box"},
+		AdNetworkHosts: []string{"promonet."},
+	}
+	d := New(rules)
+	ads := d.Scan(`<div class="promo-box"><a href="https://shop.example/z"><img src="https://cdn.example/promos/1.png"></a></div>`)
+	if len(ads) != 1 || ads[0].LandingURL != "https://shop.example/z" {
+		t.Fatalf("custom rules: %+v", ads)
+	}
+	// Default markers must not fire under custom rules.
+	if ads := d.Scan(`<div class="ad-slot"><img src="https://ads.x.example/creative/9"></div>`); len(ads) != 0 {
+		t.Fatal("default markers fired under custom ruleset")
+	}
+}
+
+func BenchmarkScanTypicalPage(b *testing.B) {
+	var sb strings.Builder
+	sb.WriteString("<html><body>")
+	for i := 0; i < 30; i++ {
+		fmt.Fprintf(&sb, "<p>paragraph %d with some text</p>", i)
+	}
+	for i := 0; i < 4; i++ {
+		fmt.Fprintf(&sb,
+			`<div class="ad-slot"><a href="https://shop%d.example/t/%d"><img src="https://ads.adx%d.example/creative/%d"></a></div>`,
+			i, i, i, i)
+	}
+	sb.WriteString("</body></html>")
+	page := sb.String()
+	d := New(nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := len(d.Scan(page)); got != 4 {
+			b.Fatalf("found %d ads", got)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+// Package adsim simulates users, websites, and ad campaigns — the
+// controlled environment of the paper's Section 7.2 simulation study. The
+// browsing model follows the User-Centric-Walk approach of Bürklen et
+// al. [14] that the paper's simulator is based on: site popularity is
+// Zipf-distributed, users visit interest-matched sites preferentially,
+// and browsing intensity differs between weekdays and weekends.
+//
+// The simulator produces an impression stream (user, site, campaign,
+// time) with full ground truth (every campaign knows whether it is
+// targeted), which feeds the detector experiments (Figures 2 and 3, the
+// false-positive study of Section 7.2.2), the privacy-protocol overhead
+// study, and the live-validation analogue (Figure 4).
+package adsim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Config parametrizes a simulation. The zero value is not useful; start
+// from DefaultConfig (the paper's Table 1) and override.
+type Config struct {
+	// Seed makes runs reproducible.
+	Seed int64
+
+	// Users is the population size (Table 1: 500).
+	Users int
+	// Sites is the number of ad-serving websites (Table 1: 1000).
+	Sites int
+	// AvgVisitsPerWeek is the mean number of page visits per user per
+	// week (Table 1: 138).
+	AvgVisitsPerWeek float64
+	// AdsPerSite is each site's non-targeted ad inventory size
+	// (Table 1: 20).
+	AdsPerSite int
+	// TargetedFraction is the fraction of campaigns that are targeted
+	// (Table 1: 0.1).
+	TargetedFraction float64
+	// Campaigns is the total number of ad campaigns in flight.
+	Campaigns int
+	// FrequencyCap bounds how many impressions of one targeted campaign
+	// a single user receives per week — the x-axis of Figure 3.
+	FrequencyCap int
+	// Weeks is the simulated duration in 7-day rounds.
+	Weeks int
+
+	// SlotsPerVisit is how many display ads a page view renders.
+	SlotsPerVisit int
+	// BaseTargetedShare is the baseline probability that a slot is filled
+	// by the targeted-ad exchange rather than site inventory.
+	BaseTargetedShare float64
+	// InterestAffinity is the probability that a visit goes to a site
+	// matching one of the user's interests (vs. a popularity draw).
+	InterestAffinity float64
+	// WeekendFactor scales browsing intensity on Saturday/Sunday.
+	WeekendFactor float64
+	// ZipfS is the site-popularity Zipf exponent.
+	ZipfS float64
+	// MinInterests and MaxInterests bound the per-user interest count.
+	MinInterests, MaxInterests int
+
+	// RetargetedShare is the fraction of targeted campaigns that are
+	// retargeting campaigns (triggered by a product-site visit).
+	RetargetedShare float64
+	// IndirectShare is the fraction of targeted campaigns whose ad
+	// category has no semantic overlap with the targeted interest —
+	// the indirect targeting of Section 2.1.
+	IndirectShare float64
+
+	// StaticSitesMin/Max bound how many sites carry one static
+	// ("brand awareness") campaign.
+	StaticSitesMin, StaticSitesMax int
+
+	// DemographicBias plants the gender/income/age targeting-rate
+	// differences recovered by the Table 2 regression.
+	DemographicBias bool
+}
+
+// DefaultConfig returns the paper's Table 1 configuration.
+func DefaultConfig() Config {
+	return Config{
+		Seed:              1,
+		Users:             500,
+		Sites:             1000,
+		AvgVisitsPerWeek:  138,
+		AdsPerSite:        20,
+		TargetedFraction:  0.1,
+		Campaigns:         300,
+		FrequencyCap:      8,
+		Weeks:             1,
+		SlotsPerVisit:     3,
+		BaseTargetedShare: 0.35,
+		InterestAffinity:  0.7,
+		WeekendFactor:     0.6,
+		ZipfS:             1.1,
+		MinInterests:      2,
+		MaxInterests:      4,
+		RetargetedShare:   0.25,
+		IndirectShare:     0.25,
+		StaticSitesMin:    20,
+		StaticSitesMax:    120,
+		DemographicBias:   false,
+	}
+}
+
+// Validate reports configuration errors before a run.
+func (c Config) Validate() error {
+	switch {
+	case c.Users < 1:
+		return errors.New("adsim: Users must be >= 1")
+	case c.Sites < 1:
+		return errors.New("adsim: Sites must be >= 1")
+	case c.AvgVisitsPerWeek <= 0:
+		return errors.New("adsim: AvgVisitsPerWeek must be > 0")
+	case c.AdsPerSite < 1:
+		return errors.New("adsim: AdsPerSite must be >= 1")
+	case c.TargetedFraction < 0 || c.TargetedFraction > 1:
+		return errors.New("adsim: TargetedFraction must be in [0,1]")
+	case c.Campaigns < 1:
+		return errors.New("adsim: Campaigns must be >= 1")
+	case c.FrequencyCap < 1:
+		return errors.New("adsim: FrequencyCap must be >= 1")
+	case c.Weeks < 1:
+		return errors.New("adsim: Weeks must be >= 1")
+	case c.SlotsPerVisit < 1:
+		return errors.New("adsim: SlotsPerVisit must be >= 1")
+	case c.BaseTargetedShare < 0 || c.BaseTargetedShare > 1:
+		return errors.New("adsim: BaseTargetedShare must be in [0,1]")
+	case c.InterestAffinity < 0 || c.InterestAffinity > 1:
+		return errors.New("adsim: InterestAffinity must be in [0,1]")
+	case c.WeekendFactor <= 0:
+		return errors.New("adsim: WeekendFactor must be > 0")
+	case c.ZipfS <= 1:
+		return errors.New("adsim: ZipfS must be > 1")
+	case c.MinInterests < 1 || c.MaxInterests < c.MinInterests:
+		return fmt.Errorf("adsim: bad interest bounds [%d,%d]", c.MinInterests, c.MaxInterests)
+	case c.RetargetedShare < 0 || c.RetargetedShare > 1:
+		return errors.New("adsim: RetargetedShare must be in [0,1]")
+	case c.IndirectShare < 0 || c.IndirectShare > 1:
+		return errors.New("adsim: IndirectShare must be in [0,1]")
+	case c.RetargetedShare+c.IndirectShare > 1:
+		return errors.New("adsim: RetargetedShare+IndirectShare must be <= 1")
+	case c.StaticSitesMin < 1 || c.StaticSitesMax < c.StaticSitesMin:
+		return fmt.Errorf("adsim: bad static site bounds [%d,%d]", c.StaticSitesMin, c.StaticSitesMax)
+	}
+	return nil
+}

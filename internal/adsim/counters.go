@@ -1,0 +1,99 @@
+package adsim
+
+// Counters extracts the cleartext statistics a simulation implies: the
+// per-(user, campaign) distinct-domain counts and the per-campaign
+// distinct-user counts. These are the "Actual" series of Figure 2 and the
+// ground-truth inputs to the detector experiments; the privacy protocol
+// estimates the same quantities from blinded sketches.
+type Counters struct {
+	// DomainsPerUserAd[user][campaign] = set of site IDs where the user
+	// saw the campaign.
+	DomainsPerUserAd map[int]map[int]map[int]bool
+	// UsersPerAd[campaign] = set of users that saw the campaign.
+	UsersPerAd map[int]map[int]bool
+}
+
+// Count aggregates the impression stream into counters. If weeks is
+// non-nil, only impressions from those weeks are counted (the detector's
+// sliding window corresponds to one week).
+func Count(impressions []Impression, weeks map[int]bool) *Counters {
+	c := &Counters{
+		DomainsPerUserAd: make(map[int]map[int]map[int]bool),
+		UsersPerAd:       make(map[int]map[int]bool),
+	}
+	for _, imp := range impressions {
+		if weeks != nil && !weeks[imp.Week] {
+			continue
+		}
+		ua := c.DomainsPerUserAd[imp.User]
+		if ua == nil {
+			ua = make(map[int]map[int]bool)
+			c.DomainsPerUserAd[imp.User] = ua
+		}
+		ds := ua[imp.Campaign]
+		if ds == nil {
+			ds = make(map[int]bool)
+			ua[imp.Campaign] = ds
+		}
+		ds[imp.Site] = true
+
+		us := c.UsersPerAd[imp.Campaign]
+		if us == nil {
+			us = make(map[int]bool)
+			c.UsersPerAd[imp.Campaign] = us
+		}
+		us[imp.User] = true
+	}
+	return c
+}
+
+// UserCount returns #Users(campaign).
+func (c *Counters) UserCount(campaign int) int { return len(c.UsersPerAd[campaign]) }
+
+// DomainCount returns #Domains(user, campaign).
+func (c *Counters) DomainCount(user, campaign int) int {
+	return len(c.DomainsPerUserAd[user][campaign])
+}
+
+// UserCountsDistribution returns the per-ad user counts as a float slice —
+// the sample Users_th is estimated from.
+func (c *Counters) UserCountsDistribution() []float64 {
+	out := make([]float64, 0, len(c.UsersPerAd))
+	for _, us := range c.UsersPerAd {
+		out = append(out, float64(len(us)))
+	}
+	return out
+}
+
+// DomainCountsDistribution returns one user's per-ad domain counts — the
+// sample Domains_th,u is estimated from.
+func (c *Counters) DomainCountsDistribution(user int) []float64 {
+	ads := c.DomainsPerUserAd[user]
+	out := make([]float64, 0, len(ads))
+	for _, ds := range ads {
+		out = append(out, float64(len(ds)))
+	}
+	return out
+}
+
+// ActiveDomains returns the number of distinct ad-serving domains the user
+// encountered — the minimum-data rule input.
+func (c *Counters) ActiveDomains(user int) int {
+	set := make(map[int]bool)
+	for _, ds := range c.DomainsPerUserAd[user] {
+		for d := range ds {
+			set[d] = true
+		}
+	}
+	return len(set)
+}
+
+// AdsSeenBy lists the campaigns a user saw.
+func (c *Counters) AdsSeenBy(user int) []int {
+	ads := c.DomainsPerUserAd[user]
+	out := make([]int, 0, len(ads))
+	for a := range ads {
+		out = append(out, a)
+	}
+	return out
+}

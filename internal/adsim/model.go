@@ -1,0 +1,262 @@
+package adsim
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"eyewnder/internal/taxonomy"
+)
+
+// Gender is a user's reported gender (the Table 2 factor G).
+type Gender uint8
+
+// Gender levels. Undisclosed is the regression base level.
+const (
+	GenderUndisclosed Gender = iota
+	GenderFemale
+	GenderMale
+)
+
+// String implements fmt.Stringer.
+func (g Gender) String() string {
+	switch g {
+	case GenderFemale:
+		return "female"
+	case GenderMale:
+		return "male"
+	default:
+		return "undisclosed"
+	}
+}
+
+// Income is a user's income bracket in k€/year (the Table 2 factor L).
+type Income uint8
+
+// Income brackets. Income0to30 is the regression base level.
+const (
+	Income0to30 Income = iota
+	Income30to60
+	Income60to90
+	Income90plus
+)
+
+// String implements fmt.Stringer.
+func (l Income) String() string {
+	switch l {
+	case Income30to60:
+		return "30k-60k"
+	case Income60to90:
+		return "60k-90k"
+	case Income90plus:
+		return "90k-..."
+	default:
+		return "0-30k"
+	}
+}
+
+// Age is a user's age bracket (the Table 2 factor A).
+type Age uint8
+
+// Age brackets. Age1to20 is the regression base level.
+const (
+	Age1to20 Age = iota
+	Age20to30
+	Age30to40
+	Age40to50
+	Age50to60
+	Age60to70
+)
+
+// String implements fmt.Stringer.
+func (a Age) String() string {
+	switch a {
+	case Age20to30:
+		return "20-30"
+	case Age30to40:
+		return "30-40"
+	case Age40to50:
+		return "40-50"
+	case Age50to60:
+		return "50-60"
+	case Age60to70:
+		return "60-70"
+	default:
+		return "1-20"
+	}
+}
+
+// Demographics bundles the socio-economic factors of Section 8.
+type Demographics struct {
+	Gender Gender
+	Income Income
+	Age    Age
+	// Employed is collected but — as in the paper — turns out to carry no
+	// signal and is dropped from the final model.
+	Employed bool
+}
+
+// plantedLogOdds returns the planted contribution of the demographics to
+// the log-odds that a delivered ad is targeted. The coefficients are the
+// natural logs of the Table 2 odds ratios, so that the logistic
+// regression of Section 8 recovers them (in sign and approximate
+// magnitude).
+func (d Demographics) plantedLogOdds() float64 {
+	v := 0.0
+	switch d.Gender {
+	case GenderFemale:
+		v += math.Log(0.255)
+	case GenderMale:
+		v += math.Log(0.174)
+	}
+	switch d.Income {
+	case Income30to60:
+		v += math.Log(1.446)
+	case Income60to90:
+		v += math.Log(1.521)
+	case Income90plus:
+		v += math.Log(0.525)
+	}
+	switch d.Age {
+	case Age20to30:
+		v += math.Log(1.031)
+	case Age30to40:
+		v += math.Log(1.428)
+	case Age40to50:
+		v += math.Log(1.964)
+	case Age50to60:
+		v += math.Log(0.745)
+	case Age60to70:
+		v += math.Log(2.654)
+	}
+	return v
+}
+
+// User is one simulated browser/extension user.
+type User struct {
+	ID        int
+	Interests []taxonomy.Topic
+	Demo      Demographics
+	// targetedShare is the per-user probability that an ad slot goes to
+	// the targeted exchange, after planting demographic bias.
+	targetedShare float64
+}
+
+// Site is one ad-serving website.
+type Site struct {
+	ID     int
+	Domain string
+	Topic  taxonomy.Topic
+	// Inventory holds the campaign IDs of the site's non-targeted ads
+	// (static deals pinned here plus topic-matched contextual ads).
+	Inventory []int
+	// popWeight is the Zipf popularity mass (not normalized).
+	popWeight float64
+}
+
+// Kind is the campaign type; it doubles as the simulation ground truth.
+type Kind uint8
+
+// Campaign kinds.
+const (
+	// KindStatic is a fixed private-deal ("brand awareness") campaign:
+	// shown to every visitor of its carrier sites.
+	KindStatic Kind = iota
+	// KindContextual matches the site topic regardless of the user.
+	KindContextual
+	// KindTargeted is direct behavioural targeting: ad category overlaps
+	// the targeted interest.
+	KindTargeted
+	// KindIndirect is indirect targeting: the targeted interest and the
+	// ad category share no semantic overlap (Section 2.1).
+	KindIndirect
+	// KindRetargeted follows users who visited the campaign's product
+	// site.
+	KindRetargeted
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindStatic:
+		return "static"
+	case KindContextual:
+		return "contextual"
+	case KindTargeted:
+		return "targeted"
+	case KindIndirect:
+		return "indirect"
+	case KindRetargeted:
+		return "retargeted"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// IsTargeted reports the ground-truth label: targeted, indirect, and
+// retargeted campaigns are all "targeted" in the paper's taxonomy.
+func (k Kind) IsTargeted() bool {
+	return k == KindTargeted || k == KindIndirect || k == KindRetargeted
+}
+
+// Campaign is one ad campaign.
+type Campaign struct {
+	ID   int
+	Kind Kind
+	// Category is the topic of the advertised offering (and of the
+	// landing page).
+	Category taxonomy.Topic
+	// TargetTopics are the interests a targeted campaign bids on (empty
+	// for static/contextual).
+	TargetTopics []taxonomy.Topic
+	// CarrierSites lists the sites a static campaign is pinned to.
+	CarrierSites []int
+	// ProductSite triggers a retargeted campaign (-1 otherwise).
+	ProductSite int
+	// FrequencyCap bounds weekly impressions per user (targeted kinds).
+	FrequencyCap int
+}
+
+// AdURL returns the campaign's creative URL — the identifier the
+// extension reports through the privacy protocol.
+func (c *Campaign) AdURL() string {
+	return fmt.Sprintf("https://ads.adx%d.example/creative/%d", c.ID%7, c.ID)
+}
+
+// LandingURL returns the landing page, whose path embeds the category so
+// the content-based baseline can categorize it.
+func (c *Campaign) LandingURL() string {
+	return fmt.Sprintf("https://shop%d.example/%s/offer-%d", c.ID%11, c.Category, c.ID)
+}
+
+// Impression is one delivered ad.
+type Impression struct {
+	User     int
+	Site     int
+	Campaign int
+	// Week is the 0-based reporting round; Day is 0..6 within the week.
+	Week, Day int
+	Time      time.Time
+}
+
+// SimStart is the simulation epoch: a Monday, so Day 5 and 6 are the
+// weekend.
+var SimStart = time.Date(2019, 3, 4, 0, 0, 0, 0, time.UTC)
+
+// Visit is one page view (with or without ads delivered) — the raw
+// browsing signal the content-based baseline builds profiles from.
+type Visit struct {
+	User, Site, Week, Day int
+}
+
+// Result bundles a finished simulation.
+type Result struct {
+	Config      Config
+	Users       []*User
+	Sites       []*Site
+	Campaigns   []*Campaign
+	Impressions []Impression
+	// VisitLog records every page view in order.
+	VisitLog []Visit
+	// Visits counts total page views (with or without ads shown).
+	Visits int
+}

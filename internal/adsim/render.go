@@ -1,0 +1,64 @@
+package adsim
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// RenderStyle selects how an ad slot embeds its landing URL — one per
+// landing-page-detection heuristic of Section 5.
+type RenderStyle uint8
+
+// Render styles.
+const (
+	// RenderHref wraps the creative in <a href="landing">.
+	RenderHref RenderStyle = iota
+	// RenderOnclick attaches the landing URL to an onclick handler that
+	// redirects through a JS helper (footnote 3).
+	RenderOnclick
+	// RenderScript leaves the URL inside an accompanying <script> body.
+	RenderScript
+)
+
+// RenderPage produces the HTML a user's browser would receive for one
+// visit: editorial filler plus one ad slot per shown campaign, each
+// rendered with a rotating embedding style. It exists to exercise the
+// full extension pipeline (htmlscan → addetect → reporting) against
+// simulator ground truth.
+func RenderPage(site *Site, shown []*Campaign, seed int64) string {
+	rng := rand.New(rand.NewSource(seed))
+	var b strings.Builder
+	fmt.Fprintf(&b, "<html><head><title>%s</title></head><body>\n", site.Domain)
+	fmt.Fprintf(&b, "<h1>%s news</h1>\n", site.Topic)
+	for i := 0; i < 3+rng.Intn(5); i++ {
+		fmt.Fprintf(&b, "<p>Editorial paragraph %d about %s.</p>\n", i, site.Topic)
+	}
+	for i, c := range shown {
+		style := RenderStyle(i % 3)
+		b.WriteString(RenderAdSlot(c, style, rng.Int63()))
+		b.WriteString("\n")
+	}
+	b.WriteString("</body></html>")
+	return b.String()
+}
+
+// RenderAdSlot renders one campaign's ad markup in the given style.
+func RenderAdSlot(c *Campaign, style RenderStyle, nonce int64) string {
+	creative := c.AdURL()
+	landing := c.LandingURL()
+	switch style {
+	case RenderOnclick:
+		return fmt.Sprintf(
+			`<div class="adbox" onclick="adClick('%s', %d)"><img src="%s" alt="ad %d"></div>`,
+			landing, nonce, creative, c.ID)
+	case RenderScript:
+		return fmt.Sprintf(
+			`<div id="gpt-ad-%d"><img src="%s" alt="ad %d"><script>var lp=%q;bind(lp);</script></div>`,
+			c.ID, creative, c.ID, landing)
+	default:
+		return fmt.Sprintf(
+			`<div class="ad-slot"><a href="%s"><img src="%s" alt="ad %d"></a></div>`,
+			landing, creative, c.ID)
+	}
+}

@@ -1,0 +1,63 @@
+package adsim
+
+import (
+	"testing"
+
+	"eyewnder/internal/addetect"
+	"eyewnder/internal/taxonomy"
+)
+
+func TestRenderedPagesRoundTripThroughDetector(t *testing.T) {
+	// The extension pipeline must recover every campaign's landing URL
+	// from rendered pages, whichever embedding style the page uses.
+	site := &Site{ID: 3, Domain: "www.sports-3.example", Topic: taxonomy.Sports}
+	campaigns := []*Campaign{
+		{ID: 10, Kind: KindTargeted, Category: taxonomy.Sports},
+		{ID: 11, Kind: KindStatic, Category: taxonomy.Cars},
+		{ID: 12, Kind: KindContextual, Category: taxonomy.Sports},
+	}
+	page := RenderPage(site, campaigns, 42)
+	ads := addetect.New(nil).Scan(page)
+	if len(ads) != len(campaigns) {
+		t.Fatalf("detected %d ads, want %d\npage:\n%s", len(ads), len(campaigns), page)
+	}
+	found := map[string]bool{}
+	for _, ad := range ads {
+		found[ad.LandingURL] = true
+	}
+	for _, c := range campaigns {
+		if !found[c.LandingURL()] {
+			t.Fatalf("landing %q not recovered (methods: %v)", c.LandingURL(), found)
+		}
+	}
+}
+
+func TestRenderAdSlotStyles(t *testing.T) {
+	c := &Campaign{ID: 7, Kind: KindTargeted, Category: taxonomy.Travel}
+	d := addetect.New(nil)
+	for style, wantMethod := range map[RenderStyle]string{
+		RenderHref:    "href",
+		RenderOnclick: "onclick",
+		RenderScript:  "script",
+	} {
+		html := "<html><body>" + RenderAdSlot(c, style, 1) + "</body></html>"
+		ads := d.Scan(html)
+		if len(ads) != 1 {
+			t.Fatalf("style %d: %d ads\n%s", style, len(ads), html)
+		}
+		if ads[0].Method != wantMethod {
+			t.Fatalf("style %d: method %q, want %q", style, ads[0].Method, wantMethod)
+		}
+		if ads[0].LandingURL != c.LandingURL() {
+			t.Fatalf("style %d: landing %q", style, ads[0].LandingURL)
+		}
+	}
+}
+
+func TestRenderDeterministicForSeed(t *testing.T) {
+	site := &Site{ID: 1, Domain: "www.food-1.example", Topic: taxonomy.Food}
+	cs := []*Campaign{{ID: 1, Category: taxonomy.Food}}
+	if RenderPage(site, cs, 9) != RenderPage(site, cs, 9) {
+		t.Fatal("rendering not deterministic")
+	}
+}

@@ -1,0 +1,494 @@
+package adsim
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"eyewnder/internal/taxonomy"
+)
+
+// Simulator drives one simulated deployment.
+type Simulator struct {
+	cfg       Config
+	rng       *rand.Rand
+	users     []*User
+	sites     []*Site
+	campaigns []*Campaign
+
+	// sitePopCum is the cumulative Zipf popularity for site sampling.
+	sitePopCum []float64
+	// sitesByTopic indexes site IDs per topic for interest-driven visits.
+	sitesByTopic map[taxonomy.Topic][]int
+	// contextualByTopic indexes contextual campaign IDs per category.
+	contextualByTopic map[taxonomy.Topic][]int
+	// targetedByTopic indexes targeted/indirect campaign IDs per target
+	// topic.
+	targetedByTopic map[taxonomy.Topic][]int
+	// retargeted lists retargeting campaign IDs by product site.
+	retargetedBySite map[int][]int
+
+	// capCount[user][campaign] = impressions this week (frequency cap).
+	capCount []map[int]int
+	// retargetActive[user] = set of retargeting campaigns chasing the user.
+	retargetActive []map[int]bool
+}
+
+// New builds a simulator (users, sites, campaigns, indexes) from cfg.
+func New(cfg Config) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Simulator{
+		cfg:               cfg,
+		rng:               rand.New(rand.NewSource(cfg.Seed)),
+		sitesByTopic:      make(map[taxonomy.Topic][]int),
+		contextualByTopic: make(map[taxonomy.Topic][]int),
+		targetedByTopic:   make(map[taxonomy.Topic][]int),
+		retargetedBySite:  make(map[int][]int),
+	}
+	s.buildSites()
+	s.buildUsers()
+	s.buildCampaigns()
+	s.fillInventories()
+	s.capCount = make([]map[int]int, cfg.Users)
+	s.retargetActive = make([]map[int]bool, cfg.Users)
+	for i := range s.capCount {
+		s.capCount[i] = make(map[int]int)
+		s.retargetActive[i] = make(map[int]bool)
+	}
+	return s, nil
+}
+
+func (s *Simulator) buildSites() {
+	n := s.cfg.Sites
+	s.sites = make([]*Site, n)
+	s.sitePopCum = make([]float64, n)
+	var cum float64
+	for i := 0; i < n; i++ {
+		topic := taxonomy.Topic(s.rng.Intn(taxonomy.Count))
+		// Zipf popularity over rank i+1.
+		w := 1 / math.Pow(float64(i+1), s.cfg.ZipfS)
+		cum += w
+		s.sites[i] = &Site{
+			ID:        i,
+			Domain:    siteDomain(i, topic),
+			Topic:     topic,
+			popWeight: w,
+		}
+		s.sitePopCum[i] = cum
+		s.sitesByTopic[topic] = append(s.sitesByTopic[topic], i)
+	}
+}
+
+func siteDomain(i int, topic taxonomy.Topic) string {
+	return "www." + topic.String() + "-" + itoa(i) + ".example"
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	pos := len(buf)
+	for i > 0 {
+		pos--
+		buf[pos] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[pos:])
+}
+
+func (s *Simulator) buildUsers() {
+	s.users = make([]*User, s.cfg.Users)
+	for i := range s.users {
+		nInt := s.cfg.MinInterests
+		if s.cfg.MaxInterests > s.cfg.MinInterests {
+			nInt += s.rng.Intn(s.cfg.MaxInterests - s.cfg.MinInterests + 1)
+		}
+		perm := s.rng.Perm(taxonomy.Count)
+		interests := make([]taxonomy.Topic, nInt)
+		for j := 0; j < nInt; j++ {
+			interests[j] = taxonomy.Topic(perm[j])
+		}
+		demo := s.drawDemographics()
+		u := &User{ID: i, Interests: interests, Demo: demo}
+		if s.cfg.DemographicBias {
+			// Targeted-slot share is logistic in the planted log-odds,
+			// anchored at the configured base share for the base levels.
+			base := math.Log(s.cfg.BaseTargetedShare / (1 - s.cfg.BaseTargetedShare))
+			u.targetedShare = sigmoid(base + demo.plantedLogOdds())
+		} else {
+			u.targetedShare = s.cfg.BaseTargetedShare
+		}
+		s.users[i] = u
+	}
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+func (s *Simulator) drawDemographics() Demographics {
+	var d Demographics
+	switch r := s.rng.Float64(); {
+	case r < 0.40:
+		d.Gender = GenderFemale
+	case r < 0.85:
+		d.Gender = GenderMale
+	default:
+		d.Gender = GenderUndisclosed
+	}
+	switch r := s.rng.Float64(); {
+	case r < 0.35:
+		d.Income = Income0to30
+	case r < 0.70:
+		d.Income = Income30to60
+	case r < 0.90:
+		d.Income = Income60to90
+	default:
+		d.Income = Income90plus
+	}
+	switch r := s.rng.Float64(); {
+	case r < 0.10:
+		d.Age = Age1to20
+	case r < 0.40:
+		d.Age = Age20to30
+	case r < 0.65:
+		d.Age = Age30to40
+	case r < 0.82:
+		d.Age = Age40to50
+	case r < 0.93:
+		d.Age = Age50to60
+	default:
+		d.Age = Age60to70
+	}
+	d.Employed = s.rng.Float64() < 0.7
+	return d
+}
+
+func (s *Simulator) buildCampaigns() {
+	total := s.cfg.Campaigns
+	nTargeted := int(math.Round(float64(total) * s.cfg.TargetedFraction))
+	s.campaigns = make([]*Campaign, 0, total)
+	// Targeted family: direct / indirect / retargeted split.
+	nRetarget := int(math.Round(float64(nTargeted) * s.cfg.RetargetedShare))
+	nIndirect := int(math.Round(float64(nTargeted) * s.cfg.IndirectShare))
+	nDirect := nTargeted - nRetarget - nIndirect
+	id := 0
+	for i := 0; i < nDirect; i++ {
+		topic := taxonomy.Topic(s.rng.Intn(taxonomy.Count))
+		c := &Campaign{
+			ID:           id,
+			Kind:         KindTargeted,
+			Category:     topic, // direct: ad category == targeted interest
+			TargetTopics: []taxonomy.Topic{topic},
+			ProductSite:  -1,
+			FrequencyCap: s.cfg.FrequencyCap,
+		}
+		s.campaigns = append(s.campaigns, c)
+		s.targetedByTopic[topic] = append(s.targetedByTopic[topic], id)
+		id++
+	}
+	for i := 0; i < nIndirect; i++ {
+		topic := taxonomy.Topic(s.rng.Intn(taxonomy.Count))
+		c := &Campaign{
+			ID:           id,
+			Kind:         KindIndirect,
+			Category:     taxonomy.NonOverlapping(topic),
+			TargetTopics: []taxonomy.Topic{topic},
+			ProductSite:  -1,
+			FrequencyCap: s.cfg.FrequencyCap,
+		}
+		s.campaigns = append(s.campaigns, c)
+		s.targetedByTopic[topic] = append(s.targetedByTopic[topic], id)
+		id++
+	}
+	for i := 0; i < nRetarget; i++ {
+		site := s.rng.Intn(s.cfg.Sites)
+		c := &Campaign{
+			ID:           id,
+			Kind:         KindRetargeted,
+			Category:     s.sites[site].Topic,
+			ProductSite:  site,
+			FrequencyCap: s.cfg.FrequencyCap,
+		}
+		s.campaigns = append(s.campaigns, c)
+		s.retargetedBySite[site] = append(s.retargetedBySite[site], id)
+		id++
+	}
+	// Non-targeted family: static and contextual, 50/50.
+	nNon := total - nTargeted
+	nStatic := nNon / 2
+	for i := 0; i < nStatic; i++ {
+		// Campaign reach is heavy-tailed, like real ad popularity: most
+		// static deals cover a handful of sites, a few "brand awareness"
+		// campaigns blanket a large slice of the web. Truncated Pareto
+		// between the configured bounds.
+		span := s.paretoSpan(s.cfg.StaticSitesMin, s.cfg.StaticSitesMax)
+		if span > s.cfg.Sites {
+			span = s.cfg.Sites
+		}
+		perm := s.rng.Perm(s.cfg.Sites)[:span]
+		c := &Campaign{
+			ID:           id,
+			Kind:         KindStatic,
+			Category:     taxonomy.Topic(s.rng.Intn(taxonomy.Count)),
+			CarrierSites: perm,
+			ProductSite:  -1,
+		}
+		s.campaigns = append(s.campaigns, c)
+		id++
+	}
+	for i := 0; i < nNon-nStatic; i++ {
+		topic := taxonomy.Topic(s.rng.Intn(taxonomy.Count))
+		c := &Campaign{
+			ID:          id,
+			Kind:        KindContextual,
+			Category:    topic,
+			ProductSite: -1,
+		}
+		s.campaigns = append(s.campaigns, c)
+		s.contextualByTopic[topic] = append(s.contextualByTopic[topic], id)
+		id++
+	}
+}
+
+// paretoSpan draws a truncated Pareto(α=1.16) integer in [min, max]:
+// mostly near min, occasionally spanning toward max.
+func (s *Simulator) paretoSpan(min, max int) int {
+	if max <= min {
+		return min
+	}
+	const alpha = 1.16
+	u := s.rng.Float64()
+	v := float64(min) / math.Pow(1-u, 1/alpha)
+	if v > float64(max) {
+		return max
+	}
+	return int(v)
+}
+
+// fillInventories assigns each site its static pins plus a random sample
+// of its topic's contextual pool, capped at AdsPerSite. Sampling (rather
+// than sharing one fixed topic list) matters: on the real web a specific
+// contextual creative runs on a few sites of its topic, not on all of
+// them, which keeps the per-ad audience distribution heavy-tailed.
+func (s *Simulator) fillInventories() {
+	for _, c := range s.campaigns {
+		if c.Kind != KindStatic {
+			continue
+		}
+		for _, siteID := range c.CarrierSites {
+			s.sites[siteID].Inventory = append(s.sites[siteID].Inventory, c.ID)
+		}
+	}
+	var contextualAll []int
+	for _, c := range s.campaigns {
+		if c.Kind == KindContextual {
+			contextualAll = append(contextualAll, c.ID)
+		}
+	}
+	for _, site := range s.sites {
+		pool := s.contextualByTopic[site.Topic]
+		for _, idx := range s.rng.Perm(len(pool)) {
+			if len(site.Inventory) >= s.cfg.AdsPerSite {
+				break
+			}
+			site.Inventory = append(site.Inventory, pool[idx])
+		}
+		// Backfill with random contextual ads so thin-topic sites still
+		// have inventory ("run of network" filler).
+		for len(site.Inventory) < s.cfg.AdsPerSite/2 && len(contextualAll) > 0 {
+			site.Inventory = append(site.Inventory,
+				contextualAll[s.rng.Intn(len(contextualAll))])
+		}
+	}
+}
+
+// Users exposes the generated population.
+func (s *Simulator) Users() []*User { return s.users }
+
+// Sites exposes the generated web.
+func (s *Simulator) Sites() []*Site { return s.sites }
+
+// Campaigns exposes the generated campaigns.
+func (s *Simulator) Campaigns() []*Campaign { return s.campaigns }
+
+// Campaign returns the campaign with the given ID.
+func (s *Simulator) Campaign(id int) *Campaign { return s.campaigns[id] }
+
+// pickSite draws the next site for a user: an interest-matched site with
+// probability InterestAffinity, otherwise a Zipf popularity draw.
+func (s *Simulator) pickSite(u *User) int {
+	if s.rng.Float64() < s.cfg.InterestAffinity && len(u.Interests) > 0 {
+		topic := u.Interests[s.rng.Intn(len(u.Interests))]
+		if ids := s.sitesByTopic[topic]; len(ids) > 0 {
+			return ids[s.rng.Intn(len(ids))]
+		}
+	}
+	// Binary search the cumulative Zipf mass.
+	total := s.sitePopCum[len(s.sitePopCum)-1]
+	r := s.rng.Float64() * total
+	lo, hi := 0, len(s.sitePopCum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.sitePopCum[mid] < r {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// eligibleTargeted lists targeted campaigns that may chase user u right
+// now: retargeting campaigns activated for u, plus interest-matched
+// direct/indirect campaigns — all under their weekly frequency cap.
+func (s *Simulator) eligibleTargeted(u *User) []int {
+	var out []int
+	// Sorted iteration keeps runs deterministic for a fixed seed.
+	retarget := make([]int, 0, len(s.retargetActive[u.ID]))
+	for cid := range s.retargetActive[u.ID] {
+		retarget = append(retarget, cid)
+	}
+	sort.Ints(retarget)
+	for _, cid := range retarget {
+		if s.capCount[u.ID][cid] < s.campaigns[cid].FrequencyCap {
+			out = append(out, cid)
+		}
+	}
+	for _, topic := range u.Interests {
+		for _, cid := range s.targetedByTopic[topic] {
+			if s.capCount[u.ID][cid] < s.campaigns[cid].FrequencyCap {
+				out = append(out, cid)
+			}
+		}
+	}
+	return out
+}
+
+// serveVisit fills the visit's ad slots and returns the shown campaigns.
+func (s *Simulator) serveVisit(u *User, site *Site) []int {
+	// Visiting a product site arms its retargeting campaigns for u.
+	for _, cid := range s.retargetedBySite[site.ID] {
+		s.retargetActive[u.ID][cid] = true
+	}
+	shown := make([]int, 0, s.cfg.SlotsPerVisit)
+	for slot := 0; slot < s.cfg.SlotsPerVisit; slot++ {
+		if s.rng.Float64() < u.targetedShare {
+			if elig := s.eligibleTargeted(u); len(elig) > 0 {
+				cid := elig[s.rng.Intn(len(elig))]
+				s.capCount[u.ID][cid]++
+				shown = append(shown, cid)
+				continue
+			}
+		}
+		if len(site.Inventory) > 0 {
+			shown = append(shown, site.Inventory[s.rng.Intn(len(site.Inventory))])
+		}
+	}
+	return shown
+}
+
+// Run simulates cfg.Weeks weeks and returns the full impression stream
+// with ground truth.
+func (s *Simulator) Run() *Result {
+	res := &Result{
+		Config:    s.cfg,
+		Users:     s.users,
+		Sites:     s.sites,
+		Campaigns: s.campaigns,
+	}
+	for week := 0; week < s.cfg.Weeks; week++ {
+		// Weekly frequency caps reset; retargeting interest decays.
+		for i := range s.capCount {
+			s.capCount[i] = make(map[int]int)
+			if week > 0 {
+				// Campaign "fade-out": ~half of armed retargeting drops.
+				// Sorted iteration keeps the rng stream deterministic.
+				armed := make([]int, 0, len(s.retargetActive[i]))
+				for cid := range s.retargetActive[i] {
+					armed = append(armed, cid)
+				}
+				sort.Ints(armed)
+				for _, cid := range armed {
+					if s.rng.Float64() < 0.5 {
+						delete(s.retargetActive[i], cid)
+					}
+				}
+			}
+		}
+		for day := 0; day < 7; day++ {
+			rate := s.dailyRate(day)
+			for _, u := range s.users {
+				visits := s.poisson(rate)
+				for v := 0; v < visits; v++ {
+					site := s.sites[s.pickSite(u)]
+					res.Visits++
+					res.VisitLog = append(res.VisitLog, Visit{
+						User: u.ID, Site: site.ID, Week: week, Day: day,
+					})
+					ts := SimStart.
+						Add(time.Duration(week) * 7 * 24 * time.Hour).
+						Add(time.Duration(day) * 24 * time.Hour).
+						Add(time.Duration(s.rng.Intn(24*3600)) * time.Second)
+					for _, cid := range s.serveVisit(u, site) {
+						res.Impressions = append(res.Impressions, Impression{
+							User: u.ID, Site: site.ID, Campaign: cid,
+							Week: week, Day: day, Time: ts,
+						})
+					}
+				}
+			}
+		}
+	}
+	return res
+}
+
+// dailyRate splits the weekly visit budget over days, discounting the
+// weekend (days 5 and 6 — SimStart is a Monday) by WeekendFactor.
+func (s *Simulator) dailyRate(day int) float64 {
+	wf := s.cfg.WeekendFactor
+	unit := s.cfg.AvgVisitsPerWeek / (5 + 2*wf)
+	if day >= 5 {
+		return unit * wf
+	}
+	return unit
+}
+
+// poisson draws a Poisson variate by Knuth's method (rates here are small
+// enough that the multiplicative algorithm is fine).
+func (s *Simulator) poisson(lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= s.rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > 10000 {
+			return k // guard against pathological rates
+		}
+	}
+}
+
+// CrawlerVisit returns the campaigns a clean-profile visitor (no history,
+// no cookies) sees on the site: static pins and contextual matches only,
+// because no targeting data exists for the crawler. This is the CR
+// dataset generator (Section 7.3.1).
+func (s *Simulator) CrawlerVisit(siteID int, slots int) []int {
+	site := s.sites[siteID]
+	if len(site.Inventory) == 0 {
+		return nil
+	}
+	out := make([]int, 0, slots)
+	for i := 0; i < slots; i++ {
+		out = append(out, site.Inventory[s.rng.Intn(len(site.Inventory))])
+	}
+	return out
+}

@@ -1,0 +1,382 @@
+package adsim
+
+import (
+	"math"
+	"testing"
+
+	"eyewnder/internal/taxonomy"
+)
+
+// smallConfig keeps runs fast while exercising every code path.
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Users = 60
+	cfg.Sites = 120
+	cfg.Campaigns = 60
+	cfg.AvgVisitsPerWeek = 50
+	cfg.StaticSitesMin = 5
+	cfg.StaticSitesMax = 25
+	return cfg
+}
+
+func TestValidateAcceptsDefaults(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	mods := []func(*Config){
+		func(c *Config) { c.Users = 0 },
+		func(c *Config) { c.Sites = 0 },
+		func(c *Config) { c.AvgVisitsPerWeek = 0 },
+		func(c *Config) { c.AdsPerSite = 0 },
+		func(c *Config) { c.TargetedFraction = 1.5 },
+		func(c *Config) { c.Campaigns = 0 },
+		func(c *Config) { c.FrequencyCap = 0 },
+		func(c *Config) { c.Weeks = 0 },
+		func(c *Config) { c.SlotsPerVisit = 0 },
+		func(c *Config) { c.BaseTargetedShare = -0.1 },
+		func(c *Config) { c.InterestAffinity = 2 },
+		func(c *Config) { c.WeekendFactor = 0 },
+		func(c *Config) { c.ZipfS = 1 },
+		func(c *Config) { c.MinInterests = 0 },
+		func(c *Config) { c.MaxInterests = 1; c.MinInterests = 2 },
+		func(c *Config) { c.RetargetedShare = 0.8; c.IndirectShare = 0.5 },
+		func(c *Config) { c.StaticSitesMin = 10; c.StaticSitesMax = 5 },
+	}
+	for i, mod := range mods {
+		cfg := DefaultConfig()
+		mod(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("mod %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	cfg := smallConfig()
+	r1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := r1.Run()
+	b := r2.Run()
+	if len(a.Impressions) != len(b.Impressions) {
+		t.Fatalf("impression counts differ: %d vs %d", len(a.Impressions), len(b.Impressions))
+	}
+	for i := range a.Impressions {
+		if a.Impressions[i] != b.Impressions[i] {
+			t.Fatalf("impression %d differs", i)
+		}
+	}
+}
+
+func TestCampaignMixMatchesConfig(t *testing.T) {
+	cfg := smallConfig()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[Kind]int{}
+	for _, c := range s.Campaigns() {
+		kinds[c.Kind]++
+	}
+	targeted := kinds[KindTargeted] + kinds[KindIndirect] + kinds[KindRetargeted]
+	wantTargeted := int(math.Round(float64(cfg.Campaigns) * cfg.TargetedFraction))
+	if targeted != wantTargeted {
+		t.Fatalf("targeted campaigns = %d, want %d", targeted, wantTargeted)
+	}
+	if kinds[KindStatic] == 0 || kinds[KindContextual] == 0 {
+		t.Fatalf("missing non-targeted kinds: %v", kinds)
+	}
+	if kinds[KindIndirect] == 0 || kinds[KindRetargeted] == 0 {
+		t.Fatalf("missing targeted sub-kinds: %v", kinds)
+	}
+}
+
+func TestIndirectCampaignsHaveNoSemanticOverlap(t *testing.T) {
+	s, err := New(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range s.Campaigns() {
+		switch c.Kind {
+		case KindIndirect:
+			if taxonomy.OverlapAny(c.TargetTopics, c.Category) {
+				t.Fatalf("indirect campaign %d overlaps: targets %v, category %v",
+					c.ID, c.TargetTopics, c.Category)
+			}
+		case KindTargeted:
+			if !taxonomy.OverlapAny(c.TargetTopics, c.Category) {
+				t.Fatalf("direct campaign %d lacks overlap", c.ID)
+			}
+		}
+	}
+}
+
+func TestFrequencyCapRespected(t *testing.T) {
+	cfg := smallConfig()
+	cfg.FrequencyCap = 3
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run()
+	perUserWeek := map[[3]int]int{} // (user, campaign, week) -> impressions
+	for _, imp := range res.Impressions {
+		if s.Campaign(imp.Campaign).Kind.IsTargeted() {
+			perUserWeek[[3]int{imp.User, imp.Campaign, imp.Week}]++
+		}
+	}
+	for k, n := range perUserWeek {
+		if n > cfg.FrequencyCap {
+			t.Fatalf("user %d saw targeted campaign %d %d times in week %d (cap %d)",
+				k[0], k[1], n, k[2], cfg.FrequencyCap)
+		}
+	}
+}
+
+func TestImpressionVolumePlausible(t *testing.T) {
+	cfg := smallConfig()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run()
+	// ~Users * AvgVisits visits, each showing up to SlotsPerVisit ads.
+	expVisits := float64(cfg.Users) * cfg.AvgVisitsPerWeek
+	if f := float64(res.Visits) / expVisits; f < 0.8 || f > 1.2 {
+		t.Fatalf("visits = %d, expected ~%.0f", res.Visits, expVisits)
+	}
+	if len(res.Impressions) < res.Visits {
+		t.Fatalf("impressions (%d) < visits (%d): inventories too thin", len(res.Impressions), res.Visits)
+	}
+}
+
+func TestWeekendDiscount(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Users = 200
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run()
+	byDay := make([]int, 7)
+	for _, imp := range res.Impressions {
+		byDay[imp.Day]++
+	}
+	weekday := float64(byDay[0]+byDay[1]+byDay[2]+byDay[3]+byDay[4]) / 5
+	weekend := float64(byDay[5]+byDay[6]) / 2
+	if weekend >= weekday {
+		t.Fatalf("weekend rate %.0f >= weekday rate %.0f", weekend, weekday)
+	}
+}
+
+func TestCrawlerNeverSeesPureTargetedAds(t *testing.T) {
+	cfg := smallConfig()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for siteID := 0; siteID < cfg.Sites; siteID += 7 {
+		for _, cid := range s.CrawlerVisit(siteID, 5) {
+			if s.Campaign(cid).Kind.IsTargeted() {
+				t.Fatalf("clean-profile crawler served targeted campaign %d", cid)
+			}
+		}
+	}
+}
+
+func TestTargetedAdsFollowFewerUsers(t *testing.T) {
+	// The two structural properties the detector relies on must emerge:
+	// targeted ads are seen by fewer users, and by their viewers on more
+	// domains, than static ads.
+	cfg := smallConfig()
+	cfg.Users = 150
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run()
+	c := Count(res.Impressions, nil)
+	var tUsers, sUsers, tCount, sCount float64
+	var tDomains, sDomains, tPairs, sPairs float64
+	for _, camp := range s.Campaigns() {
+		n := float64(c.UserCount(camp.ID))
+		if n == 0 {
+			continue
+		}
+		if camp.Kind.IsTargeted() {
+			tUsers += n
+			tCount++
+		} else if camp.Kind == KindStatic {
+			sUsers += n
+			sCount++
+		}
+	}
+	for user, ads := range c.DomainsPerUserAd {
+		_ = user
+		for cid, ds := range ads {
+			if s.Campaign(cid).Kind.IsTargeted() {
+				tDomains += float64(len(ds))
+				tPairs++
+			} else if s.Campaign(cid).Kind == KindStatic {
+				sDomains += float64(len(ds))
+				sPairs++
+			}
+		}
+	}
+	if tCount == 0 || sCount == 0 || tPairs == 0 || sPairs == 0 {
+		t.Fatal("degenerate simulation: missing campaign exposure")
+	}
+	if tUsers/tCount >= sUsers/sCount {
+		t.Fatalf("targeted ads seen by %.1f users on average, static by %.1f — expected fewer",
+			tUsers/tCount, sUsers/sCount)
+	}
+	if tDomains/tPairs <= sDomains/sPairs {
+		t.Fatalf("targeted ads follow across %.2f domains, static %.2f — expected more",
+			tDomains/tPairs, sDomains/sPairs)
+	}
+}
+
+func TestCountersAggregation(t *testing.T) {
+	imps := []Impression{
+		{User: 0, Site: 1, Campaign: 5, Week: 0},
+		{User: 0, Site: 2, Campaign: 5, Week: 0},
+		{User: 0, Site: 2, Campaign: 5, Week: 0}, // repeat domain
+		{User: 1, Site: 3, Campaign: 5, Week: 1},
+		{User: 1, Site: 3, Campaign: 6, Week: 1},
+	}
+	c := Count(imps, nil)
+	if c.UserCount(5) != 2 {
+		t.Fatalf("UserCount(5) = %d", c.UserCount(5))
+	}
+	if c.DomainCount(0, 5) != 2 {
+		t.Fatalf("DomainCount(0,5) = %d", c.DomainCount(0, 5))
+	}
+	if c.ActiveDomains(0) != 2 || c.ActiveDomains(1) != 1 {
+		t.Fatalf("ActiveDomains = %d/%d", c.ActiveDomains(0), c.ActiveDomains(1))
+	}
+	if got := len(c.AdsSeenBy(1)); got != 2 {
+		t.Fatalf("AdsSeenBy(1) = %d ads", got)
+	}
+	// Week filter.
+	w0 := Count(imps, map[int]bool{0: true})
+	if w0.UserCount(5) != 1 || w0.UserCount(6) != 0 {
+		t.Fatalf("week filter broken: %d/%d", w0.UserCount(5), w0.UserCount(6))
+	}
+	if d := w0.UserCountsDistribution(); len(d) != 1 || d[0] != 1 {
+		t.Fatalf("UserCountsDistribution = %v", d)
+	}
+	if d := c.DomainCountsDistribution(0); len(d) != 1 || d[0] != 2 {
+		t.Fatalf("DomainCountsDistribution = %v", d)
+	}
+}
+
+func TestDemographicBiasPlantsDifferentShares(t *testing.T) {
+	cfg := smallConfig()
+	cfg.DemographicBias = true
+	cfg.Users = 300
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Female and male users must have depressed targeted share relative
+	// to undisclosed (planted ORs 0.255 and 0.174).
+	var fSum, mSum, uSum float64
+	var fN, mN, uN int
+	for _, u := range s.Users() {
+		switch u.Demo.Gender {
+		case GenderFemale:
+			fSum += u.targetedShare
+			fN++
+		case GenderMale:
+			mSum += u.targetedShare
+			mN++
+		default:
+			uSum += u.targetedShare
+			uN++
+		}
+	}
+	if fN == 0 || mN == 0 || uN == 0 {
+		t.Fatal("gender groups empty")
+	}
+	if !(mSum/float64(mN) < fSum/float64(fN) && fSum/float64(fN) < uSum/float64(uN)) {
+		t.Fatalf("planted gender ordering broken: m=%.3f f=%.3f u=%.3f",
+			mSum/float64(mN), fSum/float64(fN), uSum/float64(uN))
+	}
+}
+
+func TestDemographicStrings(t *testing.T) {
+	if GenderFemale.String() != "female" || GenderMale.String() != "male" || GenderUndisclosed.String() != "undisclosed" {
+		t.Fatal("gender strings")
+	}
+	if Income30to60.String() != "30k-60k" || Income90plus.String() != "90k-..." || Income0to30.String() != "0-30k" || Income60to90.String() != "60k-90k" {
+		t.Fatal("income strings")
+	}
+	if Age60to70.String() != "60-70" || Age1to20.String() != "1-20" {
+		t.Fatal("age strings")
+	}
+	for _, k := range []Kind{KindStatic, KindContextual, KindTargeted, KindIndirect, KindRetargeted} {
+		if k.String() == "" {
+			t.Fatal("kind string empty")
+		}
+	}
+	if Kind(99).String() == "" {
+		t.Fatal("unknown kind string empty")
+	}
+}
+
+func TestCampaignURLs(t *testing.T) {
+	c := &Campaign{ID: 42, Category: taxonomy.Seafood}
+	if c.AdURL() == "" || c.LandingURL() == "" {
+		t.Fatal("empty URLs")
+	}
+	// Landing URL must embed the category for the CB baseline.
+	want := taxonomy.Seafood.String()
+	if !contains(c.LandingURL(), want) {
+		t.Fatalf("landing URL %q lacks category %q", c.LandingURL(), want)
+	}
+	d := &Campaign{ID: 43, Category: taxonomy.Seafood}
+	if c.AdURL() == d.AdURL() {
+		t.Fatal("distinct campaigns share ad URL")
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestMultiWeekRun(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Weeks = 3
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run()
+	weeks := map[int]bool{}
+	for _, imp := range res.Impressions {
+		weeks[imp.Week] = true
+		if imp.Week < 0 || imp.Week > 2 {
+			t.Fatalf("impression week %d out of range", imp.Week)
+		}
+		wallWeek := int(imp.Time.Sub(SimStart) / (7 * 24 * 3600 * 1e9))
+		if wallWeek != imp.Week {
+			t.Fatalf("timestamp week %d != label %d", wallWeek, imp.Week)
+		}
+	}
+	if len(weeks) != 3 {
+		t.Fatalf("saw weeks %v, want 3 distinct", weeks)
+	}
+}

@@ -1,0 +1,361 @@
+// Package backend implements eyeWnder's back-end server (Figure 1): it
+// hosts the bulletin board of blinding public keys, collects blinded CMS
+// reports, runs the missing-client adjustment round, unblinds the weekly
+// aggregate, computes the global Users_th threshold, and answers
+// real-time ad audits. It also exposes the oprf-server as a separate
+// network endpoint with its own key, preserving the paper's trust split:
+// the back-end never holds the OPRF secret.
+package backend
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"sync"
+
+	"eyewnder/internal/detector"
+	"eyewnder/internal/oprf"
+	"eyewnder/internal/privacy"
+	"eyewnder/internal/sketch"
+	"eyewnder/internal/wire"
+)
+
+// Errors returned by the package.
+var (
+	ErrRoundClosed    = errors.New("backend: round already closed")
+	ErrRoundNotClosed = errors.New("backend: round not closed yet")
+	ErrUnknownRound   = errors.New("backend: unknown round")
+	ErrBadUser        = errors.New("backend: user index out of range")
+)
+
+// Config fixes the back-end's parameters.
+type Config struct {
+	// Params is the shared protocol geometry.
+	Params privacy.Params
+	// Users is the roster size.
+	Users int
+	// UsersEstimator derives Users_th from the per-ad user counts.
+	UsersEstimator detector.Estimator
+}
+
+// Backend is the server state. All methods are safe for concurrent use.
+type Backend struct {
+	cfg Config
+
+	mu     sync.Mutex
+	roster [][]byte // bulletin board; nil slot = unregistered
+	rounds map[uint64]*round
+}
+
+type round struct {
+	agg     *privacy.Aggregator
+	adjusts map[int][]uint64 // second-round shares by reporter
+	closed  bool
+	final   *sketch.CMS
+	usersTh float64
+	// counts is the per-ad-ID user-count map extracted at close.
+	counts map[uint64]uint64
+}
+
+// New constructs a back-end.
+func New(cfg Config) (*Backend, error) {
+	if cfg.Users < 1 {
+		return nil, errors.New("backend: Users must be >= 1")
+	}
+	return &Backend{
+		cfg:    cfg,
+		roster: make([][]byte, cfg.Users),
+		rounds: make(map[uint64]*round),
+	}, nil
+}
+
+// Register stores a user's blinding public key on the bulletin board.
+func (b *Backend) Register(user int, publicKey []byte) (rosterSize int, err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if user < 0 || user >= b.cfg.Users {
+		return 0, ErrBadUser
+	}
+	b.roster[user] = append([]byte(nil), publicKey...)
+	return b.cfg.Users, nil
+}
+
+// Roster returns the bulletin board.
+func (b *Backend) Roster() [][]byte {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([][]byte, len(b.roster))
+	for i, k := range b.roster {
+		if k != nil {
+			out[i] = append([]byte(nil), k...)
+		}
+	}
+	return out
+}
+
+func (b *Backend) roundLocked(id uint64) (*round, error) {
+	r, ok := b.rounds[id]
+	if !ok {
+		agg, err := privacy.NewAggregator(b.cfg.Params, id, b.cfg.Users)
+		if err != nil {
+			return nil, err
+		}
+		r = &round{agg: agg, adjusts: make(map[int][]uint64)}
+		b.rounds[id] = r
+	}
+	return r, nil
+}
+
+// SubmitReport folds one blinded report into the round aggregate.
+func (b *Backend) SubmitReport(rep *privacy.Report) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	r, err := b.roundLocked(rep.Round)
+	if err != nil {
+		return err
+	}
+	if r.closed {
+		return ErrRoundClosed
+	}
+	return r.agg.Add(rep)
+}
+
+// RoundStatus reports progress of a round.
+func (b *Backend) RoundStatus(id uint64) (reported int, missing []int, closed bool, err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	r, err := b.roundLocked(id)
+	if err != nil {
+		return 0, nil, false, err
+	}
+	return r.agg.Reported(), r.agg.Missing(), r.closed, nil
+}
+
+// SubmitAdjustment records a reporter's second-round share.
+func (b *Backend) SubmitAdjustment(user int, id uint64, cells []uint64) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	r, err := b.roundLocked(id)
+	if err != nil {
+		return err
+	}
+	if r.closed {
+		return ErrRoundClosed
+	}
+	if user < 0 || user >= b.cfg.Users {
+		return ErrBadUser
+	}
+	r.adjusts[user] = append([]uint64(nil), cells...)
+	return nil
+}
+
+// CloseRound unblinds the aggregate (applying any adjustment shares),
+// extracts the per-ad user counts, and computes Users_th.
+func (b *Backend) CloseRound(id uint64) (usersTh float64, distinctAds int, err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	r, err := b.roundLocked(id)
+	if err != nil {
+		return 0, 0, err
+	}
+	if r.closed {
+		return r.usersTh, len(r.counts), nil
+	}
+	if len(r.adjusts) > 0 {
+		shares := make([][]uint64, 0, len(r.adjusts))
+		for _, s := range r.adjusts {
+			shares = append(shares, s)
+		}
+		if err := r.agg.ApplyAdjustments(shares...); err != nil {
+			return 0, 0, err
+		}
+	}
+	final, err := r.agg.Finalize()
+	if err != nil {
+		return 0, 0, err
+	}
+	r.final = final
+	r.counts = privacy.UserCounts(final, b.cfg.Params)
+	sample := make([]float64, 0, len(r.counts))
+	for _, c := range r.counts {
+		sample = append(sample, float64(c))
+	}
+	r.usersTh = detector.UsersThreshold(sample, b.cfg.UsersEstimator)
+	r.closed = true
+	return r.usersTh, len(r.counts), nil
+}
+
+// Threshold returns a closed round's Users_th (Figure 1, arrow 5).
+func (b *Backend) Threshold(id uint64) (float64, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	r, ok := b.rounds[id]
+	if !ok {
+		return 0, ErrUnknownRound
+	}
+	if !r.closed {
+		return 0, ErrRoundNotClosed
+	}
+	return r.usersTh, nil
+}
+
+// AuditAd answers a real-time audit: the estimated #Users for an ad ID in
+// a closed round.
+func (b *Backend) AuditAd(id uint64, adID uint64) (uint64, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	r, ok := b.rounds[id]
+	if !ok {
+		return 0, ErrUnknownRound
+	}
+	if !r.closed {
+		return 0, ErrRoundNotClosed
+	}
+	return privacy.QueryUsers(r.final, adID), nil
+}
+
+// UserCountsOfRound exposes a closed round's per-ad-ID counts (used by the
+// evaluation harness and the Figure 2 experiment).
+func (b *Backend) UserCountsOfRound(id uint64) (map[uint64]uint64, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	r, ok := b.rounds[id]
+	if !ok {
+		return nil, ErrUnknownRound
+	}
+	if !r.closed {
+		return nil, ErrRoundNotClosed
+	}
+	out := make(map[uint64]uint64, len(r.counts))
+	for k, v := range r.counts {
+		out[k] = v
+	}
+	return out, nil
+}
+
+// Handler adapts the back-end to the wire protocol.
+func (b *Backend) Handler() wire.Handler {
+	return func(m *wire.Msg) (string, interface{}, error) {
+		switch m.Type {
+		case wire.TypeRegister:
+			var req wire.RegisterReq
+			if err := m.Decode(&req); err != nil {
+				return "", nil, err
+			}
+			n, err := b.Register(req.User, req.PublicKey)
+			if err != nil {
+				return "", nil, err
+			}
+			return wire.TypeRegisterOK, wire.RegisterResp{RosterSize: n}, nil
+
+		case wire.TypeRoster:
+			return wire.TypeRosterOK, wire.RosterResp{PublicKeys: b.Roster()}, nil
+
+		case wire.TypeSubmitReport:
+			var req wire.SubmitReportReq
+			if err := m.Decode(&req); err != nil {
+				return "", nil, err
+			}
+			var cms sketch.CMS
+			if err := cms.UnmarshalBinary(req.Sketch); err != nil {
+				return "", nil, err
+			}
+			rep := &privacy.Report{User: req.User, Round: req.Round, Sketch: &cms}
+			if err := b.SubmitReport(rep); err != nil {
+				return "", nil, err
+			}
+			return wire.TypeSubmitReportOK, struct{}{}, nil
+
+		case wire.TypeRoundStatus:
+			var req wire.CloseRoundReq
+			if err := m.Decode(&req); err != nil {
+				return "", nil, err
+			}
+			reported, missing, closed, err := b.RoundStatus(req.Round)
+			if err != nil {
+				return "", nil, err
+			}
+			return wire.TypeRoundStatusOK, wire.RoundStatusResp{
+				Round: req.Round, Reported: reported, Missing: missing, Closed: closed,
+			}, nil
+
+		case wire.TypeSubmitAdjust:
+			var req wire.SubmitAdjustReq
+			if err := m.Decode(&req); err != nil {
+				return "", nil, err
+			}
+			if err := b.SubmitAdjustment(req.User, req.Round, req.Cells); err != nil {
+				return "", nil, err
+			}
+			return wire.TypeSubmitAdjustOK, struct{}{}, nil
+
+		case wire.TypeCloseRound:
+			var req wire.CloseRoundReq
+			if err := m.Decode(&req); err != nil {
+				return "", nil, err
+			}
+			th, ads, err := b.CloseRound(req.Round)
+			if err != nil {
+				return "", nil, err
+			}
+			return wire.TypeCloseRoundOK, wire.CloseRoundResp{
+				Round: req.Round, UsersTh: th, DistinctAds: ads,
+			}, nil
+
+		case wire.TypeThreshold:
+			var req wire.ThresholdReq
+			if err := m.Decode(&req); err != nil {
+				return "", nil, err
+			}
+			th, err := b.Threshold(req.Round)
+			if err != nil {
+				return "", nil, err
+			}
+			return wire.TypeThresholdOK, wire.ThresholdResp{Round: req.Round, UsersTh: th}, nil
+
+		case wire.TypeAuditAd:
+			var req wire.AuditAdReq
+			if err := m.Decode(&req); err != nil {
+				return "", nil, err
+			}
+			users, err := b.AuditAd(req.Round, req.AdID)
+			if err != nil {
+				return "", nil, err
+			}
+			return wire.TypeAuditAdOK, wire.AuditAdResp{Users: users}, nil
+		}
+		return "", nil, fmt.Errorf("backend: unknown message %q", m.Type)
+	}
+}
+
+// Serve starts the back-end on a TCP address.
+func (b *Backend) Serve(addr string) (*wire.Server, error) {
+	return wire.Serve(addr, b.Handler())
+}
+
+// OPRFHandler adapts an oprf.Server to the wire protocol.
+func OPRFHandler(srv *oprf.Server) wire.Handler {
+	return func(m *wire.Msg) (string, interface{}, error) {
+		switch m.Type {
+		case wire.TypeOPRFPublicKey:
+			pub := srv.PublicKey()
+			return wire.TypeOPRFPublicKeyOK, wire.OPRFPublicKeyResp{N: pub.N.Bytes(), E: pub.E}, nil
+		case wire.TypeOPRFEvaluate:
+			var req wire.OPRFEvaluateReq
+			if err := m.Decode(&req); err != nil {
+				return "", nil, err
+			}
+			y, err := srv.Evaluate(new(big.Int).SetBytes(req.Blinded))
+			if err != nil {
+				return "", nil, err
+			}
+			return wire.TypeOPRFEvaluateOK, wire.OPRFEvaluateResp{Signed: y.Bytes()}, nil
+		}
+		return "", nil, fmt.Errorf("oprf-server: unknown message %q", m.Type)
+	}
+}
+
+// ServeOPRF starts the oprf-server on a TCP address.
+func ServeOPRF(addr string, srv *oprf.Server) (*wire.Server, error) {
+	return wire.Serve(addr, OPRFHandler(srv))
+}

@@ -1,0 +1,228 @@
+package backend
+
+import (
+	"crypto/rand"
+	"crypto/rsa"
+	"sync"
+	"testing"
+
+	"eyewnder/internal/blind"
+	"eyewnder/internal/detector"
+	"eyewnder/internal/group"
+	"eyewnder/internal/oprf"
+	"eyewnder/internal/privacy"
+)
+
+var (
+	fixOnce sync.Once
+	fixSrv  *oprf.Server
+	fixRos  *blind.Roster
+)
+
+func fixtures(t testing.TB) (*oprf.Server, *blind.Roster) {
+	fixOnce.Do(func() {
+		key, err := rsa.GenerateKey(rand.Reader, 1024)
+		if err != nil {
+			panic(err)
+		}
+		fixSrv, err = oprf.NewServerFromKey(key)
+		if err != nil {
+			panic(err)
+		}
+		fixRos, err = blind.NewRoster(group.P256(), 4, rand.Reader)
+		if err != nil {
+			panic(err)
+		}
+	})
+	return fixSrv, fixRos
+}
+
+func testParams() privacy.Params {
+	return privacy.Params{Epsilon: 0.01, Delta: 0.01, IDSpace: 2000, Suite: group.P256()}
+}
+
+func newBackend(t *testing.T) (*Backend, []*privacy.Client) {
+	t.Helper()
+	srv, ros := fixtures(t)
+	params := testParams()
+	b, err := New(Config{Params: params, Users: len(ros.Parties), UsersEstimator: detector.EstimatorMean})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clients := make([]*privacy.Client, len(ros.Parties))
+	for i, p := range ros.Parties {
+		clients[i] = privacy.NewClient(params, p, srv.PublicKey(), srv)
+	}
+	return b, clients
+}
+
+func TestRegisterAndRoster(t *testing.T) {
+	b, _ := newBackend(t)
+	n, err := b.Register(0, []byte{1, 2, 3})
+	if err != nil || n != 4 {
+		t.Fatalf("Register = %d, %v", n, err)
+	}
+	if _, err := b.Register(-1, nil); err != ErrBadUser {
+		t.Fatalf("bad user err = %v", err)
+	}
+	if _, err := b.Register(4, nil); err != ErrBadUser {
+		t.Fatalf("bad user err = %v", err)
+	}
+	roster := b.Roster()
+	if len(roster) != 4 || roster[0] == nil || roster[1] != nil {
+		t.Fatalf("roster = %v", roster)
+	}
+	// Roster copies are isolated.
+	roster[0][0] = 99
+	if b.Roster()[0][0] == 99 {
+		t.Fatal("roster aliases internal state")
+	}
+}
+
+func TestFullRoundLifecycle(t *testing.T) {
+	b, clients := newBackend(t)
+	const round = 1
+	for i, c := range clients {
+		if _, err := c.ObserveAd("https://ads.example/common"); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			if _, err := c.ObserveAd("https://ads.example/rare"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		rep, err := c.Report(round)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.SubmitReport(rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reported, missing, closed, err := b.RoundStatus(round)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reported != 4 || len(missing) != 0 || closed {
+		t.Fatalf("status = %d/%v/%v", reported, missing, closed)
+	}
+	th, ads, err := b.CloseRound(round)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ads < 2 {
+		t.Fatalf("distinct ads = %d, want >= 2", ads)
+	}
+	if th <= 1 || th >= 4 {
+		t.Fatalf("Users_th = %v, want between 1 and 4 (counts are {4,1})", th)
+	}
+	// Closing twice is idempotent.
+	th2, _, err := b.CloseRound(round)
+	if err != nil || th2 != th {
+		t.Fatalf("re-close = %v, %v", th2, err)
+	}
+	gotTh, err := b.Threshold(round)
+	if err != nil || gotTh != th {
+		t.Fatalf("Threshold = %v, %v", gotTh, err)
+	}
+	counts, err := b.UserCountsOfRound(round)
+	if err != nil || len(counts) < 2 {
+		t.Fatalf("UserCounts = %v, %v", counts, err)
+	}
+	// Submitting after close fails.
+	rep, err := clients[0].Report(round)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SubmitReport(rep); err != ErrRoundClosed {
+		t.Fatalf("post-close submit err = %v", err)
+	}
+}
+
+func TestRoundWithMissingUsersNeedsAdjustments(t *testing.T) {
+	b, clients := newBackend(t)
+	const round = 7
+	// Users 0..2 report; user 3 is missing.
+	for _, c := range clients[:3] {
+		if _, err := c.ObserveAd("https://ads.example/x"); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := c.Report(round)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.SubmitReport(rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Without adjustments the close fails cleanly.
+	if _, _, err := b.CloseRound(round); err == nil {
+		t.Fatal("close with missing reports and no adjustments succeeded")
+	}
+	_, missing, _, err := b.RoundStatus(round)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) != 1 || missing[0] != 3 {
+		t.Fatalf("missing = %v", missing)
+	}
+	cms, _ := testParams().NewSketch()
+	for i, c := range clients[:3] {
+		adj, err := c.Adjust(round, cms.Cells(), missing)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.SubmitAdjustment(i, round, adj); err != nil {
+			t.Fatal(err)
+		}
+	}
+	th, ads, err := b.CloseRound(round)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ads < 1 {
+		t.Fatalf("distinct ads = %d", ads)
+	}
+	if th < 2.5 || th > 3.5 {
+		t.Fatalf("Users_th = %v, want ~3 (one ad seen by 3 reporters)", th)
+	}
+}
+
+func TestThresholdBeforeClose(t *testing.T) {
+	b, clients := newBackend(t)
+	if _, err := b.Threshold(9); err != ErrUnknownRound {
+		t.Fatalf("unknown round err = %v", err)
+	}
+	rep, err := clients[0].Report(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SubmitReport(rep); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Threshold(9); err != ErrRoundNotClosed {
+		t.Fatalf("open round err = %v", err)
+	}
+	if _, err := b.AuditAd(9, 1); err != ErrRoundNotClosed {
+		t.Fatalf("audit open round err = %v", err)
+	}
+	if _, err := b.AuditAd(10, 1); err != ErrUnknownRound {
+		t.Fatalf("audit unknown round err = %v", err)
+	}
+	if _, err := b.UserCountsOfRound(10); err != ErrUnknownRound {
+		t.Fatalf("counts unknown round err = %v", err)
+	}
+}
+
+func TestSubmitAdjustmentValidation(t *testing.T) {
+	b, _ := newBackend(t)
+	if err := b.SubmitAdjustment(99, 1, nil); err != ErrBadUser {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Users: 0}); err == nil {
+		t.Fatal("zero users accepted")
+	}
+}

@@ -1,0 +1,302 @@
+// Package client implements the browser-extension analogue: the
+// user-side component of Figure 1. It glues together
+//
+//   - ad detection on visited pages (package addetect),
+//   - the local count-based state and classification (package detector),
+//   - the privacy-preserving reporting pipeline (package privacy),
+//
+// and speaks the wire protocol to the back-end and the oprf-server.
+// Everything privacy-sensitive — the browsing history, the per-ad domain
+// counters, Domains_th,u — stays inside this process, exactly as the
+// paper requires.
+package client
+
+import (
+	crand "crypto/rand"
+	"errors"
+	"fmt"
+	"math/big"
+	"time"
+
+	"eyewnder/internal/addetect"
+	"eyewnder/internal/blind"
+	"eyewnder/internal/detector"
+	"eyewnder/internal/group"
+	"eyewnder/internal/oprf"
+	"eyewnder/internal/privacy"
+	"eyewnder/internal/wire"
+)
+
+// Errors returned by the package.
+var ErrNotRegistered = errors.New("client: extension not registered")
+
+// BackendAPI is the subset of back-end operations the extension needs.
+// *wire.Client-backed and in-process implementations both satisfy it.
+type BackendAPI interface {
+	Register(user int, publicKey []byte) (rosterSize int, err error)
+	Roster() ([][]byte, error)
+	SubmitReport(user int, round uint64, sketch []byte) error
+	RoundStatus(round uint64) (reported int, missing []int, closed bool, err error)
+	SubmitAdjustment(user int, round uint64, cells []uint64) error
+	Threshold(round uint64) (float64, error)
+	AuditAd(round uint64, adID uint64) (users uint64, err error)
+}
+
+// Extension is one user's eyeWnder instance.
+type Extension struct {
+	user    int
+	cfg     detector.Config
+	params  privacy.Params
+	priv    group.PrivateKey
+	det     *addetect.Detector
+	state   *detector.UserState
+	backend BackendAPI
+	eval    privacy.Evaluator
+	oprfPub oprf.PublicKey
+
+	pclient *privacy.Client // built after Join once the roster is known
+	// adIDs caches ad key -> ad ID for audits.
+	adIDs map[string]uint64
+}
+
+// Options configures a new Extension.
+type Options struct {
+	User     int
+	Detector detector.Config
+	Params   privacy.Params
+	Rules    *addetect.Ruleset
+}
+
+// New creates an extension for one user. backendAPI and eval connect it to
+// the two servers; oprfPub is the oprf-server's public key.
+func New(opts Options, backendAPI BackendAPI, eval privacy.Evaluator, oprfPub oprf.PublicKey) (*Extension, error) {
+	priv, err := opts.Params.Suite.GenerateKey(crand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("client: key generation: %w", err)
+	}
+	return &Extension{
+		user:    opts.User,
+		cfg:     opts.Detector,
+		params:  opts.Params,
+		priv:    priv,
+		det:     addetect.New(opts.Rules),
+		state:   detector.NewUserState(opts.Detector),
+		backend: backendAPI,
+		eval:    eval,
+		oprfPub: oprfPub,
+		adIDs:   make(map[string]uint64),
+	}, nil
+}
+
+// User returns the extension's roster index.
+func (e *Extension) User() int { return e.user }
+
+// Register publishes the user's blinding key on the bulletin board.
+func (e *Extension) Register() error {
+	_, err := e.backend.Register(e.user, e.priv.PublicKey())
+	return err
+}
+
+// Join downloads the roster and derives the pairwise blinding secrets.
+// Call it after every user has registered.
+func (e *Extension) Join() error {
+	roster, err := e.backend.Roster()
+	if err != nil {
+		return err
+	}
+	for i, k := range roster {
+		if k == nil {
+			return fmt.Errorf("client: roster slot %d empty — not all users registered", i)
+		}
+	}
+	party, err := blind.NewParty(e.priv, roster, e.user)
+	if err != nil {
+		return err
+	}
+	e.pclient = privacy.NewClient(e.params, party, e.oprfPub, e.eval)
+	return nil
+}
+
+// VisitPage processes one page view: detect the ads, update the local
+// counters, and queue the ads for the next privacy-preserving report.
+// It returns the detected ads.
+func (e *Extension) VisitPage(domain, html string, at time.Time) ([]*addetect.Ad, error) {
+	if e.pclient == nil {
+		return nil, ErrNotRegistered
+	}
+	ads := e.det.Scan(html)
+	for _, ad := range ads {
+		key := ad.Key()
+		e.state.Observe(key, domain, at)
+		id, err := e.pclient.ObserveAd(key)
+		if err != nil {
+			return nil, err
+		}
+		e.adIDs[key] = id
+	}
+	return ads, nil
+}
+
+// ObserveAdDirect records an already-identified ad (used when impressions
+// come from the simulator rather than rendered HTML).
+func (e *Extension) ObserveAdDirect(adKey, domain string, at time.Time) error {
+	if e.pclient == nil {
+		return ErrNotRegistered
+	}
+	e.state.Observe(adKey, domain, at)
+	id, err := e.pclient.ObserveAd(adKey)
+	if err != nil {
+		return err
+	}
+	e.adIDs[adKey] = id
+	return nil
+}
+
+// SubmitReport blinds and uploads the round's sketch.
+func (e *Extension) SubmitReport(round uint64) error {
+	if e.pclient == nil {
+		return ErrNotRegistered
+	}
+	rep, err := e.pclient.Report(round)
+	if err != nil {
+		return err
+	}
+	raw, err := rep.Sketch.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	return e.backend.SubmitReport(e.user, round, raw)
+}
+
+// SubmitAdjustmentIfNeeded asks the back-end which users are missing and,
+// if any, uploads this extension's second-round share. It returns the
+// missing list.
+func (e *Extension) SubmitAdjustmentIfNeeded(round uint64) ([]int, error) {
+	if e.pclient == nil {
+		return nil, ErrNotRegistered
+	}
+	_, missing, closed, err := e.backend.RoundStatus(round)
+	if err != nil {
+		return nil, err
+	}
+	if closed || len(missing) == 0 {
+		return missing, nil
+	}
+	cms, err := e.params.NewSketch()
+	if err != nil {
+		return nil, err
+	}
+	adj, err := e.pclient.Adjust(round, cms.Cells(), missing)
+	if err != nil {
+		return nil, err
+	}
+	return missing, e.backend.SubmitAdjustment(e.user, round, adj)
+}
+
+// AuditAd performs the real-time audit of Section 5: given an ad key the
+// user is looking at, fetch the global #Users estimate and the published
+// Users_th, combine them with the local counters, and return the verdict.
+func (e *Extension) AuditAd(adKey string, round uint64, now time.Time) (detector.Verdict, error) {
+	if e.pclient == nil {
+		return detector.Verdict{}, ErrNotRegistered
+	}
+	id, ok := e.adIDs[adKey]
+	if !ok {
+		// The ad was never observed by this user; resolve its ID now.
+		var err error
+		id, err = e.pclient.ObserveAd(adKey)
+		if err != nil {
+			return detector.Verdict{}, err
+		}
+		e.adIDs[adKey] = id
+	}
+	users, err := e.backend.AuditAd(round, id)
+	if err != nil {
+		return detector.Verdict{}, err
+	}
+	th, err := e.backend.Threshold(round)
+	if err != nil {
+		return detector.Verdict{}, err
+	}
+	return e.state.Classify(adKey, users, th, now), nil
+}
+
+// State exposes the local detector state (used by evaluation harnesses).
+func (e *Extension) State() *detector.UserState { return e.state }
+
+// --- wire-backed BackendAPI and Evaluator adapters ---
+
+// WireBackend adapts a wire.Client to BackendAPI.
+type WireBackend struct{ C *wire.Client }
+
+// Register implements BackendAPI.
+func (w *WireBackend) Register(user int, publicKey []byte) (int, error) {
+	var resp wire.RegisterResp
+	err := w.C.Do(wire.TypeRegister, wire.RegisterReq{User: user, PublicKey: publicKey}, &resp)
+	return resp.RosterSize, err
+}
+
+// Roster implements BackendAPI.
+func (w *WireBackend) Roster() ([][]byte, error) {
+	var resp wire.RosterResp
+	if err := w.C.Do(wire.TypeRoster, struct{}{}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.PublicKeys, nil
+}
+
+// SubmitReport implements BackendAPI.
+func (w *WireBackend) SubmitReport(user int, round uint64, sk []byte) error {
+	return w.C.Do(wire.TypeSubmitReport,
+		wire.SubmitReportReq{User: user, Round: round, Sketch: sk}, nil)
+}
+
+// RoundStatus implements BackendAPI.
+func (w *WireBackend) RoundStatus(round uint64) (int, []int, bool, error) {
+	var resp wire.RoundStatusResp
+	err := w.C.Do(wire.TypeRoundStatus, wire.CloseRoundReq{Round: round}, &resp)
+	return resp.Reported, resp.Missing, resp.Closed, err
+}
+
+// SubmitAdjustment implements BackendAPI.
+func (w *WireBackend) SubmitAdjustment(user int, round uint64, cells []uint64) error {
+	return w.C.Do(wire.TypeSubmitAdjust,
+		wire.SubmitAdjustReq{User: user, Round: round, Cells: cells}, nil)
+}
+
+// Threshold implements BackendAPI.
+func (w *WireBackend) Threshold(round uint64) (float64, error) {
+	var resp wire.ThresholdResp
+	err := w.C.Do(wire.TypeThreshold, wire.ThresholdReq{Round: round}, &resp)
+	return resp.UsersTh, err
+}
+
+// AuditAd implements BackendAPI.
+func (w *WireBackend) AuditAd(round uint64, adID uint64) (uint64, error) {
+	var resp wire.AuditAdResp
+	err := w.C.Do(wire.TypeAuditAd, wire.AuditAdReq{Round: round, AdID: adID}, &resp)
+	return resp.Users, err
+}
+
+// WireEvaluator adapts a wire.Client to privacy.Evaluator (the
+// oprf-server connection).
+type WireEvaluator struct{ C *wire.Client }
+
+// Evaluate implements privacy.Evaluator over the wire.
+func (w *WireEvaluator) Evaluate(blinded *big.Int) (*big.Int, error) {
+	var resp wire.OPRFEvaluateResp
+	err := w.C.Do(wire.TypeOPRFEvaluate, wire.OPRFEvaluateReq{Blinded: blinded.Bytes()}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	return new(big.Int).SetBytes(resp.Signed), nil
+}
+
+// FetchOPRFPublicKey downloads (N, e) from a wire oprf-server.
+func FetchOPRFPublicKey(c *wire.Client) (oprf.PublicKey, error) {
+	var resp wire.OPRFPublicKeyResp
+	if err := c.Do(wire.TypeOPRFPublicKey, struct{}{}, &resp); err != nil {
+		return oprf.PublicKey{}, err
+	}
+	return oprf.PublicKey{N: new(big.Int).SetBytes(resp.N), E: resp.E}, nil
+}

@@ -1,0 +1,48 @@
+package client
+
+import (
+	"eyewnder/internal/backend"
+	"eyewnder/internal/privacy"
+	"eyewnder/internal/sketch"
+)
+
+// LocalBackend adapts an in-process *backend.Backend to BackendAPI, so
+// simulations and tests can run the full protocol without TCP.
+type LocalBackend struct{ B *backend.Backend }
+
+// Register implements BackendAPI.
+func (l *LocalBackend) Register(user int, publicKey []byte) (int, error) {
+	return l.B.Register(user, publicKey)
+}
+
+// Roster implements BackendAPI.
+func (l *LocalBackend) Roster() ([][]byte, error) { return l.B.Roster(), nil }
+
+// SubmitReport implements BackendAPI.
+func (l *LocalBackend) SubmitReport(user int, round uint64, raw []byte) error {
+	var cms sketch.CMS
+	if err := cms.UnmarshalBinary(raw); err != nil {
+		return err
+	}
+	return l.B.SubmitReport(&privacy.Report{User: user, Round: round, Sketch: &cms})
+}
+
+// RoundStatus implements BackendAPI.
+func (l *LocalBackend) RoundStatus(round uint64) (int, []int, bool, error) {
+	return l.B.RoundStatus(round)
+}
+
+// SubmitAdjustment implements BackendAPI.
+func (l *LocalBackend) SubmitAdjustment(user int, round uint64, cells []uint64) error {
+	return l.B.SubmitAdjustment(user, round, cells)
+}
+
+// Threshold implements BackendAPI.
+func (l *LocalBackend) Threshold(round uint64) (float64, error) {
+	return l.B.Threshold(round)
+}
+
+// AuditAd implements BackendAPI.
+func (l *LocalBackend) AuditAd(round uint64, adID uint64) (uint64, error) {
+	return l.B.AuditAd(round, adID)
+}

@@ -1,0 +1,133 @@
+// Package crawler implements the evaluation crawler of Figure 1: a
+// clean-profile browser (empty cache, no cookies, no history) that visits
+// audited pages on the back-end's instruction and records the ads it
+// encounters. Because the crawler has no profile, any ad it sees cannot
+// have been behaviourally targeted — which is exactly what makes its
+// observations ground truth for the Figure 4 evaluation: an ad classified
+// targeted by eyeWnder but also seen by the crawler is a false positive
+// with high probability (FP(CR)); one classified non-targeted and seen by
+// the crawler is a true negative (TN(CR)).
+package crawler
+
+import (
+	"fmt"
+	"sync"
+
+	"eyewnder/internal/addetect"
+	"eyewnder/internal/wire"
+)
+
+// Fetcher renders the page a clean-profile visit to a site would receive.
+// The simulation backs it with adsim.CrawlerVisit + RenderPage; a live
+// deployment would drive a headless browser.
+type Fetcher interface {
+	FetchClean(site int) (html string, err error)
+}
+
+// FetcherFunc adapts a function to Fetcher.
+type FetcherFunc func(site int) (string, error)
+
+// FetchClean implements Fetcher.
+func (f FetcherFunc) FetchClean(site int) (string, error) { return f(site) }
+
+// Crawler visits sites with a clean profile and accumulates the CR
+// dataset.
+type Crawler struct {
+	fetch Fetcher
+	det   *addetect.Detector
+
+	mu sync.Mutex
+	// seen[adKey] = set of sites where the crawler saw the ad.
+	seen map[string]map[int]bool
+	// visits counts pages fetched.
+	visits int
+}
+
+// New builds a crawler over the given fetcher; nil rules selects the
+// default filter list.
+func New(fetch Fetcher, rules *addetect.Ruleset) *Crawler {
+	return &Crawler{
+		fetch: fetch,
+		det:   addetect.New(rules),
+		seen:  make(map[string]map[int]bool),
+	}
+}
+
+// Visit fetches one site with a clean profile and records the detected
+// ads. It returns their keys.
+func (c *Crawler) Visit(site int) ([]string, error) {
+	html, err := c.fetch.FetchClean(site)
+	if err != nil {
+		return nil, fmt.Errorf("crawler: fetching site %d: %w", site, err)
+	}
+	ads := c.det.Scan(html)
+	keys := make([]string, 0, len(ads))
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.visits++
+	for _, ad := range ads {
+		key := ad.Key()
+		keys = append(keys, key)
+		sites := c.seen[key]
+		if sites == nil {
+			sites = make(map[int]bool)
+			c.seen[key] = sites
+		}
+		sites[site] = true
+	}
+	return keys, nil
+}
+
+// Seen reports whether the crawler has encountered the ad anywhere — the
+// CR-membership test of the evaluation tree.
+func (c *Crawler) Seen(adKey string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.seen[adKey]) > 0
+}
+
+// Dataset returns the full CR dataset: ad key → sites where it appeared.
+func (c *Crawler) Dataset() map[string][]int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string][]int, len(c.seen))
+	for key, sites := range c.seen {
+		for s := range sites {
+			out[key] = append(out[key], s)
+		}
+	}
+	return out
+}
+
+// Visits returns how many pages the crawler fetched.
+func (c *Crawler) Visits() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.visits
+}
+
+// Handler exposes the crawler over the wire protocol so the back-end can
+// instruct visits (Figure 1, arrow 3) and receive the collected ads
+// (arrow 4).
+func (c *Crawler) Handler() wire.Handler {
+	return func(m *wire.Msg) (string, interface{}, error) {
+		switch m.Type {
+		case wire.TypeCrawlVisit:
+			var req wire.CrawlVisitReq
+			if err := m.Decode(&req); err != nil {
+				return "", nil, err
+			}
+			keys, err := c.Visit(req.Site)
+			if err != nil {
+				return "", nil, err
+			}
+			return wire.TypeCrawlVisitOK, wire.CrawlVisitResp{AdKeys: keys}, nil
+		}
+		return "", nil, fmt.Errorf("crawler: unknown message %q", m.Type)
+	}
+}
+
+// Serve starts the crawler's wire endpoint.
+func (c *Crawler) Serve(addr string) (*wire.Server, error) {
+	return wire.Serve(addr, c.Handler())
+}

@@ -1,0 +1,101 @@
+package crawler
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"eyewnder/internal/wire"
+)
+
+func pageFor(site int) string {
+	return fmt.Sprintf(`<html><body>
+<div class="ad-slot"><a href="https://shop.example/cat/offer-%d"><img src="https://ads.adx0.example/creative/%d"></a></div>
+</body></html>`, site%3, site%3)
+}
+
+func TestVisitCollectsAds(t *testing.T) {
+	c := New(FetcherFunc(func(site int) (string, error) {
+		return pageFor(site), nil
+	}), nil)
+	keys, err := c.Visit(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 1 || keys[0] != "https://shop.example/cat/offer-0" {
+		t.Fatalf("keys = %v", keys)
+	}
+	if !c.Seen(keys[0]) {
+		t.Fatal("Seen = false after visit")
+	}
+	if c.Seen("https://never.example/x") {
+		t.Fatal("phantom ad seen")
+	}
+	if c.Visits() != 1 {
+		t.Fatalf("Visits = %d", c.Visits())
+	}
+}
+
+func TestDatasetTracksSites(t *testing.T) {
+	c := New(FetcherFunc(func(site int) (string, error) {
+		return pageFor(site), nil
+	}), nil)
+	// Sites 0 and 3 both serve offer-0.
+	for _, site := range []int{0, 3, 1} {
+		if _, err := c.Visit(site); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ds := c.Dataset()
+	if len(ds["https://shop.example/cat/offer-0"]) != 2 {
+		t.Fatalf("dataset = %v", ds)
+	}
+	if len(ds["https://shop.example/cat/offer-1"]) != 1 {
+		t.Fatalf("dataset = %v", ds)
+	}
+}
+
+func TestFetcherErrorPropagates(t *testing.T) {
+	sentinel := errors.New("boom")
+	c := New(FetcherFunc(func(site int) (string, error) {
+		return "", sentinel
+	}), nil)
+	if _, err := c.Visit(7); !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+	if c.Visits() != 0 {
+		t.Fatal("failed fetch counted as visit")
+	}
+}
+
+func TestConcurrentVisits(t *testing.T) {
+	c := New(FetcherFunc(func(site int) (string, error) {
+		return pageFor(site), nil
+	}), nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func(site int) {
+			defer wg.Done()
+			if _, err := c.Visit(site); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if c.Visits() != 20 {
+		t.Fatalf("Visits = %d", c.Visits())
+	}
+	if len(c.Dataset()) != 3 {
+		t.Fatalf("dataset size = %d", len(c.Dataset()))
+	}
+}
+
+func TestHandlerRejectsUnknownMessage(t *testing.T) {
+	c := New(FetcherFunc(func(int) (string, error) { return "", nil }), nil)
+	h := c.Handler()
+	if _, _, err := h(&wire.Msg{Type: "nope"}); err == nil {
+		t.Fatal("unknown message accepted")
+	}
+}

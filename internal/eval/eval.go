@@ -1,0 +1,299 @@
+// Package eval implements the paper's validation methodology (Section
+// 7.3): the Figure 4 evaluation tree that cross-checks eyeWnder's
+// classification against the crawler (CR), the content-based heuristic
+// (CB), and user labels (F8), plus the unknown-resolution analyses of
+// Section 7.3.3 (retargeting repeatability and indirect-OBA correlation)
+// and the precision summary of Section 7.3.4.
+//
+// The tree logic, verbatim from the paper:
+//
+//	classified targeted:
+//	    seen by crawler            → FP(CR)   (crawler has no profile)
+//	    else, semantic overlap     → TP(CB)   (CB agrees by construction)
+//	    else, labeled by F8        → TP(F8) / FP(F8)
+//	    else                       → UNKNOWN(targeted)
+//	classified non-targeted:
+//	    seen by crawler            → TN(CR)
+//	    else, semantic overlap     → FN(CB)   (CB says targeted)
+//	    else, labeled by F8        → FN(F8) / TN(F8)
+//	    else                       → UNKNOWN(non-targeted)
+package eval
+
+import (
+	"math"
+
+	"eyewnder/internal/detector"
+	"eyewnder/internal/stats"
+	"eyewnder/internal/taxonomy"
+)
+
+// Observation is one classified (user, ad) pair with the evidence the
+// tree needs.
+type Observation struct {
+	User  int
+	AdKey string
+	// Class is eyeWnder's verdict. Unknown observations are excluded from
+	// the tree (the minimum-data rule refused to guess).
+	Class detector.Class
+	// SeenByCrawler is CR membership.
+	SeenByCrawler bool
+	// SemanticOverlap is the profile/ad-category overlap test.
+	SemanticOverlap bool
+	// F8Labeled marks ads the labellers tagged; F8Targeted is their tag.
+	F8Labeled  bool
+	F8Targeted bool
+}
+
+// Branch holds one side of the tree.
+type Branch struct {
+	// N is the branch population.
+	N int
+	// CR is FP(CR) on the targeted side, TN(CR) on the non-targeted side.
+	CR int
+	// CB is TP(CB) on the targeted side, FN(CB) on the non-targeted side.
+	CB int
+	// F8Agree counts F8 labels agreeing with eyeWnder (TP(F8) / TN(F8));
+	// F8Disagree counts the opposite (FP(F8) / FN(F8)).
+	F8Agree, F8Disagree int
+	// Unknown is the residue no oracle covered.
+	Unknown int
+}
+
+// Tree is the full Figure 4 accounting.
+type Tree struct {
+	Total int
+	// Skipped counts observations eyeWnder refused to classify.
+	Skipped     int
+	Targeted    Branch
+	NonTargeted Branch
+}
+
+// BuildTree runs every observation down the evaluation flow-chart.
+func BuildTree(obs []Observation) *Tree {
+	t := &Tree{}
+	for _, o := range obs {
+		t.Total++
+		switch o.Class {
+		case detector.Unknown:
+			t.Skipped++
+		case detector.Targeted:
+			b := &t.Targeted
+			b.N++
+			switch {
+			case o.SeenByCrawler:
+				b.CR++ // FP(CR)
+			case o.SemanticOverlap:
+				b.CB++ // TP(CB): CB agrees by construction
+			case o.F8Labeled && o.F8Targeted:
+				b.F8Agree++ // TP(F8)
+			case o.F8Labeled:
+				b.F8Disagree++ // FP(F8)
+			default:
+				b.Unknown++
+			}
+		case detector.NonTargeted:
+			b := &t.NonTargeted
+			b.N++
+			switch {
+			case o.SeenByCrawler:
+				b.CR++ // TN(CR)
+			case o.SemanticOverlap:
+				b.CB++ // FN(CB): CB classifies targeted
+			case o.F8Labeled && !o.F8Targeted:
+				b.F8Agree++ // TN(F8)
+			case o.F8Labeled:
+				b.F8Disagree++ // FN(F8)
+			default:
+				b.Unknown++
+			}
+		}
+	}
+	return t
+}
+
+// Rates reports the Figure 4 percentages, each relative to its parent
+// node population (as in the figure).
+type Rates struct {
+	// Targeted-branch rates.
+	FPCRPct, TPCBPct, TPF8Pct, FPF8Pct, UnknownTargetedPct float64
+	// Non-targeted-branch rates.
+	TNCRPct, FNCBPct, FNF8Pct, TNF8Pct, UnknownNonTargetedPct float64
+}
+
+func pct(num, den int) float64 {
+	if den == 0 {
+		return 0
+	}
+	return 100 * float64(num) / float64(den)
+}
+
+// Rates computes the figure's percentages.
+func (t *Tree) Rates() Rates {
+	var r Rates
+	tb, nb := t.Targeted, t.NonTargeted
+	r.FPCRPct = pct(tb.CR, tb.N)
+	afterCR := tb.N - tb.CR
+	r.TPCBPct = pct(tb.CB, afterCR)
+	noOverlap := afterCR - tb.CB
+	labeled := tb.F8Agree + tb.F8Disagree
+	r.TPF8Pct = pct(tb.F8Agree, labeled)
+	r.FPF8Pct = pct(tb.F8Disagree, labeled)
+	r.UnknownTargetedPct = pct(tb.Unknown, noOverlap)
+
+	r.TNCRPct = pct(nb.CR, nb.N)
+	nAfterCR := nb.N - nb.CR
+	r.FNCBPct = pct(nb.CB, nAfterCR)
+	nNoOverlap := nAfterCR - nb.CB
+	nLabeled := nb.F8Agree + nb.F8Disagree
+	r.TNF8Pct = pct(nb.F8Agree, nLabeled)
+	r.FNF8Pct = pct(nb.F8Disagree, nLabeled)
+	r.UnknownNonTargetedPct = pct(nb.Unknown, nNoOverlap)
+	return r
+}
+
+// Resolver supplies the Section 7.3.3 analyses that reclassify UNKNOWN
+// ads. A live deployment backs these with manual experiments; the
+// simulation harness backs them with ground-truth-driven analogues of the
+// same procedures.
+type Resolver interface {
+	// IsRetargeted runs the repeatability test: visit the ad's landing
+	// page, then re-visit domains where the ad appeared, and check that
+	// the ad chases the fresh profile.
+	IsRetargeted(adKey string) bool
+	// IsIndirectOBA runs the correlation analysis between the ad's
+	// audience and topic profiles (see TopicEnrichment).
+	IsIndirectOBA(adKey string, user int) bool
+	// InspectNonTargeted manually reviews a non-targeted UNKNOWN ad
+	// against the receiving user's profile; true confirms non-targeted.
+	InspectNonTargeted(adKey string, user int) bool
+}
+
+// Resolution is the outcome of the unknown-resolution pass.
+type Resolution struct {
+	// Targeted-UNKNOWN ads resolved as likely TP (retargeting or indirect
+	// OBA) vs likely FP.
+	LikelyTP, LikelyFP int
+	// Non-targeted-UNKNOWN sample results.
+	SampledNonTargeted, LikelyTN, LikelyFN int
+}
+
+// ResolveUnknowns applies the Section 7.3.3 procedure: every targeted
+// UNKNOWN goes through the retargeting and indirect-OBA tests; a sample
+// of up to sampleSize non-targeted UNKNOWNs is "manually" inspected.
+func ResolveUnknowns(obs []Observation, r Resolver, sampleSize int) Resolution {
+	var res Resolution
+	for _, o := range obs {
+		if o.Class != detector.Targeted || o.SeenByCrawler || o.SemanticOverlap || o.F8Labeled {
+			continue
+		}
+		if r.IsRetargeted(o.AdKey) || r.IsIndirectOBA(o.AdKey, o.User) {
+			res.LikelyTP++
+		} else {
+			res.LikelyFP++
+		}
+	}
+	for _, o := range obs {
+		if res.SampledNonTargeted >= sampleSize {
+			break
+		}
+		if o.Class != detector.NonTargeted || o.SeenByCrawler || o.SemanticOverlap || o.F8Labeled {
+			continue
+		}
+		res.SampledNonTargeted++
+		if r.InspectNonTargeted(o.AdKey, o.User) {
+			res.LikelyTN++
+		} else {
+			res.LikelyFN++
+		}
+	}
+	return res
+}
+
+// Summary is the Section 7.3.4 precision report.
+type Summary struct {
+	// LikelyTPRate is the fraction of targeted-classified ads that are
+	// likely true positives (paper: 78%).
+	LikelyTPRate float64
+	// LikelyTNRate is the fraction of non-targeted-classified ads that
+	// are likely true negatives (paper: 87%), extrapolating the manual
+	// sample over the non-targeted UNKNOWN mass.
+	LikelyTNRate float64
+	// HighConfidenceTNRate is the TN(CR) share: non-targeted ads the
+	// crawler corroborated (paper: 27%).
+	HighConfidenceTNRate float64
+}
+
+// Summarize combines the tree and the resolution into overall precision.
+func Summarize(t *Tree, res Resolution) Summary {
+	var s Summary
+	if t.Targeted.N > 0 {
+		tp := t.Targeted.CB + t.Targeted.F8Agree + res.LikelyTP
+		s.LikelyTPRate = float64(tp) / float64(t.Targeted.N)
+	}
+	if t.NonTargeted.N > 0 {
+		tn := float64(t.NonTargeted.CR + t.NonTargeted.F8Agree)
+		if res.SampledNonTargeted > 0 {
+			frac := float64(res.LikelyTN) / float64(res.SampledNonTargeted)
+			tn += frac * float64(t.NonTargeted.Unknown)
+		}
+		s.LikelyTNRate = tn / float64(t.NonTargeted.N)
+		s.HighConfidenceTNRate = float64(t.NonTargeted.CR) / float64(t.NonTargeted.N)
+	}
+	return s
+}
+
+// TopicEnrichment implements the indirect-OBA correlation analysis: for
+// the users who received an ad, test whether any interest topic is
+// significantly over-represented versus the population base rate
+// (one-sided z-test at significance level alpha), while sharing NO
+// semantic overlap with the ad category. Such an enrichment is the
+// signature of indirect targeting (Section 7.3.3's examples: techies
+// receiving dating ads, programmers receiving KFC ads, ...).
+func TopicEnrichment(receivers []int, interests map[int][]taxonomy.Topic,
+	population int, adCategory taxonomy.Topic, alpha float64) bool {
+	n := len(receivers)
+	if n < 3 || population == 0 {
+		return false
+	}
+	// Base rates per topic.
+	base := make(map[taxonomy.Topic]float64)
+	for _, ts := range interests {
+		seen := map[taxonomy.Topic]bool{}
+		for _, t := range ts {
+			if !seen[t] {
+				base[t]++
+				seen[t] = true
+			}
+		}
+	}
+	for t := range base {
+		base[t] /= float64(population)
+	}
+	// Receiver rates.
+	recv := make(map[taxonomy.Topic]int)
+	for _, u := range receivers {
+		seen := map[taxonomy.Topic]bool{}
+		for _, t := range interests[u] {
+			if !seen[t] {
+				recv[t]++
+				seen[t] = true
+			}
+		}
+	}
+	zCrit := stats.NormQuantile(1 - alpha)
+	for topic, k := range recv {
+		p := base[topic]
+		if p <= 0 || p >= 1 {
+			continue
+		}
+		if taxonomy.Overlap(topic, adCategory) {
+			continue // overlapping topics are direct targeting territory
+		}
+		phat := float64(k) / float64(n)
+		z := (phat - p) / math.Sqrt(p*(1-p)/float64(n))
+		if z > zCrit {
+			return true
+		}
+	}
+	return false
+}

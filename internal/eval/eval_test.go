@@ -1,0 +1,220 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"eyewnder/internal/detector"
+	"eyewnder/internal/taxonomy"
+)
+
+func TestBuildTreeRouting(t *testing.T) {
+	obs := []Observation{
+		// Targeted branch: one per leaf.
+		{AdKey: "a", Class: detector.Targeted, SeenByCrawler: true},                // FP(CR)
+		{AdKey: "b", Class: detector.Targeted, SemanticOverlap: true},              // TP(CB)
+		{AdKey: "c", Class: detector.Targeted, F8Labeled: true, F8Targeted: true},  // TP(F8)
+		{AdKey: "d", Class: detector.Targeted, F8Labeled: true, F8Targeted: false}, // FP(F8)
+		{AdKey: "e", Class: detector.Targeted},                                     // UNKNOWN
+		// Non-targeted branch: one per leaf.
+		{AdKey: "f", Class: detector.NonTargeted, SeenByCrawler: true},                // TN(CR)
+		{AdKey: "g", Class: detector.NonTargeted, SemanticOverlap: true},              // FN(CB)
+		{AdKey: "h", Class: detector.NonTargeted, F8Labeled: true, F8Targeted: false}, // TN(F8)
+		{AdKey: "i", Class: detector.NonTargeted, F8Labeled: true, F8Targeted: true},  // FN(F8)
+		{AdKey: "j", Class: detector.NonTargeted},                                     // UNKNOWN
+		// Below minimum data.
+		{AdKey: "k", Class: detector.Unknown},
+	}
+	tree := BuildTree(obs)
+	if tree.Total != 11 || tree.Skipped != 1 {
+		t.Fatalf("Total/Skipped = %d/%d", tree.Total, tree.Skipped)
+	}
+	tb := tree.Targeted
+	if tb.N != 5 || tb.CR != 1 || tb.CB != 1 || tb.F8Agree != 1 || tb.F8Disagree != 1 || tb.Unknown != 1 {
+		t.Fatalf("targeted branch = %+v", tb)
+	}
+	nb := tree.NonTargeted
+	if nb.N != 5 || nb.CR != 1 || nb.CB != 1 || nb.F8Agree != 1 || nb.F8Disagree != 1 || nb.Unknown != 1 {
+		t.Fatalf("non-targeted branch = %+v", nb)
+	}
+}
+
+func TestCrawlerPrecedesOverlap(t *testing.T) {
+	// An ad seen by the crawler lands in the CR leaf regardless of other
+	// evidence — the figure checks CR first.
+	obs := []Observation{{
+		AdKey: "x", Class: detector.Targeted,
+		SeenByCrawler: true, SemanticOverlap: true, F8Labeled: true, F8Targeted: true,
+	}}
+	tree := BuildTree(obs)
+	if tree.Targeted.CR != 1 || tree.Targeted.CB != 0 || tree.Targeted.F8Agree != 0 {
+		t.Fatalf("branch = %+v", tree.Targeted)
+	}
+}
+
+func TestRatesMatchHandComputation(t *testing.T) {
+	// 10 targeted: 2 CR, 2 overlap/CB, 3 F8-targeted, 1 F8-static, 2 unknown.
+	var obs []Observation
+	add := func(n int, o Observation) {
+		for i := 0; i < n; i++ {
+			o.AdKey = fmt.Sprintf("ad-%d-%d", len(obs), i)
+			obs = append(obs, o)
+		}
+	}
+	add(2, Observation{Class: detector.Targeted, SeenByCrawler: true})
+	add(2, Observation{Class: detector.Targeted, SemanticOverlap: true})
+	add(3, Observation{Class: detector.Targeted, F8Labeled: true, F8Targeted: true})
+	add(1, Observation{Class: detector.Targeted, F8Labeled: true})
+	add(2, Observation{Class: detector.Targeted})
+	tree := BuildTree(obs)
+	r := tree.Rates()
+	if math.Abs(r.FPCRPct-20) > 1e-9 { // 2/10
+		t.Fatalf("FPCR = %v", r.FPCRPct)
+	}
+	if math.Abs(r.TPCBPct-25) > 1e-9 { // 2/8
+		t.Fatalf("TPCB = %v", r.TPCBPct)
+	}
+	if math.Abs(r.TPF8Pct-75) > 1e-9 { // 3/4 labeled
+		t.Fatalf("TPF8 = %v", r.TPF8Pct)
+	}
+	if math.Abs(r.FPF8Pct-25) > 1e-9 { // 1/4 labeled
+		t.Fatalf("FPF8 = %v", r.FPF8Pct)
+	}
+	if math.Abs(r.UnknownTargetedPct-100.0/3.0) > 1e-9 { // 2/6 no-overlap
+		t.Fatalf("UnknownTargeted = %v", r.UnknownTargetedPct)
+	}
+}
+
+func TestRatesEmptyTree(t *testing.T) {
+	r := BuildTree(nil).Rates()
+	if r.FPCRPct != 0 || r.TNCRPct != 0 || r.TPF8Pct != 0 {
+		t.Fatalf("empty rates = %+v", r)
+	}
+}
+
+type fakeResolver struct {
+	retargeted map[string]bool
+	indirect   map[string]bool
+	confirmTN  bool
+}
+
+func (f *fakeResolver) IsRetargeted(k string) bool              { return f.retargeted[k] }
+func (f *fakeResolver) IsIndirectOBA(k string, u int) bool      { return f.indirect[k] }
+func (f *fakeResolver) InspectNonTargeted(k string, u int) bool { return f.confirmTN }
+
+func TestResolveUnknowns(t *testing.T) {
+	obs := []Observation{
+		{AdKey: "rt", Class: detector.Targeted},                      // retargeted → TP
+		{AdKey: "ind", Class: detector.Targeted},                     // indirect → TP
+		{AdKey: "fp", Class: detector.Targeted},                      // neither → FP
+		{AdKey: "cr", Class: detector.Targeted, SeenByCrawler: true}, // not unknown
+		{AdKey: "nt1", Class: detector.NonTargeted},
+		{AdKey: "nt2", Class: detector.NonTargeted},
+		{AdKey: "nt3", Class: detector.NonTargeted},
+	}
+	r := &fakeResolver{
+		retargeted: map[string]bool{"rt": true},
+		indirect:   map[string]bool{"ind": true},
+		confirmTN:  true,
+	}
+	res := ResolveUnknowns(obs, r, 2)
+	if res.LikelyTP != 2 || res.LikelyFP != 1 {
+		t.Fatalf("resolution = %+v", res)
+	}
+	if res.SampledNonTargeted != 2 || res.LikelyTN != 2 || res.LikelyFN != 0 {
+		t.Fatalf("nt sample = %+v", res)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	// Targeted: 10 total, CB 2 + F8 3 + resolved 3 = 8 TP → 80%.
+	tree := &Tree{
+		Targeted:    Branch{N: 10, CR: 1, CB: 2, F8Agree: 3, F8Disagree: 1, Unknown: 3},
+		NonTargeted: Branch{N: 100, CR: 30, CB: 5, F8Agree: 5, F8Disagree: 5, Unknown: 55},
+	}
+	res := Resolution{LikelyTP: 3, LikelyFP: 0, SampledNonTargeted: 10, LikelyTN: 8, LikelyFN: 2}
+	s := Summarize(tree, res)
+	if math.Abs(s.LikelyTPRate-0.8) > 1e-9 {
+		t.Fatalf("TP rate = %v", s.LikelyTPRate)
+	}
+	// TN: (30 + 5 + 0.8*55)/100 = 0.79.
+	if math.Abs(s.LikelyTNRate-0.79) > 1e-9 {
+		t.Fatalf("TN rate = %v", s.LikelyTNRate)
+	}
+	if math.Abs(s.HighConfidenceTNRate-0.3) > 1e-9 {
+		t.Fatalf("high-confidence TN = %v", s.HighConfidenceTNRate)
+	}
+	// Degenerate tree.
+	empty := Summarize(&Tree{}, Resolution{})
+	if empty.LikelyTPRate != 0 || empty.LikelyTNRate != 0 {
+		t.Fatalf("empty summary = %+v", empty)
+	}
+}
+
+func TestTopicEnrichmentDetectsIndirectAudience(t *testing.T) {
+	// Population of 200: topic Computers at 20% base rate. An ad for
+	// Dating (no overlap with Computers) received overwhelmingly by
+	// computer folk must register as indirect OBA.
+	interests := map[int][]taxonomy.Topic{}
+	for u := 0; u < 200; u++ {
+		if u%5 == 0 {
+			interests[u] = []taxonomy.Topic{taxonomy.Computers}
+		} else {
+			interests[u] = []taxonomy.Topic{taxonomy.Travel}
+		}
+	}
+	var receivers []int
+	for u := 0; u < 200; u += 5 { // all 40 computer users
+		receivers = append(receivers, u)
+	}
+	if !TopicEnrichment(receivers, interests, 200, taxonomy.Dating, 0.01) {
+		t.Fatal("enrichment missed a pure computer-audience dating ad")
+	}
+}
+
+func TestTopicEnrichmentIgnoresOverlappingTopics(t *testing.T) {
+	// Same audience, but the ad is for Electronics — that's DIRECT
+	// targeting (overlap with Computers), so the indirect test must not
+	// fire off the computers enrichment.
+	interests := map[int][]taxonomy.Topic{}
+	for u := 0; u < 200; u++ {
+		if u%5 == 0 {
+			interests[u] = []taxonomy.Topic{taxonomy.Computers}
+		} else {
+			interests[u] = []taxonomy.Topic{taxonomy.Travel}
+		}
+	}
+	var receivers []int
+	for u := 0; u < 200; u += 5 {
+		receivers = append(receivers, u)
+	}
+	if TopicEnrichment(receivers, interests, 200, taxonomy.Electronics, 0.01) {
+		t.Fatal("enrichment fired on a semantically overlapping topic")
+	}
+}
+
+func TestTopicEnrichmentRandomAudienceNegative(t *testing.T) {
+	// Receivers drawn uniformly: no topic should be enriched.
+	interests := map[int][]taxonomy.Topic{}
+	for u := 0; u < 300; u++ {
+		interests[u] = []taxonomy.Topic{taxonomy.Topic(u % taxonomy.Count)}
+	}
+	// Take one receiver per topic so receiver rates equal base rates.
+	var receivers []int
+	for u := 0; u < taxonomy.Count; u++ {
+		receivers = append(receivers, u)
+	}
+	if TopicEnrichment(receivers, interests, 300, taxonomy.Dating, 0.001) {
+		t.Fatal("enrichment fired on a uniform audience")
+	}
+}
+
+func TestTopicEnrichmentDegenerate(t *testing.T) {
+	if TopicEnrichment(nil, nil, 0, taxonomy.Dating, 0.01) {
+		t.Fatal("empty inputs enriched")
+	}
+	if TopicEnrichment([]int{1, 2}, map[int][]taxonomy.Topic{}, 10, taxonomy.Dating, 0.01) {
+		t.Fatal("tiny audience enriched")
+	}
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"eyewnder/internal/adsim"
+	"eyewnder/internal/detector"
+)
+
+// EvasionPoint quantifies the paper's closing argument (§7.3.4, "Evading
+// detection of targeted ads"): an advertiser can evade count-based
+// detection only by reducing how aggressively ads follow their targets —
+// which is giving up targeting itself. Each point pairs the detector's
+// miss rate with the advertiser's achieved delivery at one frequency cap.
+type EvasionPoint struct {
+	FrequencyCap int
+	// EvasionPct is the share of targeted (user, ad) pairs the detector
+	// missed — the advertiser's success at hiding.
+	EvasionPct float64
+	// ImpressionsPerTargetedPair is the advertiser's achieved delivery:
+	// average impressions per reached (user, campaign) pair. Evasion is
+	// only achieved by driving this toward 1 — i.e., barely advertising.
+	ImpressionsPerTargetedPair float64
+}
+
+// EvasionStudy sweeps the frequency cap and reports both sides of the
+// trade-off.
+func EvasionStudy(base adsim.Config, caps []int) ([]EvasionPoint, error) {
+	out := make([]EvasionPoint, 0, len(caps))
+	for _, cap := range caps {
+		cfg := base
+		cfg.FrequencyCap = cap
+		cfg.Seed = base.Seed + int64(cap)
+		sim, err := adsim.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		res := sim.Run()
+		conf := EvaluateWeek(sim, res, 0, detector.EstimatorMean, detector.EstimatorMean, 4)
+
+		// Delivery achieved: impressions per reached targeted pair.
+		impressions := 0
+		pairs := map[[2]int]bool{}
+		for _, imp := range res.Impressions {
+			if sim.Campaign(imp.Campaign).Kind.IsTargeted() && imp.Week == 0 {
+				impressions++
+				pairs[[2]int{imp.User, imp.Campaign}] = true
+			}
+		}
+		pt := EvasionPoint{FrequencyCap: cap, EvasionPct: 100 * conf.FNRate()}
+		if len(pairs) > 0 {
+			pt.ImpressionsPerTargetedPair = float64(impressions) / float64(len(pairs))
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}

@@ -1,0 +1,29 @@
+package experiments
+
+import "testing"
+
+func TestEvasionTradeoff(t *testing.T) {
+	pts, err := EvasionStudy(fastSim(), []int{1, 6, 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// The paper's argument: evasion requires giving up delivery. At cap 1
+	// the advertiser hides (high evasion) but delivers ~1 impression per
+	// reached user; at cap 12 delivery is real but evasion collapses.
+	if pts[0].EvasionPct < 60 {
+		t.Fatalf("cap-1 evasion = %.1f%%, expected high", pts[0].EvasionPct)
+	}
+	if pts[0].ImpressionsPerTargetedPair > 1.01 {
+		t.Fatalf("cap-1 delivery = %.2f impressions/pair, expected ~1",
+			pts[0].ImpressionsPerTargetedPair)
+	}
+	if pts[2].EvasionPct > 30 {
+		t.Fatalf("cap-12 evasion = %.1f%%, expected low", pts[2].EvasionPct)
+	}
+	if pts[2].ImpressionsPerTargetedPair <= pts[0].ImpressionsPerTargetedPair {
+		t.Fatal("delivery did not grow with the cap")
+	}
+}

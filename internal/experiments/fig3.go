@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+
+	"eyewnder/internal/adsim"
+	"eyewnder/internal/detector"
+)
+
+// Fig3Point is one x-position of Figure 3: the false-negative percentage
+// at a given frequency cap, under the Mean and Mean+Median threshold
+// estimators.
+type Fig3Point struct {
+	FrequencyCap    int
+	FNMeanPct       float64
+	FNMeanMedianPct float64
+	// MeanConf and MeanMedianConf carry the full confusion matrices.
+	MeanConf, MeanMedianConf Confusion
+}
+
+// Fig3Config parametrizes the sweep.
+type Fig3Config struct {
+	// Base is the simulation configuration (Table 1 by default).
+	Base adsim.Config
+	// Caps are the frequency-cap values to sweep (paper: 1..12).
+	Caps []int
+	// Repetitions averages each point over several seeds.
+	Repetitions int
+}
+
+// DefaultFig3Config mirrors the paper: Table 1 base, caps 1..12.
+func DefaultFig3Config() Fig3Config {
+	caps := make([]int, 12)
+	for i := range caps {
+		caps[i] = i + 1
+	}
+	return Fig3Config{Base: adsim.DefaultConfig(), Caps: caps, Repetitions: 1}
+}
+
+// Fig3 runs the false-negatives-vs-frequency-cap sweep. Both estimators
+// are applied to BOTH thresholds (#Users and #Domains), as in the figure.
+func Fig3(cfg Fig3Config) ([]Fig3Point, error) {
+	if cfg.Repetitions < 1 {
+		cfg.Repetitions = 1
+	}
+	out := make([]Fig3Point, 0, len(cfg.Caps))
+	for _, cap := range cfg.Caps {
+		pt := Fig3Point{FrequencyCap: cap}
+		for rep := 0; rep < cfg.Repetitions; rep++ {
+			simCfg := cfg.Base
+			simCfg.FrequencyCap = cap
+			simCfg.Seed = cfg.Base.Seed + int64(rep)*1000 + int64(cap)
+			sim, err := adsim.New(simCfg)
+			if err != nil {
+				return nil, err
+			}
+			res := sim.Run()
+			mean := EvaluateWeek(sim, res, 0,
+				detector.EstimatorMean, detector.EstimatorMean, 4)
+			mm := EvaluateWeek(sim, res, 0,
+				detector.EstimatorMeanPlusMedian, detector.EstimatorMeanPlusMedian, 4)
+			pt.MeanConf.TP += mean.TP
+			pt.MeanConf.FP += mean.FP
+			pt.MeanConf.TN += mean.TN
+			pt.MeanConf.FN += mean.FN
+			pt.MeanConf.Unknown += mean.Unknown
+			pt.MeanMedianConf.TP += mm.TP
+			pt.MeanMedianConf.FP += mm.FP
+			pt.MeanMedianConf.TN += mm.TN
+			pt.MeanMedianConf.FN += mm.FN
+			pt.MeanMedianConf.Unknown += mm.Unknown
+		}
+		pt.FNMeanPct = 100 * pt.MeanConf.FNRate()
+		pt.FNMeanMedianPct = 100 * pt.MeanMedianConf.FNRate()
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// FPStudyResult is one configuration of the Section 7.2.2 false-positive
+// study.
+type FPStudyResult struct {
+	// Label describes the configuration.
+	Label string
+	Conf  Confusion
+	FPPct float64
+}
+
+// FPStudy runs the overlapping-static-campaign scenarios of Section
+// 7.2.2: cohorts of users share interests (and therefore sites) that
+// carry large static campaigns, so the same non-targeted ad follows them
+// across domains. The paper reports FP below 2% over 30+ configurations;
+// the sweep here varies cohort tightness, static reach, and inventory mix.
+func FPStudy(base adsim.Config, configs int) ([]FPStudyResult, error) {
+	if configs < 1 {
+		configs = 30
+	}
+	out := make([]FPStudyResult, 0, configs)
+	for i := 0; i < configs; i++ {
+		cfg := base
+		cfg.Seed = base.Seed + int64(i)*17
+		// Vary the pressure: tighter interest cohorts, broader static
+		// campaigns, thinner slots.
+		cfg.InterestAffinity = 0.6 + 0.04*float64(i%10) // 0.6 .. 0.96
+		cfg.StaticSitesMin = 20 + 10*(i%5)              // up to 60
+		cfg.StaticSitesMax = cfg.StaticSitesMin + 100
+		cfg.MinInterests = 1 + i%2
+		cfg.MaxInterests = cfg.MinInterests + 1
+		if cfg.StaticSitesMax > cfg.Sites {
+			cfg.StaticSitesMax = cfg.Sites
+		}
+		sim, err := adsim.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		res := sim.Run()
+		conf := EvaluateWeek(sim, res, 0, detector.EstimatorMean, detector.EstimatorMean, 4)
+		out = append(out, FPStudyResult{
+			Label: fmtLabel(cfg),
+			Conf:  conf,
+			FPPct: 100 * conf.FPRate(),
+		})
+	}
+	return out, nil
+}
+
+func fmtLabel(cfg adsim.Config) string {
+	return fmt.Sprintf("affinity=%.2f static=%d..%d interests=%d..%d",
+		cfg.InterestAffinity, cfg.StaticSitesMin, cfg.StaticSitesMax,
+		cfg.MinInterests, cfg.MaxInterests)
+}

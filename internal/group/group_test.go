@@ -1,0 +1,120 @@
+package group
+
+import (
+	"bytes"
+	"crypto/rand"
+	"testing"
+)
+
+func suites() []Suite { return []Suite{P256(), MODP2048()} }
+
+func TestSharedSecretSymmetry(t *testing.T) {
+	for _, s := range suites() {
+		t.Run(s.Name(), func(t *testing.T) {
+			a, err := s.GenerateKey(rand.Reader)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := s.GenerateKey(rand.Reader)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ab, err := a.SharedSecret(b.PublicKey())
+			if err != nil {
+				t.Fatal(err)
+			}
+			ba, err := b.SharedSecret(a.PublicKey())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(ab, ba) {
+				t.Fatal("shared secrets differ")
+			}
+			if len(ab) != 32 {
+				t.Fatalf("secret length %d, want 32", len(ab))
+			}
+		})
+	}
+}
+
+func TestDistinctPairsDistinctSecrets(t *testing.T) {
+	for _, s := range suites() {
+		t.Run(s.Name(), func(t *testing.T) {
+			a, _ := s.GenerateKey(rand.Reader)
+			b, _ := s.GenerateKey(rand.Reader)
+			c, _ := s.GenerateKey(rand.Reader)
+			ab, _ := a.SharedSecret(b.PublicKey())
+			ac, _ := a.SharedSecret(c.PublicKey())
+			if bytes.Equal(ab, ac) {
+				t.Fatal("secrets for distinct peers collide")
+			}
+		})
+	}
+}
+
+func TestPublicKeySize(t *testing.T) {
+	for _, s := range suites() {
+		t.Run(s.Name(), func(t *testing.T) {
+			k, _ := s.GenerateKey(rand.Reader)
+			if got := len(k.PublicKey()); got != s.PublicKeySize() {
+				t.Fatalf("public key size %d, want %d", got, s.PublicKeySize())
+			}
+		})
+	}
+}
+
+func TestRejectsBadPublicKey(t *testing.T) {
+	for _, s := range suites() {
+		t.Run(s.Name(), func(t *testing.T) {
+			k, _ := s.GenerateKey(rand.Reader)
+			if _, err := k.SharedSecret([]byte{1, 2, 3}); err == nil {
+				t.Fatal("short key accepted")
+			}
+		})
+	}
+	// MODP: identity element must be rejected.
+	k, _ := MODP2048().GenerateKey(rand.Reader)
+	one := make([]byte, MODP2048().PublicKeySize())
+	one[len(one)-1] = 1
+	if _, err := k.SharedSecret(one); err == nil {
+		t.Fatal("identity element accepted")
+	}
+}
+
+func TestBySuiteName(t *testing.T) {
+	for _, name := range []string{"P256", "MODP2048"} {
+		s, err := BySuiteName(name)
+		if err != nil || s.Name() != name {
+			t.Fatalf("BySuiteName(%q) = %v, %v", name, s, err)
+		}
+	}
+	if _, err := BySuiteName("X25519"); err == nil {
+		t.Fatal("unknown suite accepted")
+	}
+}
+
+func BenchmarkSharedSecretP256(b *testing.B) {
+	s := P256()
+	a, _ := s.GenerateKey(rand.Reader)
+	peer, _ := s.GenerateKey(rand.Reader)
+	pub := peer.PublicKey()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.SharedSecret(pub); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSharedSecretMODP2048(b *testing.B) {
+	s := MODP2048()
+	a, _ := s.GenerateKey(rand.Reader)
+	peer, _ := s.GenerateKey(rand.Reader)
+	pub := peer.PublicKey()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.SharedSecret(pub); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

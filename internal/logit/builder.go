@@ -1,0 +1,124 @@
+package logit
+
+import "fmt"
+
+// Builder assembles a dummy-coded design matrix from categorical
+// observations, mirroring R's model-matrix behaviour the paper relies on:
+// each factor's first declared level is the base and gets no column.
+type Builder struct {
+	factors []factor
+	rows    []map[string]string
+	ys      []float64
+}
+
+type factor struct {
+	name   string
+	levels []string // levels[0] is the base
+	index  map[string]int
+}
+
+// NewBuilder declares the model's factors in order. The first level of
+// each factor is its base level.
+func NewBuilder() *Builder { return &Builder{} }
+
+// Factor declares a categorical predictor with its levels (base first).
+func (b *Builder) Factor(name string, levels ...string) *Builder {
+	idx := make(map[string]int, len(levels))
+	for i, l := range levels {
+		idx[l] = i
+	}
+	b.factors = append(b.factors, factor{name: name, levels: levels, index: idx})
+	return b
+}
+
+// Add records one observation: the factor levels and the binary outcome.
+func (b *Builder) Add(levels map[string]string, outcome bool) error {
+	for _, f := range b.factors {
+		lv, ok := levels[f.name]
+		if !ok {
+			return fmt.Errorf("%w: missing factor %q", ErrBadFactor, f.name)
+		}
+		if _, ok := f.index[lv]; !ok {
+			return fmt.Errorf("%w: factor %q has no level %q", ErrBadFactor, f.name, lv)
+		}
+	}
+	row := make(map[string]string, len(levels))
+	for k, v := range levels {
+		row[k] = v
+	}
+	b.rows = append(b.rows, row)
+	y := 0.0
+	if outcome {
+		y = 1
+	}
+	b.ys = append(b.ys, y)
+	return nil
+}
+
+// N returns the number of observations added.
+func (b *Builder) N() int { return len(b.rows) }
+
+// Matrix materializes the design matrix (intercept first), the outcome
+// vector, and the coefficient names.
+func (b *Builder) Matrix() (X [][]float64, y []float64, names []string) {
+	names = []string{"(intercept)"}
+	type colKey struct{ f, level int }
+	var cols []colKey
+	for fi, f := range b.factors {
+		for li := 1; li < len(f.levels); li++ {
+			names = append(names, f.name+":"+f.levels[li])
+			cols = append(cols, colKey{fi, li})
+		}
+	}
+	X = make([][]float64, len(b.rows))
+	for i, row := range b.rows {
+		r := make([]float64, 1+len(cols))
+		r[0] = 1
+		for ci, ck := range cols {
+			f := b.factors[ck.f]
+			if f.index[row[f.name]] == ck.level {
+				r[1+ci] = 1
+			}
+		}
+		X[i] = r
+	}
+	return X, b.ys, names
+}
+
+// Fit builds the matrix and fits the model, attaching coefficient names.
+func (b *Builder) Fit() (*Model, error) {
+	if len(b.rows) == 0 {
+		return nil, ErrNoData
+	}
+	X, y, names := b.Matrix()
+	m, err := Fit(X, y, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	m.Names = names
+	return m, nil
+}
+
+// Row produces a design row for prediction at the given factor levels —
+// the machinery behind Figure 5's per-level predicted probabilities.
+func (b *Builder) Row(levels map[string]string) ([]float64, error) {
+	row := []float64{1}
+	for _, f := range b.factors {
+		lv, ok := levels[f.name]
+		if !ok {
+			return nil, fmt.Errorf("%w: missing factor %q", ErrBadFactor, f.name)
+		}
+		li, ok := f.index[lv]
+		if !ok {
+			return nil, fmt.Errorf("%w: factor %q has no level %q", ErrBadFactor, f.name, lv)
+		}
+		for l := 1; l < len(f.levels); l++ {
+			if l == li {
+				row = append(row, 1)
+			} else {
+				row = append(row, 0)
+			}
+		}
+	}
+	return row, nil
+}

@@ -1,0 +1,291 @@
+// Package logit implements binomial logistic regression fitted by
+// iteratively re-weighted least squares (IRLS) — the statistical engine
+// behind the socio-economic bias analysis of Section 8 (Table 2 and
+// Figure 5). It reports, per coefficient, the odds ratio, standard error,
+// Wald z value, two-sided p-value, and 95% confidence interval, plus an
+// ANOVA-style likelihood-ratio test for comparing nested models (the test
+// the paper uses to drop the employment factor).
+//
+// Categorical predictors are handled by the Builder, which performs dummy
+// coding against a declared base level — the paper's bases are gender =
+// undisclosed, income = 0-30k, age = 1-20.
+package logit
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"eyewnder/internal/stats"
+)
+
+// Errors returned by the package.
+var (
+	ErrDimension = errors.New("logit: dimension mismatch")
+	ErrNoData    = errors.New("logit: no observations")
+	ErrSingular  = errors.New("logit: singular information matrix")
+	ErrNotNested = errors.New("logit: models are not nested")
+	ErrBadFactor = errors.New("logit: unknown factor or level")
+)
+
+// Model is a fitted logistic regression.
+type Model struct {
+	// Coef holds the fitted coefficients (log-odds scale); Coef[0] is the
+	// intercept when the design matrix includes one.
+	Coef []float64
+	// SE holds the coefficient standard errors from the inverse
+	// information matrix.
+	SE []float64
+	// LogLik is the maximized log-likelihood.
+	LogLik float64
+	// NullLogLik is the log-likelihood of the intercept-only model.
+	NullLogLik float64
+	// Iterations is how many IRLS steps ran; Converged reports whether
+	// the deviance change fell below tolerance.
+	Iterations int
+	Converged  bool
+	// N is the number of observations.
+	N int
+	// Names labels coefficients (set by the Builder; optional otherwise).
+	Names []string
+}
+
+// Fit runs IRLS on design matrix X (rows = observations, including any
+// intercept column) against binary outcomes y (0/1).
+func Fit(X [][]float64, y []float64, maxIter int, tol float64) (*Model, error) {
+	n := len(X)
+	if n == 0 {
+		return nil, ErrNoData
+	}
+	if len(y) != n {
+		return nil, ErrDimension
+	}
+	p := len(X[0])
+	for _, row := range X {
+		if len(row) != p {
+			return nil, ErrDimension
+		}
+	}
+	if maxIter <= 0 {
+		maxIter = 50
+	}
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	beta := make([]float64, p)
+	prevDev := math.Inf(1)
+	m := &Model{N: n}
+	var info [][]float64
+	for iter := 0; iter < maxIter; iter++ {
+		m.Iterations = iter + 1
+		// Working weights and response.
+		// z_i = eta_i + (y_i - mu_i) / w_i, w_i = mu_i (1 - mu_i).
+		XtWX := newMatrix(p)
+		XtWz := make([]float64, p)
+		dev := 0.0
+		for i := 0; i < n; i++ {
+			eta := dot(X[i], beta)
+			mu := sigmoid(eta)
+			// Clamp for numerical stability on separable data.
+			const epsMu = 1e-10
+			if mu < epsMu {
+				mu = epsMu
+			} else if mu > 1-epsMu {
+				mu = 1 - epsMu
+			}
+			w := mu * (1 - mu)
+			z := eta + (y[i]-mu)/w
+			for a := 0; a < p; a++ {
+				xa := X[i][a]
+				if xa == 0 {
+					continue
+				}
+				wxa := w * xa
+				XtWz[a] += wxa * z
+				for b := a; b < p; b++ {
+					XtWX[a][b] += wxa * X[i][b]
+				}
+			}
+			dev += devianceTerm(y[i], mu)
+		}
+		// Mirror the upper triangle.
+		for a := 0; a < p; a++ {
+			for b := 0; b < a; b++ {
+				XtWX[a][b] = XtWX[b][a]
+			}
+		}
+		next, inv, err := solveWithInverse(XtWX, XtWz)
+		if err != nil {
+			return nil, err
+		}
+		beta = next
+		info = inv
+		if math.Abs(prevDev-dev) < tol*(math.Abs(dev)+tol) {
+			m.Converged = true
+			prevDev = dev
+			break
+		}
+		prevDev = dev
+	}
+	m.Coef = beta
+	m.SE = make([]float64, p)
+	for j := 0; j < p; j++ {
+		m.SE[j] = math.Sqrt(math.Max(info[j][j], 0))
+	}
+	m.LogLik = logLik(X, y, beta)
+	m.NullLogLik = nullLogLik(y)
+	return m, nil
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func devianceTerm(y, mu float64) float64 {
+	if y > 0.5 {
+		return -2 * math.Log(mu)
+	}
+	return -2 * math.Log(1-mu)
+}
+
+func logLik(X [][]float64, y, beta []float64) float64 {
+	var ll float64
+	for i := range X {
+		mu := sigmoid(dot(X[i], beta))
+		const epsMu = 1e-12
+		mu = math.Min(math.Max(mu, epsMu), 1-epsMu)
+		if y[i] > 0.5 {
+			ll += math.Log(mu)
+		} else {
+			ll += math.Log(1 - mu)
+		}
+	}
+	return ll
+}
+
+func nullLogLik(y []float64) float64 {
+	n := float64(len(y))
+	var ones float64
+	for _, v := range y {
+		ones += v
+	}
+	if ones == 0 || ones == n {
+		return 0
+	}
+	p := ones / n
+	return ones*math.Log(p) + (n-ones)*math.Log(1-p)
+}
+
+func newMatrix(p int) [][]float64 {
+	m := make([][]float64, p)
+	for i := range m {
+		m[i] = make([]float64, p)
+	}
+	return m
+}
+
+// solveWithInverse solves A x = b and returns A⁻¹ (for the covariance),
+// via Gauss-Jordan elimination with partial pivoting.
+func solveWithInverse(A [][]float64, b []float64) (x []float64, inv [][]float64, err error) {
+	p := len(A)
+	// Augment [A | I | b].
+	aug := make([][]float64, p)
+	for i := 0; i < p; i++ {
+		aug[i] = make([]float64, 2*p+1)
+		copy(aug[i], A[i])
+		aug[i][p+i] = 1
+		aug[i][2*p] = b[i]
+	}
+	for col := 0; col < p; col++ {
+		// Partial pivot.
+		piv := col
+		for r := col + 1; r < p; r++ {
+			if math.Abs(aug[r][col]) > math.Abs(aug[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(aug[piv][col]) < 1e-12 {
+			return nil, nil, ErrSingular
+		}
+		aug[col], aug[piv] = aug[piv], aug[col]
+		// Normalize and eliminate.
+		d := aug[col][col]
+		for j := col; j <= 2*p; j++ {
+			aug[col][j] /= d
+		}
+		for r := 0; r < p; r++ {
+			if r == col || aug[r][col] == 0 {
+				continue
+			}
+			f := aug[r][col]
+			for j := col; j <= 2*p; j++ {
+				aug[r][j] -= f * aug[col][j]
+			}
+		}
+	}
+	x = make([]float64, p)
+	inv = make([][]float64, p)
+	for i := 0; i < p; i++ {
+		x[i] = aug[i][2*p]
+		inv[i] = aug[i][p : 2*p]
+	}
+	return x, inv, nil
+}
+
+// Predict returns the fitted probability for a design row.
+func (m *Model) Predict(row []float64) float64 { return sigmoid(dot(row, m.Coef)) }
+
+// CoefSummary is one row of a Table 2-style report.
+type CoefSummary struct {
+	Name string
+	// Coef is the log-odds coefficient; OR = exp(Coef).
+	Coef, OR, SE, Z, P float64
+	// CILo and CIHi bound the 95% confidence interval on the OR scale.
+	CILo, CIHi float64
+}
+
+// Summary produces per-coefficient statistics. If the model has Names
+// they label the rows; otherwise "b0", "b1", ...
+func (m *Model) Summary() []CoefSummary {
+	out := make([]CoefSummary, len(m.Coef))
+	for j, c := range m.Coef {
+		name := fmt.Sprintf("b%d", j)
+		if j < len(m.Names) && m.Names[j] != "" {
+			name = m.Names[j]
+		}
+		z, pval := stats.WaldTest(c, m.SE[j])
+		out[j] = CoefSummary{
+			Name: name,
+			Coef: c,
+			OR:   math.Exp(c),
+			SE:   m.SE[j],
+			Z:    z,
+			P:    pval,
+			CILo: math.Exp(c - 1.959963985*m.SE[j]),
+			CIHi: math.Exp(c + 1.959963985*m.SE[j]),
+		}
+	}
+	return out
+}
+
+// LikelihoodRatioTest compares a nested null model against a fuller
+// alternative: statistic 2(llFull − llNull) ~ χ²(dfFull − dfNull). This is
+// the anova-style test the paper uses to drop "employment status".
+func LikelihoodRatioTest(null, full *Model) (statistic float64, df int, p float64, err error) {
+	df = len(full.Coef) - len(null.Coef)
+	if df <= 0 {
+		return 0, 0, 0, ErrNotNested
+	}
+	statistic = 2 * (full.LogLik - null.LogLik)
+	if statistic < 0 {
+		statistic = 0
+	}
+	p = stats.ChiSquareSF(statistic, df)
+	return statistic, df, p, nil
+}

@@ -1,0 +1,273 @@
+package logit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// synth generates logistic data with known coefficients.
+func synth(rng *rand.Rand, n int, beta []float64) (X [][]float64, y []float64) {
+	p := len(beta)
+	X = make([][]float64, n)
+	y = make([]float64, n)
+	for i := 0; i < n; i++ {
+		row := make([]float64, p)
+		row[0] = 1
+		for j := 1; j < p; j++ {
+			row[j] = rng.NormFloat64()
+		}
+		eta := 0.0
+		for j := range row {
+			eta += row[j] * beta[j]
+		}
+		if rng.Float64() < 1/(1+math.Exp(-eta)) {
+			y[i] = 1
+		}
+		X[i] = row
+	}
+	return X, y
+}
+
+func TestFitRecoversCoefficients(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	trueBeta := []float64{-0.5, 1.2, -0.8}
+	X, y := synth(rng, 20000, trueBeta)
+	m, err := Fit(X, y, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Converged {
+		t.Fatal("IRLS did not converge")
+	}
+	for j, want := range trueBeta {
+		if math.Abs(m.Coef[j]-want) > 0.1 {
+			t.Errorf("coef[%d] = %.3f, want %.3f", j, m.Coef[j], want)
+		}
+	}
+	if m.LogLik <= m.NullLogLik {
+		t.Fatalf("LogLik %v <= NullLogLik %v", m.LogLik, m.NullLogLik)
+	}
+}
+
+func TestPredictionsInUnitInterval(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	X, y := synth(rng, 2000, []float64{0.3, 2.5})
+	m, err := Fit(X, y, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range X {
+		p := m.Predict(row)
+		if p <= 0 || p >= 1 {
+			t.Fatalf("prediction %v outside (0,1)", p)
+		}
+	}
+}
+
+func TestSummaryWaldSignificance(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// Strong effect on x1, none on x2.
+	X, y := synth(rng, 8000, []float64{0, 1.5, 0})
+	m, err := Fit(X, y, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.Summary()
+	if len(s) != 3 {
+		t.Fatalf("summary rows = %d", len(s))
+	}
+	if s[1].P > 0.001 {
+		t.Fatalf("strong effect p = %v, want < 0.001", s[1].P)
+	}
+	if s[2].P < 0.01 {
+		t.Fatalf("null effect p = %v, want large", s[2].P)
+	}
+	if s[1].OR <= 1 || s[1].CILo >= s[1].OR || s[1].CIHi <= s[1].OR {
+		t.Fatalf("OR/CI inconsistent: %+v", s[1])
+	}
+	if s[1].CILo <= math.Exp(1.5-5) || s[1].CIHi >= math.Exp(1.5+5) {
+		t.Fatalf("CI implausibly wide: %+v", s[1])
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	if _, err := Fit(nil, nil, 0, 0); err != ErrNoData {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := Fit([][]float64{{1}}, []float64{0, 1}, 0, 0); err != ErrDimension {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := Fit([][]float64{{1, 2}, {1}}, []float64{0, 1}, 0, 0); err != ErrDimension {
+		t.Fatalf("err = %v", err)
+	}
+	// Perfectly collinear columns → singular information matrix.
+	X := [][]float64{{1, 2, 4}, {1, 3, 6}, {1, 1, 2}, {1, 5, 10}}
+	y := []float64{0, 1, 0, 1}
+	if _, err := Fit(X, y, 0, 0); err != ErrSingular {
+		t.Fatalf("collinear err = %v", err)
+	}
+}
+
+func TestDevianceNonIncreasing(t *testing.T) {
+	// The log-likelihood of the fitted model must beat the null model on
+	// informative data, and refitting with more iterations cannot do
+	// worse.
+	rng := rand.New(rand.NewSource(17))
+	X, y := synth(rng, 3000, []float64{0.2, 0.9})
+	m5, err := Fit(X, y, 5, 1e-300) // force exactly 5 iterations
+	if err != nil {
+		t.Fatal(err)
+	}
+	m50, err := Fit(X, y, 50, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m50.LogLik+1e-9 < m5.LogLik {
+		t.Fatalf("more iterations decreased log-lik: %v vs %v", m50.LogLik, m5.LogLik)
+	}
+}
+
+func TestLikelihoodRatioTest(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	X, y := synth(rng, 6000, []float64{0.1, 1.0, 0})
+	// Null: intercept + x1. Full: + x2 (useless).
+	Xnull := make([][]float64, len(X))
+	for i, r := range X {
+		Xnull[i] = r[:2]
+	}
+	null, err := Fit(Xnull, y, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Fit(X, y, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stat, df, p, err := LikelihoodRatioTest(null, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if df != 1 {
+		t.Fatalf("df = %d", df)
+	}
+	if stat < 0 {
+		t.Fatalf("stat = %v", stat)
+	}
+	// x2 is noise: the LRT should not be significant.
+	if p < 0.01 {
+		t.Fatalf("noise variable LRT p = %v", p)
+	}
+	if _, _, _, err := LikelihoodRatioTest(full, null); err != ErrNotNested {
+		t.Fatalf("reversed nesting err = %v", err)
+	}
+}
+
+func TestBuilderDummyCoding(t *testing.T) {
+	b := NewBuilder().
+		Factor("gender", "undisclosed", "female", "male").
+		Factor("income", "low", "high")
+	if err := b.Add(map[string]string{"gender": "female", "income": "high"}, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Add(map[string]string{"gender": "undisclosed", "income": "low"}, false); err != nil {
+		t.Fatal(err)
+	}
+	X, y, names := b.Matrix()
+	wantNames := []string{"(intercept)", "gender:female", "gender:male", "income:high"}
+	if len(names) != len(wantNames) {
+		t.Fatalf("names = %v", names)
+	}
+	for i := range wantNames {
+		if names[i] != wantNames[i] {
+			t.Fatalf("names = %v", names)
+		}
+	}
+	if X[0][0] != 1 || X[0][1] != 1 || X[0][2] != 0 || X[0][3] != 1 {
+		t.Fatalf("row0 = %v", X[0])
+	}
+	if X[1][1] != 0 || X[1][2] != 0 || X[1][3] != 0 {
+		t.Fatalf("row1 = %v", X[1])
+	}
+	if y[0] != 1 || y[1] != 0 {
+		t.Fatalf("y = %v", y)
+	}
+	if b.N() != 2 {
+		t.Fatalf("N = %d", b.N())
+	}
+}
+
+func TestBuilderValidation(t *testing.T) {
+	b := NewBuilder().Factor("g", "a", "b")
+	if err := b.Add(map[string]string{}, true); err == nil {
+		t.Fatal("missing factor accepted")
+	}
+	if err := b.Add(map[string]string{"g": "zzz"}, true); err == nil {
+		t.Fatal("unknown level accepted")
+	}
+	if _, err := b.Fit(); err != ErrNoData {
+		t.Fatalf("empty fit err = %v", err)
+	}
+	if _, err := b.Row(map[string]string{}); err == nil {
+		t.Fatal("Row with missing factor accepted")
+	}
+	if _, err := b.Row(map[string]string{"g": "zzz"}); err == nil {
+		t.Fatal("Row with unknown level accepted")
+	}
+}
+
+func TestBuilderEndToEndRecoversPlantedOR(t *testing.T) {
+	// Plant OR = 3 for level "x" of one factor; recover it.
+	rng := rand.New(rand.NewSource(31))
+	b := NewBuilder().Factor("f", "base", "x")
+	beta0 := -1.0
+	betaX := math.Log(3)
+	for i := 0; i < 20000; i++ {
+		isX := rng.Float64() < 0.5
+		eta := beta0
+		lv := "base"
+		if isX {
+			eta += betaX
+			lv = "x"
+		}
+		outcome := rng.Float64() < 1/(1+math.Exp(-eta))
+		if err := b.Add(map[string]string{"f": lv}, outcome); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, err := b.Fit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.Summary()
+	if s[1].Name != "f:x" {
+		t.Fatalf("names = %v", m.Names)
+	}
+	if math.Abs(s[1].OR-3) > 0.45 {
+		t.Fatalf("recovered OR = %.3f, want ~3", s[1].OR)
+	}
+	// Figure 5 machinery: predicted probability at each level.
+	rowBase, err := b.Row(map[string]string{"f": "base"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowX, err := b.Row(map[string]string{"f": "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pBase, pX := m.Predict(rowBase), m.Predict(rowX)
+	if pX <= pBase {
+		t.Fatalf("predicted probs: base %.3f, x %.3f — planted ordering lost", pBase, pX)
+	}
+}
+
+func BenchmarkFit(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	X, y := synth(rng, 5000, []float64{-0.5, 1.2, -0.8, 0.3})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fit(X, y, 0, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,293 @@
+// Package privacy composes the three cryptographic building blocks of
+// Section 6 — the RSA OPRF (package oprf), the count-min sketch (package
+// sketch), and additive shares of zero (package blind) — into eyeWnder's
+// complete privacy-preserving distributed-counting protocol:
+//
+//  1. For each newly seen ad URL the client engages in an OPRF exchange
+//     with the oprf-server and obtains an ad ID in [0, IDSpace). Without
+//     the oprf key nobody can map an ID back to a URL.
+//  2. The client encodes the *set* of ad IDs seen during the reporting
+//     round into a CMS, blinds every cell with its share of zero, and
+//     sends the blinded sketch to the back-end.
+//  3. The back-end sums all blinded sketches cell-wise; the blindings
+//     cancel and the aggregate CMS encodes the multiset union. Because
+//     each client inserted each distinct ad at most once, querying the
+//     aggregate for ad ID y estimates #Users(y) — the global counter the
+//     count-based detector needs.
+//  4. If some clients fail to report, the back-end publishes the missing
+//     list and reporters answer with adjustment shares that restore
+//     cancellation (two extra messages, as in the paper).
+//
+// The package also accounts for protocol overhead (report bytes, bulletin
+// traffic) so the Section 7.1 experiments can be regenerated.
+package privacy
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/big"
+
+	"eyewnder/internal/blind"
+	"eyewnder/internal/group"
+	"eyewnder/internal/oprf"
+	"eyewnder/internal/sketch"
+)
+
+// Errors returned by the package.
+var (
+	ErrRoundMismatch  = errors.New("privacy: report for a different round")
+	ErrDuplicate      = errors.New("privacy: duplicate report from user")
+	ErrNoReports      = errors.New("privacy: no reports to aggregate")
+	ErrNotFinalizable = errors.New("privacy: missing adjustments not yet supplied")
+)
+
+// Params fixes the protocol geometry shared by all participants.
+type Params struct {
+	// Epsilon and Delta size the CMS (w = ⌈e/ε⌉, d = ⌈ln(1/δ)⌉).
+	Epsilon, Delta float64
+	// IDSpace is the (over)estimated size of the global ad set |A|. Ad
+	// IDs are OPRF outputs reduced into [0, IDSpace).
+	IDSpace uint64
+	// Suite is the DH group for blinding-key agreement.
+	Suite group.Suite
+}
+
+// DefaultParams mirrors the paper's configuration: ε = δ = 0.001 and a
+// 100k ad-ID space, P-256 blinding keys.
+func DefaultParams() Params {
+	return Params{Epsilon: 0.001, Delta: 0.001, IDSpace: 100000, Suite: group.P256()}
+}
+
+// NewSketch allocates a CMS with the params' geometry.
+func (p Params) NewSketch() (*sketch.CMS, error) {
+	return sketch.New(p.Epsilon, p.Delta)
+}
+
+// AdID reduces a raw OPRF output into the ad-ID space.
+func (p Params) AdID(oprfOutput []byte) uint64 {
+	if len(oprfOutput) < 8 {
+		panic("privacy: OPRF output too short")
+	}
+	return binary.LittleEndian.Uint64(oprfOutput[:8]) % p.IDSpace
+}
+
+// idBytes is the canonical CMS key encoding of an ad ID.
+func idBytes(id uint64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], id)
+	return b[:]
+}
+
+// Evaluator is the client's view of the oprf-server: it answers blinded
+// requests. *oprf.Server satisfies it directly for in-process use; the
+// wire layer provides a TCP-backed implementation.
+type Evaluator interface {
+	Evaluate(blinded *big.Int) (*big.Int, error)
+}
+
+// Client is one user's protocol endpoint.
+type Client struct {
+	params  Params
+	party   *blind.Party
+	oprfCli *oprf.Client
+	eval    Evaluator
+
+	idCache map[string]uint64 // ad URL -> ad ID, computed once per unique ad
+	seen    map[uint64]bool   // distinct ad IDs observed in the open round
+	// OPRFExchanges counts round trips to the oprf-server, for overhead
+	// accounting (the mapping is done once per unique ad, Section 7.1).
+	OPRFExchanges int
+}
+
+// NewClient builds a protocol client for the user at the given roster
+// position. oprfPub is the oprf-server's public key; eval performs the
+// blinded evaluations.
+func NewClient(params Params, party *blind.Party, oprfPub oprf.PublicKey, eval Evaluator) *Client {
+	return &Client{
+		params:  params,
+		party:   party,
+		oprfCli: oprf.NewClient(oprfPub, nil),
+		eval:    eval,
+		idCache: make(map[string]uint64),
+		seen:    make(map[uint64]bool),
+	}
+}
+
+// UserIndex returns the client's roster position.
+func (c *Client) UserIndex() int { return c.party.Index() }
+
+// ObserveAd records that the user saw the ad with the given URL during the
+// current round, resolving the ad ID through the OPRF on first encounter.
+// Repeat observations of the same ad are deduplicated: the protocol counts
+// users per ad, not impressions.
+func (c *Client) ObserveAd(url string) (adID uint64, err error) {
+	id, ok := c.idCache[url]
+	if !ok {
+		req, err := c.oprfCli.Blind([]byte(url))
+		if err != nil {
+			return 0, fmt.Errorf("privacy: blinding %q: %w", url, err)
+		}
+		resp, err := c.eval.Evaluate(req.Blinded)
+		if err != nil {
+			return 0, fmt.Errorf("privacy: oprf evaluation: %w", err)
+		}
+		out, err := c.oprfCli.Finalize(req, resp)
+		if err != nil {
+			return 0, fmt.Errorf("privacy: oprf finalize: %w", err)
+		}
+		c.OPRFExchanges++
+		id = c.params.AdID(out)
+		c.idCache[url] = id
+	}
+	c.seen[id] = true
+	return id, nil
+}
+
+// SeenCount reports how many distinct ads the client has recorded in the
+// open round.
+func (c *Client) SeenCount() int { return len(c.seen) }
+
+// Report encodes the round's distinct ad IDs in a CMS, blinds it, and
+// returns the report. The per-round observation set is then cleared, ready
+// for the next weekly round.
+func (c *Client) Report(round uint64) (*Report, error) {
+	cms, err := c.params.NewSketch()
+	if err != nil {
+		return nil, err
+	}
+	for id := range c.seen {
+		cms.Update(idBytes(id))
+	}
+	cells := cms.FlatCells()
+	if err := blind.ApplyBlinding(cells, c.party.Blinding(round, len(cells))); err != nil {
+		return nil, err
+	}
+	c.seen = make(map[uint64]bool)
+	return &Report{User: c.party.Index(), Round: round, Sketch: cms}, nil
+}
+
+// Adjust produces the client's second-round adjustment share for the given
+// missing users.
+func (c *Client) Adjust(round uint64, cells int, missing []int) ([]uint64, error) {
+	return c.party.Adjustment(round, cells, blind.MissingSet(missing))
+}
+
+// Report is one user's blinded sketch for a round.
+type Report struct {
+	User   int
+	Round  uint64
+	Sketch *sketch.CMS
+}
+
+// SizeBytes returns the wire size of the report payload assuming the given
+// cell width in bytes (the paper assumes 4).
+func (r *Report) SizeBytes(cellBytes int) int { return r.Sketch.SizeBytes(cellBytes) }
+
+// Aggregator is the back-end's side of the protocol for a single round.
+type Aggregator struct {
+	params     Params
+	round      uint64
+	rosterSize int
+	agg        *sketch.CMS
+	reported   map[int]bool
+	adjusted   bool
+}
+
+// NewAggregator opens an aggregation round expecting reports from a roster
+// of rosterSize users.
+func NewAggregator(params Params, round uint64, rosterSize int) (*Aggregator, error) {
+	cms, err := params.NewSketch()
+	if err != nil {
+		return nil, err
+	}
+	return &Aggregator{
+		params:     params,
+		round:      round,
+		rosterSize: rosterSize,
+		agg:        cms,
+		reported:   make(map[int]bool),
+	}, nil
+}
+
+// Add folds one blinded report into the aggregate.
+func (a *Aggregator) Add(r *Report) error {
+	if r.Round != a.round {
+		return ErrRoundMismatch
+	}
+	if r.User < 0 || r.User >= a.rosterSize {
+		return fmt.Errorf("privacy: user %d outside roster of %d", r.User, a.rosterSize)
+	}
+	if a.reported[r.User] {
+		return ErrDuplicate
+	}
+	if err := a.agg.Merge(r.Sketch); err != nil {
+		return err
+	}
+	a.reported[r.User] = true
+	return nil
+}
+
+// Reported returns how many reports have been folded in.
+func (a *Aggregator) Reported() int { return len(a.reported) }
+
+// Missing lists the roster indices that have not reported — the list the
+// back-end publishes to trigger the adjustment round.
+func (a *Aggregator) Missing() []int {
+	var out []int
+	for i := 0; i < a.rosterSize; i++ {
+		if !a.reported[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// ApplyAdjustments subtracts the reporters' second-round shares, restoring
+// blinding cancellation when some users are missing.
+func (a *Aggregator) ApplyAdjustments(adjustments ...[]uint64) error {
+	if err := blind.SubtractAdjustments(a.agg.FlatCells(), adjustments...); err != nil {
+		return err
+	}
+	a.adjusted = true
+	return nil
+}
+
+// Finalize returns the unblinded aggregate CMS. It fails if reports are
+// missing and no adjustment pass was applied — aggregating in that state
+// would return uniform noise.
+func (a *Aggregator) Finalize() (*sketch.CMS, error) {
+	if len(a.reported) == 0 {
+		return nil, ErrNoReports
+	}
+	if len(a.reported) < a.rosterSize && !a.adjusted {
+		return nil, ErrNotFinalizable
+	}
+	return a.agg.Clone(), nil
+}
+
+// UserCounts queries the aggregate sketch for every ad ID in [0, IDSpace)
+// and returns the per-ID estimated user counts for IDs with a nonzero
+// estimate. This is the enumeration step that the OPRF makes possible:
+// the server can walk the whole ID space without learning any URL.
+func UserCounts(agg *sketch.CMS, params Params) map[uint64]uint64 {
+	out := make(map[uint64]uint64)
+	for id := uint64(0); id < params.IDSpace; id++ {
+		if v := agg.Query(idBytes(id)); v > 0 {
+			out[id] = v
+		}
+	}
+	return out
+}
+
+// QueryUsers estimates #Users for one ad ID.
+func QueryUsers(agg *sketch.CMS, id uint64) uint64 {
+	return agg.Query(idBytes(id))
+}
+
+// CleartextReportBytes estimates the cleartext alternative the paper
+// compares against in Section 7.1: a vector of ad URLs, ~100 characters
+// each, so a user who saw k unique ads uploads about 100·k bytes.
+func CleartextReportBytes(uniqueAds int, avgURLLen int) int {
+	return uniqueAds * avgURLLen
+}

@@ -1,0 +1,148 @@
+package sketch
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+)
+
+// SBF is a spectral Bloom filter (Cohen & Matias, SIGMOD'03) — the
+// alternative multiset synopsis Section 6 of the paper considers before
+// settling on the count-min sketch ("one could use synopsis data
+// structures for multi-sets that admit aggregation. For example
+// count-min-sketches or spectral bloom filters").
+//
+// The SBF is a single array of m counters with k hash functions; an
+// element's estimate is the minimum over its k counters (the "minimal
+// selection" estimator). Like the CMS it is a linear sketch — cell-wise
+// addition equals multiset union — so it composes with the same blinding
+// protocol. The paper prefers the CMS because its (ε, δ) guarantee lets
+// it bound both the error probability and the error itself; the SBF's
+// error depends on the load factor. Both live here so the ablation bench
+// can compare them at equal memory.
+type SBF struct {
+	m, k  int
+	cells []uint64
+	n     uint64
+}
+
+// NewSBF returns a spectral Bloom filter with m counters and k hash
+// functions. For an expected n distinct elements, the classic optimum is
+// m ≈ 1.44·k·n.
+func NewSBF(m, k int) (*SBF, error) {
+	if m < 1 || k < 1 {
+		return nil, ErrBadParams
+	}
+	return &SBF{m: m, k: k, cells: make([]uint64, m)}, nil
+}
+
+// NewSBFForElements sizes the filter for n expected distinct elements at
+// a target false-positive-ish load: k hash functions and m = ⌈1.44·k·n⌉.
+func NewSBFForElements(n, k int) (*SBF, error) {
+	if n < 1 || k < 1 {
+		return nil, ErrBadParams
+	}
+	return NewSBF(int(math.Ceil(1.44*float64(k)*float64(n))), k)
+}
+
+// M returns the number of counters; K the number of hash functions.
+func (s *SBF) M() int { return s.m }
+
+// K returns the number of hash functions.
+func (s *SBF) K() int { return s.k }
+
+// N returns the total update weight.
+func (s *SBF) N() uint64 { return s.n }
+
+// Cells returns the number of counters (for blinding-vector sizing).
+func (s *SBF) Cells() int { return s.m }
+
+// SizeBytes returns the serialized size at cellBytes per counter.
+func (s *SBF) SizeBytes(cellBytes int) int { return s.m * cellBytes }
+
+func (s *SBF) index(j int, x []byte) int {
+	h := fnv.New64a()
+	var key [8]byte
+	binary.LittleEndian.PutUint64(key[:], uint64(j)*0xff51afd7ed558ccd+3)
+	h.Write(key[:])
+	h.Write(x)
+	return int(h.Sum64() % uint64(s.m))
+}
+
+// Update encodes one occurrence of x.
+func (s *SBF) Update(x []byte) { s.UpdateWeighted(x, 1) }
+
+// UpdateString encodes one occurrence of the string.
+func (s *SBF) UpdateString(x string) { s.UpdateWeighted([]byte(x), 1) }
+
+// UpdateWeighted adds weight w to all k counters of x.
+func (s *SBF) UpdateWeighted(x []byte, w uint64) {
+	for j := 0; j < s.k; j++ {
+		s.cells[s.index(j, x)] += w
+	}
+	s.n += w
+}
+
+// Query returns the minimal-selection frequency estimate: min over the
+// element's k counters. Like the CMS it never underestimates.
+func (s *SBF) Query(x []byte) uint64 {
+	min := uint64(math.MaxUint64)
+	for j := 0; j < s.k; j++ {
+		if v := s.cells[s.index(j, x)]; v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// QueryString returns the estimate for a string element.
+func (s *SBF) QueryString(x string) uint64 { return s.Query([]byte(x)) }
+
+// Merge adds other into s cell-wise (linear aggregation).
+func (s *SBF) Merge(other *SBF) error {
+	if other == nil || s.m != other.m || s.k != other.k {
+		return ErrDimensionMismatch
+	}
+	for i, v := range other.cells {
+		s.cells[i] += v
+	}
+	s.n += other.n
+	return nil
+}
+
+// FlatCells exposes the counters for in-place blinding.
+func (s *SBF) FlatCells() []uint64 { return s.cells }
+
+// MarshalBinary serializes the filter.
+func (s *SBF) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 24+8*s.m)
+	binary.LittleEndian.PutUint64(buf[0:], uint64(s.m))
+	binary.LittleEndian.PutUint64(buf[8:], uint64(s.k))
+	binary.LittleEndian.PutUint64(buf[16:], s.n)
+	for i, v := range s.cells {
+		binary.LittleEndian.PutUint64(buf[24+8*i:], v)
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary restores a filter serialized by MarshalBinary.
+func (s *SBF) UnmarshalBinary(data []byte) error {
+	if len(data) < 24 {
+		return ErrCorrupt
+	}
+	m := int(binary.LittleEndian.Uint64(data[0:]))
+	k := int(binary.LittleEndian.Uint64(data[8:]))
+	if m < 1 || k < 1 || m > 1<<32 || k > 64 {
+		return ErrCorrupt
+	}
+	if len(data) != 24+8*m {
+		return ErrCorrupt
+	}
+	s.m, s.k = m, k
+	s.n = binary.LittleEndian.Uint64(data[16:])
+	s.cells = make([]uint64, m)
+	for i := range s.cells {
+		s.cells[i] = binary.LittleEndian.Uint64(data[24+8*i:])
+	}
+	return nil
+}

@@ -1,0 +1,227 @@
+package sketch
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSBFNeverUnderestimates(t *testing.T) {
+	s, err := NewSBFForElements(300, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := map[string]uint64{}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 3000; i++ {
+		k := fmt.Sprintf("ad-%d", rng.Intn(300))
+		s.UpdateString(k)
+		truth[k]++
+	}
+	for k, want := range truth {
+		if got := s.QueryString(k); got < want {
+			t.Fatalf("Query(%q) = %d < %d", k, got, want)
+		}
+	}
+}
+
+func TestSBFValidation(t *testing.T) {
+	if _, err := NewSBF(0, 3); err != ErrBadParams {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := NewSBF(3, 0); err != ErrBadParams {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := NewSBFForElements(0, 3); err != ErrBadParams {
+		t.Fatalf("err = %v", err)
+	}
+	s, err := NewSBFForElements(100, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.K() != 4 || s.M() != 576 { // 1.44*4*100
+		t.Fatalf("geometry = %d/%d", s.K(), s.M())
+	}
+	if s.Cells() != s.M() || s.SizeBytes(4) != 4*s.M() {
+		t.Fatal("size accessors inconsistent")
+	}
+}
+
+func TestSBFMergeEqualsUnion(t *testing.T) {
+	a, _ := NewSBF(512, 4)
+	b, _ := NewSBF(512, 4)
+	u, _ := NewSBF(512, 4)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 1000; i++ {
+		k := []byte(fmt.Sprintf("x-%d", rng.Intn(200)))
+		if i%2 == 0 {
+			a.Update(k)
+		} else {
+			b.Update(k)
+		}
+		u.Update(k)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.N() != u.N() {
+		t.Fatalf("N = %d, want %d", a.N(), u.N())
+	}
+	for i := 0; i < 200; i++ {
+		k := []byte(fmt.Sprintf("x-%d", i))
+		if a.Query(k) != u.Query(k) {
+			t.Fatalf("merge mismatch at %s", k)
+		}
+	}
+	c, _ := NewSBF(256, 4)
+	if err := a.Merge(c); err != ErrDimensionMismatch {
+		t.Fatalf("err = %v", err)
+	}
+	if err := a.Merge(nil); err != ErrDimensionMismatch {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSBFSerializationRoundTrip(t *testing.T) {
+	a, _ := NewSBF(128, 3)
+	for i := 0; i < 50; i++ {
+		a.UpdateString(fmt.Sprintf("k%d", i%13))
+	}
+	data, err := a.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b SBF
+	if err := b.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 13; i++ {
+		k := fmt.Sprintf("k%d", i)
+		if a.QueryString(k) != b.QueryString(k) {
+			t.Fatalf("mismatch at %s", k)
+		}
+	}
+	if err := b.UnmarshalBinary(data[:10]); err != ErrCorrupt {
+		t.Fatalf("truncated err = %v", err)
+	}
+	bad := append([]byte(nil), data...)
+	bad[0] = 0
+	if err := b.UnmarshalBinary(bad); err != ErrCorrupt {
+		t.Fatalf("zero-m err = %v", err)
+	}
+}
+
+func TestSBFBlindableLikeCMS(t *testing.T) {
+	// The SBF must compose with the blinding layer the same way the CMS
+	// does: wrap-around addition over FlatCells.
+	a, _ := NewSBF(64, 3)
+	a.UpdateString("x")
+	cells := a.FlatCells()
+	before := a.QueryString("x")
+	for i := range cells {
+		cells[i] += 12345 // blind
+	}
+	for i := range cells {
+		cells[i] -= 12345 // unblind
+	}
+	if a.QueryString("x") != before {
+		t.Fatal("blind/unblind cycle corrupted the filter")
+	}
+}
+
+// Property: SBF never underestimates, for arbitrary keys.
+func TestSBFPropertyNoUnderestimate(t *testing.T) {
+	f := func(keys []string) bool {
+		s, _ := NewSBF(128, 3)
+		truth := map[string]uint64{}
+		for _, k := range keys {
+			s.UpdateString(k)
+			truth[k]++
+		}
+		for k, want := range truth {
+			if s.QueryString(k) < want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// At equal memory, compare CMS and SBF overestimation — the trade-off
+// behind the paper's choice of the CMS (bounded error).
+func TestSBFvsCMSAtEqualMemory(t *testing.T) {
+	const distinct = 500
+	cms, _ := NewWithDimensions(4, 256) // 1024 cells
+	sbf, _ := NewSBF(1024, 4)           // 1024 cells
+	rng := rand.New(rand.NewSource(3))
+	truth := map[string]uint64{}
+	for i := 0; i < 5000; i++ {
+		k := fmt.Sprintf("ad-%d", rng.Intn(distinct))
+		cms.UpdateString(k)
+		sbf.UpdateString(k)
+		truth[k]++
+	}
+	var cmsOver, sbfOver float64
+	for k, want := range truth {
+		cmsOver += float64(cms.QueryString(k) - want)
+		sbfOver += float64(sbf.QueryString(k) - want)
+	}
+	// Both one-sided; neither may underestimate (checked above). Just
+	// assert both are finite and report the comparison in the bench.
+	if cmsOver < 0 || sbfOver < 0 {
+		t.Fatal("negative overestimation is impossible")
+	}
+}
+
+func BenchmarkSBFUpdate(b *testing.B) {
+	s, _ := NewSBFForElements(100000, 4)
+	key := []byte("https://ads.example.com/creative/123456")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Update(key)
+	}
+}
+
+// BenchmarkAblation_CMSvsSBF compares the two synopses at equal memory:
+// mean overestimation over a skewed stream.
+func BenchmarkAblation_CMSvsSBF(b *testing.B) {
+	const distinct = 2000
+	rng := rand.New(rand.NewSource(9))
+	keys := make([]string, 20000)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("ad-%d", rng.Intn(distinct))
+	}
+	for _, which := range []string{"CMS", "SBF"} {
+		b.Run(which, func(b *testing.B) {
+			var over float64
+			for i := 0; i < b.N; i++ {
+				truth := map[string]uint64{}
+				var q interface {
+					UpdateString(string)
+					QueryString(string) uint64
+				}
+				if which == "CMS" {
+					c, _ := NewWithDimensions(4, 1024)
+					q = c
+				} else {
+					s, _ := NewSBF(4096, 4)
+					q = s
+				}
+				for _, k := range keys {
+					q.UpdateString(k)
+					truth[k]++
+				}
+				var sum float64
+				for k, want := range truth {
+					sum += float64(q.QueryString(k) - want)
+				}
+				over = sum / float64(len(truth))
+			}
+			b.ReportMetric(over, "mean-overestimate")
+		})
+	}
+}

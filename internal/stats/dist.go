@@ -1,0 +1,142 @@
+package stats
+
+import "math"
+
+// NormCDF returns Φ(x), the standard normal cumulative distribution
+// function, via the complementary error function.
+func NormCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+// NormQuantile returns Φ⁻¹(p) for p in (0,1) using the Acklam rational
+// approximation refined with one Halley step. It panics outside (0,1).
+func NormQuantile(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		panic("stats: NormQuantile requires p in (0,1)")
+	}
+	// Acklam's coefficients.
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02,
+		-2.759285104469687e+02, 1.383577518672690e+02,
+		-3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02,
+		-1.556989798598866e+02, 6.680131188771972e+01,
+		-1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01,
+		-2.400758277161838e+00, -2.549732539343734e+00,
+		4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01,
+		2.445134137142996e+00, 3.754408661907416e+00}
+	const plow = 0.02425
+	var x float64
+	switch {
+	case p < plow:
+		q := math.Sqrt(-2 * math.Log(p))
+		x = (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= 1-plow:
+		q := p - 0.5
+		r := q * q
+		x = (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		x = -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+	// One Halley refinement step.
+	e := NormCDF(x) - p
+	u := e * math.Sqrt(2*math.Pi) * math.Exp(x*x/2)
+	x = x - u/(1+x*u/2)
+	return x
+}
+
+// WaldTest reports the z statistic and two-sided p-value for a coefficient
+// estimate with the given standard error — the "Z-val" and "P>|z|" columns
+// of Table 2 in the paper.
+func WaldTest(coef, se float64) (z, p float64) {
+	if se == 0 {
+		if coef == 0 {
+			return 0, 1
+		}
+		return math.Inf(sign(coef)), 0
+	}
+	z = coef / se
+	p = 2 * (1 - NormCDF(math.Abs(z)))
+	return z, p
+}
+
+func sign(x float64) int {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}
+
+// ChiSquareCDF returns P(X <= x) for a chi-square distribution with k
+// degrees of freedom, via the regularized lower incomplete gamma function.
+// It is used by the ANOVA-style likelihood-ratio test of Section 8.
+func ChiSquareCDF(x float64, k int) float64 {
+	if x <= 0 || k <= 0 {
+		return 0
+	}
+	return regIncGammaLower(float64(k)/2, x/2)
+}
+
+// ChiSquareSF returns the survival function 1 - CDF (the LRT p-value).
+func ChiSquareSF(x float64, k int) float64 {
+	return 1 - ChiSquareCDF(x, k)
+}
+
+// regIncGammaLower computes P(a, x), the regularized lower incomplete gamma
+// function, by series expansion for x < a+1 and continued fraction
+// otherwise (Numerical Recipes style, stdlib math only).
+func regIncGammaLower(a, x float64) float64 {
+	if x < 0 || a <= 0 {
+		return math.NaN()
+	}
+	if x == 0 {
+		return 0
+	}
+	lg, _ := math.Lgamma(a)
+	if x < a+1 {
+		// Series representation.
+		ap := a
+		sum := 1 / a
+		del := sum
+		for i := 0; i < 500; i++ {
+			ap++
+			del *= x / ap
+			sum += del
+			if math.Abs(del) < math.Abs(sum)*1e-15 {
+				break
+			}
+		}
+		return sum * math.Exp(-x+a*math.Log(x)-lg)
+	}
+	// Continued fraction for Q(a,x), then P = 1-Q.
+	const tiny = 1e-300
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i < 500; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-15 {
+			break
+		}
+	}
+	q := math.Exp(-x+a*math.Log(x)-lg) * h
+	return 1 - q
+}

@@ -1,0 +1,106 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNormCDFKnownValues(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{0, 0.5},
+		{1.959963985, 0.975},
+		{-1.959963985, 0.025},
+		{1, 0.8413447461},
+		{-3, 0.0013498980},
+	}
+	for _, c := range cases {
+		if got := NormCDF(c.x); math.Abs(got-c.want) > 1e-8 {
+			t.Errorf("NormCDF(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestNormQuantileRoundTrip(t *testing.T) {
+	for _, p := range []float64{0.001, 0.025, 0.1, 0.5, 0.9, 0.975, 0.999} {
+		x := NormQuantile(p)
+		if got := NormCDF(x); math.Abs(got-p) > 1e-9 {
+			t.Errorf("NormCDF(NormQuantile(%v)) = %v", p, got)
+		}
+	}
+}
+
+func TestNormQuantilePanicsOutOfRange(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NormQuantile(%v) did not panic", p)
+				}
+			}()
+			NormQuantile(p)
+		}()
+	}
+}
+
+func TestWaldTest(t *testing.T) {
+	// coef/se = 1.96 => p ~ 0.05.
+	z, p := WaldTest(1.959963985, 1)
+	if math.Abs(z-1.959963985) > 1e-12 {
+		t.Fatalf("z = %v", z)
+	}
+	if math.Abs(p-0.05) > 1e-6 {
+		t.Fatalf("p = %v, want 0.05", p)
+	}
+	z, p = WaldTest(0, 0)
+	if z != 0 || p != 1 {
+		t.Fatalf("WaldTest(0,0) = %v, %v", z, p)
+	}
+	z, p = WaldTest(2, 0)
+	if !math.IsInf(z, 1) || p != 0 {
+		t.Fatalf("WaldTest(2,0) = %v, %v", z, p)
+	}
+	z, _ = WaldTest(-2, 0)
+	if !math.IsInf(z, -1) {
+		t.Fatalf("WaldTest(-2,0) z = %v", z)
+	}
+}
+
+func TestChiSquareCDFKnownValues(t *testing.T) {
+	cases := []struct {
+		x    float64
+		k    int
+		want float64
+	}{
+		{3.841458821, 1, 0.95},
+		{5.991464547, 2, 0.95},
+		{0, 3, 0},
+		{-1, 3, 0},
+		{7.814727903, 3, 0.95},
+		{18.30703805, 10, 0.95},
+	}
+	for _, c := range cases {
+		if got := ChiSquareCDF(c.x, c.k); math.Abs(got-c.want) > 1e-7 {
+			t.Errorf("ChiSquareCDF(%v,%d) = %v, want %v", c.x, c.k, got, c.want)
+		}
+	}
+}
+
+func TestChiSquareSF(t *testing.T) {
+	if got := ChiSquareSF(3.841458821, 1); math.Abs(got-0.05) > 1e-7 {
+		t.Fatalf("SF = %v, want 0.05", got)
+	}
+}
+
+func TestChiSquareMonotone(t *testing.T) {
+	prev := -1.0
+	for x := 0.1; x < 40; x += 0.5 {
+		cur := ChiSquareCDF(x, 5)
+		if cur < prev {
+			t.Fatalf("CDF decreased at x=%v: %v < %v", x, cur, prev)
+		}
+		if cur < 0 || cur > 1 {
+			t.Fatalf("CDF out of [0,1] at x=%v: %v", x, cur)
+		}
+		prev = cur
+	}
+}

@@ -1,0 +1,138 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// SilvermanBandwidth returns the rule-of-thumb kernel bandwidth
+// h = 0.9 * min(sd, IQR/1.34) * n^(-1/5) from Silverman (1986), the
+// reference the paper cites ([51]) when discussing its minimum-data rule.
+// If the spread degenerates to zero the function falls back to 1.0 so the
+// estimate remains defined for constant samples.
+func SilvermanBandwidth(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 1
+	}
+	sd := StdDev(xs)
+	q1, _ := Quantile(xs, 0.25)
+	q3, _ := Quantile(xs, 0.75)
+	iqr := (q3 - q1) / 1.34
+	spread := sd
+	if iqr > 0 && (iqr < spread || spread == 0) {
+		spread = iqr
+	}
+	if spread <= 0 {
+		return 1
+	}
+	return 0.9 * spread * math.Pow(float64(n), -0.2)
+}
+
+// KDE is a one-dimensional Gaussian kernel density estimate. It backs the
+// "Probability Density" curves of Figure 2 (#Users distribution, actual vs
+// CMS-estimated).
+type KDE struct {
+	xs []float64
+	h  float64
+}
+
+// NewKDE builds a Gaussian KDE over xs. If bandwidth <= 0 the Silverman
+// rule-of-thumb bandwidth is used. The sample is copied.
+func NewKDE(xs []float64, bandwidth float64) (*KDE, error) {
+	if len(xs) == 0 {
+		return nil, ErrEmpty
+	}
+	if bandwidth <= 0 {
+		bandwidth = SilvermanBandwidth(xs)
+	}
+	cp := make([]float64, len(xs))
+	copy(cp, xs)
+	return &KDE{xs: cp, h: bandwidth}, nil
+}
+
+// Bandwidth reports the bandwidth in use.
+func (k *KDE) Bandwidth() float64 { return k.h }
+
+// PDF evaluates the density estimate at x.
+func (k *KDE) PDF(x float64) float64 {
+	const invSqrt2Pi = 0.3989422804014327
+	var sum float64
+	for _, xi := range k.xs {
+		u := (x - xi) / k.h
+		sum += math.Exp(-0.5*u*u) * invSqrt2Pi
+	}
+	return sum / (float64(len(k.xs)) * k.h)
+}
+
+// Curve evaluates the density at `points` evenly spaced positions across
+// [lo, hi] and returns the positions and densities. It is the series a
+// caller plots to regenerate Figure 2.
+func (k *KDE) Curve(lo, hi float64, points int) (xs, ys []float64, err error) {
+	if points < 2 {
+		return nil, nil, errors.New("stats: KDE curve needs >= 2 points")
+	}
+	if hi <= lo {
+		return nil, nil, errors.New("stats: KDE curve needs hi > lo")
+	}
+	xs = make([]float64, points)
+	ys = make([]float64, points)
+	step := (hi - lo) / float64(points-1)
+	for i := 0; i < points; i++ {
+		x := lo + float64(i)*step
+		xs[i] = x
+		ys[i] = k.PDF(x)
+	}
+	return xs, ys, nil
+}
+
+// Histogram is a fixed-width bin count over a closed interval.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	total  int
+}
+
+// NewHistogram builds a histogram of xs with `bins` equal-width bins over
+// [lo, hi]. Values outside the range are clamped into the edge bins, which
+// matches how the paper buckets #Users counts for plotting.
+func NewHistogram(xs []float64, lo, hi float64, bins int) (*Histogram, error) {
+	if bins < 1 {
+		return nil, errors.New("stats: histogram needs >= 1 bin")
+	}
+	if hi <= lo {
+		return nil, errors.New("stats: histogram needs hi > lo")
+	}
+	h := &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+	width := (hi - lo) / float64(bins)
+	for _, x := range xs {
+		i := int((x - lo) / width)
+		if i < 0 {
+			i = 0
+		}
+		if i >= bins {
+			i = bins - 1
+		}
+		h.Counts[i]++
+		h.total++
+	}
+	return h, nil
+}
+
+// Density returns the normalized bin densities (integrating to 1 over the
+// histogram support) — the discrete analogue of the Figure 2 y-axis.
+func (h *Histogram) Density() []float64 {
+	out := make([]float64, len(h.Counts))
+	if h.total == 0 {
+		return out
+	}
+	width := (h.Hi - h.Lo) / float64(len(h.Counts))
+	norm := 1 / (float64(h.total) * width)
+	for i, c := range h.Counts {
+		out[i] = float64(c) * norm
+	}
+	return out
+}
+
+// Total reports how many observations the histogram absorbed.
+func (h *Histogram) Total() int { return h.total }

@@ -1,0 +1,137 @@
+package wire
+
+// Message type identifiers for the three Figure 1 conversations.
+const (
+	// Extension ↔ oprf-server.
+	TypeOPRFPublicKey   = "oprf.public_key"
+	TypeOPRFEvaluate    = "oprf.evaluate"
+	TypeOPRFPublicKeyOK = "oprf.public_key_ok"
+	TypeOPRFEvaluateOK  = "oprf.evaluate_ok"
+
+	// Extension ↔ back-end.
+	TypeRegister       = "backend.register"
+	TypeRegisterOK     = "backend.register_ok"
+	TypeRoster         = "backend.roster"
+	TypeRosterOK       = "backend.roster_ok"
+	TypeSubmitReport   = "backend.submit_report"
+	TypeSubmitReportOK = "backend.submit_report_ok"
+	TypeRoundStatus    = "backend.round_status"
+	TypeRoundStatusOK  = "backend.round_status_ok"
+	TypeSubmitAdjust   = "backend.submit_adjustment"
+	TypeSubmitAdjustOK = "backend.submit_adjustment_ok"
+	TypeCloseRound     = "backend.close_round"
+	TypeCloseRoundOK   = "backend.close_round_ok"
+	TypeThreshold      = "backend.threshold"
+	TypeThresholdOK    = "backend.threshold_ok"
+	TypeAuditAd        = "backend.audit_ad"
+	TypeAuditAdOK      = "backend.audit_ad_ok"
+
+	// Back-end ↔ crawler.
+	TypeCrawlVisit   = "crawler.visit"
+	TypeCrawlVisitOK = "crawler.visit_ok"
+)
+
+// OPRFEvaluateReq carries a blinded group element (big-endian bytes).
+type OPRFEvaluateReq struct {
+	Blinded []byte `json:"blinded"`
+}
+
+// OPRFEvaluateResp carries the signed blinded element.
+type OPRFEvaluateResp struct {
+	Signed []byte `json:"signed"`
+}
+
+// OPRFPublicKeyResp publishes (N, e).
+type OPRFPublicKeyResp struct {
+	N []byte `json:"n"`
+	E int    `json:"e"`
+}
+
+// RegisterReq enrolls a user with its blinding public key. The back-end
+// doubles as the bulletin board of Section 6 (footnote 5: "the board may
+// be as well hosted at the back-end server").
+type RegisterReq struct {
+	User      int    `json:"user"`
+	PublicKey []byte `json:"public_key"`
+}
+
+// RegisterResp acknowledges enrollment.
+type RegisterResp struct {
+	RosterSize int `json:"roster_size"`
+}
+
+// RosterResp returns the bulletin board. Index i holds user i's key;
+// unregistered slots are null.
+type RosterResp struct {
+	PublicKeys [][]byte `json:"public_keys"`
+}
+
+// SubmitReportReq uploads a blinded CMS (binary serialization of
+// sketch.CMS).
+type SubmitReportReq struct {
+	User   int    `json:"user"`
+	Round  uint64 `json:"round"`
+	Sketch []byte `json:"sketch"`
+}
+
+// RoundStatusResp describes an open round's progress.
+type RoundStatusResp struct {
+	Round    uint64 `json:"round"`
+	Reported int    `json:"reported"`
+	Missing  []int  `json:"missing"`
+	Closed   bool   `json:"closed"`
+}
+
+// SubmitAdjustReq uploads a second-round adjustment share.
+type SubmitAdjustReq struct {
+	User  int      `json:"user"`
+	Round uint64   `json:"round"`
+	Cells []uint64 `json:"cells"`
+}
+
+// CloseRoundReq finalizes a round: the back-end unblinds the aggregate
+// and computes the Users_th threshold.
+type CloseRoundReq struct {
+	Round uint64 `json:"round"`
+}
+
+// CloseRoundResp reports the computed global statistics.
+type CloseRoundResp struct {
+	Round       uint64  `json:"round"`
+	UsersTh     float64 `json:"users_th"`
+	DistinctAds int     `json:"distinct_ads"`
+}
+
+// ThresholdReq asks for a closed round's Users_th (Figure 1, arrow 5).
+type ThresholdReq struct {
+	Round uint64 `json:"round"`
+}
+
+// ThresholdResp returns the published threshold.
+type ThresholdResp struct {
+	Round   uint64  `json:"round"`
+	UsersTh float64 `json:"users_th"`
+}
+
+// AuditAdReq asks the back-end for #Users of an ad ID so the extension
+// can finish a real-time audit.
+type AuditAdReq struct {
+	Round uint64 `json:"round"`
+	AdID  uint64 `json:"ad_id"`
+}
+
+// AuditAdResp returns the estimated user count.
+type AuditAdResp struct {
+	Users uint64 `json:"users"`
+}
+
+// CrawlVisitReq instructs the crawler to visit a site with a clean
+// profile (Figure 1, arrow 3).
+type CrawlVisitReq struct {
+	Site int `json:"site"`
+}
+
+// CrawlVisitResp returns the ad keys collected on the visit (arrow 4).
+type CrawlVisitResp struct {
+	AdKeys []string `json:"ad_keys"`
+}

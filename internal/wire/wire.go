@@ -1,0 +1,247 @@
+// Package wire is eyeWnder's message layer: length-prefixed JSON frames
+// over TCP. It carries the three conversations of Figure 1 — extension ↔
+// back-end (blinded reports, thresholds, ad audits), extension ↔
+// oprf-server (blinded PRF evaluations), and back-end ↔ crawler (visit
+// instructions and collected ads).
+//
+// Frame format: 4-byte big-endian payload length, then a JSON envelope
+// {"type": ..., "payload": ...}. Payload size is capped to keep a
+// misbehaving peer from ballooning memory; a ~200 KB blinded CMS (the
+// paper's Section 7.1 number) fits comfortably.
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// MaxFrame bounds a single frame's payload (16 MiB).
+const MaxFrame = 16 << 20
+
+// Errors returned by the package.
+var (
+	ErrFrameTooLarge = errors.New("wire: frame exceeds MaxFrame")
+	ErrClosed        = errors.New("wire: connection closed")
+)
+
+// Msg is one framed message.
+type Msg struct {
+	Type    string          `json:"type"`
+	Payload json.RawMessage `json:"payload,omitempty"`
+}
+
+// Decode unmarshals the payload into v.
+func (m *Msg) Decode(v interface{}) error {
+	if len(m.Payload) == 0 {
+		return errors.New("wire: empty payload")
+	}
+	return json.Unmarshal(m.Payload, v)
+}
+
+// WriteMsg frames and writes one message.
+func WriteMsg(w io.Writer, typ string, payload interface{}) error {
+	env := Msg{Type: typ}
+	if payload != nil {
+		raw, err := json.Marshal(payload)
+		if err != nil {
+			return fmt.Errorf("wire: marshal %s: %w", typ, err)
+		}
+		env.Payload = raw
+	}
+	frame, err := json.Marshal(env)
+	if err != nil {
+		return err
+	}
+	if len(frame) > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(frame)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(frame)
+	return err
+}
+
+// ReadMsg reads one framed message.
+func ReadMsg(r io.Reader) (*Msg, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	var m Msg
+	if err := json.Unmarshal(buf, &m); err != nil {
+		return nil, fmt.Errorf("wire: bad frame: %w", err)
+	}
+	return &m, nil
+}
+
+// Handler answers one request message with a response message.
+type Handler func(*Msg) (respType string, resp interface{}, err error)
+
+// ErrorPayload is the body of "error" responses.
+type ErrorPayload struct {
+	Error string `json:"error"`
+}
+
+// Server accepts connections and serves request/response exchanges with a
+// Handler. One goroutine per connection; requests on a connection are
+// processed in order.
+type Server struct {
+	lis     net.Listener
+	handler Handler
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+	done  chan struct{}
+	wg    sync.WaitGroup
+}
+
+// Serve starts a server on addr ("127.0.0.1:0" picks a free port).
+func Serve(addr string, handler Handler) (*Server, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		lis:     lis,
+		handler: handler,
+		conns:   make(map[net.Conn]struct{}),
+		done:    make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.lis.Accept()
+		if err != nil {
+			select {
+			case <-s.done:
+				return
+			default:
+				// Transient accept error: back off briefly.
+				time.Sleep(10 * time.Millisecond)
+				continue
+			}
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	for {
+		req, err := ReadMsg(conn)
+		if err != nil {
+			return // EOF or broken peer: drop the connection
+		}
+		respType, resp, err := s.handler(req)
+		if err != nil {
+			respType, resp = "error", ErrorPayload{Error: err.Error()}
+		}
+		if err := WriteMsg(conn, respType, resp); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops accepting and tears down open connections.
+func (s *Server) Close() error {
+	close(s.done)
+	err := s.lis.Close()
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+// Client is a synchronous request/response connection to a Server.
+// It is safe for concurrent use; requests are serialized.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// Dial connects to a wire server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn}, nil
+}
+
+// Do sends a request and decodes the response into respOut (which may be
+// nil to discard). A server-side "error" response surfaces as an error.
+func (c *Client) Do(reqType string, payload interface{}, respOut interface{}) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return ErrClosed
+	}
+	if err := WriteMsg(c.conn, reqType, payload); err != nil {
+		return err
+	}
+	resp, err := ReadMsg(c.conn)
+	if err != nil {
+		return err
+	}
+	if resp.Type == "error" {
+		var ep ErrorPayload
+		if err := resp.Decode(&ep); err != nil {
+			return errors.New("wire: remote error")
+		}
+		return fmt.Errorf("wire: remote error: %s", ep.Error)
+	}
+	if respOut == nil {
+		return nil
+	}
+	return resp.Decode(respOut)
+}
+
+// Close shuts the connection down.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
