@@ -3,6 +3,7 @@
 //
 //	eyewnder-bench -overhead   # CMS sizes, blinding traffic/compute, OPRF latency
 //	eyewnder-bench -fig2       # actual vs CMS #Users distributions, 3 weeks
+//	eyewnder-bench -pipeline   # hot-path ns/op + allocs/op -> BENCH_pipeline.json
 package main
 
 import (
@@ -19,12 +20,19 @@ func main() {
 	var (
 		overhead = flag.Bool("overhead", false, "run the §7.1 overhead study")
 		fig2     = flag.Bool("fig2", false, "run the Figure 2 comparison")
+		pipeline = flag.Bool("pipeline", false, "benchmark the privacy hot path and write a JSON report")
+		pipeOut  = flag.String("pipeline-out", "BENCH_pipeline.json", "pipeline report output path")
+		baseline = flag.String("baseline", "", "previous pipeline report to embed as the baseline")
 		rsaBits  = flag.Int("rsa-bits", 1024, "oprf RSA modulus (paper: 1024-bit elements)")
 		users    = flag.Int("users", 0, "override Figure 2 user count")
 	)
 	flag.Parse()
 
 	switch {
+	case *pipeline:
+		if err := runPipeline(*pipeOut, *baseline); err != nil {
+			log.Fatal(err)
+		}
 	case *overhead:
 		rep, err := experiments.Overhead(*rsaBits, group.P256())
 		if err != nil {

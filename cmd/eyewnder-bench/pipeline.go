@@ -1,0 +1,213 @@
+package main
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"eyewnder/internal/blind"
+	"eyewnder/internal/group"
+	"eyewnder/internal/privacy"
+	"eyewnder/internal/sketch"
+)
+
+// pipelineResult is one stage's measurement.
+type pipelineResult struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// pipelineReport is the BENCH_pipeline.json schema. Baseline is carried
+// forward from a previous report (see -baseline) so the perf trajectory
+// of the hot path is tracked across PRs in one committed artifact.
+type pipelineReport struct {
+	Schema     string                    `json:"schema"`
+	Go         string                    `json:"go"`
+	MaxProcs   int                       `json:"maxprocs"`
+	Benchmarks map[string]pipelineResult `json:"benchmarks"`
+	Baseline   map[string]pipelineResult `json:"baseline,omitempty"`
+}
+
+func measure(fn func(b *testing.B)) pipelineResult {
+	r := testing.Benchmark(fn)
+	return pipelineResult{
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+// runPipeline benchmarks every stage of the privacy hot path — sketch
+// update/query, report (de)serialization, blinding-vector computation,
+// aggregate merge, and the back-end close-round enumeration — and writes
+// the results to outPath.
+func runPipeline(outPath, baselinePath string) error {
+	rep := &pipelineReport{
+		Schema:     "eyewnder/bench-pipeline/v1",
+		Go:         runtime.Version(),
+		MaxProcs:   runtime.GOMAXPROCS(0),
+		Benchmarks: map[string]pipelineResult{},
+	}
+	if baselinePath != "" {
+		var prev pipelineReport
+		raw, err := os.ReadFile(baselinePath)
+		if err != nil {
+			return fmt.Errorf("reading baseline: %w", err)
+		}
+		if err := json.Unmarshal(raw, &prev); err != nil {
+			return fmt.Errorf("parsing baseline: %w", err)
+		}
+		rep.Baseline = prev.Benchmarks
+	}
+
+	// Paper geometry: ε = δ = 0.001 (d=7, w=2719 ≈ 19k cells).
+	newCMS := func() *sketch.CMS {
+		c, err := sketch.New(0.001, 0.001)
+		if err != nil {
+			panic(err)
+		}
+		return c
+	}
+	key := []byte("https://ads.example.com/creative/123456")
+
+	fmt.Fprintln(os.Stderr, "pipeline: cms update/query ...")
+	rep.Benchmarks["cms_update"] = measure(func(b *testing.B) {
+		c := newCMS()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Update(key)
+		}
+	})
+	rep.Benchmarks["cms_query"] = measure(func(b *testing.B) {
+		c := newCMS()
+		c.Update(key)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Query(key)
+		}
+	})
+
+	fmt.Fprintln(os.Stderr, "pipeline: report marshal/unmarshal ...")
+	rep.Benchmarks["cms_marshal"] = measure(func(b *testing.B) {
+		c := newCMS()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.MarshalBinary(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	rep.Benchmarks["cms_unmarshal"] = measure(func(b *testing.B) {
+		c := newCMS()
+		data, err := c.MarshalBinary()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var d sketch.CMS
+			if err := d.UnmarshalBinary(data); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	fmt.Fprintln(os.Stderr, "pipeline: blinding vector (16-user roster, 5k cells) ...")
+	roster, err := blind.NewRoster(group.P256(), 16, rand.Reader)
+	if err != nil {
+		return err
+	}
+	rep.Benchmarks["blind_vector_5k"] = measure(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			roster.Parties[0].Blinding(uint64(i), 5000)
+		}
+	})
+
+	fmt.Fprintln(os.Stderr, "pipeline: aggregate merge ...")
+	rep.Benchmarks["cms_merge"] = measure(func(b *testing.B) {
+		dst, src := newCMS(), newCMS()
+		src.Update(key)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := dst.Merge(src); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	fmt.Fprintln(os.Stderr, "pipeline: close round (8 reports, 20k-ID enumeration) ...")
+	params := privacy.Params{Epsilon: 0.001, Delta: 0.001, IDSpace: 20000, Suite: group.P256()}
+	reports := make([]*privacy.Report, len(roster.Parties[:8]))
+	for u := 0; u < len(reports); u++ {
+		cms, err := params.NewSketch()
+		if err != nil {
+			return err
+		}
+		var k [8]byte
+		for a := 0; a < 50; a++ {
+			binary.LittleEndian.PutUint64(k[:], uint64((u*37+a*101)%int(params.IDSpace)))
+			cms.Update(k[:])
+		}
+		cells := cms.FlatCells()
+		if err := blind.ApplyBlinding(cells, roster.Parties[u].Blinding(1, len(cells))); err != nil {
+			return err
+		}
+		reports[u] = &privacy.Report{User: u, Round: 1, Sketch: cms}
+	}
+	// A full 16-party cancellation needs all parties; use the adjustment
+	// round for the 8 absentees, exactly as the back-end would.
+	missing := []int{8, 9, 10, 11, 12, 13, 14, 15}
+	rep.Benchmarks["close_round"] = measure(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			agg, err := privacy.NewAggregator(params, 1, 16)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, r := range reports {
+				if err := agg.Add(r); err != nil {
+					b.Fatal(err)
+				}
+			}
+			cells := reports[0].Sketch.Cells()
+			for u := 0; u < 8; u++ {
+				adj, err := roster.Parties[u].Adjustment(1, cells, missing)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := agg.ApplyAdjustments(adj); err != nil {
+					b.Fatal(err)
+				}
+			}
+			final, err := agg.Finalize()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if counts := privacy.UserCounts(final, params); len(counts) == 0 {
+				b.Fatal("close round recovered no counts")
+			}
+		}
+	})
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(outPath, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("pipeline benchmarks written to %s\n", outPath)
+	for name, r := range rep.Benchmarks {
+		line := fmt.Sprintf("  %-16s %12.1f ns/op %8d allocs/op", name, r.NsPerOp, r.AllocsPerOp)
+		if base, ok := rep.Baseline[name]; ok && r.NsPerOp > 0 {
+			line += fmt.Sprintf("   (%.2fx vs baseline)", base.NsPerOp/r.NsPerOp)
+		}
+		fmt.Println(line)
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module eyewnder
+
+go 1.24

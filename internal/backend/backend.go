@@ -39,8 +39,16 @@ type Config struct {
 }
 
 // Backend is the server state. All methods are safe for concurrent use.
+//
+// Locking is two-level: Backend.mu guards only the roster and the round
+// map, while each round carries its own mutex for its aggregate state.
+// Folding a report into a round merges a full cell vector (tens of KB),
+// so holding a global lock for it would serialize every client in the
+// fleet; with per-round locks, reports for different rounds proceed in
+// parallel and registrations never wait on a merge.
 type Backend struct {
-	cfg Config
+	cfg   Config
+	cells int // sketch cell count implied by Params, for share validation
 
 	mu     sync.Mutex
 	roster [][]byte // bulletin board; nil slot = unregistered
@@ -48,6 +56,7 @@ type Backend struct {
 }
 
 type round struct {
+	mu      sync.Mutex
 	agg     *privacy.Aggregator
 	adjusts map[int][]uint64 // second-round shares by reporter
 	closed  bool
@@ -62,8 +71,13 @@ func New(cfg Config) (*Backend, error) {
 	if cfg.Users < 1 {
 		return nil, errors.New("backend: Users must be >= 1")
 	}
+	d, w, err := sketch.Dimensions(cfg.Params.Epsilon, cfg.Params.Delta)
+	if err != nil {
+		return nil, err
+	}
 	return &Backend{
 		cfg:    cfg,
+		cells:  d * w,
 		roster: make([][]byte, cfg.Users),
 		rounds: make(map[uint64]*round),
 	}, nil
@@ -93,7 +107,12 @@ func (b *Backend) Roster() [][]byte {
 	return out
 }
 
-func (b *Backend) roundLocked(id uint64) (*round, error) {
+// getRound returns (creating on first touch) the round's state. Only the
+// map access happens under the global lock; callers lock the returned
+// round for any state access.
+func (b *Backend) getRound(id uint64) (*round, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	r, ok := b.rounds[id]
 	if !ok {
 		agg, err := privacy.NewAggregator(b.cfg.Params, id, b.cfg.Users)
@@ -106,14 +125,22 @@ func (b *Backend) roundLocked(id uint64) (*round, error) {
 	return r, nil
 }
 
-// SubmitReport folds one blinded report into the round aggregate.
-func (b *Backend) SubmitReport(rep *privacy.Report) error {
+// lookupRound returns an existing round without creating one.
+func (b *Backend) lookupRound(id uint64) (*round, bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	r, err := b.roundLocked(rep.Round)
+	r, ok := b.rounds[id]
+	return r, ok
+}
+
+// SubmitReport folds one blinded report into the round aggregate.
+func (b *Backend) SubmitReport(rep *privacy.Report) error {
+	r, err := b.getRound(rep.Round)
 	if err != nil {
 		return err
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if r.closed {
 		return ErrRoundClosed
 	}
@@ -122,28 +149,33 @@ func (b *Backend) SubmitReport(rep *privacy.Report) error {
 
 // RoundStatus reports progress of a round.
 func (b *Backend) RoundStatus(id uint64) (reported int, missing []int, closed bool, err error) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	r, err := b.roundLocked(id)
+	r, err := b.getRound(id)
 	if err != nil {
 		return 0, nil, false, err
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	return r.agg.Reported(), r.agg.Missing(), r.closed, nil
 }
 
-// SubmitAdjustment records a reporter's second-round share.
+// SubmitAdjustment records a reporter's second-round share. Shares with
+// the wrong cell count are rejected here, at upload time: a stored
+// bad-length share would otherwise make every CloseRound attempt fail.
 func (b *Backend) SubmitAdjustment(user int, id uint64, cells []uint64) error {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	r, err := b.roundLocked(id)
+	if user < 0 || user >= b.cfg.Users {
+		return ErrBadUser
+	}
+	if len(cells) != b.cells {
+		return fmt.Errorf("backend: adjustment share has %d cells, want %d", len(cells), b.cells)
+	}
+	r, err := b.getRound(id)
 	if err != nil {
 		return err
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if r.closed {
 		return ErrRoundClosed
-	}
-	if user < 0 || user >= b.cfg.Users {
-		return ErrBadUser
 	}
 	r.adjusts[user] = append([]uint64(nil), cells...)
 	return nil
@@ -152,25 +184,24 @@ func (b *Backend) SubmitAdjustment(user int, id uint64, cells []uint64) error {
 // CloseRound unblinds the aggregate (applying any adjustment shares),
 // extracts the per-ad user counts, and computes Users_th.
 func (b *Backend) CloseRound(id uint64) (usersTh float64, distinctAds int, err error) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	r, err := b.roundLocked(id)
+	r, err := b.getRound(id)
 	if err != nil {
 		return 0, 0, err
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if r.closed {
 		return r.usersTh, len(r.counts), nil
 	}
-	if len(r.adjusts) > 0 {
-		shares := make([][]uint64, 0, len(r.adjusts))
-		for _, s := range r.adjusts {
-			shares = append(shares, s)
-		}
-		if err := r.agg.ApplyAdjustments(shares...); err != nil {
-			return 0, 0, err
-		}
+	// Adjustments are applied to a clone of the aggregate
+	// (FinalizeWithAdjustments), never to the live one: if the close
+	// fails (reports still missing, say), a retry must not subtract the
+	// same shares twice.
+	shares := make([][]uint64, 0, len(r.adjusts))
+	for _, s := range r.adjusts {
+		shares = append(shares, s)
 	}
-	final, err := r.agg.Finalize()
+	final, err := r.agg.FinalizeWithAdjustments(shares...)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -187,12 +218,12 @@ func (b *Backend) CloseRound(id uint64) (usersTh float64, distinctAds int, err e
 
 // Threshold returns a closed round's Users_th (Figure 1, arrow 5).
 func (b *Backend) Threshold(id uint64) (float64, error) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	r, ok := b.rounds[id]
+	r, ok := b.lookupRound(id)
 	if !ok {
 		return 0, ErrUnknownRound
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if !r.closed {
 		return 0, ErrRoundNotClosed
 	}
@@ -202,12 +233,12 @@ func (b *Backend) Threshold(id uint64) (float64, error) {
 // AuditAd answers a real-time audit: the estimated #Users for an ad ID in
 // a closed round.
 func (b *Backend) AuditAd(id uint64, adID uint64) (uint64, error) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	r, ok := b.rounds[id]
+	r, ok := b.lookupRound(id)
 	if !ok {
 		return 0, ErrUnknownRound
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if !r.closed {
 		return 0, ErrRoundNotClosed
 	}
@@ -217,12 +248,12 @@ func (b *Backend) AuditAd(id uint64, adID uint64) (uint64, error) {
 // UserCountsOfRound exposes a closed round's per-ad-ID counts (used by the
 // evaluation harness and the Figure 2 experiment).
 func (b *Backend) UserCountsOfRound(id uint64) (map[uint64]uint64, error) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	r, ok := b.rounds[id]
+	r, ok := b.lookupRound(id)
 	if !ok {
 		return nil, ErrUnknownRound
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if !r.closed {
 		return nil, ErrRoundNotClosed
 	}

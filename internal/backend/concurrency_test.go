@@ -1,0 +1,141 @@
+package backend
+
+import (
+	"sync"
+	"testing"
+)
+
+// Per-round locking must keep concurrent submissions and status polls
+// coherent: every report lands exactly once and the closed aggregate
+// recovers the exact multiset union. Run with -race.
+func TestConcurrentSubmitAndClose(t *testing.T) {
+	b, clients := newBackend(t)
+	const round = 5
+
+	ads := [][]string{
+		{"https://a.example/1", "https://a.example/2"},
+		{"https://a.example/1"},
+		{"https://b.example/9", "https://a.example/2"},
+		{"https://a.example/1", "https://b.example/9"},
+	}
+	// Observation and report construction are per-client (client state is
+	// not shared); only the backend interaction runs concurrently.
+	adIDs := make(map[string]uint64)
+	var wg sync.WaitGroup
+	errs := make(chan error, 2*len(clients))
+	for u, c := range clients {
+		for _, ad := range ads[u] {
+			id, err := c.ObserveAd(ad)
+			if err != nil {
+				t.Fatal(err)
+			}
+			adIDs[ad] = id
+		}
+		rep, err := c.Report(round)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			if err := b.SubmitReport(rep); err != nil {
+				errs <- err
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			if _, _, _, err := b.RoundStatus(round); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	if _, _, err := b.CloseRound(round); err != nil {
+		t.Fatal(err)
+	}
+	users, err := b.AuditAd(round, adIDs["https://a.example/1"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if users < 3 {
+		t.Fatalf("AuditAd(a.example/1) = %d, want >= 3 (CMS never underestimates)", users)
+	}
+}
+
+// A wrong-length adjustment share must be rejected at upload time — if it
+// were stored, every later CloseRound would fail on it and the round could
+// never close.
+func TestSubmitAdjustmentRejectsBadLength(t *testing.T) {
+	b, _ := newBackend(t)
+	if err := b.SubmitAdjustment(0, 1, make([]uint64, 7)); err == nil {
+		t.Fatal("wrong-length adjustment share accepted")
+	}
+}
+
+// A CloseRound that fails (here: reports missing, no adjustments) must
+// leave the round aggregate untouched, so that a later successful close
+// does not subtract adjustment shares twice.
+func TestCloseRoundRetrySafe(t *testing.T) {
+	b, clients := newBackend(t)
+	const round = 9
+	sketchCells := b.cells
+
+	// Upload an adjustment share before any report: the close attempt
+	// must fail (no reports) WITHOUT consuming the share.
+	adj, err := clients[0].Adjust(round, sketchCells, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SubmitAdjustment(0, round, adj); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := b.CloseRound(round); err == nil {
+		t.Fatal("close with zero reports succeeded")
+	}
+
+	// Users 0, 2, 3 report (user 1 is missing); they all adjust for 1.
+	for _, u := range []int{0, 2, 3} {
+		if _, err := clients[u].ObserveAd("https://ad.example/x"); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := clients[u].Report(round)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.SubmitReport(rep); err != nil {
+			t.Fatal(err)
+		}
+		if u != 0 {
+			adj, err := clients[u].Adjust(round, sketchCells, []int{1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := b.SubmitAdjustment(u, round, adj); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, _, err := b.CloseRound(round); err != nil {
+		t.Fatal(err)
+	}
+	counts, err := b.UserCountsOfRound(round)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Had the failed close consumed the first share, cancellation would
+	// break and the counts would be uniform noise (≈ IDSpace entries with
+	// astronomic values). Exact recovery means few, small counts.
+	if len(counts) > 200 {
+		t.Fatalf("close after failed attempt recovered %d nonzero IDs — adjustment shares double-applied?", len(counts))
+	}
+	for id, v := range counts {
+		if v > 3 {
+			t.Fatalf("id %d count = %d, want <= 3 reporters", id, v)
+		}
+	}
+}

@@ -6,12 +6,16 @@
 // Every user i holds a Diffie–Hellman key pair; the public keys are on a
 // bulletin board. For reporting round s, user i blinds cell m with
 //
-//	b_i[m] = Σ_{j≠i} PRF(k_ij, m ‖ s) · (−1)^{i>j}   (mod 2⁶⁴)
+//	b_i[m] = Σ_{j≠i} PRF(k_ij, s, m) · (−1)^{i<j}   (mod 2⁶⁴)
 //
 // where k_ij is the pairwise DH secret (k_ij = k_ji). Because each pair
 // contributes the same pseudo-random value once positively and once
 // negatively, Σ_i b_i[m] ≡ 0 for every cell, so the server recovers the
 // exact aggregate while each individual report is uniformly random.
+//
+// The PRF is expanded in counter mode (see keystream): one HMAC-SHA256
+// invocation yields the factors for four consecutive cells, and the
+// independent pairwise streams are fanned out across CPU cores.
 //
 // Fault tolerance (Section 6, "Fault-tolerance"): if a subset of users
 // fails to report, the residual noise in the aggregate is exactly the sum
@@ -26,15 +30,14 @@
 package blind
 
 import (
-	"crypto/hmac"
-	"crypto/sha256"
-	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 
 	"eyewnder/internal/group"
+	"eyewnder/internal/vec"
 )
 
 // Errors returned by the package.
@@ -49,6 +52,7 @@ var (
 type Party struct {
 	index    int      // own position in the roster
 	pairKeys [][]byte // pairKeys[j] = k_ij (nil for j == index)
+	peers    []int    // every roster index except our own
 	n        int
 }
 
@@ -68,7 +72,7 @@ func NewParty(priv group.PrivateKey, roster [][]byte, index int) (*Party, error)
 	if !bytesEqual(own, roster[index]) {
 		return nil, ErrNotInRoster
 	}
-	p := &Party{index: index, n: n, pairKeys: make([][]byte, n)}
+	p := &Party{index: index, n: n, pairKeys: make([][]byte, n), peers: make([]int, 0, n-1)}
 	for j, pub := range roster {
 		if j == index {
 			continue
@@ -78,6 +82,7 @@ func NewParty(priv group.PrivateKey, roster [][]byte, index int) (*Party, error)
 			return nil, fmt.Errorf("blind: deriving pair key with user %d: %w", j, err)
 		}
 		p.pairKeys[j] = k
+		p.peers = append(p.peers, j)
 	}
 	return p, nil
 }
@@ -88,25 +93,52 @@ func (p *Party) Index() int { return p.index }
 // RosterSize returns the number of users in the roster.
 func (p *Party) RosterSize() int { return p.n }
 
-// prf expands the pairwise key into the pseudo-random cell value
-// PRF(k_ij, m ‖ s) via HMAC-SHA256 truncated to 64 bits.
-func prf(key []byte, cell int, round uint64) uint64 {
-	mac := hmac.New(sha256.New, key)
-	var buf [16]byte
-	binary.LittleEndian.PutUint64(buf[:8], uint64(cell))
-	binary.LittleEndian.PutUint64(buf[8:], round)
-	mac.Write(buf[:])
-	return binary.LittleEndian.Uint64(mac.Sum(nil))
+// parallelWork is the peer-count × cell-count product above which
+// accumulate fans out across workers. Below it the per-worker scratch
+// vectors and reduction cost more than the HMAC work they spread out.
+const parallelWork = 1 << 15
+
+// accumulate folds the signed keystreams of the given peers into out:
+// out[m] += Σ_j ±PRF(k_ij, round, m), with +1 when p.index > j and −1
+// otherwise. Pairs are independent, so they are sharded across workers
+// via vec.Parallel, each accumulating into a private vector that is then
+// reduced into out.
+func (p *Party) accumulate(out []uint64, round uint64, peers []int) {
+	if len(peers)*len(out) < parallelWork {
+		p.accumulateSerial(out, round, peers)
+		return
+	}
+	var mu sync.Mutex
+	vec.Parallel(len(peers), 1, func(lo, hi int) {
+		if lo == 0 && hi == len(peers) {
+			// Single worker (e.g. GOMAXPROCS=1): skip the scratch copy.
+			p.accumulateSerial(out, round, peers)
+			return
+		}
+		local := make([]uint64, len(out))
+		p.accumulateSerial(local, round, peers[lo:hi])
+		mu.Lock()
+		vec.Add(out, local)
+		mu.Unlock()
+	})
 }
 
-// pairTerm returns this party's signed contribution for peer j at the
-// given cell/round: +PRF if i > j, −PRF otherwise (mod 2⁶⁴).
-func (p *Party) pairTerm(j, cell int, round uint64) uint64 {
-	v := prf(p.pairKeys[j], cell, round)
-	if p.index > j {
-		return v
+// accumulateSerial is the single-goroutine kernel behind accumulate: one
+// counter-mode keystream per peer, four factors per HMAC invocation.
+func (p *Party) accumulateSerial(out []uint64, round uint64, peers []int) {
+	var ks keystream
+	for _, j := range peers {
+		ks.init(p.pairKeys[j], round, 0)
+		if p.index > j {
+			for m := range out {
+				out[m] += ks.next()
+			}
+		} else {
+			for m := range out {
+				out[m] -= ks.next() // two's-complement == subtraction mod 2^64
+			}
+		}
 	}
-	return -v // two's-complement negation == subtraction mod 2^64
 }
 
 // Blinding returns the party's blinding vector for `cells` sketch cells in
@@ -114,14 +146,7 @@ func (p *Party) pairTerm(j, cell int, round uint64) uint64 {
 // makes the report uniformly random to the server.
 func (p *Party) Blinding(round uint64, cells int) []uint64 {
 	out := make([]uint64, cells)
-	for j := 0; j < p.n; j++ {
-		if j == p.index {
-			continue
-		}
-		for m := 0; m < cells; m++ {
-			out[m] += p.pairTerm(j, m, round)
-		}
-	}
+	p.accumulate(out, round, p.peers)
 	return out
 }
 
@@ -130,8 +155,8 @@ func (p *Party) Blinding(round uint64, cells int) []uint64 {
 // The server subtracts the adjustments of all reporters from the first-
 // round aggregate to cancel the residue left by the absent reports.
 func (p *Party) Adjustment(round uint64, cells int, missing []int) ([]uint64, error) {
-	out := make([]uint64, cells)
 	seen := make(map[int]bool, len(missing))
+	peers := make([]int, 0, len(missing))
 	for _, j := range missing {
 		if j < 0 || j >= p.n {
 			return nil, ErrUnknownUser
@@ -143,10 +168,10 @@ func (p *Party) Adjustment(round uint64, cells int, missing []int) ([]uint64, er
 			continue
 		}
 		seen[j] = true
-		for m := 0; m < cells; m++ {
-			out[m] += p.pairTerm(j, m, round)
-		}
+		peers = append(peers, j)
 	}
+	out := make([]uint64, cells)
+	p.accumulate(out, round, peers)
 	return out, nil
 }
 
@@ -155,9 +180,7 @@ func ApplyBlinding(cells []uint64, blinding []uint64) error {
 	if len(cells) != len(blinding) {
 		return errors.New("blind: length mismatch")
 	}
-	for i := range cells {
-		cells[i] += blinding[i]
-	}
+	vec.Add(cells, blinding)
 	return nil
 }
 
@@ -168,9 +191,7 @@ func SubtractAdjustments(cells []uint64, adjustments ...[]uint64) error {
 		if len(adj) != len(cells) {
 			return errors.New("blind: length mismatch")
 		}
-		for i := range cells {
-			cells[i] -= adj[i]
-		}
+		vec.Sub(cells, adj)
 	}
 	return nil
 }

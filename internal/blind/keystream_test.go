@@ -1,0 +1,83 @@
+package blind
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"testing"
+)
+
+// refFactor recomputes factor m the slow way, straight from the spec:
+// block = HMAC-SHA256(key, round ‖ m/4), factor = block word m%4.
+func refFactor(key []byte, round uint64, m int) uint64 {
+	mac := hmac.New(sha256.New, key)
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[:8], round)
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(m)/factorsPerBlock)
+	mac.Write(hdr[:])
+	block := mac.Sum(nil)
+	return binary.LittleEndian.Uint64(block[8*(m%factorsPerBlock):])
+}
+
+func TestKeystreamMatchesReference(t *testing.T) {
+	key := []byte("pairwise-secret-0123456789abcdef")
+	const round = 42
+	var ks keystream
+	ks.init(key, round, 0)
+	for m := 0; m < 40; m++ {
+		if got, want := ks.next(), refFactor(key, round, m); got != want {
+			t.Fatalf("factor %d = %#x, want %#x", m, got, want)
+		}
+	}
+}
+
+// Counter-mode random access: starting mid-stream must agree with the
+// sequential walk, cell by cell — this is what lets workers shard one
+// pair's cells.
+func TestKeystreamSeek(t *testing.T) {
+	key := []byte("another-pairwise-secret")
+	const round = 7
+	for _, start := range []int{1, 3, 4, 5, 17, 100} {
+		var ks keystream
+		ks.init(key, round, start)
+		for m := start; m < start+10; m++ {
+			if got, want := ks.next(), refFactor(key, round, m); got != want {
+				t.Fatalf("start %d: factor %d = %#x, want %#x", start, m, got, want)
+			}
+		}
+	}
+}
+
+func TestKeystreamRoundsDiffer(t *testing.T) {
+	key := []byte("same-key-different-round")
+	var a, b keystream
+	a.init(key, 1, 0)
+	b.init(key, 2, 0)
+	same := 0
+	for i := 0; i < 16; i++ {
+		if a.next() == b.next() {
+			same++
+		}
+	}
+	if same == 16 {
+		t.Fatal("keystreams identical across rounds")
+	}
+}
+
+// Factor generation must be allocation-free once the stream is keyed:
+// blinding touches every sketch cell for every peer, so per-cell garbage
+// would dominate the client's report cost.
+func TestKeystreamZeroAllocs(t *testing.T) {
+	var ks keystream
+	ks.init([]byte("zero-alloc-pair-key"), 3, 0)
+	var sink uint64
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 1024; i++ {
+			sink += ks.next()
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("keystream allocates %v times per 1024 factors, want 0", allocs)
+	}
+	_ = sink
+}

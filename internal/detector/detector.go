@@ -150,6 +150,17 @@ type UserState struct {
 	cfg Config
 	// lastSeen[ad][domain] = most recent impression time.
 	lastSeen map[string]map[string]time.Time
+
+	// Classification runs the window prune, the active-domain scan, and
+	// the Domains_th,u estimate over the whole state, but the audit path
+	// classifies many ads against the same instant. Cache those derived
+	// quantities keyed by `now`; any Observe invalidates the cache.
+	cacheValid  bool
+	cacheNow    time.Time
+	cacheActive int       // distinct ad-serving domains in the window
+	cacheSample []float64 // per-ad domain counts (reused buffer)
+	cacheTh     float64   // Domains_th,u; 0 when the min-data rule fails
+	cacheThOK   bool      // minimum-data rule satisfied
 }
 
 // NewUserState returns empty local state under cfg.
@@ -167,6 +178,7 @@ func (u *UserState) Observe(ad, domain string, t time.Time) {
 	if prev, ok := m[domain]; !ok || t.After(prev) {
 		m[domain] = t
 	}
+	u.cacheValid = false
 }
 
 // prune drops observations that fell out of the window ending at now.
@@ -184,48 +196,59 @@ func (u *UserState) prune(now time.Time) {
 	}
 }
 
+// refresh brings the derived-state cache up to date for the window ending
+// at now: prunes expired observations and recomputes the active-domain
+// count, the per-ad domain-count sample, and Domains_th,u. Repeated calls
+// with the same `now` (the common audit pattern) are free.
+func (u *UserState) refresh(now time.Time) {
+	if u.cacheValid && u.cacheNow.Equal(now) {
+		return
+	}
+	u.prune(now)
+	set := make(map[string]struct{}, 16)
+	u.cacheSample = u.cacheSample[:0]
+	for _, domains := range u.lastSeen {
+		u.cacheSample = append(u.cacheSample, float64(len(domains)))
+		for d := range domains {
+			set[d] = struct{}{}
+		}
+	}
+	u.cacheActive = len(set)
+	u.cacheThOK = u.cacheActive >= u.cfg.MinDomains
+	if u.cacheThOK {
+		u.cacheTh = u.cfg.DomainsEstimator.Threshold(u.cacheSample)
+	} else {
+		u.cacheTh = 0
+	}
+	u.cacheValid = true
+	u.cacheNow = now
+}
+
 // DomainCount returns #Domains(u, ad) within the window ending at now.
 func (u *UserState) DomainCount(ad string, now time.Time) int {
-	u.prune(now)
+	u.refresh(now)
 	return len(u.lastSeen[ad])
 }
 
 // ActiveDomains returns the number of distinct ad-serving domains the user
 // visited within the window — the quantity the minimum-data rule checks.
 func (u *UserState) ActiveDomains(now time.Time) int {
-	u.prune(now)
-	set := make(map[string]struct{})
-	for _, domains := range u.lastSeen {
-		for d := range domains {
-			set[d] = struct{}{}
-		}
-	}
-	return len(set)
+	u.refresh(now)
+	return u.cacheActive
 }
 
 // AdCount returns the number of distinct ads inside the window.
 func (u *UserState) AdCount(now time.Time) int {
-	u.prune(now)
+	u.refresh(now)
 	return len(u.lastSeen)
 }
 
 // Ads returns the distinct ads observed inside the window.
 func (u *UserState) Ads(now time.Time) []string {
-	u.prune(now)
+	u.refresh(now)
 	out := make([]string, 0, len(u.lastSeen))
 	for ad := range u.lastSeen {
 		out = append(out, ad)
-	}
-	return out
-}
-
-// domainCounts returns the per-ad domain-count sample used to estimate
-// Domains_th,u.
-func (u *UserState) domainCounts(now time.Time) []float64 {
-	u.prune(now)
-	out := make([]float64, 0, len(u.lastSeen))
-	for _, domains := range u.lastSeen {
-		out = append(out, float64(len(domains)))
 	}
 	return out
 }
@@ -234,15 +257,14 @@ func (u *UserState) domainCounts(now time.Time) []float64 {
 // minimum-data rule is not met, in which case the caller must return
 // Unknown rather than guess.
 func (u *UserState) DomainsThreshold(now time.Time) (th float64, ok bool) {
-	if u.ActiveDomains(now) < u.cfg.MinDomains {
-		return 0, false
-	}
-	return u.cfg.DomainsEstimator.Threshold(u.domainCounts(now)), true
+	u.refresh(now)
+	return u.cacheTh, u.cacheThOK
 }
 
 // HasMinimumData reports whether the minimum-data rule is satisfied.
 func (u *UserState) HasMinimumData(now time.Time) bool {
-	return u.ActiveDomains(now) >= u.cfg.MinDomains
+	u.refresh(now)
+	return u.cacheThOK
 }
 
 // UsersThreshold derives the global Users_th from the per-ad user counts

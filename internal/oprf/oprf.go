@@ -65,9 +65,11 @@ func NewServer(bits int) (*Server, error) {
 }
 
 // NewServerFromKey wraps an existing RSA key (used by tests and by
-// deployments that persist the oprf key).
+// deployments that persist the oprf key). A nil key is rejected like an
+// undersized one: Go 1.24+ refuses to generate sub-1024-bit keys, so
+// callers probing small keys hold a nil *rsa.PrivateKey.
 func NewServerFromKey(key *rsa.PrivateKey) (*Server, error) {
-	if key.N.BitLen() < 1024 {
+	if key == nil || key.N == nil || key.N.BitLen() < 1024 {
 		return nil, ErrKeyTooSmall
 	}
 	return &Server{key: key}, nil

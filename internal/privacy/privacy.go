@@ -27,11 +27,13 @@ import (
 	"errors"
 	"fmt"
 	"math/big"
+	"sync"
 
 	"eyewnder/internal/blind"
 	"eyewnder/internal/group"
 	"eyewnder/internal/oprf"
 	"eyewnder/internal/sketch"
+	"eyewnder/internal/vec"
 )
 
 // Errors returned by the package.
@@ -156,8 +158,10 @@ func (c *Client) Report(round uint64) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	var key [8]byte
 	for id := range c.seen {
-		cms.Update(idBytes(id))
+		binary.LittleEndian.PutUint64(key[:], id)
+		cms.Update(key[:])
 	}
 	cells := cms.FlatCells()
 	if err := blind.ApplyBlinding(cells, c.party.Blinding(round, len(cells))); err != nil {
@@ -266,17 +270,56 @@ func (a *Aggregator) Finalize() (*sketch.CMS, error) {
 	return a.agg.Clone(), nil
 }
 
+// FinalizeWithAdjustments returns the unblinded aggregate with the given
+// second-round shares subtracted. The shares are applied to a clone, never
+// to the live aggregate, so a failed close (bad share length, reports
+// still missing) leaves the round untouched and safely retryable —
+// ApplyAdjustments+Finalize by contrast mutates in place and would
+// double-subtract on retry.
+func (a *Aggregator) FinalizeWithAdjustments(adjustments ...[]uint64) (*sketch.CMS, error) {
+	if len(a.reported) == 0 {
+		return nil, ErrNoReports
+	}
+	if len(a.reported) < a.rosterSize && !a.adjusted && len(adjustments) == 0 {
+		return nil, ErrNotFinalizable
+	}
+	out := a.agg.Clone()
+	if err := blind.SubtractAdjustments(out.FlatCells(), adjustments...); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // UserCounts queries the aggregate sketch for every ad ID in [0, IDSpace)
 // and returns the per-ID estimated user counts for IDs with a nonzero
 // estimate. This is the enumeration step that the OPRF makes possible:
 // the server can walk the whole ID space without learning any URL.
+//
+// The walk is the dominant cost of closing a round (IDSpace × d hashed
+// queries), so the ID space is sharded across CPU cores; each worker
+// queries its range allocation-free into a private map that is then folded
+// into the result.
 func UserCounts(agg *sketch.CMS, params Params) map[uint64]uint64 {
 	out := make(map[uint64]uint64)
-	for id := uint64(0); id < params.IDSpace; id++ {
-		if v := agg.Query(idBytes(id)); v > 0 {
-			out[id] = v
+	var mu sync.Mutex
+	vec.Parallel(int(params.IDSpace), 4096, func(lo, hi int) {
+		local := make(map[uint64]uint64)
+		var key [8]byte
+		for id := lo; id < hi; id++ {
+			binary.LittleEndian.PutUint64(key[:], uint64(id))
+			if v := agg.Query(key[:]); v > 0 {
+				local[uint64(id)] = v
+			}
 		}
-	}
+		if len(local) == 0 {
+			return
+		}
+		mu.Lock()
+		for k, v := range local {
+			out[k] = v
+		}
+		mu.Unlock()
+	})
 	return out
 }
 

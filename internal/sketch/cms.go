@@ -23,14 +23,26 @@
 //
 // Cells are uint64 so that the additive-share blinding of package blind
 // cancels exactly under wrap-around arithmetic.
+//
+// # Hashing
+//
+// Row indices are derived with Kirsch–Mitzenmacher double hashing: the key
+// is hashed once into a 128-bit value (h1, h2) and row j uses column
+// (h1 + j·h2) mod w. Kirsch and Mitzenmacher showed two independent hash
+// functions combined this way preserve the sketch's error guarantees, and
+// it makes Update/Query allocation-free with exactly one pass over the
+// key. Because the hash defines the cell layout, every protocol
+// participant must run the same hash version — a client sketching with a
+// different layout would corrupt the blinded aggregate (see hash128).
 package sketch
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"math"
+
+	"eyewnder/internal/vec"
 )
 
 // Errors returned by the package.
@@ -49,14 +61,24 @@ type CMS struct {
 	seed  uint64   // row-hash seed base so independent sketches agree
 }
 
+// Dimensions returns the geometry New would allocate for (ε, δ):
+// d = ⌈ln(1/δ)⌉ rows and w = ⌈e/ε⌉ columns. Validators that only need
+// the cell count (e.g. checking an uploaded vector's length) use this
+// instead of building a throwaway sketch.
+func Dimensions(epsilon, delta float64) (d, w int, err error) {
+	if epsilon <= 0 || epsilon >= 1 || delta <= 0 || delta >= 1 {
+		return 0, 0, ErrBadParams
+	}
+	return int(math.Ceil(math.Log(1 / delta))), int(math.Ceil(math.E / epsilon)), nil
+}
+
 // New returns a CMS sized for the requested error ε and failure
 // probability δ: d = ⌈ln(1/δ)⌉ rows and w = ⌈e/ε⌉ columns.
 func New(epsilon, delta float64) (*CMS, error) {
-	if epsilon <= 0 || epsilon >= 1 || delta <= 0 || delta >= 1 {
-		return nil, ErrBadParams
+	d, w, err := Dimensions(epsilon, delta)
+	if err != nil {
+		return nil, err
 	}
-	d := int(math.Ceil(math.Log(1 / delta)))
-	w := int(math.Ceil(math.E / epsilon))
 	return NewWithDimensions(d, w)
 }
 
@@ -109,17 +131,40 @@ func (c *CMS) EpsilonDelta() (epsilon, delta float64) {
 	return math.E / float64(c.w), math.Exp(-float64(c.d))
 }
 
-// rowIndex hashes x into a column for row j. Each row uses an independent
-// 64-bit FNV-1a stream keyed by the row number, giving the pairwise
-// independence the analysis requires in practice.
-func (c *CMS) rowIndex(j int, x []byte) int {
-	h := fnv.New64a()
-	var key [16]byte
-	binary.LittleEndian.PutUint64(key[:8], uint64(j)*0x9e3779b97f4a7c15+1)
-	binary.LittleEndian.PutUint64(key[8:], c.seed)
-	h.Write(key[:])
-	h.Write(x)
-	return int(h.Sum64() % uint64(c.w))
+// indexSeed hashes x exactly once and returns the row-0 column, the
+// per-row Kirsch–Mitzenmacher stride, and the width, all as uint64. Row j
+// reads column (idx + j·step) mod w; the successor is derived with a
+// conditional subtract, so the d-row walk costs no division or rehash.
+func (c *CMS) indexSeed(x []byte) (idx, step, width uint64) {
+	h1, h2 := hash128(x, c.seed)
+	width = uint64(c.w)
+	idx = h1 % width
+	step = h2 % width
+	if step == 0 {
+		step = 1 // keep rows from collapsing onto one column
+	}
+	return idx, step, width
+}
+
+// Indexes computes the d column indices of x — one per row — hashing the
+// key exactly once. The indices are written into buf when it has capacity
+// d (no allocation) and the d-element slice is returned. Callers that
+// need the same key's cells more than once (e.g. a read-modify-write)
+// should call Indexes once and reuse the result instead of re-querying.
+func (c *CMS) Indexes(x []byte, buf []int) []int {
+	if cap(buf) < c.d {
+		buf = make([]int, c.d)
+	}
+	buf = buf[:c.d]
+	idx, step, width := c.indexSeed(x)
+	for j := range buf {
+		buf[j] = int(idx)
+		idx += step
+		if idx >= width {
+			idx -= width
+		}
+	}
+	return buf
 }
 
 // Update encodes one occurrence of x.
@@ -128,10 +173,18 @@ func (c *CMS) Update(x []byte) { c.UpdateWeighted(x, 1) }
 // UpdateString encodes one occurrence of the string s.
 func (c *CMS) UpdateString(s string) { c.UpdateWeighted([]byte(s), 1) }
 
-// UpdateWeighted adds weight w to every row-counter of x.
+// UpdateWeighted adds weight w to every row-counter of x. The key is
+// hashed once; the whole update is allocation-free.
 func (c *CMS) UpdateWeighted(x []byte, w uint64) {
+	idx, step, width := c.indexSeed(x)
+	row := 0
 	for j := 0; j < c.d; j++ {
-		c.cells[j*c.w+c.rowIndex(j, x)] += w
+		c.cells[row+int(idx)] += w
+		row += c.w
+		idx += step
+		if idx >= width {
+			idx -= width
+		}
 	}
 	c.n += w
 }
@@ -142,24 +195,52 @@ func (c *CMS) UpdateWeighted(x []byte, w uint64) {
 // provided for the sketch-geometry ablation; the paper's protocol uses the
 // plain Update because conservative update is NOT linear and therefore
 // incompatible with blinded aggregation.
+//
+// The key is hashed once and the derived row indices are replayed for
+// both the minimum pass and the write pass.
 func (c *CMS) ConservativeUpdate(x []byte, w uint64) {
-	est := c.Query(x) + w
+	idx0, step, width := c.indexSeed(x)
+	min := uint64(math.MaxUint64)
+	idx, row := idx0, 0
 	for j := 0; j < c.d; j++ {
-		idx := j*c.w + c.rowIndex(j, x)
-		if c.cells[idx] < est {
-			c.cells[idx] = est
+		if v := c.cells[row+int(idx)]; v < min {
+			min = v
+		}
+		row += c.w
+		idx += step
+		if idx >= width {
+			idx -= width
+		}
+	}
+	est := min + w
+	idx, row = idx0, 0
+	for j := 0; j < c.d; j++ {
+		if p := &c.cells[row+int(idx)]; *p < est {
+			*p = est
+		}
+		row += c.w
+		idx += step
+		if idx >= width {
+			idx -= width
 		}
 	}
 	c.n += w
 }
 
-// Query returns the estimated frequency of x: min over rows.
+// Query returns the estimated frequency of x: min over rows. The key is
+// hashed once; the query is allocation-free.
 func (c *CMS) Query(x []byte) uint64 {
+	idx, step, width := c.indexSeed(x)
 	min := uint64(math.MaxUint64)
+	row := 0
 	for j := 0; j < c.d; j++ {
-		v := c.cells[j*c.w+c.rowIndex(j, x)]
-		if v < min {
+		if v := c.cells[row+int(idx)]; v < min {
 			min = v
+		}
+		row += c.w
+		idx += step
+		if idx >= width {
+			idx -= width
 		}
 	}
 	return min
@@ -182,9 +263,7 @@ func (c *CMS) Merge(other *CMS) error {
 	if other == nil || c.d != other.d || c.w != other.w || c.seed != other.seed {
 		return ErrDimensionMismatch
 	}
-	for i, v := range other.cells {
-		c.cells[i] += v
-	}
+	vec.Add(c.cells, other.cells)
 	c.n += other.n
 	return nil
 }
@@ -221,40 +300,50 @@ func (c *CMS) AddToCell(i int, delta uint64) { c.cells[i] += delta }
 // applies blinding in place.
 func (c *CMS) FlatCells() []uint64 { return c.cells }
 
+// maxUnmarshalCells caps d·w for deserialized sketches: 2²⁸ cells is a
+// 2 GiB payload, far beyond any geometry the protocol uses, and keeps the
+// later int conversions and 8·d·w size arithmetic overflow-free even on
+// 32-bit platforms.
+const maxUnmarshalCells = 1 << 28
+
 // MarshalBinary serializes the sketch: header (d, w, n, seed) followed by
-// the cells in little-endian order.
+// the cells in little-endian order. The cell block is encoded in bulk
+// (a single memmove on little-endian hosts), not cell by cell.
 func (c *CMS) MarshalBinary() ([]byte, error) {
 	buf := make([]byte, 32+8*len(c.cells))
 	binary.LittleEndian.PutUint64(buf[0:], uint64(c.d))
 	binary.LittleEndian.PutUint64(buf[8:], uint64(c.w))
 	binary.LittleEndian.PutUint64(buf[16:], c.n)
 	binary.LittleEndian.PutUint64(buf[24:], c.seed)
-	for i, v := range c.cells {
-		binary.LittleEndian.PutUint64(buf[32+8*i:], v)
-	}
+	putCellsLE(buf[32:], c.cells)
 	return buf, nil
 }
 
-// UnmarshalBinary restores a sketch serialized by MarshalBinary.
+// UnmarshalBinary restores a sketch serialized by MarshalBinary. The
+// header is validated in uint64 arithmetic before any size computation, so
+// adversarial (d, w) pairs cannot overflow the expected-length check or
+// provoke a huge allocation.
 func (c *CMS) UnmarshalBinary(data []byte) error {
 	if len(data) < 32 {
 		return ErrCorrupt
 	}
-	d := int(binary.LittleEndian.Uint64(data[0:]))
-	w := int(binary.LittleEndian.Uint64(data[8:]))
-	if d < 1 || w < 1 || d > 1<<20 || w > 1<<32 {
+	d64 := binary.LittleEndian.Uint64(data[0:])
+	w64 := binary.LittleEndian.Uint64(data[8:])
+	if d64 < 1 || w64 < 1 || d64 > 1<<20 || w64 > 1<<32 {
 		return ErrCorrupt
 	}
-	if len(data) != 32+8*d*w {
+	cells := d64 * w64 // ≤ 2⁵² by the bounds above: no uint64 overflow
+	if cells > maxUnmarshalCells {
 		return ErrCorrupt
 	}
-	c.d, c.w = d, w
+	if uint64(len(data)) != 32+8*cells {
+		return ErrCorrupt
+	}
+	c.d, c.w = int(d64), int(w64)
 	c.n = binary.LittleEndian.Uint64(data[16:])
 	c.seed = binary.LittleEndian.Uint64(data[24:])
-	c.cells = make([]uint64, d*w)
-	for i := range c.cells {
-		c.cells[i] = binary.LittleEndian.Uint64(data[32+8*i:])
-	}
+	c.cells = make([]uint64, cells)
+	getCellsLE(c.cells, data[32:])
 	return nil
 }
 

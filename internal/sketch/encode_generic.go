@@ -1,0 +1,20 @@
+//go:build !(amd64 || arm64 || 386 || arm || riscv64 || loong64 || mipsle || mips64le || ppc64le || wasm)
+
+package sketch
+
+import "encoding/binary"
+
+// Portable fallback for big-endian (or unlisted) architectures: encode the
+// cell block in one pass over pre-sliced 8-byte windows.
+
+func putCellsLE(dst []byte, src []uint64) {
+	for i, v := range src {
+		binary.LittleEndian.PutUint64(dst[8*i:], v)
+	}
+}
+
+func getCellsLE(dst []uint64, src []byte) {
+	for i := range dst {
+		dst[i] = binary.LittleEndian.Uint64(src[8*i:])
+	}
+}

@@ -1,0 +1,24 @@
+//go:build amd64 || arm64 || 386 || arm || riscv64 || loong64 || mipsle || mips64le || ppc64le || wasm
+
+package sketch
+
+import "unsafe"
+
+// On little-endian architectures the in-memory layout of a []uint64 is
+// exactly its little-endian wire serialization, so the cell block of
+// MarshalBinary/UnmarshalBinary is a single memmove instead of a
+// per-cell encode loop.
+
+func putCellsLE(dst []byte, src []uint64) {
+	if len(src) == 0 {
+		return
+	}
+	copy(dst, unsafe.Slice((*byte)(unsafe.Pointer(&src[0])), 8*len(src)))
+}
+
+func getCellsLE(dst []uint64, src []byte) {
+	if len(dst) == 0 {
+		return
+	}
+	copy(unsafe.Slice((*byte)(unsafe.Pointer(&dst[0])), 8*len(dst)), src)
+}

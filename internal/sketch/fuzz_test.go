@@ -1,0 +1,82 @@
+package sketch
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// Adversarial headers: (d, w) pairs whose product (or 8·d·w payload size)
+// would overflow naive int arithmetic, plus plausible-but-huge geometries
+// that must be rejected before any allocation.
+func TestUnmarshalRejectsOverflowHeaders(t *testing.T) {
+	cases := []struct {
+		name string
+		d, w uint64
+	}{
+		{"d*w overflows int32", 1 << 20, 1 << 32},
+		{"8*d*w overflows int64", 1 << 20, 1 << 41},
+		{"cells above cap", 1 << 14, 1 << 20},
+		{"max allowed bounds", 1 << 20, 1 << 32},
+		{"huge w", 1, 1<<32 + 1},
+		{"huge d", 1<<20 + 1, 1},
+		{"zero d", 0, 16},
+		{"zero w", 16, 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			// A short buffer with a poisoned header: if the length check
+			// is computed with overflowing arithmetic it can spuriously
+			// match, so the header must be rejected on bounds alone.
+			data := make([]byte, 40)
+			binary.LittleEndian.PutUint64(data[0:], c.d)
+			binary.LittleEndian.PutUint64(data[8:], c.w)
+			var cms CMS
+			if err := cms.UnmarshalBinary(data); err != ErrCorrupt {
+				t.Fatalf("d=%d w=%d: err = %v, want ErrCorrupt", c.d, c.w, err)
+			}
+		})
+	}
+}
+
+func FuzzUnmarshalBinary(f *testing.F) {
+	small, _ := NewWithDimensions(3, 17)
+	small.UpdateString("seed-ad")
+	valid, _ := small.MarshalBinary()
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add(make([]byte, 32))
+	trunc := append([]byte(nil), valid[:33]...)
+	f.Add(trunc)
+	overflow := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint64(overflow[0:], 1<<20)
+	binary.LittleEndian.PutUint64(overflow[8:], 1<<32)
+	f.Add(overflow)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var cms CMS
+		if err := cms.UnmarshalBinary(data); err != nil {
+			return // rejected: fine, as long as it neither panics nor allocates wildly
+		}
+		// Accepted payloads must round-trip byte-identically and answer
+		// queries without panicking.
+		if cms.Depth() < 1 || cms.Width() < 1 {
+			t.Fatalf("accepted degenerate sketch d=%d w=%d", cms.Depth(), cms.Width())
+		}
+		if uint64(cms.Depth())*uint64(cms.Width()) > maxUnmarshalCells {
+			t.Fatalf("accepted oversized sketch d=%d w=%d", cms.Depth(), cms.Width())
+		}
+		_ = cms.Query([]byte("probe"))
+		out, err := cms.MarshalBinary()
+		if err != nil {
+			t.Fatalf("remarshal: %v", err)
+		}
+		if len(out) != len(data) {
+			t.Fatalf("round trip changed length: %d != %d", len(out), len(data))
+		}
+		for i := range out {
+			if out[i] != data[i] {
+				t.Fatalf("round trip changed byte %d", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,53 @@
+package sketch
+
+import (
+	"encoding/binary"
+	"math/bits"
+)
+
+// hash128 hashes x into two 64-bit values in a single allocation-free
+// pass, consuming 8 bytes per step. The pair seeds Kirsch–Mitzenmacher
+// double hashing (idx_j = h1 + j·h2 mod w), which is provably sufficient
+// for the CMS error analysis while hashing each key exactly once — the
+// technique production sketches (count-min-log, pmc) use instead of d
+// independent hash passes.
+//
+// The two lanes mix the same input stream with different multipliers and
+// rotations and are finalized with independent splitmix64 avalanches, so
+// the (h1, h2) pair behaves as an independent pair for index derivation.
+//
+// COMPATIBILITY: this function defines the sketch cell layout. Every
+// protocol participant (clients, back-end, simulator) must run the same
+// version, or blinded aggregation would sum mismatched cells. Change it
+// only in lockstep with a protocol round version bump.
+func hash128(x []byte, seed uint64) (h1, h2 uint64) {
+	const (
+		k0 = 0x9e3779b97f4a7c15 // 2⁶⁴/φ, odd
+		k1 = 0xbf58476d1ce4e5b9 // splitmix64 finalizer multipliers
+		k2 = 0x94d049bb133111eb
+	)
+	h1 = seed ^ 0xcbf29ce484222325
+	h2 = (seed+1)*k0 ^ 0x2545f4914f6cdd1d
+	n := uint64(len(x))
+	for len(x) >= 8 {
+		v := binary.LittleEndian.Uint64(x)
+		h1 = bits.RotateLeft64((h1^v)*k1, 31)
+		h2 = bits.RotateLeft64((h2+v)*k2, 29) ^ v
+		x = x[8:]
+	}
+	var tail uint64
+	for i := 0; i < len(x); i++ {
+		tail |= uint64(x[i]) << (8 * uint(i))
+	}
+	h1 = bits.RotateLeft64((h1^tail)*k1, 31) ^ n
+	h2 = bits.RotateLeft64((h2+tail)*k2, 29) + n
+	return mix64(h1), mix64(h2 + k0)
+}
+
+// mix64 is the splitmix64 finalizer: a bijective avalanche so that every
+// input bit affects every output bit.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

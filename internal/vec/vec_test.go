@@ -1,0 +1,82 @@
+package vec
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestAddSubRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 4, 7, 1024, parallelThreshold + 17} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		dst := make([]uint64, n)
+		src := make([]uint64, n)
+		orig := make([]uint64, n)
+		for i := range dst {
+			dst[i] = rng.Uint64()
+			src[i] = rng.Uint64()
+		}
+		copy(orig, dst)
+		Add(dst, src)
+		for i := range dst {
+			if dst[i] != orig[i]+src[i] {
+				t.Fatalf("n=%d: Add mismatch at %d", n, i)
+			}
+		}
+		Sub(dst, src)
+		for i := range dst {
+			if dst[i] != orig[i] {
+				t.Fatalf("n=%d: Sub did not invert Add at %d", n, i)
+			}
+		}
+	}
+}
+
+func TestAddWrapsAround(t *testing.T) {
+	dst := []uint64{^uint64(0)}
+	Add(dst, []uint64{1})
+	if dst[0] != 0 {
+		t.Fatalf("wrap-around add = %d, want 0", dst[0])
+	}
+	Sub(dst, []uint64{1})
+	if dst[0] != ^uint64(0) {
+		t.Fatalf("wrap-around sub = %d", dst[0])
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add with mismatched lengths did not panic")
+		}
+	}()
+	Add(make([]uint64, 2), make([]uint64, 3))
+}
+
+func TestParallelCoversRange(t *testing.T) {
+	const n = 100000
+	seen := make([]uint64, n)
+	Parallel(n, 1024, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			seen[i]++
+		}
+	})
+	for i, v := range seen {
+		if v != 1 {
+			t.Fatalf("index %d visited %d times", i, v)
+		}
+	}
+	Parallel(0, 1024, func(lo, hi int) { t.Error("fn called for empty range") })
+}
+
+func BenchmarkAdd16k(b *testing.B)  { benchAdd(b, 1<<14) }
+func BenchmarkAdd256k(b *testing.B) { benchAdd(b, 1<<18) }
+
+func benchAdd(b *testing.B, n int) {
+	dst := make([]uint64, n)
+	src := make([]uint64, n)
+	b.SetBytes(int64(8 * n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Add(dst, src)
+	}
+}
