@@ -23,6 +23,8 @@ func main() {
 		pipeline = flag.Bool("pipeline", false, "benchmark the privacy hot path and write a JSON report")
 		pipeOut  = flag.String("pipeline-out", "BENCH_pipeline.json", "pipeline report output path")
 		baseline = flag.String("baseline", "", "previous pipeline report to embed as the baseline")
+		check    = flag.Float64("check", 0, "fail if allocs/op or bytes/op regress more than this percent vs the baseline (0 = off)")
+		checkNs  = flag.Float64("check-ns", 0, "fail if ns/op regresses more than this percent vs the baseline (0 = off; keep loose on shared runners)")
 		rsaBits  = flag.Int("rsa-bits", 1024, "oprf RSA modulus (paper: 1024-bit elements)")
 		users    = flag.Int("users", 0, "override Figure 2 user count")
 	)
@@ -30,7 +32,7 @@ func main() {
 
 	switch {
 	case *pipeline:
-		if err := runPipeline(*pipeOut, *baseline); err != nil {
+		if err := runPipeline(*pipeOut, *baseline, *check, *checkNs); err != nil {
 			log.Fatal(err)
 		}
 	case *overhead:

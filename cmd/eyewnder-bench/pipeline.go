@@ -7,12 +7,15 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
+	"sync"
 	"testing"
 
 	"eyewnder/internal/blind"
 	"eyewnder/internal/group"
 	"eyewnder/internal/privacy"
 	"eyewnder/internal/sketch"
+	"eyewnder/internal/wire"
 )
 
 // pipelineResult is one stage's measurement.
@@ -43,10 +46,13 @@ func measure(fn func(b *testing.B)) pipelineResult {
 }
 
 // runPipeline benchmarks every stage of the privacy hot path — sketch
-// update/query, report (de)serialization, blinding-vector computation,
-// aggregate merge, and the back-end close-round enumeration — and writes
-// the results to outPath.
-func runPipeline(outPath, baselinePath string) error {
+// update/query, report (de)serialization, report ingestion over loopback
+// TCP (JSON vs streamed), same-round merge contention (locked vs
+// striped), blinding-vector computation, aggregate merge, and the
+// back-end close-round enumeration — and writes the results to outPath.
+// With checkPct/checkNsPct > 0 it then gates against the baseline (the
+// CI regression gate).
+func runPipeline(outPath, baselinePath string, checkPct, checkNsPct float64) error {
 	rep := &pipelineReport{
 		Schema:     "eyewnder/bench-pipeline/v1",
 		Go:         runtime.Version(),
@@ -140,6 +146,16 @@ func runPipeline(outPath, baselinePath string) error {
 		}
 	})
 
+	fmt.Fprintln(os.Stderr, "pipeline: report ingestion, JSON vs streamed (loopback TCP) ...")
+	if err := benchIngestion(rep, newCMS, key); err != nil {
+		return err
+	}
+
+	fmt.Fprintln(os.Stderr, "pipeline: same-round merge contention, locked vs striped ...")
+	if err := benchRoundContention(rep); err != nil {
+		return err
+	}
+
 	fmt.Fprintln(os.Stderr, "pipeline: close round (8 reports, 20k-ID enumeration) ...")
 	params := privacy.Params{Epsilon: 0.001, Delta: 0.001, IDSpace: 20000, Suite: group.P256()}
 	reports := make([]*privacy.Report, len(roster.Parties[:8]))
@@ -202,12 +218,192 @@ func runPipeline(outPath, baselinePath string) error {
 		return err
 	}
 	fmt.Printf("pipeline benchmarks written to %s\n", outPath)
-	for name, r := range rep.Benchmarks {
-		line := fmt.Sprintf("  %-16s %12.1f ns/op %8d allocs/op", name, r.NsPerOp, r.AllocsPerOp)
+	names := make([]string, 0, len(rep.Benchmarks))
+	for name := range rep.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		r := rep.Benchmarks[name]
+		line := fmt.Sprintf("  %-22s %12.1f ns/op %8d allocs/op", name, r.NsPerOp, r.AllocsPerOp)
 		if base, ok := rep.Baseline[name]; ok && r.NsPerOp > 0 {
 			line += fmt.Sprintf("   (%.2fx vs baseline)", base.NsPerOp/r.NsPerOp)
 		}
 		fmt.Println(line)
 	}
+	if locked, ok := rep.Benchmarks["round_merge_locked"]; ok {
+		if striped, ok := rep.Benchmarks["round_merge_striped"]; ok && striped.NsPerOp > 0 {
+			fmt.Printf("  same-round contention: striped merge %.2fx vs single round lock (GOMAXPROCS=%d)\n",
+				locked.NsPerOp/striped.NsPerOp, rep.MaxProcs)
+		}
+	}
+	if checkPct > 0 || checkNsPct > 0 {
+		return checkRegressions(rep, checkPct, checkNsPct)
+	}
+	return nil
+}
+
+// discardSink consumes streamed report frames, touching the cells so the
+// decode cannot be optimized away.
+type discardSink struct{ sum uint64 }
+
+func (s *discardSink) ConsumeReport(f *wire.ReportFrame) error {
+	if len(f.Cells) > 0 {
+		s.sum += f.Cells[0] + f.Cells[len(f.Cells)-1]
+	}
+	return nil
+}
+
+// benchIngestion measures one report's full submit round trip over
+// loopback TCP for both ingestion paths — the JSON envelope (base64
+// sketch inside a parsed message, then UnmarshalBinary) and the streamed
+// binary frame (cells read straight into pooled slices). Client and
+// server run in-process, so allocs/op is the whole path's allocation
+// bill; the streamed path must come in far below the JSON one.
+func benchIngestion(rep *pipelineReport, newCMS func() *sketch.CMS, key []byte) error {
+	sink := &discardSink{}
+	handler := func(m *wire.Msg) (string, interface{}, error) {
+		if m.Type != wire.TypeSubmitReport {
+			return "", nil, fmt.Errorf("bench: unexpected message %q", m.Type)
+		}
+		var req wire.SubmitReportReq
+		if err := m.Decode(&req); err != nil {
+			return "", nil, err
+		}
+		var cms sketch.CMS
+		if err := cms.UnmarshalBinary(req.Sketch); err != nil {
+			return "", nil, err
+		}
+		sink.sum += cms.N()
+		return wire.TypeSubmitReportOK, struct{}{}, nil
+	}
+	srv, err := wire.ServeWithSink("127.0.0.1:0", handler, sink)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	cli, err := wire.Dial(srv.Addr())
+	if err != nil {
+		return err
+	}
+	defer cli.Close()
+
+	cms := newCMS()
+	cms.Update(key)
+	raw, err := cms.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	rep.Benchmarks["submit_report_json"] = measure(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := cli.Do(wire.TypeSubmitReport,
+				wire.SubmitReportReq{User: 1, Round: 1, Sketch: raw}, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	frame := &wire.ReportFrame{
+		User: 1, Round: 1,
+		D: cms.Depth(), W: cms.Width(), N: cms.N(), Seed: cms.Seed(),
+		Cells: cms.FlatCells(),
+	}
+	rep.Benchmarks["submit_report_stream"] = measure(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := cli.SubmitReportFrame(frame); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return nil
+}
+
+// benchRoundContention measures many reporters folding into the SAME
+// round concurrently — the workload that used to serialize on one round
+// lock. The locked variant pins the aggregator to a single merge stripe
+// (exactly the old behaviour); the striped variant uses the default
+// per-row striping. On a many-core host the striped merge scales with
+// GOMAXPROCS while the locked one cannot; the ratio of the two entries
+// is the tracked scaling number. maxprocs in the report header records
+// the parallelism this run actually had.
+func benchRoundContention(rep *pipelineReport) error {
+	const (
+		reporters = 64
+		workers   = 8
+	)
+	params := privacy.Params{Epsilon: 0.001, Delta: 0.001, IDSpace: 20000, Suite: group.P256()}
+	reports := make([]*privacy.Report, reporters)
+	for u := range reports {
+		cms, err := params.NewSketch()
+		if err != nil {
+			return err
+		}
+		var k [8]byte
+		for a := 0; a < 50; a++ {
+			binary.LittleEndian.PutUint64(k[:], uint64((u*37+a*101)%int(params.IDSpace)))
+			cms.Update(k[:])
+		}
+		reports[u] = &privacy.Report{User: u, Round: 1, Sketch: cms}
+	}
+	run := func(stripes int) func(b *testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				agg, err := privacy.NewAggregatorStripes(params, 1, reporters, stripes)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var wg sync.WaitGroup
+				per := reporters / workers
+				for w := 0; w < workers; w++ {
+					wg.Add(1)
+					go func(batch []*privacy.Report) {
+						defer wg.Done()
+						for _, r := range batch {
+							if err := agg.Add(r); err != nil {
+								panic(err)
+							}
+						}
+					}(reports[w*per : (w+1)*per])
+				}
+				wg.Wait()
+			}
+		}
+	}
+	rep.Benchmarks["round_merge_locked"] = measure(run(1))
+	rep.Benchmarks["round_merge_striped"] = measure(run(0))
+	return nil
+}
+
+// trackedMetrics lists, per metric, whether it is deterministic across
+// machines. The CI gate fails on regressions in deterministic metrics
+// (allocs, bytes) at the tight threshold; ns/op varies with the runner's
+// hardware and load, so it gets its own (looser) threshold.
+func checkRegressions(rep *pipelineReport, pct, nsPct float64) error {
+	var failures []string
+	for name, cur := range rep.Benchmarks {
+		base, ok := rep.Baseline[name]
+		if !ok {
+			continue // new benchmark: nothing to regress against
+		}
+		check := func(metric string, got, want float64, threshold float64) {
+			if threshold <= 0 || want <= 0 {
+				return
+			}
+			if got > want*(1+threshold/100) {
+				failures = append(failures, fmt.Sprintf(
+					"%s %s regressed %.1f%% (%.1f -> %.1f, threshold %.0f%%)",
+					name, metric, 100*(got/want-1), want, got, threshold))
+			}
+		}
+		check("allocs/op", float64(cur.AllocsPerOp), float64(base.AllocsPerOp), pct)
+		check("bytes/op", float64(cur.BytesPerOp), float64(base.BytesPerOp), pct)
+		check("ns/op", cur.NsPerOp, base.NsPerOp, nsPct)
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "REGRESSION: %s\n", f)
+		}
+		return fmt.Errorf("pipeline: %d benchmark regression(s) beyond threshold", len(failures))
+	}
+	fmt.Println("pipeline: no benchmark regressions beyond threshold")
 	return nil
 }

@@ -30,6 +30,7 @@ func main() {
 		epsilon     = flag.Float64("epsilon", 0.01, "CMS epsilon")
 		delta       = flag.Float64("delta", 0.01, "CMS delta")
 		idSpace     = flag.Uint64("id-space", 100000, "ad-ID space size |A| (overestimate)")
+		stripes     = flag.Int("merge-stripes", 0, "intra-round merge stripes (0 = 2×GOMAXPROCS, 1 = single merge lock)")
 	)
 	flag.Parse()
 
@@ -42,6 +43,7 @@ func main() {
 		Params:         params,
 		Users:          *users,
 		UsersEstimator: detector.EstimatorMean,
+		MergeStripes:   *stripes,
 	})
 	if err != nil {
 		log.Fatalf("back-end: %v", err)
@@ -57,8 +59,8 @@ func main() {
 	}
 	defer opSrv.Close()
 
-	log.Printf("back-end on %s (roster %d users, ε=%g δ=%g |A|=%d)",
-		beSrv.Addr(), *users, *epsilon, *delta, *idSpace)
+	log.Printf("back-end on %s (roster %d users, ε=%g δ=%g |A|=%d, streamed reports on, merge stripes=%d)",
+		beSrv.Addr(), *users, *epsilon, *delta, *idSpace, be.MergeStripes())
 	log.Printf("oprf-server on %s (RSA-%d)", opSrv.Addr(), *rsaBits)
 
 	sig := make(chan os.Signal, 1)

@@ -17,6 +17,7 @@ import (
 	"eyewnder/internal/oprf"
 	"eyewnder/internal/privacy"
 	"eyewnder/internal/sketch"
+	"eyewnder/internal/vec"
 	"eyewnder/internal/wire"
 )
 
@@ -36,16 +37,21 @@ type Config struct {
 	Users int
 	// UsersEstimator derives Users_th from the per-ad user counts.
 	UsersEstimator detector.Estimator
+	// MergeStripes sets the intra-round merge striping: 0 picks the
+	// default (2×GOMAXPROCS), 1 degenerates to a single merge lock.
+	MergeStripes int
 }
 
 // Backend is the server state. All methods are safe for concurrent use.
 //
-// Locking is two-level: Backend.mu guards only the roster and the round
-// map, while each round carries its own mutex for its aggregate state.
-// Folding a report into a round merges a full cell vector (tens of KB),
-// so holding a global lock for it would serialize every client in the
-// fleet; with per-round locks, reports for different rounds proceed in
-// parallel and registrations never wait on a merge.
+// Locking is three-level: Backend.mu guards only the roster and the round
+// map; each round carries an RWMutex whose read side admits any number of
+// concurrent reporters while the write side (close, adjustments, status)
+// excludes them; and within a round the aggregator's merge is striped
+// across row ranges (vec.Striped), so reporters into the *same* round
+// fold disjoint stripes in parallel. Folding a report merges a full cell
+// vector (tens of KB) — under the earlier single round lock one hot
+// round's ingestion serialized even on many-core hosts.
 type Backend struct {
 	cfg   Config
 	cells int // sketch cell count implied by Params, for share validation
@@ -56,7 +62,7 @@ type Backend struct {
 }
 
 type round struct {
-	mu      sync.Mutex
+	mu      sync.RWMutex
 	agg     *privacy.Aggregator
 	adjusts map[int][]uint64 // second-round shares by reporter
 	closed  bool
@@ -81,6 +87,13 @@ func New(cfg Config) (*Backend, error) {
 		roster: make([][]byte, cfg.Users),
 		rounds: make(map[uint64]*round),
 	}, nil
+}
+
+// MergeStripes returns the per-round merge stripe count actually in
+// effect for this back-end's sketch geometry (the configured value is a
+// request; tiny sketches clamp it).
+func (b *Backend) MergeStripes() int {
+	return vec.EffectiveStripes(b.cells, b.cfg.MergeStripes)
 }
 
 // Register stores a user's blinding public key on the bulletin board.
@@ -115,7 +128,7 @@ func (b *Backend) getRound(id uint64) (*round, error) {
 	defer b.mu.Unlock()
 	r, ok := b.rounds[id]
 	if !ok {
-		agg, err := privacy.NewAggregator(b.cfg.Params, id, b.cfg.Users)
+		agg, err := privacy.NewAggregatorStripes(b.cfg.Params, id, b.cfg.Users, b.cfg.MergeStripes)
 		if err != nil {
 			return nil, err
 		}
@@ -134,17 +147,36 @@ func (b *Backend) lookupRound(id uint64) (*round, bool) {
 }
 
 // SubmitReport folds one blinded report into the round aggregate.
+// Reporters hold only the round's read lock: the aggregator's own
+// bookkeeping lock and striped cell merge admit concurrent submissions
+// into the same round, while the write lock (CloseRound) excludes them.
 func (b *Backend) SubmitReport(rep *privacy.Report) error {
 	r, err := b.getRound(rep.Round)
 	if err != nil {
 		return err
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	if r.closed {
 		return ErrRoundClosed
 	}
 	return r.agg.Add(rep)
+}
+
+// ConsumeReport implements wire.ReportSink: a streamed report's pooled
+// cell vector folds straight into the round aggregate, with no
+// intermediate []byte or CMS ever materialized.
+func (b *Backend) ConsumeReport(f *wire.ReportFrame) error {
+	r, err := b.getRound(f.Round)
+	if err != nil {
+		return err
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if r.closed {
+		return ErrRoundClosed
+	}
+	return r.agg.AddCells(f.User, f.D, f.W, f.N, f.Seed, f.Cells)
 }
 
 // RoundStatus reports progress of a round.
@@ -153,8 +185,8 @@ func (b *Backend) RoundStatus(id uint64) (reported int, missing []int, closed bo
 	if err != nil {
 		return 0, nil, false, err
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	return r.agg.Reported(), r.agg.Missing(), r.closed, nil
 }
 
@@ -222,8 +254,8 @@ func (b *Backend) Threshold(id uint64) (float64, error) {
 	if !ok {
 		return 0, ErrUnknownRound
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	if !r.closed {
 		return 0, ErrRoundNotClosed
 	}
@@ -237,8 +269,8 @@ func (b *Backend) AuditAd(id uint64, adID uint64) (uint64, error) {
 	if !ok {
 		return 0, ErrUnknownRound
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	if !r.closed {
 		return 0, ErrRoundNotClosed
 	}
@@ -252,8 +284,8 @@ func (b *Backend) UserCountsOfRound(id uint64) (map[uint64]uint64, error) {
 	if !ok {
 		return nil, ErrUnknownRound
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	if !r.closed {
 		return nil, ErrRoundNotClosed
 	}
@@ -359,9 +391,11 @@ func (b *Backend) Handler() wire.Handler {
 	}
 }
 
-// Serve starts the back-end on a TCP address.
+// Serve starts the back-end on a TCP address, accepting both JSON
+// messages and streamed report frames (the back-end is its own
+// wire.ReportSink).
 func (b *Backend) Serve(addr string) (*wire.Server, error) {
-	return wire.Serve(addr, b.Handler())
+	return wire.ServeWithSink(addr, b.Handler(), b)
 }
 
 // OPRFHandler adapts an oprf.Server to the wire protocol.

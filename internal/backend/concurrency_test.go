@@ -1,8 +1,14 @@
 package backend
 
 import (
+	"encoding/binary"
 	"sync"
 	"testing"
+
+	"eyewnder/internal/detector"
+	"eyewnder/internal/privacy"
+	"eyewnder/internal/sketch"
+	"eyewnder/internal/wire"
 )
 
 // Per-round locking must keep concurrent submissions and status polls
@@ -137,5 +143,186 @@ func TestCloseRoundRetrySafe(t *testing.T) {
 		if v > 3 {
 			t.Fatalf("id %d count = %d, want <= 3 reporters", id, v)
 		}
+	}
+}
+
+// Same-round contention: with the striped merge, many reporters folding
+// into ONE round concurrently must still produce the exact multiset
+// union. Reports here are unblinded plain sketches (the back-end cannot
+// tell, and with a full roster no adjustment pass is needed), so the
+// closed round's counts are exactly checkable. Run with -race: this is
+// the regression test for the striped merge replacing the single round
+// lock.
+func TestSameRoundConcurrentStripedMerge(t *testing.T) {
+	const (
+		users      = 32
+		round      = 3
+		adsPerUser = 40
+		stripes    = 8
+	)
+	// Paper-density geometry (19k cells), with an explicit stripe count:
+	// the default test params' 1360-cell sketch would clamp to few
+	// stripes and leave the multi-stripe rotation logic untested.
+	params := privacy.Params{Epsilon: 0.001, Delta: 0.001, IDSpace: 2000, Suite: testParams().Suite}
+	b, err := New(Config{
+		Params: params, Users: users,
+		UsersEstimator: detector.EstimatorMean,
+		MergeStripes:   stripes,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.MergeStripes(); got != stripes {
+		t.Fatalf("MergeStripes = %d, want %d (multi-stripe path not exercised)", got, stripes)
+	}
+
+	// Every user reports a deterministic, partially overlapping ad set.
+	want := make(map[uint64]uint64) // ad ID -> reporter count
+	reports := make([]*privacy.Report, users)
+	for u := 0; u < users; u++ {
+		cms, err := params.NewSketch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var key [8]byte
+		for a := 0; a < adsPerUser; a++ {
+			id := uint64((u*17 + a*13) % int(params.IDSpace))
+			binary.LittleEndian.PutUint64(key[:], id)
+			cms.Update(key[:])
+			want[id]++
+		}
+		reports[u] = &privacy.Report{User: u, Round: round, Sketch: cms}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, users)
+	for _, rep := range reports {
+		wg.Add(1)
+		go func(rep *privacy.Report) {
+			defer wg.Done()
+			if err := b.SubmitReport(rep); err != nil {
+				errs <- err
+			}
+		}(rep)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	if _, _, err := b.CloseRound(round); err != nil {
+		t.Fatal(err)
+	}
+	counts, err := b.UserCountsOfRound(round)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, n := range want {
+		if counts[id] < n {
+			t.Fatalf("ad %d count = %d, want >= %d (CMS never underestimates)", id, counts[id], n)
+		}
+	}
+}
+
+// The streamed ingestion path must agree with the JSON path: reports
+// submitted as binary frames over TCP land in the same aggregate, and
+// duplicate/closed-round errors surface to the streaming client.
+func TestStreamedReportsEndToEnd(t *testing.T) {
+	const (
+		users = 8
+		round = 11
+	)
+	params := testParams()
+	b, err := New(Config{Params: params, Users: users, UsersEstimator: detector.EstimatorMean})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := b.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	want := make(map[uint64]uint64)
+	var wg sync.WaitGroup
+	errs := make(chan error, users)
+	var mu sync.Mutex
+	for u := 0; u < users; u++ {
+		cms, err := params.NewSketch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var key [8]byte
+		for a := 0; a < 20; a++ {
+			id := uint64((u*29 + a*7) % int(params.IDSpace))
+			binary.LittleEndian.PutUint64(key[:], id)
+			cms.Update(key[:])
+			mu.Lock()
+			want[id]++
+			mu.Unlock()
+		}
+		wg.Add(1)
+		go func(u int, cms *sketch.CMS) {
+			defer wg.Done()
+			cli, err := wire.Dial(srv.Addr())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cli.Close()
+			err = cli.SubmitReportFrame(&wire.ReportFrame{
+				User: u, Round: round,
+				D: cms.Depth(), W: cms.Width(),
+				N: cms.N(), Seed: cms.Seed(),
+				Cells: cms.FlatCells(),
+			})
+			if err != nil {
+				errs <- err
+			}
+		}(u, cms)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// A duplicate streamed report must be rejected remotely.
+	cli, err := wire.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	dup, _ := params.NewSketch()
+	if err := cli.SubmitReportFrame(&wire.ReportFrame{
+		User: 0, Round: round,
+		D: dup.Depth(), W: dup.Width(), N: dup.N(), Seed: dup.Seed(),
+		Cells: dup.FlatCells(),
+	}); err == nil {
+		t.Fatal("duplicate streamed report accepted")
+	}
+
+	if _, _, err := b.CloseRound(round); err != nil {
+		t.Fatal(err)
+	}
+	counts, err := b.UserCountsOfRound(round)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, n := range want {
+		if counts[id] < n {
+			t.Fatalf("ad %d count = %d, want >= %d", id, counts[id], n)
+		}
+	}
+
+	// And a report into the now-closed round fails.
+	late, _ := params.NewSketch()
+	if err := cli.SubmitReportFrame(&wire.ReportFrame{
+		User: 7, Round: round,
+		D: late.Depth(), W: late.Width(), N: late.N(), Seed: late.Seed(),
+		Cells: late.FlatCells(),
+	}); err == nil {
+		t.Fatal("streamed report into closed round accepted")
 	}
 }

@@ -24,6 +24,7 @@ import (
 	"eyewnder/internal/group"
 	"eyewnder/internal/oprf"
 	"eyewnder/internal/privacy"
+	"eyewnder/internal/sketch"
 	"eyewnder/internal/wire"
 )
 
@@ -40,6 +41,16 @@ type BackendAPI interface {
 	SubmitAdjustment(user int, round uint64, cells []uint64) error
 	Threshold(round uint64) (float64, error)
 	AuditAd(round uint64, adID uint64) (users uint64, err error)
+}
+
+// StreamingBackend is the optional fast path a BackendAPI may implement:
+// submit a round report as a structured sketch rather than a serialized
+// []byte. The wire adapter streams it as a binary report frame (the
+// server decodes straight into pooled cell slices) and the in-process
+// adapter hands the sketch over directly — either way the intermediate
+// serialization round-trip disappears.
+type StreamingBackend interface {
+	SubmitReportCMS(user int, round uint64, cms *sketch.CMS) error
 }
 
 // Extension is one user's eyeWnder instance.
@@ -161,6 +172,9 @@ func (e *Extension) SubmitReport(round uint64) error {
 	if err != nil {
 		return err
 	}
+	if sb, ok := e.backend.(StreamingBackend); ok {
+		return sb.SubmitReportCMS(e.user, round, rep.Sketch)
+	}
 	raw, err := rep.Sketch.MarshalBinary()
 	if err != nil {
 		return err
@@ -249,6 +263,18 @@ func (w *WireBackend) Roster() ([][]byte, error) {
 func (w *WireBackend) SubmitReport(user int, round uint64, sk []byte) error {
 	return w.C.Do(wire.TypeSubmitReport,
 		wire.SubmitReportReq{User: user, Round: round, Sketch: sk}, nil)
+}
+
+// SubmitReportCMS implements StreamingBackend: the sketch goes out as a
+// binary report frame, its cell block written as one raw little-endian
+// run the server reads directly into its pooled cell slices.
+func (w *WireBackend) SubmitReportCMS(user int, round uint64, cms *sketch.CMS) error {
+	return w.C.SubmitReportFrame(&wire.ReportFrame{
+		User: user, Round: round,
+		D: cms.Depth(), W: cms.Width(),
+		N: cms.N(), Seed: cms.Seed(),
+		Cells: cms.FlatCells(),
+	})
 }
 
 // RoundStatus implements BackendAPI.

@@ -27,6 +27,12 @@ func (l *LocalBackend) SubmitReport(user int, round uint64, raw []byte) error {
 	return l.B.SubmitReport(&privacy.Report{User: user, Round: round, Sketch: &cms})
 }
 
+// SubmitReportCMS implements StreamingBackend: in-process, the sketch is
+// handed to the back-end as-is — no marshal/unmarshal round-trip at all.
+func (l *LocalBackend) SubmitReportCMS(user int, round uint64, cms *sketch.CMS) error {
+	return l.B.SubmitReport(&privacy.Report{User: user, Round: round, Sketch: cms})
+}
+
 // RoundStatus implements BackendAPI.
 func (l *LocalBackend) RoundStatus(round uint64) (int, []int, bool, error) {
 	return l.B.RoundStatus(round)

@@ -189,18 +189,37 @@ type Report struct {
 func (r *Report) SizeBytes(cellBytes int) int { return r.Sketch.SizeBytes(cellBytes) }
 
 // Aggregator is the back-end's side of the protocol for a single round.
+//
+// Add and AddCells are safe for any number of concurrent callers: the
+// duplicate/bookkeeping state lives under a short mutex, while the cell
+// merge itself goes through a striped adder (vec.Striped) so reporters
+// into the same round fold disjoint row ranges in parallel instead of
+// convoying on one round lock. Finalize, ApplyAdjustments and the
+// FlatCells reads they imply are NOT synchronized against in-flight
+// Adds; the caller excludes them (the back-end holds a per-round RWMutex
+// write lock across close, reporters hold the read side).
 type Aggregator struct {
 	params     Params
 	round      uint64
 	rosterSize int
 	agg        *sketch.CMS
-	reported   map[int]bool
-	adjusted   bool
+	merger     *vec.Striped // striped view over agg's flat cells
+
+	mu       sync.Mutex // guards reported, adjusted, and agg's weight total
+	reported map[int]bool
+	adjusted bool
 }
 
 // NewAggregator opens an aggregation round expecting reports from a roster
-// of rosterSize users.
+// of rosterSize users, with the default merge striping (2×GOMAXPROCS).
 func NewAggregator(params Params, round uint64, rosterSize int) (*Aggregator, error) {
+	return NewAggregatorStripes(params, round, rosterSize, 0)
+}
+
+// NewAggregatorStripes is NewAggregator with an explicit merge stripe
+// count: 1 degenerates to a single merge lock (the baseline the
+// contention benchmark compares against), 0 picks the default.
+func NewAggregatorStripes(params Params, round uint64, rosterSize, stripes int) (*Aggregator, error) {
 	cms, err := params.NewSketch()
 	if err != nil {
 		return nil, err
@@ -210,34 +229,65 @@ func NewAggregator(params Params, round uint64, rosterSize int) (*Aggregator, er
 		round:      round,
 		rosterSize: rosterSize,
 		agg:        cms,
+		merger:     vec.NewStriped(cms.FlatCells(), stripes),
 		reported:   make(map[int]bool),
 	}, nil
 }
 
-// Add folds one blinded report into the aggregate.
+// Add folds one blinded report into the aggregate. Safe for concurrent
+// use with other Add/AddCells calls.
 func (a *Aggregator) Add(r *Report) error {
 	if r.Round != a.round {
 		return ErrRoundMismatch
 	}
-	if r.User < 0 || r.User >= a.rosterSize {
-		return fmt.Errorf("privacy: user %d outside roster of %d", r.User, a.rosterSize)
+	if r.Sketch == nil || !a.agg.SameLayout(r.Sketch) {
+		return sketch.ErrDimensionMismatch
 	}
-	if a.reported[r.User] {
+	return a.addCells(r.User, r.Sketch.N(), r.Sketch.FlatCells())
+}
+
+// AddCells folds a report that arrived as raw header fields plus a flat
+// cell vector — the wire layer's streaming ingestion path, which decodes
+// payloads into pooled slices instead of materializing a CMS. The cells
+// are consumed during the call and may be recycled by the caller as soon
+// as it returns. Safe for concurrent use with other Add/AddCells calls.
+func (a *Aggregator) AddCells(user int, d, w int, n, seed uint64, cells []uint64) error {
+	if !a.agg.LayoutMatches(d, w, seed) || len(cells) != a.agg.Cells() {
+		return sketch.ErrDimensionMismatch
+	}
+	return a.addCells(user, n, cells)
+}
+
+// addCells runs the bookkeeping under the short lock, then folds the
+// cells through the striped merger outside it.
+func (a *Aggregator) addCells(user int, n uint64, cells []uint64) error {
+	if user < 0 || user >= a.rosterSize {
+		return fmt.Errorf("privacy: user %d outside roster of %d", user, a.rosterSize)
+	}
+	a.mu.Lock()
+	if a.reported[user] {
+		a.mu.Unlock()
 		return ErrDuplicate
 	}
-	if err := a.agg.Merge(r.Sketch); err != nil {
-		return err
-	}
-	a.reported[r.User] = true
+	a.reported[user] = true
+	a.agg.AddWeight(n)
+	a.mu.Unlock()
+	a.merger.Add(cells)
 	return nil
 }
 
 // Reported returns how many reports have been folded in.
-func (a *Aggregator) Reported() int { return len(a.reported) }
+func (a *Aggregator) Reported() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.reported)
+}
 
 // Missing lists the roster indices that have not reported — the list the
 // back-end publishes to trigger the adjustment round.
 func (a *Aggregator) Missing() []int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	var out []int
 	for i := 0; i < a.rosterSize; i++ {
 		if !a.reported[i] {
@@ -248,23 +298,29 @@ func (a *Aggregator) Missing() []int {
 }
 
 // ApplyAdjustments subtracts the reporters' second-round shares, restoring
-// blinding cancellation when some users are missing.
+// blinding cancellation when some users are missing. Must not race with
+// in-flight Adds (the back-end's round write lock guarantees this).
 func (a *Aggregator) ApplyAdjustments(adjustments ...[]uint64) error {
 	if err := blind.SubtractAdjustments(a.agg.FlatCells(), adjustments...); err != nil {
 		return err
 	}
+	a.mu.Lock()
 	a.adjusted = true
+	a.mu.Unlock()
 	return nil
 }
 
 // Finalize returns the unblinded aggregate CMS. It fails if reports are
 // missing and no adjustment pass was applied — aggregating in that state
-// would return uniform noise.
+// would return uniform noise. Must not race with in-flight Adds.
 func (a *Aggregator) Finalize() (*sketch.CMS, error) {
-	if len(a.reported) == 0 {
+	a.mu.Lock()
+	reported, adjusted := len(a.reported), a.adjusted
+	a.mu.Unlock()
+	if reported == 0 {
 		return nil, ErrNoReports
 	}
-	if len(a.reported) < a.rosterSize && !a.adjusted {
+	if reported < a.rosterSize && !adjusted {
 		return nil, ErrNotFinalizable
 	}
 	return a.agg.Clone(), nil
@@ -277,10 +333,13 @@ func (a *Aggregator) Finalize() (*sketch.CMS, error) {
 // ApplyAdjustments+Finalize by contrast mutates in place and would
 // double-subtract on retry.
 func (a *Aggregator) FinalizeWithAdjustments(adjustments ...[]uint64) (*sketch.CMS, error) {
-	if len(a.reported) == 0 {
+	a.mu.Lock()
+	reported, adjusted := len(a.reported), a.adjusted
+	a.mu.Unlock()
+	if reported == 0 {
 		return nil, ErrNoReports
 	}
-	if len(a.reported) < a.rosterSize && !a.adjusted && len(adjustments) == 0 {
+	if reported < a.rosterSize && !adjusted && len(adjustments) == 0 {
 		return nil, ErrNotFinalizable
 	}
 	out := a.agg.Clone()

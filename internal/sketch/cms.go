@@ -256,11 +256,34 @@ func (c *CMS) ErrorBound() float64 {
 	return eps * float64(c.n)
 }
 
+// Seed returns the row-hash seed base. Together with (d, w) it defines
+// the cell layout; it is layout metadata, not a secret.
+func (c *CMS) Seed() uint64 { return c.seed }
+
+// SameLayout reports whether other shares c's dimensions and hash seed —
+// the precondition for cell-wise aggregation to be meaningful.
+func (c *CMS) SameLayout(other *CMS) bool {
+	return other != nil && c.d == other.d && c.w == other.w && c.seed == other.seed
+}
+
+// LayoutMatches reports whether a sketch with the given header fields
+// would share c's cell layout. The streaming ingestion path uses it to
+// validate a report's raw cell vector without materializing a CMS.
+func (c *CMS) LayoutMatches(d, w int, seed uint64) bool {
+	return c.d == d && c.w == w && c.seed == seed
+}
+
+// AddWeight adds delta to the update total n without touching cells: the
+// bookkeeping half of a merge whose cell adds happen externally (the
+// striped round aggregation). Not safe for concurrent use; callers
+// serialize (the aggregator does so under its bookkeeping lock).
+func (c *CMS) AddWeight(delta uint64) { c.n += delta }
+
 // Merge adds other into c cell-wise. Both sketches must share dimensions
 // (and therefore hash layout). Merge is the linear-aggregation primitive
 // used by the back-end server.
 func (c *CMS) Merge(other *CMS) error {
-	if other == nil || c.d != other.d || c.w != other.w || c.seed != other.seed {
+	if !c.SameLayout(other) {
 		return ErrDimensionMismatch
 	}
 	vec.Add(c.cells, other.cells)
@@ -315,7 +338,7 @@ func (c *CMS) MarshalBinary() ([]byte, error) {
 	binary.LittleEndian.PutUint64(buf[8:], uint64(c.w))
 	binary.LittleEndian.PutUint64(buf[16:], c.n)
 	binary.LittleEndian.PutUint64(buf[24:], c.seed)
-	putCellsLE(buf[32:], c.cells)
+	vec.PutLE(buf[32:], c.cells)
 	return buf, nil
 }
 
@@ -343,7 +366,7 @@ func (c *CMS) UnmarshalBinary(data []byte) error {
 	c.n = binary.LittleEndian.Uint64(data[16:])
 	c.seed = binary.LittleEndian.Uint64(data[24:])
 	c.cells = make([]uint64, cells)
-	getCellsLE(c.cells, data[32:])
+	vec.GetLE(c.cells, data[32:])
 	return nil
 }
 

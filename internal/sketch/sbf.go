@@ -2,8 +2,9 @@ package sketch
 
 import (
 	"encoding/binary"
-	"hash/fnv"
 	"math"
+
+	"eyewnder/internal/vec"
 )
 
 // SBF is a spectral Bloom filter (Cohen & Matias, SIGMOD'03) — the
@@ -20,6 +21,12 @@ import (
 // it bound both the error probability and the error itself; the SBF's
 // error depends on the load factor. Both live here so the ablation bench
 // can compare them at equal memory.
+//
+// Counter indices use the same Kirsch–Mitzenmacher double hashing as the
+// CMS: one 128-bit hash of the key yields (h1, h2) and hash function j
+// probes counter (h1 + j·h2) mod m, so Update and Query hash once and
+// allocate nothing. As with the CMS, the hash defines the cell layout
+// and must match across participants for blinded aggregation.
 type SBF struct {
 	m, k  int
 	cells []uint64
@@ -60,13 +67,26 @@ func (s *SBF) Cells() int { return s.m }
 // SizeBytes returns the serialized size at cellBytes per counter.
 func (s *SBF) SizeBytes(cellBytes int) int { return s.m * cellBytes }
 
-func (s *SBF) index(j int, x []byte) int {
-	h := fnv.New64a()
-	var key [8]byte
-	binary.LittleEndian.PutUint64(key[:], uint64(j)*0xff51afd7ed558ccd+3)
-	h.Write(key[:])
-	h.Write(x)
-	return int(h.Sum64() % uint64(s.m))
+// sbfSeed decorrelates the SBF's hash128 stream from the CMS's (whose
+// seed base is 0), so the two synopses place keys independently in the
+// equal-memory ablation.
+const sbfSeed = 0x5bf0361c4a1e9d87
+
+// indexSeed hashes x exactly once and returns the j=0 counter index, the
+// Kirsch–Mitzenmacher stride, and the counter count, mirroring
+// CMS.indexSeed: hash function j reads counter (idx + j·step) mod m, the
+// successor derived with a conditional subtract. The old implementation
+// ran one FNV pass per hash function and allocated the hash state each
+// time; this is one allocation-free pass total.
+func (s *SBF) indexSeed(x []byte) (idx, step, m uint64) {
+	h1, h2 := hash128(x, sbfSeed)
+	m = uint64(s.m)
+	idx = h1 % m
+	step = h2 % m
+	if step == 0 {
+		step = 1 // keep the k probes from collapsing onto one counter
+	}
+	return idx, step, m
 }
 
 // Update encodes one occurrence of x.
@@ -75,21 +95,33 @@ func (s *SBF) Update(x []byte) { s.UpdateWeighted(x, 1) }
 // UpdateString encodes one occurrence of the string.
 func (s *SBF) UpdateString(x string) { s.UpdateWeighted([]byte(x), 1) }
 
-// UpdateWeighted adds weight w to all k counters of x.
+// UpdateWeighted adds weight w to all k counters of x. The key is hashed
+// once; the whole update is allocation-free.
 func (s *SBF) UpdateWeighted(x []byte, w uint64) {
+	idx, step, m := s.indexSeed(x)
 	for j := 0; j < s.k; j++ {
-		s.cells[s.index(j, x)] += w
+		s.cells[idx] += w
+		idx += step
+		if idx >= m {
+			idx -= m
+		}
 	}
 	s.n += w
 }
 
 // Query returns the minimal-selection frequency estimate: min over the
-// element's k counters. Like the CMS it never underestimates.
+// element's k counters. Like the CMS it never underestimates. The key is
+// hashed once; the query is allocation-free.
 func (s *SBF) Query(x []byte) uint64 {
+	idx, step, m := s.indexSeed(x)
 	min := uint64(math.MaxUint64)
 	for j := 0; j < s.k; j++ {
-		if v := s.cells[s.index(j, x)]; v < min {
+		if v := s.cells[idx]; v < min {
 			min = v
+		}
+		idx += step
+		if idx >= m {
+			idx -= m
 		}
 	}
 	return min
@@ -119,9 +151,7 @@ func (s *SBF) MarshalBinary() ([]byte, error) {
 	binary.LittleEndian.PutUint64(buf[0:], uint64(s.m))
 	binary.LittleEndian.PutUint64(buf[8:], uint64(s.k))
 	binary.LittleEndian.PutUint64(buf[16:], s.n)
-	for i, v := range s.cells {
-		binary.LittleEndian.PutUint64(buf[24+8*i:], v)
-	}
+	vec.PutLE(buf[24:], s.cells)
 	return buf, nil
 }
 
@@ -141,8 +171,6 @@ func (s *SBF) UnmarshalBinary(data []byte) error {
 	s.m, s.k = m, k
 	s.n = binary.LittleEndian.Uint64(data[16:])
 	s.cells = make([]uint64, m)
-	for i := range s.cells {
-		s.cells[i] = binary.LittleEndian.Uint64(data[24+8*i:])
-	}
+	vec.GetLE(s.cells, data[24:])
 	return nil
 }

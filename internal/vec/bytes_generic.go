@@ -1,0 +1,27 @@
+//go:build !(amd64 || arm64 || 386 || arm || riscv64 || loong64 || mipsle || mips64le || ppc64le || wasm)
+
+package vec
+
+import "encoding/binary"
+
+// Portable fallback for big-endian (or unlisted) architectures: no raw
+// byte view exists, so callers read into a byte buffer and decode with
+// GetLE (one pass over pre-sliced 8-byte windows).
+
+// AsBytes reports that no zero-copy byte view is available on this
+// architecture.
+func AsBytes(v []uint64) ([]byte, bool) { return nil, false }
+
+// PutLE encodes src into dst as little-endian uint64s.
+func PutLE(dst []byte, src []uint64) {
+	for i, v := range src {
+		binary.LittleEndian.PutUint64(dst[8*i:], v)
+	}
+}
+
+// GetLE decodes 8*len(dst) little-endian bytes from src into dst.
+func GetLE(dst []uint64, src []byte) {
+	for i := range dst {
+		dst[i] = binary.LittleEndian.Uint64(src[8*i:])
+	}
+}

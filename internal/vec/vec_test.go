@@ -1,7 +1,9 @@
 package vec
 
 import (
+	"encoding/binary"
 	"math/rand"
+	"sync"
 	"testing"
 )
 
@@ -78,5 +80,80 @@ func benchAdd(b *testing.B, n int) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		Add(dst, src)
+	}
+}
+
+// Concurrent striped adds must produce exactly the serial sum, for any
+// stripe count including the degenerate single-lock case.
+func TestStripedAddMatchesSerial(t *testing.T) {
+	const n = 10000
+	const adders = 8
+	for _, stripes := range []int{0, 1, 3, 16} {
+		dst := make([]uint64, n)
+		s := NewStriped(dst, stripes)
+		if s.Len() != n || s.Stripes() < 1 {
+			t.Fatalf("stripes=%d: Len=%d Stripes=%d", stripes, s.Len(), s.Stripes())
+		}
+		srcs := make([][]uint64, adders)
+		want := make([]uint64, n)
+		for a := range srcs {
+			srcs[a] = make([]uint64, n)
+			for i := range srcs[a] {
+				srcs[a][i] = uint64(a*1000003 + i)
+				want[i] += srcs[a][i]
+			}
+		}
+		var wg sync.WaitGroup
+		for a := range srcs {
+			wg.Add(1)
+			go func(src []uint64) {
+				defer wg.Done()
+				s.Add(src)
+			}(srcs[a])
+		}
+		wg.Wait()
+		for i := range want {
+			if dst[i] != want[i] {
+				t.Fatalf("stripes=%d: dst[%d] = %d, want %d", stripes, i, dst[i], want[i])
+			}
+		}
+	}
+}
+
+func TestStripedAddLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	NewStriped(make([]uint64, 8), 2).Add(make([]uint64, 9))
+}
+
+// PutLE/GetLE/AsBytes agree with encoding/binary on every architecture.
+func TestByteViewsRoundTrip(t *testing.T) {
+	src := []uint64{0, 1, 0xdeadbeefcafebabe, 1 << 63, ^uint64(0)}
+	buf := make([]byte, 8*len(src))
+	PutLE(buf, src)
+	for i, v := range src {
+		if got := binary.LittleEndian.Uint64(buf[8*i:]); got != v {
+			t.Fatalf("PutLE[%d] = %x, want %x", i, got, v)
+		}
+	}
+	dst := make([]uint64, len(src))
+	GetLE(dst, buf)
+	for i := range src {
+		if dst[i] != src[i] {
+			t.Fatalf("GetLE[%d] = %x, want %x", i, dst[i], src[i])
+		}
+	}
+	if view, ok := AsBytes(src); ok {
+		if len(view) != len(buf) {
+			t.Fatalf("AsBytes len = %d, want %d", len(view), len(buf))
+		}
+		for i := range buf {
+			if view[i] != buf[i] {
+				t.Fatalf("AsBytes[%d] = %x, want %x", i, view[i], buf[i])
+			}
+		}
 	}
 }

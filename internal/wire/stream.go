@@ -1,0 +1,193 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"eyewnder/internal/vec"
+)
+
+// Streamed report frames: the binary fast path for the one message that
+// dominates back-end traffic, backend.submit_report. The JSON path costs
+// three full copies of the ~150 KB sketch per report (base64 text inside
+// the envelope, the decoded []byte, the unmarshalled cell slice) plus the
+// JSON parse itself. A report frame instead carries the sketch header and
+// the raw little-endian cell block; the server reads the cells straight
+// off the socket into a pooled []uint64 — on little-endian hosts the
+// io.ReadFull target IS the cell slice's backing memory — and hands the
+// borrowed slice to a ReportSink, which folds it into the round aggregate
+// and returns. No intermediate []byte of the message ever exists, and
+// steady-state ingestion allocates nothing per report.
+//
+// Framing: the 4-byte big-endian header word sets its top bit to mark a
+// report frame (JSON payload lengths are capped at MaxFrame = 16 MiB, so
+// the bit is never set by the JSON path); the low 31 bits are the payload
+// length. The payload is a 48-byte preamble — user, round, d, w, n, seed,
+// all little-endian uint64 — followed by the 8·d·w-byte cell block.
+
+// reportFlag marks a header word as a streamed report frame.
+const reportFlag = 1 << 31
+
+// reportPreamble is the fixed payload prefix: user(8) round(8) d(8) w(8)
+// n(8) seed(8).
+const reportPreamble = 48
+
+// Report-frame geometry bounds, mirroring the sketch deserializer's: d·w
+// is additionally capped by MaxFrame, so a hostile header cannot provoke
+// a huge pool allocation.
+const (
+	maxReportDepth = 1 << 20
+	maxReportWidth = 1 << 32
+)
+
+// Errors of the streaming path.
+var (
+	ErrBadReportFrame = errors.New("wire: malformed report frame")
+	ErrNoSink         = errors.New("wire: server does not accept streamed reports")
+)
+
+// ReportFrame is one streamed report: the sketch header fields of the
+// binary CMS serialization plus the flat cell vector, with the submitting
+// user and round prepended.
+//
+// On the server side Cells is a pooled slice borrowed from the frame
+// reader: it is valid only for the duration of the ReportSink call and
+// must not be retained (fold it into the aggregate, or copy).
+type ReportFrame struct {
+	User  int
+	Round uint64
+	D, W  int
+	N     uint64
+	Seed  uint64
+	Cells []uint64
+}
+
+// ReportSink consumes streamed report frames. Implementations must
+// tolerate concurrent calls (one per connection) and must not retain
+// f.Cells past the call.
+type ReportSink interface {
+	ConsumeReport(f *ReportFrame) error
+}
+
+// reportBuf is the per-frame scratch a connection borrows from the pool:
+// the cell slice payloads decode into and, on big-endian hosts only, the
+// byte buffer the socket is read into first. Pooling a struct pointer
+// (rather than the slices themselves) keeps Put allocation-free, so
+// steady-state ingestion recycles one object per frame with zero garbage.
+type reportBuf struct {
+	cells []uint64
+	raw   []byte // big-endian fallback only; nil on little-endian hosts
+}
+
+var reportBufPool = sync.Pool{New: func() interface{} { return new(reportBuf) }}
+
+// cellSlice returns b.cells resized to n, growing the backing array only
+// when a larger geometry arrives than the pool has seen.
+func (b *reportBuf) cellSlice(n int) []uint64 {
+	if cap(b.cells) < n {
+		b.cells = make([]uint64, n)
+	}
+	return b.cells[:cap(b.cells)][:n]
+}
+
+// WriteReportFrame writes one streamed report. The cell block goes out
+// as the slice's raw byte view on little-endian hosts (no encode copy);
+// elsewhere it is encoded through a scratch buffer.
+func WriteReportFrame(w io.Writer, f *ReportFrame) error {
+	cells := uint64(f.D) * uint64(f.W)
+	if f.D < 1 || f.W < 1 || uint64(len(f.Cells)) != cells {
+		return ErrBadReportFrame
+	}
+	payload := uint64(reportPreamble) + 8*cells
+	if payload > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	var hdr [4 + reportPreamble]byte
+	binary.BigEndian.PutUint32(hdr[0:], uint32(payload)|reportFlag)
+	binary.LittleEndian.PutUint64(hdr[4:], uint64(f.User))
+	binary.LittleEndian.PutUint64(hdr[12:], f.Round)
+	binary.LittleEndian.PutUint64(hdr[20:], uint64(f.D))
+	binary.LittleEndian.PutUint64(hdr[28:], uint64(f.W))
+	binary.LittleEndian.PutUint64(hdr[36:], f.N)
+	binary.LittleEndian.PutUint64(hdr[44:], f.Seed)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if view, ok := vec.AsBytes(f.Cells); ok {
+		_, err := w.Write(view)
+		return err
+	}
+	buf := make([]byte, 8*len(f.Cells))
+	vec.PutLE(buf, f.Cells)
+	_, err := w.Write(buf)
+	return err
+}
+
+// readReportFrame reads a report payload of length n (header word already
+// consumed, flag stripped) into buf's pooled cell slice. The returned
+// frame's Cells alias buf; recycle buf only after the frame is consumed.
+func readReportFrame(r io.Reader, n uint32, buf *reportBuf) (*ReportFrame, error) {
+	if n < reportPreamble || n > MaxFrame {
+		return nil, ErrBadReportFrame
+	}
+	var pre [reportPreamble]byte
+	if _, err := io.ReadFull(r, pre[:]); err != nil {
+		return nil, fmt.Errorf("wire: short report frame: %w", err)
+	}
+	user := binary.LittleEndian.Uint64(pre[0:])
+	round := binary.LittleEndian.Uint64(pre[8:])
+	d64 := binary.LittleEndian.Uint64(pre[16:])
+	w64 := binary.LittleEndian.Uint64(pre[24:])
+	nTotal := binary.LittleEndian.Uint64(pre[32:])
+	seed := binary.LittleEndian.Uint64(pre[40:])
+	if user > 1<<31 || d64 < 1 || w64 < 1 || d64 > maxReportDepth || w64 > maxReportWidth {
+		return nil, ErrBadReportFrame
+	}
+	cells := d64 * w64 // ≤ 2⁵² by the bounds above: no overflow
+	if uint64(n) != reportPreamble+8*cells {
+		return nil, ErrBadReportFrame
+	}
+	dst := buf.cellSlice(int(cells))
+	if view, ok := vec.AsBytes(dst); ok {
+		// Zero-copy: the socket read lands in the cell slice's memory.
+		if _, err := io.ReadFull(r, view); err != nil {
+			return nil, fmt.Errorf("wire: short report frame: %w", err)
+		}
+	} else {
+		if cap(buf.raw) < int(8*cells) {
+			buf.raw = make([]byte, 8*cells)
+		}
+		raw := buf.raw[:8*cells]
+		if _, err := io.ReadFull(r, raw); err != nil {
+			return nil, fmt.Errorf("wire: short report frame: %w", err)
+		}
+		vec.GetLE(dst, raw)
+	}
+	return &ReportFrame{
+		User: int(user), Round: round,
+		D: int(d64), W: int(w64),
+		N: nTotal, Seed: seed, Cells: dst,
+	}, nil
+}
+
+// SubmitReportFrame streams one report over the client connection and
+// waits for the acknowledgement. It shares the connection's request
+// serialization with Do.
+func (c *Client) SubmitReportFrame(f *ReportFrame) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return ErrClosed
+	}
+	if err := WriteReportFrame(c.conn, f); err != nil {
+		return err
+	}
+	resp, err := ReadMsg(c.conn)
+	if err != nil {
+		return err
+	}
+	return respError(resp)
+}

@@ -8,6 +8,11 @@
 // {"type": ..., "payload": ...}. Payload size is capped to keep a
 // misbehaving peer from ballooning memory; a ~200 KB blinded CMS (the
 // paper's Section 7.1 number) fits comfortably.
+//
+// The highest-volume message, backend.submit_report, additionally has a
+// binary streamed form (see stream.go): the header word's top bit marks a
+// report frame whose cell block is read directly into pooled cell slices,
+// bypassing the JSON envelope and its per-report copies entirely.
 package wire
 
 import (
@@ -101,10 +106,13 @@ type ErrorPayload struct {
 
 // Server accepts connections and serves request/response exchanges with a
 // Handler. One goroutine per connection; requests on a connection are
-// processed in order.
+// processed in order. Servers constructed with ServeWithSink additionally
+// accept streamed report frames, routed to the ReportSink instead of the
+// Handler.
 type Server struct {
 	lis     net.Listener
 	handler Handler
+	sink    ReportSink // nil: streamed report frames are rejected
 
 	mu    sync.Mutex
 	conns map[net.Conn]struct{}
@@ -114,6 +122,12 @@ type Server struct {
 
 // Serve starts a server on addr ("127.0.0.1:0" picks a free port).
 func Serve(addr string, handler Handler) (*Server, error) {
+	return ServeWithSink(addr, handler, nil)
+}
+
+// ServeWithSink starts a server that also accepts streamed report frames,
+// delivering them to sink on the connection's goroutine.
+func ServeWithSink(addr string, handler Handler, sink ReportSink) (*Server, error) {
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -121,6 +135,7 @@ func Serve(addr string, handler Handler) (*Server, error) {
 	s := &Server{
 		lis:     lis,
 		handler: handler,
+		sink:    sink,
 		conns:   make(map[net.Conn]struct{}),
 		done:    make(chan struct{}),
 	}
@@ -162,12 +177,60 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 		conn.Close()
 	}()
+	// buf is the connection's JSON frame buffer, grown to the largest
+	// frame seen and reused across requests. This removes the per-request
+	// frame allocation; json.Unmarshal still copies the payload bytes into
+	// Msg.Payload (RawMessage), so nothing handed to the handler aliases
+	// buf.
+	var buf []byte
 	for {
-		req, err := ReadMsg(conn)
-		if err != nil {
+		var hdr [4]byte
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
 			return // EOF or broken peer: drop the connection
 		}
-		respType, resp, err := s.handler(req)
+		word := binary.BigEndian.Uint32(hdr[:])
+
+		if word&reportFlag != 0 {
+			// Streamed report frame: decode into pooled cells, hand to
+			// the sink, recycle. A framing error is unrecoverable (the
+			// stream position is unknown), so it drops the connection; a
+			// sink error is an ordinary request failure.
+			rb := reportBufPool.Get().(*reportBuf)
+			frame, err := readReportFrame(conn, word&^reportFlag, rb)
+			if err != nil {
+				reportBufPool.Put(rb)
+				return
+			}
+			sinkErr := ErrNoSink
+			if s.sink != nil {
+				sinkErr = s.sink.ConsumeReport(frame)
+			}
+			reportBufPool.Put(rb)
+			respType, resp := TypeSubmitReportOK, interface{}(struct{}{})
+			if sinkErr != nil {
+				respType, resp = "error", ErrorPayload{Error: sinkErr.Error()}
+			}
+			if err := WriteMsg(conn, respType, resp); err != nil {
+				return
+			}
+			continue
+		}
+
+		if word > MaxFrame {
+			return
+		}
+		if int(word) > cap(buf) {
+			buf = make([]byte, word)
+		}
+		buf = buf[:word]
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			return
+		}
+		var req Msg
+		if err := json.Unmarshal(buf, &req); err != nil {
+			return
+		}
+		respType, resp, err := s.handler(&req)
 		if err != nil {
 			respType, resp = "error", ErrorPayload{Error: err.Error()}
 		}
@@ -221,17 +284,25 @@ func (c *Client) Do(reqType string, payload interface{}, respOut interface{}) er
 	if err != nil {
 		return err
 	}
-	if resp.Type == "error" {
-		var ep ErrorPayload
-		if err := resp.Decode(&ep); err != nil {
-			return errors.New("wire: remote error")
-		}
-		return fmt.Errorf("wire: remote error: %s", ep.Error)
+	if err := respError(resp); err != nil {
+		return err
 	}
 	if respOut == nil {
 		return nil
 	}
 	return resp.Decode(respOut)
+}
+
+// respError surfaces a server-side "error" response as a Go error.
+func respError(resp *Msg) error {
+	if resp.Type != "error" {
+		return nil
+	}
+	var ep ErrorPayload
+	if err := resp.Decode(&ep); err != nil {
+		return errors.New("wire: remote error")
+	}
+	return fmt.Errorf("wire: remote error: %s", ep.Error)
 }
 
 // Close shuts the connection down.
