@@ -123,7 +123,7 @@ func runPipeline(outPath, baselinePath string, checkPct, checkNsPct float64) err
 		}
 	})
 
-	fmt.Fprintln(os.Stderr, "pipeline: blinding vector (16-user roster, 5k cells) ...")
+	fmt.Fprintln(os.Stderr, "pipeline: blinding vector (16-user roster, 5k cells), HMAC vs AES-CTR ...")
 	roster, err := blind.NewRoster(group.P256(), 16, rand.Reader)
 	if err != nil {
 		return err
@@ -131,6 +131,15 @@ func runPipeline(outPath, baselinePath string, checkPct, checkNsPct float64) err
 	rep.Benchmarks["blind_vector_5k"] = measure(func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			roster.Parties[0].Blinding(uint64(i), 5000)
+		}
+	})
+	rosterAES, err := blind.NewRosterKeystream(group.P256(), 16, rand.Reader, blind.KeystreamAESCTR)
+	if err != nil {
+		return err
+	}
+	rep.Benchmarks["blind_aesctr"] = measure(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rosterAES.Parties[0].Blinding(uint64(i), 5000)
 		}
 	})
 
@@ -237,6 +246,18 @@ func runPipeline(outPath, baselinePath string, checkPct, checkNsPct float64) err
 				locked.NsPerOp/striped.NsPerOp, rep.MaxProcs)
 		}
 	}
+	if stream, ok := rep.Benchmarks["submit_report_stream"]; ok {
+		if batched, ok := rep.Benchmarks["submit_report_stream_batched"]; ok && batched.NsPerOp > 0 {
+			fmt.Printf("  batched acks: %.2fx vs per-frame JSON ack (%d -> %d allocs/op, %d -> %d B/op)\n",
+				stream.NsPerOp/batched.NsPerOp,
+				stream.AllocsPerOp, batched.AllocsPerOp, stream.BytesPerOp, batched.BytesPerOp)
+		}
+	}
+	if hmacKS, ok := rep.Benchmarks["blind_vector_5k"]; ok {
+		if aesKS, ok := rep.Benchmarks["blind_aesctr"]; ok && aesKS.NsPerOp > 0 {
+			fmt.Printf("  blinding keystream: aes-ctr %.2fx vs hmac-sha256\n", hmacKS.NsPerOp/aesKS.NsPerOp)
+		}
+	}
 	if checkPct > 0 || checkNsPct > 0 {
 		return checkRegressions(rep, checkPct, checkNsPct)
 	}
@@ -314,6 +335,37 @@ func benchIngestion(rep *pipelineReport, newCMS func() *sketch.CMS, key []byte) 
 			}
 		}
 	})
+
+	// Batched acks + pipelining, on a dedicated connection so the legacy
+	// row above keeps measuring the per-frame JSON ack round trip: the
+	// client keeps a window of frames in flight, the server folds frame k
+	// while decoding frame k+1 and answers once per ack batch, so the
+	// JSON ack marshal/parse — the streamed path's remaining per-report
+	// allocation — disappears along with the per-frame stall.
+	cliBatched, err := wire.Dial(srv.Addr())
+	if err != nil {
+		return err
+	}
+	defer cliBatched.Close()
+	rep.Benchmarks["submit_report_stream_batched"] = measure(func(b *testing.B) {
+		s, err := cliBatched.OpenReportStream(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := s.Submit(frame); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := s.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if err := s.Close(); err != nil {
+			b.Fatal(err)
+		}
+	})
 	return nil
 }
 
@@ -376,9 +428,18 @@ func benchRoundContention(rep *pipelineReport) error {
 // trackedMetrics lists, per metric, whether it is deterministic across
 // machines. The CI gate fails on regressions in deterministic metrics
 // (allocs, bytes) at the tight threshold; ns/op varies with the runner's
-// hardware and load, so it gets its own (looser) threshold.
+// hardware and load, so it gets its own (looser) threshold. A baseline
+// row with no counterpart in the fresh report is itself a failure:
+// renaming or dropping a benchmark must be an explicit baseline update,
+// never a silent way past the gate.
 func checkRegressions(rep *pipelineReport, pct, nsPct float64) error {
 	var failures []string
+	for name := range rep.Baseline {
+		if _, ok := rep.Benchmarks[name]; !ok {
+			failures = append(failures, fmt.Sprintf(
+				"%s: baseline row missing from the fresh report (renamed or deleted benchmark? update the committed baseline explicitly)", name))
+		}
+	}
 	for name, cur := range rep.Benchmarks {
 		base, ok := rep.Baseline[name]
 		if !ok {

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// A baseline row with no counterpart in the fresh report must fail the
+// gate: renaming a benchmark must not silently dodge its regression
+// check.
+func TestCheckRegressionsMissingBaselineRow(t *testing.T) {
+	rep := &pipelineReport{
+		Benchmarks: map[string]pipelineResult{
+			"kept": {NsPerOp: 1, AllocsPerOp: 1, BytesPerOp: 1},
+		},
+		Baseline: map[string]pipelineResult{
+			"kept":    {NsPerOp: 1, AllocsPerOp: 1, BytesPerOp: 1},
+			"renamed": {NsPerOp: 1, AllocsPerOp: 1, BytesPerOp: 1},
+		},
+	}
+	err := checkRegressions(rep, 30, 300)
+	if err == nil {
+		t.Fatal("missing baseline row passed the gate")
+	}
+	delete(rep.Baseline, "renamed")
+	if err := checkRegressions(rep, 30, 300); err != nil {
+		t.Fatalf("clean report failed the gate: %v", err)
+	}
+}
+
+func TestCheckRegressionsThresholds(t *testing.T) {
+	rep := &pipelineReport{
+		Benchmarks: map[string]pipelineResult{
+			"hot": {NsPerOp: 100, AllocsPerOp: 20, BytesPerOp: 1000},
+		},
+		Baseline: map[string]pipelineResult{
+			"hot": {NsPerOp: 100, AllocsPerOp: 10, BytesPerOp: 1000},
+		},
+	}
+	// Allocs doubled: beyond a 30% threshold.
+	err := checkRegressions(rep, 30, 300)
+	if err == nil || !strings.Contains(err.Error(), "regression") {
+		t.Fatalf("alloc regression passed the gate: %v", err)
+	}
+	// Within a 150% threshold it is tolerated.
+	if err := checkRegressions(rep, 150, 300); err != nil {
+		t.Fatalf("tolerated regression failed the gate: %v", err)
+	}
+	// New benchmarks (no baseline row) never fail the gate.
+	rep.Benchmarks["fresh"] = pipelineResult{NsPerOp: 1, AllocsPerOp: 99, BytesPerOp: 99}
+	if err := checkRegressions(rep, 150, 300); err != nil {
+		t.Fatalf("new benchmark failed the gate: %v", err)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"eyewnder/internal/adsim"
+	"eyewnder/internal/blind"
 	"eyewnder/internal/client"
 	"eyewnder/internal/detector"
 	"eyewnder/internal/group"
@@ -37,8 +38,14 @@ func main() {
 		epsilon     = flag.Float64("epsilon", 0.01, "CMS epsilon (must match the server)")
 		delta       = flag.Float64("delta", 0.01, "CMS delta (must match the server)")
 		idSpace     = flag.Uint64("id-space", 100000, "ad-ID space (must match the server)")
+		keystream   = flag.String("keystream", "hmac-sha256", "blinding keystream suite: hmac-sha256 or aes-ctr (must match the server and every other client)")
 	)
 	flag.Parse()
+
+	ks, err := blind.KeystreamByName(*keystream)
+	if err != nil {
+		log.Fatalf("keystream: %v", err)
+	}
 
 	beConn, err := wire.Dial(*backendAddr)
 	if err != nil {
@@ -55,7 +62,7 @@ func main() {
 		log.Fatalf("fetch oprf key: %v", err)
 	}
 
-	params := privacy.Params{Epsilon: *epsilon, Delta: *delta, IDSpace: *idSpace, Suite: group.P256()}
+	params := privacy.Params{Epsilon: *epsilon, Delta: *delta, IDSpace: *idSpace, Suite: group.P256(), Keystream: ks}
 	ext, err := client.New(client.Options{
 		User: *user, Detector: detector.DefaultConfig(), Params: params,
 	}, &client.WireBackend{C: beConn}, &client.WireEvaluator{C: opConn}, pub)

@@ -15,6 +15,7 @@ import (
 	"os/signal"
 
 	"eyewnder/internal/backend"
+	"eyewnder/internal/blind"
 	"eyewnder/internal/detector"
 	"eyewnder/internal/group"
 	"eyewnder/internal/oprf"
@@ -31,19 +32,26 @@ func main() {
 		delta       = flag.Float64("delta", 0.01, "CMS delta")
 		idSpace     = flag.Uint64("id-space", 100000, "ad-ID space size |A| (overestimate)")
 		stripes     = flag.Int("merge-stripes", 0, "intra-round merge stripes (0 = 2×GOMAXPROCS, 1 = single merge lock)")
+		ackBatch    = flag.Int("ack-batch", 0, "streamed-report ack batch k for batched-ack connections (0 = wire default, 1 = ack every frame)")
+		keystream   = flag.String("keystream", "hmac-sha256", "blinding keystream suite accepted from clients: hmac-sha256 or aes-ctr (must match the clients)")
 	)
 	flag.Parse()
 
+	ks, err := blind.KeystreamByName(*keystream)
+	if err != nil {
+		log.Fatalf("keystream: %v", err)
+	}
 	osrv, err := oprf.NewServer(*rsaBits)
 	if err != nil {
 		log.Fatalf("oprf key generation: %v", err)
 	}
-	params := privacy.Params{Epsilon: *epsilon, Delta: *delta, IDSpace: *idSpace, Suite: group.P256()}
+	params := privacy.Params{Epsilon: *epsilon, Delta: *delta, IDSpace: *idSpace, Suite: group.P256(), Keystream: ks}
 	be, err := backend.New(backend.Config{
 		Params:         params,
 		Users:          *users,
 		UsersEstimator: detector.EstimatorMean,
 		MergeStripes:   *stripes,
+		AckBatch:       *ackBatch,
 	})
 	if err != nil {
 		log.Fatalf("back-end: %v", err)
@@ -59,8 +67,8 @@ func main() {
 	}
 	defer opSrv.Close()
 
-	log.Printf("back-end on %s (roster %d users, ε=%g δ=%g |A|=%d, streamed reports on, merge stripes=%d)",
-		beSrv.Addr(), *users, *epsilon, *delta, *idSpace, be.MergeStripes())
+	log.Printf("back-end on %s (roster %d users, ε=%g δ=%g |A|=%d, streamed reports on, merge stripes=%d, ack batch=%d, keystream=%s)",
+		beSrv.Addr(), *users, *epsilon, *delta, *idSpace, be.MergeStripes(), *ackBatch, ks)
 	log.Printf("oprf-server on %s (RSA-%d)", opSrv.Addr(), *rsaBits)
 
 	sig := make(chan os.Signal, 1)

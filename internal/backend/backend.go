@@ -13,6 +13,7 @@ import (
 	"math/big"
 	"sync"
 
+	"eyewnder/internal/blind"
 	"eyewnder/internal/detector"
 	"eyewnder/internal/oprf"
 	"eyewnder/internal/privacy"
@@ -40,6 +41,11 @@ type Config struct {
 	// MergeStripes sets the intra-round merge striping: 0 picks the
 	// default (2×GOMAXPROCS), 1 degenerates to a single merge lock.
 	MergeStripes int
+	// AckBatch sets the streamed-report ack batch k for connections that
+	// negotiate batched acknowledgements: one binary ack per k frames.
+	// 0 picks the wire default (wire.DefaultAckBatch); 1 acknowledges
+	// every frame.
+	AckBatch int
 }
 
 // Backend is the server state. All methods are safe for concurrent use.
@@ -165,7 +171,10 @@ func (b *Backend) SubmitReport(rep *privacy.Report) error {
 
 // ConsumeReport implements wire.ReportSink: a streamed report's pooled
 // cell vector folds straight into the round aggregate, with no
-// intermediate []byte or CMS ever materialized.
+// intermediate []byte or CMS ever materialized. The frame's keystream
+// suite byte is enforced against the round's: a report blinded under a
+// different suite would not cancel and would silently corrupt the
+// aggregate.
 func (b *Backend) ConsumeReport(f *wire.ReportFrame) error {
 	r, err := b.getRound(f.Round)
 	if err != nil {
@@ -176,7 +185,7 @@ func (b *Backend) ConsumeReport(f *wire.ReportFrame) error {
 	if r.closed {
 		return ErrRoundClosed
 	}
-	return r.agg.AddCells(f.User, f.D, f.W, f.N, f.Seed, f.Cells)
+	return r.agg.AddCells(f.User, f.D, f.W, f.N, f.Seed, blind.Keystream(f.Keystream), f.Cells)
 }
 
 // RoundStatus reports progress of a round.
@@ -323,7 +332,10 @@ func (b *Backend) Handler() wire.Handler {
 			if err := cms.UnmarshalBinary(req.Sketch); err != nil {
 				return "", nil, err
 			}
-			rep := &privacy.Report{User: req.User, Round: req.Round, Sketch: &cms}
+			rep := &privacy.Report{
+				User: req.User, Round: req.Round, Sketch: &cms,
+				Keystream: blind.Keystream(req.Keystream),
+			}
 			if err := b.SubmitReport(rep); err != nil {
 				return "", nil, err
 			}
@@ -393,9 +405,11 @@ func (b *Backend) Handler() wire.Handler {
 
 // Serve starts the back-end on a TCP address, accepting both JSON
 // messages and streamed report frames (the back-end is its own
-// wire.ReportSink).
+// wire.ReportSink). Connections that negotiate batched acknowledgements
+// get one binary ack per Config.AckBatch frames and pipelined
+// decode-while-fold ingestion.
 func (b *Backend) Serve(addr string) (*wire.Server, error) {
-	return wire.ServeWithSink(addr, b.Handler(), b)
+	return wire.ServeWithSinkOpts(addr, b.Handler(), b, wire.StreamOpts{AckBatch: b.cfg.AckBatch})
 }
 
 // OPRFHandler adapts an oprf.Server to the wire protocol.

@@ -13,9 +13,12 @@
 // negatively, Σ_i b_i[m] ≡ 0 for every cell, so the server recovers the
 // exact aggregate while each individual report is uniformly random.
 //
-// The PRF is expanded in counter mode (see keystream): one HMAC-SHA256
-// invocation yields the factors for four consecutive cells, and the
-// independent pairwise streams are fanned out across CPU cores.
+// The PRF is expanded in counter mode under one of two suites (see the
+// Keystream type): HMAC-SHA256 (suite 0x00, four factors per invocation)
+// or AES-256-CTR (suite 0x01, eight factors per AES-NI-pipelined 64-byte
+// refill). The independent pairwise streams are fanned out across CPU
+// cores. The suite is protocol state — reports carry the byte and the
+// aggregator rejects mixed-suite rounds.
 //
 // Fault tolerance (Section 6, "Fault-tolerance"): if a subset of users
 // fails to report, the residual noise in the aggregate is exactly the sum
@@ -45,7 +48,53 @@ var (
 	ErrRosterTooSmall = errors.New("blind: roster needs at least 2 users")
 	ErrNotInRoster    = errors.New("blind: own public key not in roster")
 	ErrUnknownUser    = errors.New("blind: user index out of range")
+	ErrUnknownSuite   = errors.New("blind: unknown keystream suite")
 )
+
+// Keystream is the suite byte selecting how pairwise keys expand into
+// per-cell blinding factors. The suite is part of the protocol: every
+// party in a round must run the same one or the pairwise terms would not
+// cancel, so reports carry the byte on the wire and the aggregator
+// rejects mismatches. The zero value is the original HMAC expansion, so
+// old reports (which never carried a suite byte) still verify.
+type Keystream byte
+
+const (
+	// KeystreamHMACSHA256 (suite byte 0x00) is counter-mode HMAC-SHA256:
+	// four 64-bit factors per PRF invocation. The original expansion.
+	KeystreamHMACSHA256 Keystream = 0x00
+	// KeystreamAESCTR (suite byte 0x01) is AES-256-CTR over a
+	// domain-separated key: eight factors per 64-byte refill, and the
+	// bulk keystream generation rides AES-NI.
+	KeystreamAESCTR Keystream = 0x01
+)
+
+// Valid reports whether the suite byte names a known expansion.
+func (k Keystream) Valid() bool {
+	return k == KeystreamHMACSHA256 || k == KeystreamAESCTR
+}
+
+// String names the suite as accepted by KeystreamByName.
+func (k Keystream) String() string {
+	switch k {
+	case KeystreamHMACSHA256:
+		return "hmac-sha256"
+	case KeystreamAESCTR:
+		return "aes-ctr"
+	}
+	return fmt.Sprintf("unknown(0x%02x)", byte(k))
+}
+
+// KeystreamByName resolves a flag-friendly suite name.
+func KeystreamByName(name string) (Keystream, error) {
+	switch name {
+	case "hmac-sha256", "hmac":
+		return KeystreamHMACSHA256, nil
+	case "aes-ctr", "aesctr", "aes":
+		return KeystreamAESCTR, nil
+	}
+	return 0, fmt.Errorf("%w: %q", ErrUnknownSuite, name)
+}
 
 // Party is one user's view of the blinding protocol: its own secret key
 // plus the derived pairwise secrets with every other roster member.
@@ -54,13 +103,24 @@ type Party struct {
 	pairKeys [][]byte // pairKeys[j] = k_ij (nil for j == index)
 	peers    []int    // every roster index except our own
 	n        int
+	ks       Keystream // factor expansion suite (must match roster-wide)
 }
 
 // NewParty derives the pairwise secrets between the holder of priv (whose
 // public key must appear at position `index` in roster) and every other
-// roster member. Roster order must be identical across all parties — it is
-// the bulletin board.
+// roster member, using the default HMAC-SHA256 keystream. Roster order
+// must be identical across all parties — it is the bulletin board.
 func NewParty(priv group.PrivateKey, roster [][]byte, index int) (*Party, error) {
+	return NewPartyKeystream(priv, roster, index, KeystreamHMACSHA256)
+}
+
+// NewPartyKeystream is NewParty with an explicit factor-expansion suite.
+// Every party in a deployment must use the same suite: the pairwise terms
+// only cancel when both sides of each pair expand the same stream.
+func NewPartyKeystream(priv group.PrivateKey, roster [][]byte, index int, ks Keystream) (*Party, error) {
+	if !ks.Valid() {
+		return nil, fmt.Errorf("%w: 0x%02x", ErrUnknownSuite, byte(ks))
+	}
 	n := len(roster)
 	if n < 2 {
 		return nil, ErrRosterTooSmall
@@ -72,7 +132,7 @@ func NewParty(priv group.PrivateKey, roster [][]byte, index int) (*Party, error)
 	if !bytesEqual(own, roster[index]) {
 		return nil, ErrNotInRoster
 	}
-	p := &Party{index: index, n: n, pairKeys: make([][]byte, n), peers: make([]int, 0, n-1)}
+	p := &Party{index: index, n: n, pairKeys: make([][]byte, n), peers: make([]int, 0, n-1), ks: ks}
 	for j, pub := range roster {
 		if j == index {
 			continue
@@ -89,6 +149,9 @@ func NewParty(priv group.PrivateKey, roster [][]byte, index int) (*Party, error)
 
 // Index returns the party's roster position.
 func (p *Party) Index() int { return p.index }
+
+// Keystream returns the party's factor-expansion suite.
+func (p *Party) Keystream() Keystream { return p.ks }
 
 // RosterSize returns the number of users in the roster.
 func (p *Party) RosterSize() int { return p.n }
@@ -124,19 +187,22 @@ func (p *Party) accumulate(out []uint64, round uint64, peers []int) {
 }
 
 // accumulateSerial is the single-goroutine kernel behind accumulate: one
-// counter-mode keystream per peer, four factors per HMAC invocation.
+// counter-mode keystream per peer, expanded by the party's suite. The
+// switch hoists suite dispatch out of the per-cell loop so each suite's
+// next() stays a direct (inlinable) call.
 func (p *Party) accumulateSerial(out []uint64, round uint64, peers []int) {
-	var ks keystream
-	for _, j := range peers {
-		ks.init(p.pairKeys[j], round, 0)
-		if p.index > j {
-			for m := range out {
-				out[m] += ks.next()
-			}
-		} else {
-			for m := range out {
-				out[m] -= ks.next() // two's-complement == subtraction mod 2^64
-			}
+	switch p.ks {
+	case KeystreamAESCTR:
+		var ks aesKeystream
+		for _, j := range peers {
+			ks.init(p.pairKeys[j], round, 0)
+			ks.accumulate(out, p.index > j)
+		}
+	default:
+		var ks keystream
+		for _, j := range peers {
+			ks.init(p.pairKeys[j], round, 0)
+			ks.accumulate(out, p.index > j)
 		}
 	}
 }
@@ -206,8 +272,15 @@ type Roster struct {
 	Parties []*Party
 }
 
-// NewRoster generates a full roster of n users.
+// NewRoster generates a full roster of n users with the default
+// HMAC-SHA256 keystream.
 func NewRoster(suite group.Suite, n int, rng io.Reader) (*Roster, error) {
+	return NewRosterKeystream(suite, n, rng, KeystreamHMACSHA256)
+}
+
+// NewRosterKeystream is NewRoster with an explicit factor-expansion
+// suite, applied uniformly to every party (as a deployment must).
+func NewRosterKeystream(suite group.Suite, n int, rng io.Reader, ks Keystream) (*Roster, error) {
 	if n < 2 {
 		return nil, ErrRosterTooSmall
 	}
@@ -223,7 +296,7 @@ func NewRoster(suite group.Suite, n int, rng io.Reader) (*Roster, error) {
 	}
 	parties := make([]*Party, n)
 	for i := 0; i < n; i++ {
-		p, err := NewParty(privs[i], pubs, i)
+		p, err := NewPartyKeystream(privs[i], pubs, i, ks)
 		if err != nil {
 			return nil, err
 		}

@@ -27,9 +27,10 @@ const factorsPerBlock = sha256.Size / 8
 // reused for every block, so factor generation is allocation-free after
 // the constructor (asserted by TestKeystreamZeroAllocs).
 //
-// COMPATIBILITY: this expansion defines the blinding values. All parties
-// must run the same keystream version or their pairwise terms would not
-// cancel; change it only in lockstep across the deployment.
+// COMPATIBILITY: this expansion defines the suite-0x00 blinding values
+// (see the Keystream type; aesKeystream is suite 0x01). All parties must
+// run the same keystream suite or their pairwise terms would not cancel;
+// change an expansion only in lockstep across the deployment.
 type keystream struct {
 	mac   hash.Hash
 	hdr   [16]byte          // round ‖ block counter
@@ -65,4 +66,18 @@ func (k *keystream) next() uint64 {
 	v := binary.LittleEndian.Uint64(k.block[8*k.word:])
 	k.word++
 	return v
+}
+
+// accumulate folds the remainder of the stream into out, adding when add
+// is true and subtracting otherwise (two's-complement == mod-2⁶⁴).
+func (k *keystream) accumulate(out []uint64, add bool) {
+	if add {
+		for m := range out {
+			out[m] += k.next()
+		}
+	} else {
+		for m := range out {
+			out[m] -= k.next()
+		}
+	}
 }

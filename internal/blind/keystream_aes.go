@@ -1,0 +1,99 @@
+package blind
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/sha256"
+	"encoding/binary"
+)
+
+// aesFactorsPerFill is how many 64-bit blinding factors one refill of the
+// AES-CTR keystream yields: the stream is advanced 64 bytes (four AES
+// blocks) at a time, i.e. eight factors per refill — twice HMAC-SHA256's
+// four — and the bulk XORKeyStream call rides the pipelined AES-NI
+// assembly instead of paying per-block dispatch.
+const aesFactorsPerFill = 64 / 8
+
+// aesBlocksPerFill is the AES block count of one refill (4 × 16 bytes).
+const aesBlocksPerFill = 4
+
+// aesKeyLabel domain-separates the AES-CTR expansion key from the raw
+// pairwise secret (which also keys the HMAC suite): both suites may exist
+// in one deployment history, and their keystreams must share no structure.
+const aesKeyLabel = "eyewnder/blind/aes-ctr/v1"
+
+// aesZero is the all-zero plaintext XORKeyStream turns into raw keystream.
+var aesZero [aesBlocksPerFill * aes.BlockSize]byte
+
+// aesKeystream is the KeystreamAESCTR expansion of a pairwise key into
+// per-cell blinding factors:
+//
+//	K      = SHA-256(aesKeyLabel ‖ k_ij)
+//	stream = AES-256-CTR(K, IV = round ‖ block counter)   (both big-endian)
+//	factor_m = little-endian word m of the stream
+//
+// Like the HMAC keystream it is counter-mode seekable: init can position
+// the stream at any cell, which is what lets a future layout stripe one
+// pair's cells across workers. The cipher state is built once in init and
+// reused for every refill, so factor generation is allocation-free after
+// keying (asserted by TestAESKeystreamZeroAllocs).
+//
+// COMPATIBILITY: this expansion defines the suite-0x01 blinding values.
+// All parties in a round must run the same suite or their pairwise terms
+// would not cancel; see the Keystream type.
+type aesKeystream struct {
+	stream cipher.Stream
+	buf    [aesBlocksPerFill * aes.BlockSize]byte // current expanded run
+	word   int                                    // next word within buf; aesFactorsPerFill = refill
+}
+
+// init keys the stream for (key, round) and positions it at cell `cell`.
+func (k *aesKeystream) init(key []byte, round uint64, cell int) {
+	h := sha256.New()
+	h.Write([]byte(aesKeyLabel))
+	h.Write(key)
+	var aesKey [sha256.Size]byte
+	h.Sum(aesKey[:0])
+	block, err := aes.NewCipher(aesKey[:])
+	if err != nil {
+		// 32-byte keys are always valid AES-256 keys.
+		panic("blind: aes keying: " + err.Error())
+	}
+	fill := uint64(cell) / aesFactorsPerFill
+	var iv [aes.BlockSize]byte
+	binary.BigEndian.PutUint64(iv[:8], round)
+	binary.BigEndian.PutUint64(iv[8:], fill*aesBlocksPerFill)
+	k.stream = cipher.NewCTR(block, iv[:])
+	k.word = int(uint64(cell) % aesFactorsPerFill)
+	k.fill()
+}
+
+// fill advances the CTR stream by one 64-byte run into k.buf.
+func (k *aesKeystream) fill() {
+	k.stream.XORKeyStream(k.buf[:], aesZero[:])
+}
+
+// next returns the following 64-bit blinding factor.
+func (k *aesKeystream) next() uint64 {
+	if k.word == aesFactorsPerFill {
+		k.fill()
+		k.word = 0
+	}
+	v := binary.LittleEndian.Uint64(k.buf[8*k.word:])
+	k.word++
+	return v
+}
+
+// accumulate folds the remainder of the stream into out, adding when add
+// is true and subtracting otherwise (two's-complement == mod-2⁶⁴).
+func (k *aesKeystream) accumulate(out []uint64, add bool) {
+	if add {
+		for m := range out {
+			out[m] += k.next()
+		}
+	} else {
+		for m := range out {
+			out[m] -= k.next()
+		}
+	}
+}

@@ -36,7 +36,7 @@ var ErrNotRegistered = errors.New("client: extension not registered")
 type BackendAPI interface {
 	Register(user int, publicKey []byte) (rosterSize int, err error)
 	Roster() ([][]byte, error)
-	SubmitReport(user int, round uint64, sketch []byte) error
+	SubmitReport(user int, round uint64, ks blind.Keystream, sketch []byte) error
 	RoundStatus(round uint64) (reported int, missing []int, closed bool, err error)
 	SubmitAdjustment(user int, round uint64, cells []uint64) error
 	Threshold(round uint64) (float64, error)
@@ -50,7 +50,7 @@ type BackendAPI interface {
 // adapter hands the sketch over directly — either way the intermediate
 // serialization round-trip disappears.
 type StreamingBackend interface {
-	SubmitReportCMS(user int, round uint64, cms *sketch.CMS) error
+	SubmitReportCMS(user int, round uint64, ks blind.Keystream, cms *sketch.CMS) error
 }
 
 // Extension is one user's eyeWnder instance.
@@ -120,7 +120,7 @@ func (e *Extension) Join() error {
 			return fmt.Errorf("client: roster slot %d empty — not all users registered", i)
 		}
 	}
-	party, err := blind.NewParty(e.priv, roster, e.user)
+	party, err := blind.NewPartyKeystream(e.priv, roster, e.user, e.params.Keystream)
 	if err != nil {
 		return err
 	}
@@ -173,13 +173,13 @@ func (e *Extension) SubmitReport(round uint64) error {
 		return err
 	}
 	if sb, ok := e.backend.(StreamingBackend); ok {
-		return sb.SubmitReportCMS(e.user, round, rep.Sketch)
+		return sb.SubmitReportCMS(e.user, round, rep.Keystream, rep.Sketch)
 	}
 	raw, err := rep.Sketch.MarshalBinary()
 	if err != nil {
 		return err
 	}
-	return e.backend.SubmitReport(e.user, round, raw)
+	return e.backend.SubmitReport(e.user, round, rep.Keystream, raw)
 }
 
 // SubmitAdjustmentIfNeeded asks the back-end which users are missing and,
@@ -260,20 +260,21 @@ func (w *WireBackend) Roster() ([][]byte, error) {
 }
 
 // SubmitReport implements BackendAPI.
-func (w *WireBackend) SubmitReport(user int, round uint64, sk []byte) error {
+func (w *WireBackend) SubmitReport(user int, round uint64, ks blind.Keystream, sk []byte) error {
 	return w.C.Do(wire.TypeSubmitReport,
-		wire.SubmitReportReq{User: user, Round: round, Sketch: sk}, nil)
+		wire.SubmitReportReq{User: user, Round: round, Sketch: sk, Keystream: byte(ks)}, nil)
 }
 
 // SubmitReportCMS implements StreamingBackend: the sketch goes out as a
 // binary report frame, its cell block written as one raw little-endian
 // run the server reads directly into its pooled cell slices.
-func (w *WireBackend) SubmitReportCMS(user int, round uint64, cms *sketch.CMS) error {
+func (w *WireBackend) SubmitReportCMS(user int, round uint64, ks blind.Keystream, cms *sketch.CMS) error {
 	return w.C.SubmitReportFrame(&wire.ReportFrame{
 		User: user, Round: round,
 		D: cms.Depth(), W: cms.Width(),
 		N: cms.N(), Seed: cms.Seed(),
-		Cells: cms.FlatCells(),
+		Keystream: byte(ks),
+		Cells:     cms.FlatCells(),
 	})
 }
 

@@ -2,6 +2,7 @@ package client
 
 import (
 	"eyewnder/internal/backend"
+	"eyewnder/internal/blind"
 	"eyewnder/internal/privacy"
 	"eyewnder/internal/sketch"
 )
@@ -19,18 +20,18 @@ func (l *LocalBackend) Register(user int, publicKey []byte) (int, error) {
 func (l *LocalBackend) Roster() ([][]byte, error) { return l.B.Roster(), nil }
 
 // SubmitReport implements BackendAPI.
-func (l *LocalBackend) SubmitReport(user int, round uint64, raw []byte) error {
+func (l *LocalBackend) SubmitReport(user int, round uint64, ks blind.Keystream, raw []byte) error {
 	var cms sketch.CMS
 	if err := cms.UnmarshalBinary(raw); err != nil {
 		return err
 	}
-	return l.B.SubmitReport(&privacy.Report{User: user, Round: round, Sketch: &cms})
+	return l.B.SubmitReport(&privacy.Report{User: user, Round: round, Sketch: &cms, Keystream: ks})
 }
 
 // SubmitReportCMS implements StreamingBackend: in-process, the sketch is
 // handed to the back-end as-is — no marshal/unmarshal round-trip at all.
-func (l *LocalBackend) SubmitReportCMS(user int, round uint64, cms *sketch.CMS) error {
-	return l.B.SubmitReport(&privacy.Report{User: user, Round: round, Sketch: cms})
+func (l *LocalBackend) SubmitReportCMS(user int, round uint64, ks blind.Keystream, cms *sketch.CMS) error {
+	return l.B.SubmitReport(&privacy.Report{User: user, Round: round, Sketch: cms, Keystream: ks})
 }
 
 // RoundStatus implements BackendAPI.

@@ -38,10 +38,11 @@ import (
 
 // Errors returned by the package.
 var (
-	ErrRoundMismatch  = errors.New("privacy: report for a different round")
-	ErrDuplicate      = errors.New("privacy: duplicate report from user")
-	ErrNoReports      = errors.New("privacy: no reports to aggregate")
-	ErrNotFinalizable = errors.New("privacy: missing adjustments not yet supplied")
+	ErrRoundMismatch     = errors.New("privacy: report for a different round")
+	ErrDuplicate         = errors.New("privacy: duplicate report from user")
+	ErrNoReports         = errors.New("privacy: no reports to aggregate")
+	ErrNotFinalizable    = errors.New("privacy: missing adjustments not yet supplied")
+	ErrKeystreamMismatch = errors.New("privacy: report blinded under a different keystream suite")
 )
 
 // Params fixes the protocol geometry shared by all participants.
@@ -53,6 +54,12 @@ type Params struct {
 	IDSpace uint64
 	// Suite is the DH group for blinding-key agreement.
 	Suite group.Suite
+	// Keystream selects how pairwise keys expand into blinding factors
+	// (blind.KeystreamHMACSHA256 or blind.KeystreamAESCTR). It is
+	// protocol state like the sketch geometry: every participant must
+	// use the same suite, reports carry the byte, and the aggregator
+	// rejects mismatches. The zero value is the original HMAC expansion.
+	Keystream blind.Keystream
 }
 
 // DefaultParams mirrors the paper's configuration: ε = δ = 0.001 and a
@@ -168,7 +175,12 @@ func (c *Client) Report(round uint64) (*Report, error) {
 		return nil, err
 	}
 	c.seen = make(map[uint64]bool)
-	return &Report{User: c.party.Index(), Round: round, Sketch: cms}, nil
+	return &Report{
+		User:      c.party.Index(),
+		Round:     round,
+		Sketch:    cms,
+		Keystream: c.party.Keystream(),
+	}, nil
 }
 
 // Adjust produces the client's second-round adjustment share for the given
@@ -177,11 +189,16 @@ func (c *Client) Adjust(round uint64, cells int, missing []int) ([]uint64, error
 	return c.party.Adjustment(round, cells, blind.MissingSet(missing))
 }
 
-// Report is one user's blinded sketch for a round.
+// Report is one user's blinded sketch for a round. Keystream names the
+// blinding suite the cells were expanded under (zero = HMAC-SHA256, the
+// original): the aggregator rejects reports whose suite differs from the
+// round's, because their pairwise terms would not cancel and would
+// silently corrupt the aggregate for everyone.
 type Report struct {
-	User   int
-	Round  uint64
-	Sketch *sketch.CMS
+	User      int
+	Round     uint64
+	Sketch    *sketch.CMS
+	Keystream blind.Keystream
 }
 
 // SizeBytes returns the wire size of the report payload assuming the given
@@ -240,6 +257,9 @@ func (a *Aggregator) Add(r *Report) error {
 	if r.Round != a.round {
 		return ErrRoundMismatch
 	}
+	if r.Keystream != a.params.Keystream {
+		return ErrKeystreamMismatch
+	}
 	if r.Sketch == nil || !a.agg.SameLayout(r.Sketch) {
 		return sketch.ErrDimensionMismatch
 	}
@@ -248,10 +268,16 @@ func (a *Aggregator) Add(r *Report) error {
 
 // AddCells folds a report that arrived as raw header fields plus a flat
 // cell vector — the wire layer's streaming ingestion path, which decodes
-// payloads into pooled slices instead of materializing a CMS. The cells
-// are consumed during the call and may be recycled by the caller as soon
-// as it returns. Safe for concurrent use with other Add/AddCells calls.
-func (a *Aggregator) AddCells(user int, d, w int, n, seed uint64, cells []uint64) error {
+// payloads into pooled slices instead of materializing a CMS. ks is the
+// report's blinding-suite byte from the frame preamble; like the sketch
+// geometry it must match the round's, or the report's pairwise terms
+// would not cancel. The cells are consumed during the call and may be
+// recycled by the caller as soon as it returns. Safe for concurrent use
+// with other Add/AddCells calls.
+func (a *Aggregator) AddCells(user int, d, w int, n, seed uint64, ks blind.Keystream, cells []uint64) error {
+	if ks != a.params.Keystream {
+		return ErrKeystreamMismatch
+	}
 	if !a.agg.LayoutMatches(d, w, seed) || len(cells) != a.agg.Cells() {
 		return sketch.ErrDimensionMismatch
 	}

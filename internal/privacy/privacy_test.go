@@ -283,6 +283,90 @@ func TestAggregatorValidation(t *testing.T) {
 	}
 }
 
+// A report blinded under a different keystream suite than the round's
+// must be rejected: its pairwise terms would not cancel, and the
+// corruption would otherwise be silent (the cells look uniformly random
+// either way).
+func TestAggregatorRejectsKeystreamMismatch(t *testing.T) {
+	params := smallParams()
+	clients := newClients(t, params)
+	agg, err := NewAggregator(params, 3, len(clients))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := clients[0].Report(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Keystream != params.Keystream {
+		t.Fatalf("client stamped suite %v, params say %v", r.Keystream, params.Keystream)
+	}
+	mismatched := *r
+	mismatched.Keystream = blind.KeystreamAESCTR
+	if err := agg.Add(&mismatched); err != ErrKeystreamMismatch {
+		t.Fatalf("mismatched suite err = %v", err)
+	}
+	// The streamed path enforces the same invariant.
+	cms := r.Sketch
+	err = agg.AddCells(r.User, cms.Depth(), cms.Width(), cms.N(), cms.Seed(),
+		blind.KeystreamAESCTR, cms.FlatCells())
+	if err != ErrKeystreamMismatch {
+		t.Fatalf("mismatched streamed suite err = %v", err)
+	}
+	// The matching suite is accepted.
+	if err := agg.Add(r); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// An AES-CTR deployment must work end to end: params carry the suite,
+// clients blind under it, the aggregator accepts it, and the aggregate
+// unblinds to the same counts.
+func TestEndToEndAESCTRSuite(t *testing.T) {
+	params := smallParams()
+	params.Keystream = blind.KeystreamAESCTR
+	srv, _ := fixtures(t)
+	roster, err := blind.NewRosterKeystream(group.P256(), 4, rand.Reader, blind.KeystreamAESCTR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clients := make([]*Client, len(roster.Parties))
+	for i, p := range roster.Parties {
+		clients[i] = NewClient(params, p, srv.PublicKey(), srv)
+	}
+	const round = 2
+	agg, err := NewAggregator(params, round, len(clients))
+	if err != nil {
+		t.Fatal(err)
+	}
+	adURL := "https://ads.example.com/aes-suite"
+	var wantID uint64
+	for _, c := range clients {
+		id, err := c.ObserveAd(adURL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantID = id
+		r, err := c.Report(round)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Keystream != blind.KeystreamAESCTR {
+			t.Fatalf("report suite = %v", r.Keystream)
+		}
+		if err := agg.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	final, err := agg.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := QueryUsers(final, wantID); got < uint64(len(clients)) {
+		t.Fatalf("unblinded #Users = %d, want >= %d", got, len(clients))
+	}
+}
+
 func TestUserCountsEnumeration(t *testing.T) {
 	params := smallParams()
 	clients := newClients(t, params)

@@ -1,0 +1,450 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Batched acknowledgements and per-connection report pipelining.
+//
+// The legacy streamed path (stream.go) still pays one synchronous JSON
+// ack round trip per report: the connection cannot carry frame k+1 until
+// the client has parsed the ack for frame k, and the JSON marshal/parse
+// of that ack is the path's remaining per-report allocation source. This
+// file removes both costs behind an explicit, per-connection opt-in:
+//
+//  1. The client sends a TypeAckBatch request. The server answers with
+//     its batch size k (the -ack-batch flag) and switches the connection
+//     into batched mode: streamed report frames are no longer answered
+//     individually. Instead the server emits one *binary ack frame* per
+//     k consumed frames — plus a flush whenever the socket goes idle,
+//     whenever a frame opens a different round than its predecessor, and
+//     whenever the client sends an explicit flush marker. k = 1 restores
+//     today's one-ack-per-frame behaviour, just in binary.
+//
+//  2. In batched mode the connection is *pipelined*: the read loop keeps
+//     decoding frames off the socket into pooled cell slices and hands
+//     them to a per-connection fold goroutine over a bounded channel, so
+//     frame k+1 is being decoded while the ReportSink folds frame k.
+//     The channel bound preserves backpressure (a slow sink stops the
+//     read loop, which stops the TCP window), and the pool discipline is
+//     unchanged: each buffer is recycled as soon as its frame is folded.
+//
+// Ack frame layout (server → client): a 4-byte big-endian header word
+// with the top bit set and the payload length in the low 31 bits, then
+// seq(8, little-endian) ‖ status(1) ‖ error text. seq is the CUMULATIVE
+// count of sequence slots consumed on the connection — every report
+// frame and every flush marker occupies one slot — so acks are
+// idempotent and loss-tolerant: a later ack supersedes any number of
+// earlier ones. status 0 is success; status 1 carries the error text of
+// the first failing frame since the previous ack, and the client
+// surfaces it on its next Submit/Flush (error propagation without
+// stalling the window). The top bit never collides with report frames
+// because those travel in the opposite direction.
+//
+// The client tracks (sent, acked) cumulative counters per connection and
+// blocks only when sent-acked reaches its window; the server's
+// flush-on-idle guarantees that a blocked client always gets an ack even
+// mid-batch, so no timer is needed on either side.
+
+// DefaultAckBatch is the server's ack batch size k when StreamOpts does
+// not set one: one binary ack per 16 streamed report frames.
+const DefaultAckBatch = 16
+
+// defaultPipelineDepth bounds the decoded-but-unfolded frames buffered
+// per connection when StreamOpts does not set PipelineDepth.
+const defaultPipelineDepth = 4
+
+// ackFixed is the fixed ack payload: seq(8) + status(1).
+const ackFixed = 9
+
+// maxAckPayload caps an ack frame's payload (bounded error text).
+const maxAckPayload = ackFixed + 1024
+
+// Errors of the batched-ack path.
+var (
+	ErrBadAckFrame = errors.New("wire: malformed ack frame")
+	ErrStreaming   = errors.New("wire: a report stream is open on this connection")
+)
+
+// StreamOpts configures a server's batched-ack streaming behaviour.
+type StreamOpts struct {
+	// AckBatch is k: the streamed report frames covered by one binary
+	// ack once a connection negotiates batched mode. 0 picks
+	// DefaultAckBatch; 1 acknowledges every frame (the legacy cadence).
+	AckBatch int
+	// PipelineDepth bounds the decoded-but-unfolded frames buffered per
+	// connection (the decode-ahead window). 0 picks the default.
+	PipelineDepth int
+}
+
+// appendAckFrame appends one encoded ack frame to dst. An empty errMsg
+// encodes success; anything else is truncated to the payload cap and
+// carried as status 1.
+func appendAckFrame(dst []byte, seq uint64, errMsg string) []byte {
+	if len(errMsg) > maxAckPayload-ackFixed {
+		errMsg = errMsg[:maxAckPayload-ackFixed]
+	}
+	var hdr [4 + ackFixed]byte
+	binary.BigEndian.PutUint32(hdr[0:], uint32(ackFixed+len(errMsg))|reportFlag)
+	binary.LittleEndian.PutUint64(hdr[4:], seq)
+	if errMsg != "" {
+		hdr[12] = 1
+	}
+	dst = append(dst, hdr[:]...)
+	return append(dst, errMsg...)
+}
+
+// readAckFrame reads one binary ack frame, header word included. A
+// non-empty errMsg reports the remote (sink-side) failure the ack
+// carries; err reports transport or framing failures.
+func readAckFrame(r io.Reader) (seq uint64, errMsg string, err error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, "", err
+	}
+	word := binary.BigEndian.Uint32(hdr[:])
+	if word&reportFlag == 0 {
+		return 0, "", ErrBadAckFrame
+	}
+	n := word &^ reportFlag
+	if n < ackFixed || n > maxAckPayload {
+		return 0, "", ErrBadAckFrame
+	}
+	var buf [maxAckPayload]byte
+	if _, err := io.ReadFull(r, buf[:n]); err != nil {
+		return 0, "", fmt.Errorf("wire: short ack frame: %w", err)
+	}
+	seq = binary.LittleEndian.Uint64(buf[0:])
+	if buf[8] != 0 {
+		errMsg = string(buf[ackFixed:n])
+		if errMsg == "" {
+			errMsg = "unspecified remote failure"
+		}
+	}
+	return seq, errMsg, nil
+}
+
+// writeFlushMarker writes the zero-length report header word that forces
+// the server to acknowledge everything consumed so far.
+func writeFlushMarker(w io.Writer) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], reportFlag)
+	_, err := w.Write(hdr[:])
+	return err
+}
+
+// --- server side ---
+
+// streamItem is one unit of work handed from a connection's read loop to
+// its fold goroutine: a decoded frame backed by a pooled buffer, or a
+// flush marker.
+type streamItem struct {
+	rb    *reportBuf
+	f     *ReportFrame
+	flush bool
+}
+
+// connStream is the per-connection batched-mode state: the bounded
+// pipeline channel into the fold goroutine and the negotiated batch.
+type connStream struct {
+	ch   chan streamItem
+	done chan struct{}
+	k    int
+}
+
+// startStream switches a connection into batched mode: subsequent report
+// frames flow through the pipeline channel to a dedicated fold goroutine.
+func (s *Server) startStream(conn net.Conn, wmu *sync.Mutex) *connStream {
+	k := s.opts.AckBatch
+	if k < 1 {
+		k = DefaultAckBatch
+	}
+	depth := s.opts.PipelineDepth
+	if depth < 1 {
+		depth = defaultPipelineDepth
+	}
+	st := &connStream{ch: make(chan streamItem, depth), done: make(chan struct{}), k: k}
+	s.wg.Add(1)
+	go s.foldLoop(conn, wmu, st)
+	return st
+}
+
+// stop closes the pipeline and waits for the fold goroutine to drain it.
+// The caller must have stopped sending (the read loop has returned) and
+// should already have closed conn so a blocked ack write cannot stall
+// the drain.
+func (st *connStream) stop() {
+	close(st.ch)
+	<-st.done
+}
+
+// foldLoop is a connection's fold goroutine: it consumes decoded frames
+// while the read loop decodes the next one, folds them into the sink,
+// recycles the pooled buffers, and emits batched acks. Ack cadence:
+// every k frames, on any sink error (immediately, so the client learns
+// which batch failed), on a round boundary (the previous round's tail
+// must not wait for an unrelated batch to fill), on an explicit flush
+// marker, and whenever the pipeline runs dry while frames are unacked —
+// the flush-on-idle that guarantees a window-blocked client always
+// unblocks without either side arming a timer.
+func (s *Server) foldLoop(conn net.Conn, wmu *sync.Mutex, st *connStream) {
+	defer s.wg.Done()
+	defer close(st.done)
+	var (
+		seq       uint64 // sequence slots consumed, cumulative
+		pending   int    // slots consumed since the last ack went out
+		lastRound uint64
+		haveRound bool
+		connDead  bool   // ack write failed; keep folding, stop acking
+		scratch   []byte // reused ack encode buffer
+	)
+	ack := func(errMsg string) {
+		pending = 0
+		if connDead {
+			return
+		}
+		scratch = appendAckFrame(scratch[:0], seq, errMsg)
+		wmu.Lock()
+		_, err := conn.Write(scratch)
+		wmu.Unlock()
+		if err != nil {
+			connDead = true
+		}
+	}
+	for {
+		var it streamItem
+		var ok bool
+		select {
+		case it, ok = <-st.ch:
+		default:
+			// Pipeline dry: the socket is idle, flush the partial batch.
+			if pending > 0 {
+				ack("")
+			}
+			it, ok = <-st.ch
+		}
+		if !ok {
+			return
+		}
+		if it.flush {
+			seq++
+			ack("")
+			continue
+		}
+		if haveRound && it.f.Round != lastRound && pending > 0 {
+			ack("")
+		}
+		lastRound, haveRound = it.f.Round, true
+		err := s.sink.ConsumeReport(it.f)
+		reportBufPool.Put(it.rb)
+		seq++
+		pending++
+		if err != nil {
+			ack(err.Error())
+			continue
+		}
+		if pending >= st.k {
+			ack("")
+		}
+	}
+}
+
+// --- client side ---
+
+// ReportStream is the client's windowed submission handle on a
+// connection that has negotiated batched acknowledgements. Submit keeps
+// up to `window` frames in flight and only blocks on the network once
+// the window fills; Flush forces the server to acknowledge everything.
+// The first sink-side failure the server reports is sticky: it surfaces
+// on the next Submit/Flush/Close and poisons the stream (the connection
+// itself survives and is reusable after Close).
+//
+// A ReportStream owns its connection until Close: Do and
+// SubmitReportFrame return ErrStreaming while it is open. It is not
+// safe for concurrent use — one submitting goroutine per stream.
+type ReportStream struct {
+	c      *Client
+	conn   net.Conn
+	k      int
+	window int
+	remote error // first error ack (sink-side); sticky
+	dead   error // transport failure; stream and connection unusable
+	closed bool
+}
+
+// OpenReportStream negotiates batched acknowledgements (first use only —
+// the mode is sticky per connection) and opens a windowed submission
+// stream. window bounds the unacknowledged frames in flight; 0 picks
+// twice the server's ack batch.
+func (c *Client) OpenReportStream(window int) (*ReportStream, error) {
+	if err := c.negotiateAckBatch(); err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil, ErrClosed
+	}
+	if c.streaming {
+		return nil, ErrStreaming
+	}
+	if window < 1 {
+		window = 2 * c.ackBatch
+	}
+	c.streaming = true
+	return &ReportStream{c: c, conn: c.conn, k: c.ackBatch, window: window}, nil
+}
+
+// negotiateAckBatch performs the TypeAckBatch exchange once per
+// connection.
+func (c *Client) negotiateAckBatch() error {
+	c.mu.Lock()
+	negotiated := c.ackBatch > 0
+	c.mu.Unlock()
+	if negotiated {
+		return nil
+	}
+	var resp AckBatchResp
+	if err := c.Do(TypeAckBatch, AckBatchReq{}, &resp); err != nil {
+		return err
+	}
+	if resp.K < 1 {
+		resp.K = 1
+	}
+	c.mu.Lock()
+	c.ackBatch = resp.K
+	c.mu.Unlock()
+	return nil
+}
+
+// readAckInto consumes one binary ack frame and advances the connection's
+// cumulative window. The first remote (sink-side) error is accumulated
+// into *remote; transport and protocol failures are returned. The caller
+// holds the submission discipline (c.mu for one-shot submits, the open
+// ReportStream otherwise).
+func (c *Client) readAckInto(remote *error) error {
+	seq, errMsg, err := readAckFrame(c.conn)
+	if err != nil {
+		return err
+	}
+	if seq < c.rsAcked || seq > c.rsSent {
+		return fmt.Errorf("%w: ack %d outside window [%d, %d]", ErrBadAckFrame, seq, c.rsAcked, c.rsSent)
+	}
+	c.rsAcked = seq
+	if errMsg != "" && *remote == nil {
+		*remote = fmt.Errorf("wire: remote error: %s", errMsg)
+	}
+	return nil
+}
+
+// submitFrameBatched is the one-shot submit on a batched connection:
+// frame + flush marker out, acks drained back in. Caller holds c.mu.
+func (c *Client) submitFrameBatched(f *ReportFrame) error {
+	if err := WriteReportFrame(c.conn, f); err != nil {
+		return err
+	}
+	c.rsSent++
+	if err := writeFlushMarker(c.conn); err != nil {
+		return err
+	}
+	c.rsSent++
+	var remote error
+	for c.rsAcked < c.rsSent {
+		if err := c.readAckInto(&remote); err != nil {
+			return err
+		}
+	}
+	return remote
+}
+
+// Submit streams one report, blocking only while the in-flight window is
+// full. A sink-side failure reported by the server surfaces here (or on
+// Flush/Close) once its ack arrives, and poisons the stream.
+func (s *ReportStream) Submit(f *ReportFrame) error {
+	if s.closed {
+		return ErrClosed
+	}
+	if s.dead != nil {
+		return s.dead
+	}
+	if s.remote != nil {
+		return s.remote
+	}
+	if err := WriteReportFrame(s.conn, f); err != nil {
+		s.dead = err
+		return err
+	}
+	s.c.rsSent++
+	for s.c.rsSent-s.c.rsAcked >= uint64(s.window) {
+		if err := s.readAck(); err != nil {
+			return err
+		}
+	}
+	return s.remote
+}
+
+// Flush writes a flush marker and blocks until the server has
+// acknowledged every frame submitted so far, returning the first
+// sink-side failure among them (if any).
+func (s *ReportStream) Flush() error {
+	if s.closed {
+		return ErrClosed
+	}
+	if s.dead != nil {
+		return s.dead
+	}
+	if err := writeFlushMarker(s.conn); err != nil {
+		s.dead = err
+		return err
+	}
+	s.c.rsSent++
+	for s.c.rsAcked < s.c.rsSent {
+		if err := s.readAck(); err != nil {
+			return err
+		}
+	}
+	return s.remote
+}
+
+// readAck consumes one ack for the stream, recording remote errors
+// stickily and transport errors fatally.
+func (s *ReportStream) readAck() error {
+	if err := s.c.readAckInto(&s.remote); err != nil {
+		s.dead = err
+		return err
+	}
+	return nil
+}
+
+// InFlight returns the sequence slots (frames and flush markers) written
+// but not yet acknowledged.
+func (s *ReportStream) InFlight() int {
+	return int(s.c.rsSent - s.c.rsAcked)
+}
+
+// Close flushes outstanding frames, releases the connection back to
+// request/response use, and returns the stream's first error: the drain
+// leaves no stray acks behind, so a subsequent Do (or a new
+// ReportStream) finds the connection clean.
+func (s *ReportStream) Close() error {
+	if s.closed {
+		return nil
+	}
+	var err error
+	if s.dead == nil {
+		err = s.Flush()
+	}
+	s.closed = true
+	s.c.mu.Lock()
+	s.c.streaming = false
+	s.c.mu.Unlock()
+	if s.dead != nil {
+		return s.dead
+	}
+	return err
+}

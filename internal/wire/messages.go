@@ -15,6 +15,8 @@ const (
 	TypeRosterOK       = "backend.roster_ok"
 	TypeSubmitReport   = "backend.submit_report"
 	TypeSubmitReportOK = "backend.submit_report_ok"
+	TypeAckBatch       = "backend.ack_batch"
+	TypeAckBatchOK     = "backend.ack_batch_ok"
 	TypeRoundStatus    = "backend.round_status"
 	TypeRoundStatusOK  = "backend.round_status_ok"
 	TypeSubmitAdjust   = "backend.submit_adjustment"
@@ -67,11 +69,25 @@ type RosterResp struct {
 }
 
 // SubmitReportReq uploads a blinded CMS (binary serialization of
-// sketch.CMS).
+// sketch.CMS). Keystream is the blinding-suite byte (blind.Keystream);
+// absent means suite 0, the original HMAC-SHA256 expansion, so old
+// clients' reports still verify.
 type SubmitReportReq struct {
-	User   int    `json:"user"`
-	Round  uint64 `json:"round"`
-	Sketch []byte `json:"sketch"`
+	User      int    `json:"user"`
+	Round     uint64 `json:"round"`
+	Sketch    []byte `json:"sketch"`
+	Keystream byte   `json:"keystream,omitempty"`
+}
+
+// AckBatchReq switches the connection's streamed-report acknowledgements
+// to batched binary ack frames (see wire/batch.go). Answered by the wire
+// server itself, not the application handler.
+type AckBatchReq struct{}
+
+// AckBatchResp returns the server's ack batch size k: one binary ack per
+// k streamed frames (plus idle/round-boundary/marker flushes).
+type AckBatchResp struct {
+	K int `json:"k"`
 }
 
 // RoundStatusResp describes an open round's progress.

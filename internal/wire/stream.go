@@ -25,15 +25,25 @@ import (
 // Framing: the 4-byte big-endian header word sets its top bit to mark a
 // report frame (JSON payload lengths are capped at MaxFrame = 16 MiB, so
 // the bit is never set by the JSON path); the low 31 bits are the payload
-// length. The payload is a 48-byte preamble — user, round, d, w, n, seed,
-// all little-endian uint64 — followed by the 8·d·w-byte cell block.
+// length. The payload is a 56-byte preamble — user, round, d, w, n, seed
+// as little-endian uint64, then the blinding-keystream suite byte and
+// seven reserved bytes — followed by the 8·d·w-byte cell block. The
+// preamble length is itself protocol state: both endpoints must run the
+// same revision (a mismatched peer fails the length check and is
+// dropped), so like the cell layout it changes only in lockstep across
+// a deployment. A header
+// word with the top bit set and a zero payload length is a *flush
+// marker*: it carries no report, but on a connection running batched
+// acknowledgements (see batch.go) it occupies one sequence slot and
+// forces the server to acknowledge everything consumed so far.
 
-// reportFlag marks a header word as a streamed report frame.
+// reportFlag marks a header word as a streamed report frame (and, from
+// server to client, a binary ack frame — the directions never mix).
 const reportFlag = 1 << 31
 
 // reportPreamble is the fixed payload prefix: user(8) round(8) d(8) w(8)
-// n(8) seed(8).
-const reportPreamble = 48
+// n(8) seed(8) keystream(1) reserved(7).
+const reportPreamble = 56
 
 // Report-frame geometry bounds, mirroring the sketch deserializer's: d·w
 // is additionally capped by MaxFrame, so a hostile header cannot provoke
@@ -62,7 +72,17 @@ type ReportFrame struct {
 	D, W  int
 	N     uint64
 	Seed  uint64
-	Cells []uint64
+	// Keystream is the blinding-suite byte (blind.Keystream): it names
+	// how the report's cells were blinded so the aggregator can reject a
+	// report whose pairwise terms would not cancel against the round's.
+	// Zero is the original HMAC-SHA256 suite, so reports blinded before
+	// the suite existed still aggregate correctly. Note the byte rode in
+	// on a preamble widening (48 → 56 bytes) — a wire-format revision
+	// that, like every frame-header change, deploys in lockstep across
+	// all endpoints (ARCHITECTURE.md §4); a 48-byte-preamble peer cannot
+	// interoperate with this revision.
+	Keystream byte
+	Cells     []uint64
 }
 
 // ReportSink consumes streamed report frames. Implementations must
@@ -113,6 +133,7 @@ func WriteReportFrame(w io.Writer, f *ReportFrame) error {
 	binary.LittleEndian.PutUint64(hdr[28:], uint64(f.W))
 	binary.LittleEndian.PutUint64(hdr[36:], f.N)
 	binary.LittleEndian.PutUint64(hdr[44:], f.Seed)
+	hdr[52] = f.Keystream // hdr[53:60] reserved, zero
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -143,6 +164,7 @@ func readReportFrame(r io.Reader, n uint32, buf *reportBuf) (*ReportFrame, error
 	w64 := binary.LittleEndian.Uint64(pre[24:])
 	nTotal := binary.LittleEndian.Uint64(pre[32:])
 	seed := binary.LittleEndian.Uint64(pre[40:])
+	ks := pre[48] // pre[49:56] reserved for future protocol revisions
 	if user > 1<<31 || d64 < 1 || w64 < 1 || d64 > maxReportDepth || w64 > maxReportWidth {
 		return nil, ErrBadReportFrame
 	}
@@ -169,18 +191,27 @@ func readReportFrame(r io.Reader, n uint32, buf *reportBuf) (*ReportFrame, error
 	return &ReportFrame{
 		User: int(user), Round: round,
 		D: int(d64), W: int(w64),
-		N: nTotal, Seed: seed, Cells: dst,
+		N: nTotal, Seed: seed, Keystream: ks, Cells: dst,
 	}, nil
 }
 
 // SubmitReportFrame streams one report over the client connection and
 // waits for the acknowledgement. It shares the connection's request
-// serialization with Do.
+// serialization with Do. On a connection that has negotiated batched
+// acknowledgements (OpenReportStream) the round trip is one binary ack
+// instead of a JSON message; for sustained submission open a
+// ReportStream instead, which keeps a window of frames in flight.
 func (c *Client) SubmitReportFrame(f *ReportFrame) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.conn == nil {
 		return ErrClosed
+	}
+	if c.streaming {
+		return ErrStreaming
+	}
+	if c.ackBatch > 0 {
+		return c.submitFrameBatched(f)
 	}
 	if err := WriteReportFrame(c.conn, f); err != nil {
 		return err

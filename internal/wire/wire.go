@@ -12,7 +12,11 @@
 // The highest-volume message, backend.submit_report, additionally has a
 // binary streamed form (see stream.go): the header word's top bit marks a
 // report frame whose cell block is read directly into pooled cell slices,
-// bypassing the JSON envelope and its per-report copies entirely.
+// bypassing the JSON envelope and its per-report copies entirely. A
+// connection may further negotiate batched acknowledgements (see
+// batch.go): the server then answers streamed reports with one binary
+// ack per k frames while a per-connection fold goroutine pipelines frame
+// decode against aggregate folds.
 package wire
 
 import (
@@ -108,15 +112,19 @@ type ErrorPayload struct {
 // Handler. One goroutine per connection; requests on a connection are
 // processed in order. Servers constructed with ServeWithSink additionally
 // accept streamed report frames, routed to the ReportSink instead of the
-// Handler.
+// Handler; a connection that negotiates batched acknowledgements
+// (TypeAckBatch, see batch.go) further gains a fold goroutine that
+// pipelines frame decode against sink folds.
 type Server struct {
 	lis     net.Listener
 	handler Handler
 	sink    ReportSink // nil: streamed report frames are rejected
+	opts    StreamOpts
 
 	mu    sync.Mutex
 	conns map[net.Conn]struct{}
 	done  chan struct{}
+	once  sync.Once
 	wg    sync.WaitGroup
 }
 
@@ -126,8 +134,14 @@ func Serve(addr string, handler Handler) (*Server, error) {
 }
 
 // ServeWithSink starts a server that also accepts streamed report frames,
-// delivering them to sink on the connection's goroutine.
+// delivering them to sink, with default streaming options.
 func ServeWithSink(addr string, handler Handler, sink ReportSink) (*Server, error) {
+	return ServeWithSinkOpts(addr, handler, sink, StreamOpts{})
+}
+
+// ServeWithSinkOpts is ServeWithSink with explicit batched-ack and
+// pipelining options.
+func ServeWithSinkOpts(addr string, handler Handler, sink ReportSink, opts StreamOpts) (*Server, error) {
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -136,6 +150,7 @@ func ServeWithSink(addr string, handler Handler, sink ReportSink) (*Server, erro
 		lis:     lis,
 		handler: handler,
 		sink:    sink,
+		opts:    opts,
 		conns:   make(map[net.Conn]struct{}),
 		done:    make(chan struct{}),
 	}
@@ -171,12 +186,31 @@ func (s *Server) acceptLoop() {
 
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
+	// wmu serializes everything the server writes on this connection:
+	// JSON responses from this goroutine and, in batched mode, binary
+	// acks from the fold goroutine.
+	var wmu sync.Mutex
+	// st is non-nil once the connection has negotiated batched
+	// acknowledgements: report frames then flow through its bounded
+	// channel to the fold goroutine instead of being folded inline.
+	var st *connStream
 	defer func() {
+		// Close the socket first so a fold goroutine blocked on an ack
+		// write to a stalled peer errors out, then drain the pipeline
+		// (every queued pooled buffer is folded and recycled).
+		conn.Close()
+		if st != nil {
+			st.stop()
+		}
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
-		conn.Close()
 	}()
+	writeResp := func(respType string, resp interface{}) error {
+		wmu.Lock()
+		defer wmu.Unlock()
+		return WriteMsg(conn, respType, resp)
+	}
 	// buf is the connection's JSON frame buffer, grown to the largest
 	// frame seen and reused across requests. This removes the per-request
 	// frame allocation; json.Unmarshal still copies the payload bytes into
@@ -191,12 +225,36 @@ func (s *Server) serveConn(conn net.Conn) {
 		word := binary.BigEndian.Uint32(hdr[:])
 
 		if word&reportFlag != 0 {
-			// Streamed report frame: decode into pooled cells, hand to
-			// the sink, recycle. A framing error is unrecoverable (the
-			// stream position is unknown), so it drops the connection; a
-			// sink error is an ordinary request failure.
+			n := word &^ reportFlag
+			if st != nil {
+				// Batched mode: pipeline the frame to the fold goroutine
+				// and immediately decode the next one. The channel bound
+				// is the backpressure: a saturated sink blocks this send,
+				// which stops the socket read, which closes the TCP
+				// window.
+				if n == 0 {
+					st.ch <- streamItem{flush: true}
+					continue
+				}
+				rb := reportBufPool.Get().(*reportBuf)
+				frame, err := readReportFrame(conn, n, rb)
+				if err != nil {
+					reportBufPool.Put(rb)
+					return
+				}
+				st.ch <- streamItem{rb: rb, f: frame}
+				continue
+			}
+			if n == 0 {
+				return // flush marker outside batched mode: malformed
+			}
+			// Legacy streamed report: decode into pooled cells, hand to
+			// the sink, recycle, answer with a JSON ack. A framing error
+			// is unrecoverable (the stream position is unknown), so it
+			// drops the connection; a sink error is an ordinary request
+			// failure.
 			rb := reportBufPool.Get().(*reportBuf)
-			frame, err := readReportFrame(conn, word&^reportFlag, rb)
+			frame, err := readReportFrame(conn, n, rb)
 			if err != nil {
 				reportBufPool.Put(rb)
 				return
@@ -210,7 +268,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			if sinkErr != nil {
 				respType, resp = "error", ErrorPayload{Error: sinkErr.Error()}
 			}
-			if err := WriteMsg(conn, respType, resp); err != nil {
+			if err := writeResp(respType, resp); err != nil {
 				return
 			}
 			continue
@@ -230,34 +288,69 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err := json.Unmarshal(buf, &req); err != nil {
 			return
 		}
+		if req.Type == TypeAckBatch {
+			// Wire-level negotiation, answered here rather than by the
+			// application handler: it flips this connection's streamed
+			// reports to batched binary acks (idempotently).
+			if s.sink == nil {
+				if err := writeResp("error", ErrorPayload{Error: ErrNoSink.Error()}); err != nil {
+					return
+				}
+				continue
+			}
+			if st == nil {
+				st = s.startStream(conn, &wmu)
+			}
+			if err := writeResp(TypeAckBatchOK, AckBatchResp{K: st.k}); err != nil {
+				return
+			}
+			continue
+		}
 		respType, resp, err := s.handler(&req)
 		if err != nil {
 			respType, resp = "error", ErrorPayload{Error: err.Error()}
 		}
-		if err := WriteMsg(conn, respType, resp); err != nil {
+		if err := writeResp(respType, resp); err != nil {
 			return
 		}
 	}
 }
 
-// Close stops accepting and tears down open connections.
+// Close stops accepting and tears down open connections (waiting for
+// per-connection fold goroutines to drain). Safe to call more than once.
 func (s *Server) Close() error {
-	close(s.done)
-	err := s.lis.Close()
-	s.mu.Lock()
-	for c := range s.conns {
-		c.Close()
-	}
-	s.mu.Unlock()
+	var err error
+	s.once.Do(func() {
+		close(s.done)
+		err = s.lis.Close()
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+	})
 	s.wg.Wait()
 	return err
 }
 
 // Client is a synchronous request/response connection to a Server.
-// It is safe for concurrent use; requests are serialized.
+// It is safe for concurrent use; requests are serialized. Report
+// submission can additionally run windowed over batched binary acks —
+// see OpenReportStream in batch.go.
 type Client struct {
 	mu   sync.Mutex
 	conn net.Conn
+
+	// Batched-ack state (batch.go). ackBatch > 0 once the connection has
+	// negotiated batched acknowledgements; report submissions are then
+	// answered by binary ack frames, and the cumulative rsSent/rsAcked
+	// sequence counters (frames + flush markers) track the in-flight
+	// window. streaming marks an open ReportStream, which owns the
+	// connection until Close.
+	ackBatch  int
+	streaming bool
+	rsSent    uint64
+	rsAcked   uint64
 }
 
 // Dial connects to a wire server.
@@ -271,11 +364,16 @@ func Dial(addr string) (*Client, error) {
 
 // Do sends a request and decodes the response into respOut (which may be
 // nil to discard). A server-side "error" response surfaces as an error.
+// While a ReportStream is open on the connection Do returns ErrStreaming:
+// the response would interleave with binary ack frames.
 func (c *Client) Do(reqType string, payload interface{}, respOut interface{}) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.conn == nil {
 		return ErrClosed
+	}
+	if c.streaming {
+		return ErrStreaming
 	}
 	if err := WriteMsg(c.conn, reqType, payload); err != nil {
 		return err
