@@ -4,6 +4,7 @@
 //	eyewnder-bench -overhead   # CMS sizes, blinding traffic/compute, OPRF latency
 //	eyewnder-bench -fig2       # actual vs CMS #Users distributions, 3 weeks
 //	eyewnder-bench -pipeline   # hot-path ns/op + allocs/op -> BENCH_pipeline.json
+//	eyewnder-bench -promote f  # merge a re-recorded report into the baseline
 package main
 
 import (
@@ -11,6 +12,7 @@ import (
 	"fmt"
 	"log"
 	"sort"
+	"strings"
 
 	"eyewnder/internal/experiments"
 	"eyewnder/internal/group"
@@ -25,12 +27,23 @@ func main() {
 		baseline = flag.String("baseline", "", "previous pipeline report to embed as the baseline")
 		check    = flag.Float64("check", 0, "fail if allocs/op or bytes/op regress more than this percent vs the baseline (0 = off)")
 		checkNs  = flag.Float64("check-ns", 0, "fail if ns/op regresses more than this percent vs the baseline (0 = off; keep loose on shared runners)")
+		promote  = flag.String("promote", "", "merge this re-recorded pipeline report into the file named by -pipeline-out (e.g. the CI contention artifact)")
+		promRows = flag.String("promote-rows", "", "comma-separated benchmark rows to promote (empty = every row the baseline already tracks)")
 		rsaBits  = flag.Int("rsa-bits", 1024, "oprf RSA modulus (paper: 1024-bit elements)")
 		users    = flag.Int("users", 0, "override Figure 2 user count")
 	)
 	flag.Parse()
 
 	switch {
+	case *promote != "":
+		var only []string
+		if *promRows != "" {
+			only = strings.Split(*promRows, ",")
+		}
+		if err := promoteReport(*promote, *pipeOut, only); err != nil {
+			log.Fatal(err)
+		}
+
 	case *pipeline:
 		if err := runPipeline(*pipeOut, *baseline, *check, *checkNs); err != nil {
 			log.Fatal(err)

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -50,5 +53,93 @@ func TestCheckRegressionsThresholds(t *testing.T) {
 	rep.Benchmarks["fresh"] = pipelineResult{NsPerOp: 1, AllocsPerOp: 99, BytesPerOp: 99}
 	if err := checkRegressions(rep, 150, 300); err != nil {
 		t.Fatalf("new benchmark failed the gate: %v", err)
+	}
+}
+
+// writeReport marshals a pipeline report to a temp file.
+func writeReport(t *testing.T, dir, name string, rep *pipelineReport) string {
+	t.Helper()
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// -promote must replace only the requested rows (or, unrestricted, the
+// rows the baseline already tracks), adopt the source's host stamp, and
+// leave the destination's historical baseline block untouched.
+func TestPromoteReport(t *testing.T) {
+	dir := t.TempDir()
+	src := &pipelineReport{
+		Go: "go9.9", MaxProcs: 32,
+		Benchmarks: map[string]pipelineResult{
+			"round_merge_locked":  {NsPerOp: 100, AllocsPerOp: 1, BytesPerOp: 1},
+			"round_merge_striped": {NsPerOp: 10, AllocsPerOp: 1, BytesPerOp: 1},
+			"only_on_ci":          {NsPerOp: 5, AllocsPerOp: 1, BytesPerOp: 1},
+		},
+	}
+	dst := &pipelineReport{
+		Go: "go1.0", MaxProcs: 1,
+		Benchmarks: map[string]pipelineResult{
+			"round_merge_locked":  {NsPerOp: 900, AllocsPerOp: 9, BytesPerOp: 9},
+			"round_merge_striped": {NsPerOp: 900, AllocsPerOp: 9, BytesPerOp: 9},
+			"untouched":           {NsPerOp: 7, AllocsPerOp: 7, BytesPerOp: 7},
+		},
+		Baseline: map[string]pipelineResult{
+			"untouched": {NsPerOp: 3, AllocsPerOp: 3, BytesPerOp: 3},
+		},
+	}
+	srcPath := writeReport(t, dir, "src.json", src)
+	dstPath := writeReport(t, dir, "dst.json", dst)
+
+	if err := promoteReport(srcPath, dstPath, []string{"round_merge_locked", "round_merge_striped"}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(dstPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got pipelineReport
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Go != "go9.9" || got.MaxProcs != 32 {
+		t.Fatalf("host stamp not adopted: %s/%d", got.Go, got.MaxProcs)
+	}
+	if got.Benchmarks["round_merge_locked"].NsPerOp != 100 || got.Benchmarks["round_merge_striped"].NsPerOp != 10 {
+		t.Fatalf("rows not promoted: %+v", got.Benchmarks)
+	}
+	if got.Benchmarks["untouched"].NsPerOp != 7 {
+		t.Fatal("unselected row was overwritten")
+	}
+	if _, ok := got.Benchmarks["only_on_ci"]; ok {
+		t.Fatal("row outside the selection leaked in")
+	}
+	if got.Baseline["untouched"].NsPerOp != 3 {
+		t.Fatal("historical baseline block was modified")
+	}
+
+	// Unrestricted promote refreshes tracked rows only — a source-only
+	// row must not appear.
+	if err := promoteReport(srcPath, dstPath, nil); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ = os.ReadFile(dstPath)
+	got = pipelineReport{}
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := got.Benchmarks["only_on_ci"]; ok {
+		t.Fatal("unrestricted promote imported an untracked row")
+	}
+
+	// A requested row missing from the source is an explicit error.
+	if err := promoteReport(srcPath, dstPath, []string{"no_such_row"}); err == nil {
+		t.Fatal("missing promote row accepted")
 	}
 }

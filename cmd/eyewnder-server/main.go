@@ -6,6 +6,12 @@
 // Usage:
 //
 //	eyewnder-server -backend 127.0.0.1:7001 -oprf 127.0.0.1:7002 -users 100
+//
+// With -data-dir the back-end's rounds are durable: every round event
+// is write-ahead logged (fsynced at acknowledgement barriers, see
+// -fsync) and snapshotted, and a restart on the same directory recovers
+// every round — reported bitmaps, adjustment shares, closed results —
+// exactly where the previous process left them.
 package main
 
 import (
@@ -20,6 +26,7 @@ import (
 	"eyewnder/internal/group"
 	"eyewnder/internal/oprf"
 	"eyewnder/internal/privacy"
+	"eyewnder/internal/store"
 )
 
 func main() {
@@ -32,8 +39,11 @@ func main() {
 		delta       = flag.Float64("delta", 0.01, "CMS delta")
 		idSpace     = flag.Uint64("id-space", 100000, "ad-ID space size |A| (overestimate)")
 		stripes     = flag.Int("merge-stripes", 0, "intra-round merge stripes (0 = 2×GOMAXPROCS, 1 = single merge lock)")
-		ackBatch    = flag.Int("ack-batch", 0, "streamed-report ack batch k for batched-ack connections (0 = wire default, 1 = ack every frame)")
+		ackBatch    = flag.Int("ack-batch", 0, "streamed-report ack batch k for batched-ack connections (0 = adaptive per connection, 1 = ack every frame)")
 		keystream   = flag.String("keystream", "hmac-sha256", "blinding keystream suite accepted from clients: hmac-sha256 or aes-ctr (must match the clients)")
+		dataDir     = flag.String("data-dir", "", "durable round store directory: WAL + snapshots, crash recovery on restart (empty = in-memory rounds only)")
+		fsync       = flag.String("fsync", "batch", "WAL fsync policy with -data-dir: batch (group-committed at ack barriers), always (every append), off (OS page cache only)")
+		snapEvery   = flag.Int("snapshot-every", 0, "reports between WAL-compacting snapshots with -data-dir (0 = default, negative = never)")
 	)
 	flag.Parse()
 
@@ -45,6 +55,28 @@ func main() {
 	if err != nil {
 		log.Fatalf("oprf key generation: %v", err)
 	}
+	var st store.Store
+	if *dataDir != "" {
+		var mode store.SyncMode
+		switch *fsync {
+		case "batch":
+			mode = store.SyncBatch
+		case "always":
+			mode = store.SyncAlways
+		case "off":
+			mode = store.SyncOff
+		default:
+			log.Fatalf("-fsync %q: want batch, always, or off", *fsync)
+		}
+		disk, err := store.Open(*dataDir, store.Options{Sync: mode, SnapshotEvery: *snapEvery})
+		if err != nil {
+			log.Fatalf("round store: %v", err)
+		}
+		defer disk.Close()
+		st = disk
+		log.Printf("round store in %s (fsync=%s, %d rounds and %d registrations recovered)",
+			*dataDir, *fsync, len(disk.Rounds()), len(disk.Roster()))
+	}
 	params := privacy.Params{Epsilon: *epsilon, Delta: *delta, IDSpace: *idSpace, Suite: group.P256(), Keystream: ks}
 	be, err := backend.New(backend.Config{
 		Params:         params,
@@ -52,10 +84,12 @@ func main() {
 		UsersEstimator: detector.EstimatorMean,
 		MergeStripes:   *stripes,
 		AckBatch:       *ackBatch,
+		Store:          st,
 	})
 	if err != nil {
 		log.Fatalf("back-end: %v", err)
 	}
+	defer be.Close()
 	beSrv, err := be.Serve(*backendAddr)
 	if err != nil {
 		log.Fatalf("back-end listen: %v", err)
@@ -67,8 +101,8 @@ func main() {
 	}
 	defer opSrv.Close()
 
-	log.Printf("back-end on %s (roster %d users, ε=%g δ=%g |A|=%d, streamed reports on, merge stripes=%d, ack batch=%d, keystream=%s)",
-		beSrv.Addr(), *users, *epsilon, *delta, *idSpace, be.MergeStripes(), *ackBatch, ks)
+	log.Printf("back-end on %s (roster %d users, ε=%g δ=%g |A|=%d, streamed reports on, merge stripes=%d, ack batch=%d, keystream=%s, durable=%v)",
+		beSrv.Addr(), *users, *epsilon, *delta, *idSpace, be.MergeStripes(), *ackBatch, ks, *dataDir != "")
 	log.Printf("oprf-server on %s (RSA-%d)", opSrv.Addr(), *rsaBits)
 
 	sig := make(chan os.Signal, 1)

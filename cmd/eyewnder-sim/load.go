@@ -1,0 +1,143 @@
+package main
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"eyewnder/internal/backend"
+	"eyewnder/internal/blind"
+	"eyewnder/internal/detector"
+	"eyewnder/internal/group"
+	"eyewnder/internal/privacy"
+	"eyewnder/internal/sketch"
+	"eyewnder/internal/store"
+	"eyewnder/internal/wire"
+)
+
+// The load harness: one process submitting an entire user population's
+// blinded reports over a single shared connection, the way a real load
+// generator (or an aggregation proxy) would. It exercises the batched
+// streaming path end to end — wire.OpenReportStream with a window of
+// frames in flight, adaptive server-side ack batching, per-connection
+// decode/fold pipelining — instead of the one-shot submits the
+// simulator's other modes use, and optionally runs the back-end on a
+// durable round store so every report also pays its group-committed
+// WAL append.
+type loadConfig struct {
+	users   int
+	rounds  int
+	window  int
+	adsEach int
+	dataDir string
+}
+
+// runLoad spins an in-process back-end, blinds one report per roster
+// member per round, streams them all over one batched connection, and
+// closes each round, printing per-round throughput.
+func runLoad(cfg loadConfig) error {
+	params := privacy.Params{Epsilon: 0.01, Delta: 0.01, IDSpace: 100000, Suite: group.P256()}
+	var st store.Store
+	if cfg.dataDir != "" {
+		disk, err := store.Open(cfg.dataDir, store.Options{})
+		if err != nil {
+			return err
+		}
+		defer disk.Close()
+		st = disk
+	}
+	be, err := backend.New(backend.Config{
+		Params:         params,
+		Users:          cfg.users,
+		UsersEstimator: detector.EstimatorMean,
+		Store:          st,
+	})
+	if err != nil {
+		return err
+	}
+	defer be.Close()
+	srv, err := be.Serve("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	roster, err := blind.NewRoster(params.Suite, cfg.users, rand.Reader)
+	if err != nil {
+		return err
+	}
+	cli, err := wire.Dial(srv.Addr())
+	if err != nil {
+		return err
+	}
+	defer cli.Close()
+
+	d, w, err := sketch.Dimensions(params.Epsilon, params.Delta)
+	if err != nil {
+		return err
+	}
+	frameBytes := 8 * d * w
+	fmt.Printf("load: %d users × %d rounds over one batched stream (window %d, %d ads/user, %d-cell sketches%s)\n",
+		cfg.users, cfg.rounds, cfg.window, cfg.adsEach, d*w, durabilityNote(cfg.dataDir))
+
+	for round := uint64(1); round <= uint64(cfg.rounds); round++ {
+		// Blind the whole population's reports for this round first, so
+		// the timed section measures the wire+fold path, not the client
+		// crypto.
+		frames := make([]*wire.ReportFrame, cfg.users)
+		for u := 0; u < cfg.users; u++ {
+			cms, err := params.NewSketch()
+			if err != nil {
+				return err
+			}
+			var key [8]byte
+			for a := 0; a < cfg.adsEach; a++ {
+				binary.LittleEndian.PutUint64(key[:], uint64((u*131+a*17)%int(params.IDSpace)))
+				cms.Update(key[:])
+			}
+			cells := cms.FlatCells()
+			if err := blind.ApplyBlinding(cells, roster.Parties[u].Blinding(round, len(cells))); err != nil {
+				return err
+			}
+			frames[u] = &wire.ReportFrame{
+				User: u, Round: round,
+				D: cms.Depth(), W: cms.Width(), N: cms.N(), Seed: cms.Seed(),
+				Cells: cells,
+			}
+		}
+
+		rs, err := cli.OpenReportStream(cfg.window)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		for _, f := range frames {
+			if err := rs.Submit(f); err != nil {
+				return fmt.Errorf("round %d user %d: %w", round, f.User, err)
+			}
+		}
+		if err := rs.Close(); err != nil {
+			return err
+		}
+		elapsed := time.Since(start)
+
+		var resp wire.CloseRoundResp
+		if err := cli.Do(wire.TypeCloseRound, wire.CloseRoundReq{Round: round}, &resp); err != nil {
+			return err
+		}
+		mb := float64(frameBytes) * float64(cfg.users) / (1 << 20)
+		fmt.Printf("  round %d: %d reports in %v  (%.0f reports/s, %.1f MB/s)  Users_th=%.2f distinct ads=%d\n",
+			round, cfg.users, elapsed.Round(time.Millisecond),
+			float64(cfg.users)/elapsed.Seconds(), mb/elapsed.Seconds(),
+			resp.UsersTh, resp.DistinctAds)
+	}
+	return nil
+}
+
+func durabilityNote(dataDir string) string {
+	if dataDir == "" {
+		return ""
+	}
+	return ", durable WAL in " + dataDir
+}

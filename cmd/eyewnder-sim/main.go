@@ -5,6 +5,8 @@
 //	eyewnder-sim -fig3            # FN% vs frequency cap (Figure 3)
 //	eyewnder-sim -fpstudy 30      # false-positive configurations (§7.2.2)
 //	eyewnder-sim -ablate          # threshold/window/min-data ablations
+//	eyewnder-sim -load 64         # stream a population's reports over one
+//	                              # batched connection (wire load harness)
 package main
 
 import (
@@ -25,6 +27,12 @@ func main() {
 		evasion = flag.Bool("evasion", false, "run the evasion trade-off study (§7.3.4)")
 		users   = flag.Int("users", 0, "override user count (0 = Table 1)")
 		reps    = flag.Int("reps", 1, "repetitions per Figure 3 point")
+
+		load     = flag.Int("load", 0, "stream N users' blinded reports over one batched wire connection (the load harness)")
+		loadRnds = flag.Int("load-rounds", 2, "rounds to run in -load mode")
+		loadWin  = flag.Int("load-window", 0, "in-flight frame window in -load mode (0 = twice the server's ack batch)")
+		loadAds  = flag.Int("load-ads", 50, "distinct ads per user per round in -load mode")
+		loadDir  = flag.String("load-data-dir", "", "run the -load back-end on a durable round store in this directory")
 	)
 	flag.Parse()
 
@@ -38,6 +46,14 @@ func main() {
 	}
 
 	switch {
+	case *load > 0:
+		if err := runLoad(loadConfig{
+			users: *load, rounds: *loadRnds, window: *loadWin,
+			adsEach: *loadAds, dataDir: *loadDir,
+		}); err != nil {
+			log.Fatal(err)
+		}
+
 	case *table1:
 		fmt.Println("Table 1: Simulation configuration parameters")
 		fmt.Printf("  %-28s %v\n", "Number of users", base.Users)

@@ -18,6 +18,7 @@ import (
 	"eyewnder/internal/oprf"
 	"eyewnder/internal/privacy"
 	"eyewnder/internal/sketch"
+	"eyewnder/internal/store"
 	"eyewnder/internal/vec"
 	"eyewnder/internal/wire"
 )
@@ -43,9 +44,18 @@ type Config struct {
 	MergeStripes int
 	// AckBatch sets the streamed-report ack batch k for connections that
 	// negotiate batched acknowledgements: one binary ack per k frames.
-	// 0 picks the wire default (wire.DefaultAckBatch); 1 acknowledges
-	// every frame.
+	// 0 (the default) lets the server adapt k per connection from the
+	// observed in-flight depth; 1 acknowledges every frame.
 	AckBatch int
+	// Store is the durable round store. nil (or store.Null{}) keeps all
+	// round state in memory — the original behavior. A store.Disk makes
+	// every round event — open, report, adjustment, close, registration
+	// — crash-recoverable: New replays the store's recovered state into
+	// live rounds, and the wire layer's acknowledgements double as
+	// group-committed fsync barriers (SyncReports), so a report is
+	// durable before its ack and the batched-ack window amortizes the
+	// fsyncs.
+	Store store.Store
 }
 
 // Backend is the server state. All methods are safe for concurrent use.
@@ -61,6 +71,24 @@ type Config struct {
 type Backend struct {
 	cfg   Config
 	cells int // sketch cell count implied by Params, for share validation
+
+	// store is the durability sink (store.Null when Config.Store is
+	// nil); durable is false for the null store, gating the snapshot
+	// machinery.
+	store   store.Store
+	durable bool
+	// snapC wakes the snapshot goroutine; snapQuit (closed by Close)
+	// tells it to exit — snapC itself is never closed, because reporters
+	// send on it concurrently and a send racing a close would panic;
+	// snapDone closes when the goroutine exits; snapErr holds the last
+	// snapshot failure (surfaced by Close). All nil/unused when not
+	// durable.
+	snapC     chan struct{}
+	snapQuit  chan struct{}
+	snapDone  chan struct{}
+	snapErrMu sync.Mutex
+	snapErr   error
+	closing   sync.Once
 
 	mu     sync.Mutex
 	roster [][]byte // bulletin board; nil slot = unregistered
@@ -78,7 +106,11 @@ type round struct {
 	counts map[uint64]uint64
 }
 
-// New constructs a back-end.
+// New constructs a back-end. With a durable Config.Store, the store's
+// recovered state — bulletin-board registrations and full round states
+// (aggregate cells, reported bitmaps, adjustment shares, closed flags)
+// — is replayed into live rounds before the back-end accepts traffic,
+// so a restart resumes every round exactly where the crash left it.
 func New(cfg Config) (*Backend, error) {
 	if cfg.Users < 1 {
 		return nil, errors.New("backend: Users must be >= 1")
@@ -87,12 +119,158 @@ func New(cfg Config) (*Backend, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Backend{
-		cfg:    cfg,
-		cells:  d * w,
-		roster: make([][]byte, cfg.Users),
-		rounds: make(map[uint64]*round),
-	}, nil
+	st := cfg.Store
+	if st == nil {
+		st = store.Null{}
+	}
+	_, isNull := st.(store.Null)
+	b := &Backend{
+		cfg:     cfg,
+		cells:   d * w,
+		store:   st,
+		durable: !isNull,
+		roster:  make([][]byte, cfg.Users),
+		rounds:  make(map[uint64]*round),
+	}
+	if err := b.restore(); err != nil {
+		return nil, err
+	}
+	if b.durable {
+		b.snapC = make(chan struct{}, 1)
+		b.snapQuit = make(chan struct{})
+		b.snapDone = make(chan struct{})
+		go b.snapshotLoop()
+	}
+	return b, nil
+}
+
+// restore replays the store's recovered state into live rounds. The
+// recovered geometry, roster size, and blinding suite must match this
+// back-end's configuration: persisted rounds from a different protocol
+// configuration could never aggregate correctly, so a mismatch refuses
+// to start rather than corrupt rounds silently.
+func (b *Backend) restore() error {
+	for u, key := range b.store.Roster() {
+		if u < 0 || u >= b.cfg.Users {
+			return fmt.Errorf("backend: recovered roster entry for user %d, roster size %d — data dir from a different deployment?", u, b.cfg.Users)
+		}
+		b.roster[u] = append([]byte(nil), key...)
+	}
+	for _, rs := range b.store.Rounds() {
+		if rs.D*rs.W != b.cells {
+			return fmt.Errorf("backend: recovered round %d has %dx%d cells, config wants %d — data dir from a different geometry?", rs.Round, rs.D, rs.W, b.cells)
+		}
+		if rs.RosterSize != b.cfg.Users {
+			return fmt.Errorf("backend: recovered round %d expects %d users, config says %d", rs.Round, rs.RosterSize, b.cfg.Users)
+		}
+		if rs.Keystream != byte(b.cfg.Params.Keystream) {
+			return fmt.Errorf("backend: recovered round %d used keystream suite %#02x, config says %#02x", rs.Round, rs.Keystream, byte(b.cfg.Params.Keystream))
+		}
+		agg, err := privacy.RestoreAggregatorStripes(b.cfg.Params, rs.Round, b.cfg.Users, b.cfg.MergeStripes,
+			rs.Cells, rs.N, rs.Seed, rs.Reported)
+		if err != nil {
+			return err
+		}
+		adjusts := rs.Adjusts
+		if adjusts == nil {
+			adjusts = make(map[int][]uint64)
+		}
+		r := &round{agg: agg, adjusts: adjusts}
+		if rs.Closed {
+			// Re-derive the close-time results (final sketch, per-ad
+			// counts, Users_th) from the recovered aggregate: the inputs
+			// are byte-identical, so the counts are too.
+			if err := b.finalizeLocked(r); err != nil {
+				return fmt.Errorf("backend: re-closing recovered round %d: %w", rs.Round, err)
+			}
+			r.closed = true
+		}
+		b.rounds[rs.Round] = r
+	}
+	return nil
+}
+
+// snapshotLoop runs store snapshots off the hot path: report ingestion
+// only pokes snapC (non-blocking) when the store says enough has been
+// logged, and this goroutine captures the round states and compacts the
+// WAL. Snapshot failures are remembered and surfaced by Close — the WAL
+// keeps growing but stays correct.
+func (b *Backend) snapshotLoop() {
+	defer close(b.snapDone)
+	for {
+		select {
+		case <-b.snapQuit:
+			return
+		case <-b.snapC:
+			if err := b.store.Snapshot(b.captureRoundStates); err != nil {
+				b.snapErrMu.Lock()
+				b.snapErr = err
+				b.snapErrMu.Unlock()
+			}
+		}
+	}
+}
+
+// maybeSnapshot pokes the snapshot goroutine when the store wants one.
+func (b *Backend) maybeSnapshot() {
+	if b.durable && b.store.ShouldSnapshot() {
+		select {
+		case b.snapC <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// captureRoundStates snapshots every round's durable state. Each round
+// is captured under its write lock (excluding in-flight reporters), so
+// the state is internally consistent; rounds are captured one at a
+// time, which is fine because the WAL has already rotated — anything
+// folded between two captures is replayed idempotently on top.
+func (b *Backend) captureRoundStates() ([]*store.RoundState, error) {
+	b.mu.Lock()
+	ids := make([]uint64, 0, len(b.rounds))
+	rounds := make([]*round, 0, len(b.rounds))
+	for id, r := range b.rounds {
+		ids = append(ids, id)
+		rounds = append(rounds, r)
+	}
+	b.mu.Unlock()
+	out := make([]*store.RoundState, 0, len(rounds))
+	for i, r := range rounds {
+		r.mu.Lock()
+		d, w, seed, n, ks, cells, reported := r.agg.SnapshotState()
+		adjusts := make(map[int][]uint64, len(r.adjusts))
+		for u, s := range r.adjusts {
+			adjusts[u] = append([]uint64(nil), s...)
+		}
+		closed := r.closed
+		r.mu.Unlock()
+		out = append(out, &store.RoundState{
+			Round: ids[i], RosterSize: b.cfg.Users,
+			D: d, W: w, Seed: seed, N: n, Keystream: byte(ks),
+			Closed: closed, Cells: cells, Reported: reported, Adjusts: adjusts,
+		})
+	}
+	return out, nil
+}
+
+// SyncReports implements wire.ReportDurability: the wire layer calls it
+// immediately before acknowledging streamed reports, making the ack a
+// durability barrier. The store's group commit coalesces concurrent
+// barriers, so one fsync covers a whole batched-ack window.
+func (b *Backend) SyncReports() error { return b.store.Sync() }
+
+// Close stops the snapshot goroutine and reports the last snapshot
+// failure, if any. It does not close the store — the store's owner
+// (whoever called store.Open) does that, after the back-end is done.
+func (b *Backend) Close() error {
+	if b.durable {
+		b.closing.Do(func() { close(b.snapQuit) })
+		<-b.snapDone
+	}
+	b.snapErrMu.Lock()
+	defer b.snapErrMu.Unlock()
+	return b.snapErr
 }
 
 // MergeStripes returns the per-round merge stripe count actually in
@@ -102,14 +280,29 @@ func (b *Backend) MergeStripes() int {
 	return vec.EffectiveStripes(b.cells, b.cfg.MergeStripes)
 }
 
-// Register stores a user's blinding public key on the bulletin board.
+// Register stores a user's blinding public key on the bulletin board
+// (durably, when a store is configured: the board must survive restarts
+// or recovered rounds would face an empty roster). The fsync barrier
+// runs after b.mu is released — report ingestion (which needs b.mu for
+// round lookup) never stalls behind a registration's disk flush, and
+// concurrent registrations group-commit onto one fsync. A Sync failure
+// surfaces as the registration's error; the client retries and the
+// overwrite is idempotent.
 func (b *Backend) Register(user int, publicKey []byte) (rosterSize int, err error) {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	if user < 0 || user >= b.cfg.Users {
+		b.mu.Unlock()
 		return 0, ErrBadUser
 	}
+	if err := b.store.AppendRegister(user, publicKey); err != nil {
+		b.mu.Unlock()
+		return 0, err
+	}
 	b.roster[user] = append([]byte(nil), publicKey...)
+	b.mu.Unlock()
+	if err := b.store.Sync(); err != nil {
+		return 0, err
+	}
 	return b.cfg.Users, nil
 }
 
@@ -128,7 +321,13 @@ func (b *Backend) Roster() [][]byte {
 
 // getRound returns (creating on first touch) the round's state. Only the
 // map access happens under the global lock; callers lock the returned
-// round for any state access.
+// round for any state access. Round creation is logged before the round
+// becomes visible, so the WAL always carries a round's open record
+// ahead of its reports; the record is not fsynced here — every
+// acknowledgement barrier that matters (report ack, adjustment upload,
+// close) group-commits everything appended before it, open record
+// included, and an open that was never followed by an acked event is
+// trivially recreated on demand after a crash.
 func (b *Backend) getRound(id uint64) (*round, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -136,6 +335,10 @@ func (b *Backend) getRound(id uint64) (*round, error) {
 	if !ok {
 		agg, err := privacy.NewAggregatorStripes(b.cfg.Params, id, b.cfg.Users, b.cfg.MergeStripes)
 		if err != nil {
+			return nil, err
+		}
+		d, w, seed := agg.Layout()
+		if err := b.store.AppendOpen(id, b.cfg.Users, d, w, seed, byte(b.cfg.Params.Keystream)); err != nil {
 			return nil, err
 		}
 		r = &round{agg: agg, adjusts: make(map[int][]uint64)}
@@ -156,17 +359,44 @@ func (b *Backend) lookupRound(id uint64) (*round, bool) {
 // Reporters hold only the round's read lock: the aggregator's own
 // bookkeeping lock and striped cell merge admit concurrent submissions
 // into the same round, while the write lock (CloseRound) excludes them.
+//
+// The sequence is reserve → log → fold: the aggregator first validates
+// and reserves the user's slot (so the WAL only ever records reports
+// the aggregate will absorb, and records them in acceptance order),
+// then the report is logged, then the cells merge. This path also syncs
+// before returning — its callers (JSON wire handler, in-process
+// clients) treat the return as the acknowledgement.
 func (b *Backend) SubmitReport(rep *privacy.Report) error {
 	r, err := b.getRound(rep.Round)
 	if err != nil {
 		return err
 	}
 	r.mu.RLock()
-	defer r.mu.RUnlock()
 	if r.closed {
+		r.mu.RUnlock()
 		return ErrRoundClosed
 	}
-	return r.agg.Add(rep)
+	if err := r.agg.Reserve(rep); err != nil {
+		r.mu.RUnlock()
+		return err
+	}
+	sk := rep.Sketch
+	if err := b.store.AppendReport(rep.Round, rep.User, sk.Depth(), sk.Width(), sk.N(), sk.Seed(),
+		byte(rep.Keystream), sk.FlatCells()); err != nil {
+		r.agg.Unreserve(rep.User, sk.N())
+		r.mu.RUnlock()
+		return err
+	}
+	r.agg.FoldReserved(sk.FlatCells())
+	// The fsync barrier runs outside the round lock: a close or snapshot
+	// queued on the write side would otherwise block every reporter
+	// behind this submission's disk flush.
+	r.mu.RUnlock()
+	if err := b.store.Sync(); err != nil {
+		return err
+	}
+	b.maybeSnapshot()
+	return nil
 }
 
 // ConsumeReport implements wire.ReportSink: a streamed report's pooled
@@ -175,6 +405,12 @@ func (b *Backend) SubmitReport(rep *privacy.Report) error {
 // suite byte is enforced against the round's: a report blinded under a
 // different suite would not cancel and would silently corrupt the
 // aggregate.
+//
+// Durability: the frame is logged (reserve → log → fold, like
+// SubmitReport) while its cells are still the pooled wire buffer, but
+// NOT synced here — the wire layer calls SyncReports immediately before
+// each acknowledgement, so one group-committed fsync covers a whole
+// batched-ack window instead of every report paying its own.
 func (b *Backend) ConsumeReport(f *wire.ReportFrame) error {
 	r, err := b.getRound(f.Round)
 	if err != nil {
@@ -185,7 +421,17 @@ func (b *Backend) ConsumeReport(f *wire.ReportFrame) error {
 	if r.closed {
 		return ErrRoundClosed
 	}
-	return r.agg.AddCells(f.User, f.D, f.W, f.N, f.Seed, blind.Keystream(f.Keystream), f.Cells)
+	ks := blind.Keystream(f.Keystream)
+	if err := r.agg.ReserveCells(f.User, f.D, f.W, f.N, f.Seed, ks, len(f.Cells)); err != nil {
+		return err
+	}
+	if err := b.store.AppendReport(f.Round, f.User, f.D, f.W, f.N, f.Seed, f.Keystream, f.Cells); err != nil {
+		r.agg.Unreserve(f.User, f.N)
+		return err
+	}
+	r.agg.FoldReserved(f.Cells)
+	b.maybeSnapshot()
+	return nil
 }
 
 // RoundStatus reports progress of a round.
@@ -213,17 +459,32 @@ func (b *Backend) SubmitAdjustment(user int, id uint64, cells []uint64) error {
 	if err != nil {
 		return err
 	}
+	// The write lock covers only the closed check, the append (which
+	// must order against a concurrent close), and the map update; the
+	// fsync barrier runs after it is released, so the round's reporters
+	// (read-lock holders) never stall behind an adjustment's disk flush
+	// and concurrent adjustment uploads group-commit onto one fsync. A
+	// Sync failure surfaces as this upload's error; a retry overwrites
+	// the share idempotently.
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if r.closed {
+		r.mu.Unlock()
 		return ErrRoundClosed
 	}
+	if err := b.store.AppendAdjust(id, user, cells); err != nil {
+		r.mu.Unlock()
+		return err
+	}
 	r.adjusts[user] = append([]uint64(nil), cells...)
-	return nil
+	r.mu.Unlock()
+	return b.store.Sync()
 }
 
 // CloseRound unblinds the aggregate (applying any adjustment shares),
-// extracts the per-ad user counts, and computes Users_th.
+// extracts the per-ad user counts, and computes Users_th. The close is
+// logged and synced before the round flips to closed, so a crash
+// straddling the close either replays it (record durable) or leaves
+// the round open and retryable (record lost) — never half-closed.
 func (b *Backend) CloseRound(id uint64) (usersTh float64, distinctAds int, err error) {
 	r, err := b.getRound(id)
 	if err != nil {
@@ -234,6 +495,25 @@ func (b *Backend) CloseRound(id uint64) (usersTh float64, distinctAds int, err e
 	if r.closed {
 		return r.usersTh, len(r.counts), nil
 	}
+	if err := b.finalizeLocked(r); err != nil {
+		return 0, 0, err
+	}
+	if err := b.store.AppendClose(id); err != nil {
+		return 0, 0, err
+	}
+	if err := b.store.Sync(); err != nil {
+		return 0, 0, err
+	}
+	r.closed = true
+	return r.usersTh, len(r.counts), nil
+}
+
+// finalizeLocked computes a round's close-time results — the unblinded
+// final sketch, the per-ad user counts, and Users_th — without marking
+// it closed. Shared by CloseRound and the recovery path, which re-runs
+// it on a restored aggregate: the inputs are byte-identical to the
+// original close, so the counts are too. Caller holds r.mu (write).
+func (b *Backend) finalizeLocked(r *round) error {
 	// Adjustments are applied to a clone of the aggregate
 	// (FinalizeWithAdjustments), never to the live one: if the close
 	// fails (reports still missing, say), a retry must not subtract the
@@ -244,7 +524,7 @@ func (b *Backend) CloseRound(id uint64) (usersTh float64, distinctAds int, err e
 	}
 	final, err := r.agg.FinalizeWithAdjustments(shares...)
 	if err != nil {
-		return 0, 0, err
+		return err
 	}
 	r.final = final
 	r.counts = privacy.UserCounts(final, b.cfg.Params)
@@ -253,8 +533,7 @@ func (b *Backend) CloseRound(id uint64) (usersTh float64, distinctAds int, err e
 		sample = append(sample, float64(c))
 	}
 	r.usersTh = detector.UsersThreshold(sample, b.cfg.UsersEstimator)
-	r.closed = true
-	return r.usersTh, len(r.counts), nil
+	return nil
 }
 
 // Threshold returns a closed round's Users_th (Figure 1, arrow 5).

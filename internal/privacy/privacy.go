@@ -254,16 +254,11 @@ func NewAggregatorStripes(params Params, round uint64, rosterSize, stripes int) 
 // Add folds one blinded report into the aggregate. Safe for concurrent
 // use with other Add/AddCells calls.
 func (a *Aggregator) Add(r *Report) error {
-	if r.Round != a.round {
-		return ErrRoundMismatch
+	if err := a.Reserve(r); err != nil {
+		return err
 	}
-	if r.Keystream != a.params.Keystream {
-		return ErrKeystreamMismatch
-	}
-	if r.Sketch == nil || !a.agg.SameLayout(r.Sketch) {
-		return sketch.ErrDimensionMismatch
-	}
-	return a.addCells(r.User, r.Sketch.N(), r.Sketch.FlatCells())
+	a.FoldReserved(r.Sketch.FlatCells())
+	return nil
 }
 
 // AddCells folds a report that arrived as raw header fields plus a flat
@@ -275,18 +270,49 @@ func (a *Aggregator) Add(r *Report) error {
 // recycled by the caller as soon as it returns. Safe for concurrent use
 // with other Add/AddCells calls.
 func (a *Aggregator) AddCells(user int, d, w int, n, seed uint64, ks blind.Keystream, cells []uint64) error {
+	if err := a.ReserveCells(user, d, w, n, seed, ks, len(cells)); err != nil {
+		return err
+	}
+	a.FoldReserved(cells)
+	return nil
+}
+
+// Reserve is the validation-and-bookkeeping half of Add, split out so a
+// caller can interpose a side effect — the back-end's write-ahead log
+// append — between acceptance and the cell fold. On success the user's
+// roster slot is taken and the report's weight counted; the caller MUST
+// then either FoldReserved the cells or Unreserve the slot. Because the
+// reservation is what serializes duplicate detection, anything logged
+// after a successful Reserve is a report the aggregate will definitely
+// absorb — which is exactly the invariant crash recovery replays on.
+func (a *Aggregator) Reserve(r *Report) error {
+	if r.Round != a.round {
+		return ErrRoundMismatch
+	}
+	if r.Keystream != a.params.Keystream {
+		return ErrKeystreamMismatch
+	}
+	if r.Sketch == nil || !a.agg.SameLayout(r.Sketch) {
+		return sketch.ErrDimensionMismatch
+	}
+	return a.reserve(r.User, r.Sketch.N())
+}
+
+// ReserveCells is Reserve for the streaming ingestion path's raw header
+// fields (see AddCells). cellsLen is the report's flat cell count.
+func (a *Aggregator) ReserveCells(user int, d, w int, n, seed uint64, ks blind.Keystream, cellsLen int) error {
 	if ks != a.params.Keystream {
 		return ErrKeystreamMismatch
 	}
-	if !a.agg.LayoutMatches(d, w, seed) || len(cells) != a.agg.Cells() {
+	if !a.agg.LayoutMatches(d, w, seed) || cellsLen != a.agg.Cells() {
 		return sketch.ErrDimensionMismatch
 	}
-	return a.addCells(user, n, cells)
+	return a.reserve(user, n)
 }
 
-// addCells runs the bookkeeping under the short lock, then folds the
-// cells through the striped merger outside it.
-func (a *Aggregator) addCells(user int, n uint64, cells []uint64) error {
+// reserve runs the bookkeeping under the short lock: duplicate
+// rejection, the reported-bitmap mark, and the weight total.
+func (a *Aggregator) reserve(user int, n uint64) error {
 	if user < 0 || user >= a.rosterSize {
 		return fmt.Errorf("privacy: user %d outside roster of %d", user, a.rosterSize)
 	}
@@ -298,8 +324,84 @@ func (a *Aggregator) addCells(user int, n uint64, cells []uint64) error {
 	a.reported[user] = true
 	a.agg.AddWeight(n)
 	a.mu.Unlock()
-	a.merger.Add(cells)
 	return nil
+}
+
+// FoldReserved merges a successfully reserved report's cells through
+// the striped merger. The cells may be recycled as soon as it returns.
+func (a *Aggregator) FoldReserved(cells []uint64) {
+	a.merger.Add(cells)
+}
+
+// Unreserve rolls back a successful Reserve whose fold will not happen
+// (the back-end uses it when the WAL append fails): the user's slot
+// reopens and the report's weight is subtracted again.
+func (a *Aggregator) Unreserve(user int, n uint64) {
+	a.mu.Lock()
+	delete(a.reported, user)
+	a.agg.AddWeight(-n) // uint64 wrap-around: exact inverse of the reserve
+	a.mu.Unlock()
+}
+
+// RestoreAggregatorStripes rebuilds an aggregation round from durably
+// persisted state: the aggregate's flat cells (adopted, not copied),
+// its update weight, the hash-seed base, and the reported bitmap. The
+// cell count must match the params' geometry — a mismatch means the
+// persisted state was written under a different configuration, which
+// can never be folded into safely. The restored aggregator enforces the
+// same duplicate/suite/layout invariants as the original: a user who
+// reported before the crash is still a duplicate after it.
+func RestoreAggregatorStripes(params Params, round uint64, rosterSize, stripes int, cells []uint64, n, seed uint64, reported []bool) (*Aggregator, error) {
+	d, w, err := sketch.Dimensions(params.Epsilon, params.Delta)
+	if err != nil {
+		return nil, err
+	}
+	if len(cells) != d*w {
+		return nil, fmt.Errorf("privacy: restoring %d cells into a %dx%d geometry", len(cells), d, w)
+	}
+	cms, err := sketch.Restore(d, w, seed, n, cells)
+	if err != nil {
+		return nil, err
+	}
+	rep := make(map[int]bool, len(reported))
+	for u, r := range reported {
+		if u >= rosterSize {
+			return nil, fmt.Errorf("privacy: restored bitmap covers %d users, roster is %d", len(reported), rosterSize)
+		}
+		if r {
+			rep[u] = true
+		}
+	}
+	return &Aggregator{
+		params:     params,
+		round:      round,
+		rosterSize: rosterSize,
+		agg:        cms,
+		merger:     vec.NewStriped(cms.FlatCells(), stripes),
+		reported:   rep,
+	}, nil
+}
+
+// Layout returns the aggregate's cell geometry and hash-seed base —
+// the scalar header fields a durable store logs in a round-open record.
+// Unlike SnapshotState it copies nothing.
+func (a *Aggregator) Layout() (d, w int, seed uint64) {
+	return a.agg.Depth(), a.agg.Width(), a.agg.Seed()
+}
+
+// SnapshotState copies the aggregator's durable state — geometry, hash
+// seed, weight total, cell vector, and reported bitmap sized to the
+// roster — for persistence. The caller must exclude concurrent
+// Add/Fold calls (the back-end holds the round's write lock).
+func (a *Aggregator) SnapshotState() (d, w int, seed, n uint64, ks blind.Keystream, cells []uint64, reported []bool) {
+	cells = append([]uint64(nil), a.agg.FlatCells()...)
+	reported = make([]bool, a.rosterSize)
+	a.mu.Lock()
+	for u := range a.reported {
+		reported[u] = true
+	}
+	a.mu.Unlock()
+	return a.agg.Depth(), a.agg.Width(), a.agg.Seed(), a.agg.N(), a.params.Keystream, cells, reported
 }
 
 // Reported returns how many reports have been folded in.

@@ -291,6 +291,19 @@ func (c *CMS) Merge(other *CMS) error {
 	return nil
 }
 
+// Restore rebuilds a CMS from externally persisted state: dimensions,
+// hash seed, update total, and the flat cell vector, which is adopted
+// (not copied — the caller hands over ownership). It is the
+// crash-recovery counterpart of FlatCells/Seed/N: the durable round
+// store snapshots those and Restore turns them back into a live sketch
+// with the identical cell layout.
+func Restore(d, w int, seed, n uint64, cells []uint64) (*CMS, error) {
+	if d < 1 || w < 1 || len(cells) != d*w {
+		return nil, fmt.Errorf("sketch: restore dimensions d=%d w=%d with %d cells", d, w, len(cells))
+	}
+	return &CMS{d: d, w: w, seed: seed, n: n, cells: cells}, nil
+}
+
 // Clone returns a deep copy of c.
 func (c *CMS) Clone() *CMS {
 	cp := &CMS{d: c.d, w: c.w, n: c.n, seed: c.seed, cells: make([]uint64, len(c.cells))}

@@ -1,0 +1,523 @@
+package store
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// walMagic heads every WAL segment file.
+const walMagic = "EYWNWAL1"
+
+// walBufSize is the append buffer: large enough that a paper-geometry
+// report record (~150 KB) takes a couple of flushes, small enough that
+// an idle flush is cheap.
+const walBufSize = 1 << 18
+
+// ErrStoreClosed is returned by operations on a closed (or failed)
+// store.
+var ErrStoreClosed = errors.New("store: closed")
+
+// Disk is the durable Store: WAL segments plus snapshots in one
+// directory. Safe for concurrent use.
+//
+// Group commit: appends buffer under the store mutex; Sync flushes and
+// fsyncs, and concurrent Sync callers coalesce — whoever becomes the
+// leader fsyncs everything appended so far, followers whose records
+// that covered return without touching the disk. With the wire layer
+// calling Sync once per ack batch, k streamed reports cost one fsync.
+type Disk struct {
+	dir  string
+	opts Options
+
+	mu      sync.Mutex
+	cond    *sync.Cond // signals sync completion and rotation safety
+	f       *os.File
+	bw      *bufio.Writer
+	gen     uint64
+	seq     uint64 // records appended
+	synced  uint64 // records known durable
+	syncing bool   // a group-commit leader is mid-fsync
+	err     error  // sticky I/O failure; everything fails after
+	closed  bool
+
+	reports atomic.Int64 // report appends since the last snapshot
+
+	snapMu sync.Mutex // serializes Snapshot calls
+
+	// roster is the live bulletin board, kept for the next snapshot. It
+	// is guarded by mu and updated in the same critical section as the
+	// register append, so a snapshot's roster copy — taken inside the
+	// rotation's critical section — is guaranteed to reflect every
+	// register record in the segments the snapshot supersedes, without
+	// depending on any caller-side locking.
+	roster map[int][]byte
+
+	rounds []*RoundState // recovered at Open, consumed by the back-end
+}
+
+// Open opens (creating if needed) the store directory, recovers the
+// round and roster state from the newest valid snapshot plus every WAL
+// segment after it, and starts a fresh segment for new appends. The
+// recovered state is available from Rounds and Roster.
+func Open(dir string, opts Options) (*Disk, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var walGens, snapGens []uint64
+	maxGen := uint64(0)
+	for _, e := range names {
+		name := e.Name()
+		if filepath.Ext(name) == ".tmp" {
+			os.Remove(filepath.Join(dir, name)) // interrupted snapshot
+			continue
+		}
+		if g, ok := parseGen(name, "wal-", ".log"); ok {
+			walGens = append(walGens, g)
+			if g > maxGen {
+				maxGen = g
+			}
+		} else if g, ok := parseGen(name, "snap-", ".snap"); ok {
+			snapGens = append(snapGens, g)
+			if g > maxGen {
+				maxGen = g
+			}
+		}
+	}
+	sort.Slice(snapGens, func(i, j int) bool { return snapGens[i] > snapGens[j] })
+	sort.Slice(walGens, func(i, j int) bool { return walGens[i] < walGens[j] })
+
+	// Newest snapshot that validates wins; a torn one (crash mid-cycle)
+	// is skipped and the previous generation carries the recovery.
+	var snap *snapshotData
+	baseGen := uint64(0)
+	for _, g := range snapGens {
+		s, err := loadSnapshot(filepath.Join(dir, snapName(g)))
+		if err == nil {
+			snap, baseGen = s, g
+			break
+		}
+	}
+	rec := newRecovered(snap)
+	for _, g := range walGens {
+		if g < baseGen {
+			continue // fully reflected in the snapshot
+		}
+		if err := replaySegment(filepath.Join(dir, walName(g)), rec); err != nil {
+			return nil, err
+		}
+	}
+
+	// New appends go to a fresh segment: the previous segment may end in
+	// a torn record, and appending after one would hide every record
+	// that follows it from the next recovery.
+	gen := maxGen + 1
+	f, err := createSegment(filepath.Join(dir, walName(gen)))
+	if err != nil {
+		return nil, err
+	}
+	// Stale files below the recovered snapshot are leftovers of a crash
+	// between snapshot and prune; their content is in the snapshot.
+	for _, g := range walGens {
+		if g < baseGen {
+			os.Remove(filepath.Join(dir, walName(g)))
+		}
+	}
+	for _, g := range snapGens {
+		if g < baseGen {
+			os.Remove(filepath.Join(dir, snapName(g)))
+		}
+	}
+
+	d := &Disk{
+		dir:    dir,
+		opts:   opts,
+		f:      f,
+		bw:     bufio.NewWriterSize(f, walBufSize),
+		gen:    gen,
+		rounds: rec.sortedRounds(),
+	}
+	d.cond = sync.NewCond(&d.mu)
+	d.roster = rec.roster
+	return d, nil
+}
+
+// replaySegment folds one WAL segment into rec. A record that fails its
+// CRC ends the segment cleanly — everything before it is applied; a
+// crash mid-append only ever leaves such a record at the tail, so
+// nothing real can follow it. A record whose CRC *validates* but whose
+// body does not parse is different: it means version skew or an
+// encoder bug, and silently stopping there would discard
+// fsync-acknowledged records behind it — so that refuses recovery
+// loudly instead.
+func replaySegment(path string, rec *recovered) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, walBufSize)
+	magic := make([]byte, len(walMagic))
+	if _, err := io.ReadFull(br, magic); err != nil || string(magic) != walMagic {
+		return nil // empty or foreign file: nothing to replay
+	}
+	var buf []byte
+	for {
+		kind, body, nbuf, err := ReadWALRecord(br, buf)
+		buf = nbuf
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return nil // torn tail: recovery stops at the last valid record
+		}
+		if err := rec.apply(kind, body); err != nil {
+			return fmt.Errorf("store: %s: checksummed record does not parse (version skew?): %w", path, err)
+		}
+	}
+}
+
+// createSegment creates a WAL segment with its magic written and synced.
+func createSegment(path string) (*os.File, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Write([]byte(walMagic)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := syncDir(filepath.Dir(path)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return f, nil
+}
+
+func walName(gen uint64) string { return fmt.Sprintf("wal-%016d.log", gen) }
+
+func snapName(gen uint64) string { return fmt.Sprintf("snap-%016d.snap", gen) }
+
+// parseGen extracts the generation from a store file name.
+func parseGen(name, prefix, suffix string) (uint64, bool) {
+	if len(name) != len(prefix)+16+len(suffix) ||
+		name[:len(prefix)] != prefix || name[len(name)-len(suffix):] != suffix {
+		return 0, false
+	}
+	var g uint64
+	for _, c := range name[len(prefix) : len(prefix)+16] {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		g = g*10 + uint64(c-'0')
+	}
+	return g, true
+}
+
+// Rounds implements Store.
+func (d *Disk) Rounds() []*RoundState { return d.rounds }
+
+// Roster implements Store.
+func (d *Disk) Roster() map[int][]byte {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make(map[int][]byte, len(d.roster))
+	for u, k := range d.roster {
+		out[u] = append([]byte(nil), k...)
+	}
+	return out
+}
+
+// append runs one encoded record append under the store lock, honoring
+// the sticky error and the SyncAlways policy.
+func (d *Disk) append(encode func(w io.Writer) error) error {
+	d.mu.Lock()
+	if err := d.usableLocked(); err != nil {
+		d.mu.Unlock()
+		return err
+	}
+	if err := encode(d.bw); err != nil {
+		d.failLocked(err)
+		d.mu.Unlock()
+		return err
+	}
+	d.seq++
+	if d.opts.Sync != SyncAlways {
+		d.mu.Unlock()
+		return nil
+	}
+	d.mu.Unlock()
+	return d.Sync()
+}
+
+// usableLocked reports the sticky failure state. Caller holds d.mu.
+func (d *Disk) usableLocked() error {
+	if d.closed {
+		return ErrStoreClosed
+	}
+	return d.err
+}
+
+// failLocked records a sticky I/O failure. Once the WAL cannot be
+// trusted to contain what the caller was promised, every subsequent
+// operation fails rather than acknowledge reports that were never made
+// durable. Caller holds d.mu.
+func (d *Disk) failLocked(err error) {
+	if d.err == nil {
+		d.err = err
+	}
+	d.cond.Broadcast()
+}
+
+// AppendRegister implements Store. The in-memory roster is updated in
+// the same critical section as the record append: a snapshot rotation
+// can then never observe the record in a superseded segment without
+// also observing the roster entry.
+func (d *Disk) AppendRegister(user int, publicKey []byte) error {
+	d.mu.Lock()
+	if err := d.usableLocked(); err != nil {
+		d.mu.Unlock()
+		return err
+	}
+	if err := encodeRegisterRecord(d.bw, user, publicKey); err != nil {
+		d.failLocked(err)
+		d.mu.Unlock()
+		return err
+	}
+	d.seq++
+	if d.roster == nil {
+		d.roster = make(map[int][]byte)
+	}
+	d.roster[user] = append([]byte(nil), publicKey...)
+	sync := d.opts.Sync == SyncAlways
+	d.mu.Unlock()
+	if sync {
+		return d.Sync()
+	}
+	return nil
+}
+
+// AppendOpen implements Store.
+func (d *Disk) AppendOpen(round uint64, rosterSize, dRows, wCols int, seed uint64, keystream byte) error {
+	return d.append(func(w io.Writer) error {
+		return encodeOpenRecord(w, round, rosterSize, dRows, wCols, seed, keystream)
+	})
+}
+
+// AppendReport implements Store.
+func (d *Disk) AppendReport(round uint64, user, dRows, wCols int, n, seed uint64, keystream byte, cells []uint64) error {
+	err := d.append(func(w io.Writer) error {
+		return EncodeReportRecord(w, round, user, dRows, wCols, n, seed, keystream, cells)
+	})
+	if err == nil {
+		d.reports.Add(1)
+	}
+	return err
+}
+
+// AppendAdjust implements Store.
+func (d *Disk) AppendAdjust(round uint64, user int, cells []uint64) error {
+	return d.append(func(w io.Writer) error { return encodeAdjustRecord(w, round, user, cells) })
+}
+
+// AppendClose implements Store.
+func (d *Disk) AppendClose(round uint64) error {
+	return d.append(func(w io.Writer) error { return encodeCloseRecord(w, round) })
+}
+
+// Sync implements Store: the group-committed durability barrier. The
+// caller returns only once every record appended before the call is
+// flushed (and, unless SyncOff, fsynced). One caller at a time leads
+// the commit; everyone whose records it covered piggybacks.
+func (d *Disk) Sync() error {
+	d.mu.Lock()
+	target := d.seq
+	for {
+		if err := d.usableLocked(); err != nil {
+			d.mu.Unlock()
+			return err
+		}
+		if d.synced >= target {
+			d.mu.Unlock()
+			return nil
+		}
+		if !d.syncing {
+			break // become the leader
+		}
+		d.cond.Wait() // a leader is mid-fsync; it may cover us
+	}
+	d.syncing = true
+	if err := d.bw.Flush(); err != nil {
+		d.syncing = false
+		d.failLocked(err)
+		d.mu.Unlock()
+		return err
+	}
+	covered := d.seq // flushed up to here; later appends buffer behind us
+	f := d.f
+	d.mu.Unlock()
+
+	var err error
+	if d.opts.Sync != SyncOff {
+		err = f.Sync()
+	}
+
+	d.mu.Lock()
+	d.syncing = false
+	if err != nil {
+		d.failLocked(err)
+	} else if covered > d.synced {
+		d.synced = covered
+	}
+	d.cond.Broadcast()
+	d.mu.Unlock()
+	return err
+}
+
+// ShouldSnapshot implements Store.
+func (d *Disk) ShouldSnapshot() bool {
+	every := d.opts.snapshotEvery()
+	return every > 0 && d.reports.Load() >= int64(every)
+}
+
+// Snapshot implements Store. The sequence is what makes the snapshot
+// safe to combine with its WAL segment:
+//
+//  1. Rotate: flush and fsync the current segment, then point appends
+//     at a fresh segment of the next generation. Every record in the
+//     old segment is now both durable and — because the capture below
+//     happens after rotation — guaranteed to be reflected in the
+//     captured state.
+//  2. Capture: run the owner's callback with no store lock held (it
+//     takes the back-end's round locks; holding the WAL lock across it
+//     could deadlock against reporters mid-append).
+//  3. Publish: write the snapshot to a temp file, fsync, rename,
+//     fsync the directory.
+//  4. Prune: delete every segment and snapshot older than the new one.
+//
+// A crash anywhere in between leaves a recoverable directory: before
+// the rename, recovery uses the previous snapshot plus both segments;
+// after it, the new snapshot plus the fresh segment.
+func (d *Disk) Snapshot(capture func() ([]*RoundState, error)) error {
+	d.snapMu.Lock()
+	defer d.snapMu.Unlock()
+
+	// Create (and fsync) the next segment before taking the store lock:
+	// those are two fsyncs appends need not stall behind. snapMu
+	// serializes Snapshot calls and Open is not concurrent, so d.gen
+	// cannot move under us.
+	d.mu.Lock()
+	newGen := d.gen + 1
+	d.mu.Unlock()
+	newPath := filepath.Join(d.dir, walName(newGen))
+	f, err := createSegment(newPath)
+	if err != nil {
+		return err
+	}
+	// If the rotation below fails, the pre-created segment must go away:
+	// the generation has not advanced, so the next attempt would try to
+	// create the same (O_EXCL) path.
+	abort := func() {
+		f.Close()
+		os.Remove(newPath)
+	}
+
+	d.mu.Lock()
+	for d.syncing {
+		d.cond.Wait() // let an in-flight group commit finish with its file
+	}
+	if err := d.usableLocked(); err != nil {
+		d.mu.Unlock()
+		abort()
+		return err
+	}
+	// The old segment's flush+fsync stays under the lock: the moment the
+	// swap below publishes `synced = seq`, every record in the old
+	// segment must actually be durable, and an append sneaking in
+	// between an unlocked fsync and the swap would break that.
+	if err := d.bw.Flush(); err != nil {
+		d.failLocked(err)
+		d.mu.Unlock()
+		abort()
+		return err
+	}
+	if d.opts.Sync != SyncOff {
+		if err := d.f.Sync(); err != nil {
+			d.failLocked(err)
+			d.mu.Unlock()
+			abort()
+			return err
+		}
+	}
+	old, oldGen := d.f, d.gen
+	d.f, d.bw, d.gen = f, bufio.NewWriterSize(f, walBufSize), newGen
+	d.synced = d.seq // the old segment is durable in full
+	// Copy the roster inside the rotation's critical section: it then
+	// reflects exactly the register records up to the rotation point, so
+	// pruning the old segments cannot lose a registration.
+	roster := make(map[int][]byte, len(d.roster))
+	for u, k := range d.roster {
+		roster[u] = k
+	}
+	d.mu.Unlock()
+	old.Close()
+	// The cadence counter resets at the rotation, not at success: if the
+	// snapshot write below fails persistently (disk full, say), the next
+	// attempt comes after another SnapshotEvery reports — a bounded
+	// retry, not a rotation per report on an already-struggling disk.
+	d.reports.Store(0)
+
+	states, err := capture()
+	if err != nil {
+		return err // WAL already rotated: harmless, the next snapshot retries
+	}
+	if err := writeSnapshot(filepath.Join(d.dir, snapName(newGen)), roster, states); err != nil {
+		return err
+	}
+	for g := oldGen; g > 0; g-- {
+		// Contiguous generations below the new snapshot; stop at the
+		// first gap (already pruned).
+		p1 := filepath.Join(d.dir, walName(g))
+		p2 := filepath.Join(d.dir, snapName(g))
+		e1, e2 := os.Remove(p1), os.Remove(p2)
+		if os.IsNotExist(e1) && os.IsNotExist(e2) {
+			break
+		}
+	}
+	return nil
+}
+
+// Close implements Store: flushes, fsyncs, and releases the segment.
+func (d *Disk) Close() error {
+	err := d.Sync()
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil
+	}
+	d.closed = true
+	f := d.f
+	d.cond.Broadcast()
+	d.mu.Unlock()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if errors.Is(err, ErrStoreClosed) {
+		err = nil
+	}
+	return err
+}

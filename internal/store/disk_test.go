@@ -1,0 +1,556 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// testGeometry is a small, fast cell layout for store tests.
+const (
+	testD = 3
+	testW = 16
+)
+
+func testCells(seed uint64) []uint64 {
+	cells := make([]uint64, testD*testW)
+	for i := range cells {
+		cells[i] = seed*1_000_003 + uint64(i)*2_654_435_761
+	}
+	return cells
+}
+
+func openTestStore(t *testing.T, dir string, opts Options) *Disk {
+	t.Helper()
+	d, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return d
+}
+
+// logRound writes a round open plus reports from the given users.
+func logRound(t *testing.T, d *Disk, round uint64, roster int, users ...int) {
+	t.Helper()
+	if err := d.AppendOpen(round, roster, testD, testW, 0, 1); err != nil {
+		t.Fatalf("AppendOpen: %v", err)
+	}
+	for _, u := range users {
+		if err := d.AppendReport(round, u, testD, testW, 5, 0, 1, testCells(uint64(u))); err != nil {
+			t.Fatalf("AppendReport(%d): %v", u, err)
+		}
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+}
+
+// wantRoundCells is the cell-wise sum of the given users' test vectors.
+func wantRoundCells(users ...int) []uint64 {
+	out := make([]uint64, testD*testW)
+	for _, u := range users {
+		for i, v := range testCells(uint64(u)) {
+			out[i] += v
+		}
+	}
+	return out
+}
+
+// A WAL-only store (no snapshot yet) must recover the full round state:
+// cells, weight, reported bitmap, suite byte.
+func TestRecoverFromWALOnly(t *testing.T) {
+	dir := t.TempDir()
+	d := openTestStore(t, dir, Options{})
+	logRound(t, d, 7, 8, 0, 2, 5)
+	if err := d.AppendAdjust(7, 2, testCells(99)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AppendRegister(3, []byte("pubkey-3")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2 := openTestStore(t, dir, Options{})
+	defer d2.Close()
+	rounds := d2.Rounds()
+	if len(rounds) != 1 {
+		t.Fatalf("recovered %d rounds, want 1", len(rounds))
+	}
+	rs := rounds[0]
+	if rs.Round != 7 || rs.RosterSize != 8 || rs.D != testD || rs.W != testW {
+		t.Fatalf("round header = %+v", rs)
+	}
+	if rs.Keystream != 1 {
+		t.Fatalf("suite byte = %d, want 1", rs.Keystream)
+	}
+	if rs.N != 15 {
+		t.Fatalf("N = %d, want 15", rs.N)
+	}
+	wantRep := []bool{true, false, true, false, false, true, false, false}
+	if !reflect.DeepEqual(rs.Reported, wantRep) {
+		t.Fatalf("reported bitmap = %v", rs.Reported)
+	}
+	if !reflect.DeepEqual(rs.Cells, wantRoundCells(0, 2, 5)) {
+		t.Fatal("recovered cells differ from the live fold")
+	}
+	if !reflect.DeepEqual(rs.Adjusts[2], testCells(99)) {
+		t.Fatalf("adjust share not recovered: %v", rs.Adjusts)
+	}
+	roster := d2.Roster()
+	if string(roster[3]) != "pubkey-3" {
+		t.Fatalf("roster = %v", roster)
+	}
+}
+
+// Replay must mirror the aggregator's acceptance rules: duplicates,
+// out-of-roster users, layout mismatches, and suite mismatches are all
+// skipped, and a closed round accepts nothing.
+func TestReplayMirrorsAggregatorInvariants(t *testing.T) {
+	dir := t.TempDir()
+	d := openTestStore(t, dir, Options{})
+	logRound(t, d, 1, 4, 0)
+	// Duplicate of user 0: skipped on replay (the live path would never
+	// log it, but replay must reject it anyway for snapshot overlap).
+	if err := d.AppendReport(1, 0, testD, testW, 5, 0, 1, testCells(42)); err != nil {
+		t.Fatal(err)
+	}
+	// Out-of-roster user.
+	if err := d.AppendReport(1, 9, testD, testW, 5, 0, 1, testCells(9)); err != nil {
+		t.Fatal(err)
+	}
+	// Wrong suite byte.
+	if err := d.AppendReport(1, 1, testD, testW, 5, 0, 0, testCells(1)); err != nil {
+		t.Fatal(err)
+	}
+	// Wrong geometry (fresh round so the record itself is valid).
+	if err := d.AppendOpen(2, 4, testD, testW, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AppendReport(2, 0, testD+1, testW, 5, 0, 1, make([]uint64, (testD+1)*testW)); err != nil {
+		t.Fatal(err)
+	}
+	// Close round 2, then try to sneak in a report and an adjustment.
+	if err := d.AppendClose(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AppendReport(2, 1, testD, testW, 5, 0, 1, testCells(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AppendAdjust(2, 1, testCells(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2 := openTestStore(t, dir, Options{})
+	defer d2.Close()
+	rounds := d2.Rounds()
+	if len(rounds) != 2 {
+		t.Fatalf("recovered %d rounds, want 2", len(rounds))
+	}
+	r1, r2 := rounds[0], rounds[1]
+	if !reflect.DeepEqual(r1.Cells, wantRoundCells(0)) || r1.N != 5 {
+		t.Fatal("round 1 absorbed a rejected report")
+	}
+	if r1.Reported[1] {
+		t.Fatal("wrong-suite report marked user 1 reported")
+	}
+	if !r2.Closed {
+		t.Fatal("round 2 not closed")
+	}
+	if r2.N != 0 || len(r2.Adjusts) != 0 {
+		t.Fatal("closed round absorbed post-close records")
+	}
+}
+
+// Recovery must stop cleanly at a truncated tail: every record before
+// the cut survives, the torn one disappears, and the store stays
+// appendable (new appends go to a fresh segment).
+func TestRecoveryTruncatedTail(t *testing.T) {
+	for _, cut := range []int{1, 4, 5, 30, 100} {
+		dir := t.TempDir()
+		d := openTestStore(t, dir, Options{})
+		logRound(t, d, 1, 4, 0, 1)
+		if err := d.Close(); err != nil {
+			t.Fatal(err)
+		}
+		seg := filepath.Join(dir, walName(1))
+		raw, err := os.ReadFile(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cut >= len(raw) {
+			t.Fatalf("cut %d beyond segment (%d bytes)", cut, len(raw))
+		}
+		// Chop `cut` bytes off the tail: the last record is torn.
+		if err := os.WriteFile(seg, raw[:len(raw)-cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		d2 := openTestStore(t, dir, Options{})
+		rounds := d2.Rounds()
+		if len(rounds) != 1 {
+			t.Fatalf("cut %d: recovered %d rounds, want 1", cut, len(rounds))
+		}
+		rs := rounds[0]
+		// The tail record was user 1's report; user 0's must survive.
+		if !rs.Reported[0] || rs.Reported[1] {
+			t.Fatalf("cut %d: reported bitmap = %v", cut, rs.Reported)
+		}
+		if !reflect.DeepEqual(rs.Cells, wantRoundCells(0)) {
+			t.Fatalf("cut %d: cells do not match the pre-tear state", cut)
+		}
+		// The store must keep working: append the lost report again and
+		// recover once more.
+		if err := d2.AppendReport(1, 1, testD, testW, 5, 0, 1, testCells(1)); err != nil {
+			t.Fatal(err)
+		}
+		if err := d2.Close(); err != nil {
+			t.Fatal(err)
+		}
+		d3 := openTestStore(t, dir, Options{})
+		if rs := d3.Rounds()[0]; !reflect.DeepEqual(rs.Cells, wantRoundCells(0, 1)) {
+			t.Fatalf("cut %d: resubmitted report lost", cut)
+		}
+		d3.Close()
+	}
+}
+
+// A torn write *inside* the tail record (bit flip, not truncation) must
+// fail the CRC and stop replay at the last valid record.
+func TestRecoveryTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	d := openTestStore(t, dir, Options{})
+	logRound(t, d, 1, 4, 0, 1, 2)
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg := filepath.Join(dir, walName(1))
+	raw, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte in the last record's cell block (well past its header).
+	raw[len(raw)-20] ^= 0xFF
+	if err := os.WriteFile(seg, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	d2 := openTestStore(t, dir, Options{})
+	defer d2.Close()
+	rs := d2.Rounds()[0]
+	if rs.Reported[2] {
+		t.Fatal("torn record was applied")
+	}
+	if !reflect.DeepEqual(rs.Cells, wantRoundCells(0, 1)) {
+		t.Fatal("recovery did not stop at the last valid record")
+	}
+}
+
+// A CRC-valid record with an unknown kind (version skew, encoder bug)
+// must refuse recovery loudly: stopping silently there would discard
+// acknowledged-durable records behind it.
+func TestRecoveryRefusesUnparseableValidRecord(t *testing.T) {
+	dir := t.TempDir()
+	d := openTestStore(t, dir, Options{})
+	logRound(t, d, 1, 4, 0)
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg := filepath.Join(dir, walName(1))
+	f, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A perfectly framed record of a kind this binary does not know.
+	if err := appendRecord(f, 0x7F, []byte("future record")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("recovery accepted a segment with an unparseable checksummed record")
+	}
+}
+
+// A snapshot whose whole-file CRC validates but whose interior section
+// lengths are inconsistent must return an error (falling back to an
+// older generation), never panic.
+func TestLoadSnapshotInconsistentInterior(t *testing.T) {
+	// magic ‖ version ‖ rosterCount=0 ‖ roundCount=1 ‖ a round header
+	// claiming 8 roster users — then nothing (no bitmap, no cells).
+	body := []byte(snapMagic)
+	body = append(body, 1, 0, 0, 0) // version
+	body = append(body, make([]byte, 8)...)
+	count := make([]byte, 8)
+	count[0] = 1
+	body = append(body, count...) // roundCount = 1
+	hdr := make([]byte, 8*6)      // round, roster, d, w, seed, n
+	hdr[8] = 8                    // roster = 8
+	hdr[16] = 2                   // d = 2
+	hdr[24] = 4                   // w = 4
+	body = append(body, hdr...)
+	body = append(body, 0, 0) // keystream, closed — and then: truncated
+	crc := crc32.Checksum(body, castagnoli)
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], crc)
+	body = append(body, tail[:]...)
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, snapName(3))
+	if err := os.WriteFile(path, body, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadSnapshot(path); err == nil {
+		t.Fatal("inconsistent snapshot accepted")
+	}
+	// And the store as a whole must fall back (empty recovery), not die.
+	d := openTestStore(t, dir, Options{})
+	defer d.Close()
+	if len(d.Rounds()) != 0 {
+		t.Fatal("corrupt snapshot produced rounds")
+	}
+}
+
+// The snapshot cycle: after Snapshot, old segments are pruned, and
+// recovery from snapshot + fresh segment equals recovery from the full
+// log. Records appended after the snapshot replay on top of it.
+func TestSnapshotCycleAndPrune(t *testing.T) {
+	dir := t.TempDir()
+	d := openTestStore(t, dir, Options{})
+	logRound(t, d, 1, 4, 0, 1)
+	if err := d.AppendRegister(0, []byte("k0")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Capture the state the back-end would: one round, users 0 and 1 in.
+	state := &RoundState{
+		Round: 1, RosterSize: 4, D: testD, W: testW, N: 10, Keystream: 1,
+		Cells:    wantRoundCells(0, 1),
+		Reported: []bool{true, true, false, false},
+		Adjusts:  map[int][]uint64{},
+	}
+	if err := d.Snapshot(func() ([]*RoundState, error) {
+		return []*RoundState{state}, nil
+	}); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, walName(1))); !os.IsNotExist(err) {
+		t.Fatal("old WAL segment not pruned after snapshot")
+	}
+	// Post-snapshot traffic, including a replay-overlap record (user 1
+	// again — already in the snapshot, must be rejected on replay).
+	if err := d.AppendReport(1, 1, testD, testW, 5, 0, 1, testCells(77)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AppendReport(1, 2, testD, testW, 5, 0, 1, testCells(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2 := openTestStore(t, dir, Options{})
+	defer d2.Close()
+	rs := d2.Rounds()[0]
+	if !reflect.DeepEqual(rs.Reported, []bool{true, true, true, false}) {
+		t.Fatalf("reported after snapshot+replay = %v", rs.Reported)
+	}
+	if !reflect.DeepEqual(rs.Cells, wantRoundCells(0, 1, 2)) {
+		t.Fatal("snapshot + overlapping replay double-applied a report")
+	}
+	if rs.N != 15 {
+		t.Fatalf("N = %d, want 15", rs.N)
+	}
+	if string(d2.Roster()[0]) != "k0" {
+		t.Fatal("roster lost across snapshot")
+	}
+}
+
+// A corrupt (half-written) snapshot must be ignored: recovery falls
+// back to the previous snapshot and the WAL segments after it.
+func TestRecoverySkipsCorruptSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	d := openTestStore(t, dir, Options{})
+	logRound(t, d, 1, 4, 0, 1)
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Fake a crash mid-snapshot: a snap file at a plausible generation
+	// whose content is garbage.
+	if err := os.WriteFile(filepath.Join(dir, snapName(2)), []byte("EYWSNAP1 not really"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d2 := openTestStore(t, dir, Options{})
+	defer d2.Close()
+	rounds := d2.Rounds()
+	if len(rounds) != 1 || !reflect.DeepEqual(rounds[0].Cells, wantRoundCells(0, 1)) {
+		t.Fatal("corrupt snapshot shadowed the WAL recovery")
+	}
+}
+
+// ShouldSnapshot turns on at the configured cadence and resets after a
+// snapshot.
+func TestShouldSnapshotCadence(t *testing.T) {
+	dir := t.TempDir()
+	d := openTestStore(t, dir, Options{SnapshotEvery: 3})
+	defer d.Close()
+	if err := d.AppendOpen(1, 4, testD, testW, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 3; u++ {
+		if d.ShouldSnapshot() {
+			t.Fatalf("ShouldSnapshot true after %d reports", u)
+		}
+		if err := d.AppendReport(1, u, testD, testW, 1, 0, 0, testCells(uint64(u))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !d.ShouldSnapshot() {
+		t.Fatal("ShouldSnapshot false at cadence")
+	}
+	if err := d.Snapshot(func() ([]*RoundState, error) { return nil, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if d.ShouldSnapshot() {
+		t.Fatal("ShouldSnapshot did not reset")
+	}
+}
+
+// Concurrent appends + group-committed Syncs must all land durably and
+// replay to the same state as a serial run.
+func TestConcurrentAppendsGroupCommit(t *testing.T) {
+	dir := t.TempDir()
+	d := openTestStore(t, dir, Options{})
+	const users = 32
+	if err := d.AppendOpen(1, users, testD, testW, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, users)
+	for u := 0; u < users; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			if err := d.AppendReport(1, u, testD, testW, 1, 0, 0, testCells(uint64(u))); err != nil {
+				errs <- err
+				return
+			}
+			errs <- d.Sync() // every reporter demands durability: group commit coalesces
+		}(u)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d2 := openTestStore(t, dir, Options{})
+	defer d2.Close()
+	rs := d2.Rounds()[0]
+	all := make([]int, users)
+	for i := range all {
+		all[i] = i
+		if !rs.Reported[i] {
+			t.Fatalf("user %d lost", i)
+		}
+	}
+	if !reflect.DeepEqual(rs.Cells, wantRoundCells(all...)) {
+		t.Fatal("concurrent appends diverged from serial fold")
+	}
+}
+
+// Operations on a closed store fail with ErrStoreClosed.
+func TestClosedStoreFails(t *testing.T) {
+	d := openTestStore(t, t.TempDir(), Options{})
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AppendClose(1); !errors.Is(err, ErrStoreClosed) {
+		t.Fatalf("append after close = %v", err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("double close = %v", err)
+	}
+}
+
+// The record codec round-trips every kind through an in-memory buffer.
+func TestRecordRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	cells := testCells(5)
+	if err := encodeRegisterRecord(&buf, 3, []byte("key")); err != nil {
+		t.Fatal(err)
+	}
+	if err := encodeOpenRecord(&buf, 9, 16, testD, testW, 77, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := EncodeReportRecord(&buf, 9, 3, testD, testW, 11, 77, 1, cells); err != nil {
+		t.Fatal(err)
+	}
+	if err := encodeAdjustRecord(&buf, 9, 3, cells); err != nil {
+		t.Fatal(err)
+	}
+	if err := encodeCloseRecord(&buf, 9); err != nil {
+		t.Fatal(err)
+	}
+
+	r := bytes.NewReader(buf.Bytes())
+	var scratch []byte
+	kind, body, scratch, err := ReadWALRecord(r, scratch)
+	if err != nil || kind != recRegister {
+		t.Fatalf("register: %d %v", kind, err)
+	}
+	reg, err := decodeRegisterBody(body)
+	if err != nil || reg.User != 3 || string(reg.Key) != "key" {
+		t.Fatalf("register body: %+v %v", reg, err)
+	}
+	kind, body, scratch, err = ReadWALRecord(r, scratch)
+	if err != nil || kind != recOpen {
+		t.Fatalf("open: %d %v", kind, err)
+	}
+	op, err := decodeOpenBody(body)
+	if err != nil || op.Round != 9 || op.Roster != 16 || op.D != testD || op.W != testW || op.Seed != 77 || op.Keystream != 1 {
+		t.Fatalf("open body: %+v %v", op, err)
+	}
+	kind, body, scratch, err = ReadWALRecord(r, scratch)
+	if err != nil || kind != recReport {
+		t.Fatalf("report: %d %v", kind, err)
+	}
+	rep, err := decodeReportBody(body)
+	if err != nil || rep.Round != 9 || rep.User != 3 || rep.N != 11 || rep.Keystream != 1 {
+		t.Fatalf("report body: %+v %v", rep, err)
+	}
+	if len(rep.Cells) != 8*len(cells) {
+		t.Fatalf("report cells = %d bytes", len(rep.Cells))
+	}
+	kind, body, scratch, err = ReadWALRecord(r, scratch)
+	if err != nil || kind != recAdjust {
+		t.Fatalf("adjust: %d %v", kind, err)
+	}
+	adj, err := decodeAdjustBody(body)
+	if err != nil || adj.Round != 9 || adj.User != 3 || len(adj.Cells) != 8*len(cells) {
+		t.Fatalf("adjust body: %+v %v", adj, err)
+	}
+	kind, _, scratch, err = ReadWALRecord(r, scratch)
+	if err != nil || kind != recClose {
+		t.Fatalf("close: %d %v", kind, err)
+	}
+	if _, _, _, err = ReadWALRecord(r, scratch); err != io.EOF {
+		t.Fatalf("tail = %v, want EOF", err)
+	}
+}

@@ -1,0 +1,332 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"eyewnder/internal/vec"
+)
+
+// WAL record framing. Every record is
+//
+//	┌────────────┬────────┬──────────┬─────────────────┐
+//	│ length     │ kind   │ body     │ crc32c          │
+//	│ 4 B, LE    │ 1 B    │ length B │ 4 B, LE, over   │
+//	│ = len(body)│        │          │ kind ‖ body     │
+//	└────────────┴────────┴──────────┴─────────────────┘
+//
+// The CRC (Castagnoli) is what makes torn writes detectable: a crash
+// mid-append leaves a record whose length field, body, or checksum is
+// incomplete, and replay stops cleanly at the last record that checks
+// out. The length field is validated against maxRecordBody before any
+// allocation, so a corrupt length cannot provoke a huge read buffer.
+//
+// Record kinds and body layouts (all integers little-endian):
+//
+//	recRegister  user(8) publicKey(rest)
+//	recOpen      round(8) roster(8) d(8) w(8) seed(8) keystream(1)
+//	recReport    user(8) round(8) d(8) w(8) n(8) seed(8) keystream(1)
+//	             reserved(7) cells(8·d·w)   — the wire frame payload
+//	recAdjust    round(8) user(8) cells(8·c)
+//	recClose     round(8)
+//
+// The report body deliberately mirrors the streamed wire frame's
+// payload byte-for-byte (wire/stream.go): the back-end logs the report
+// while its pooled cell slice is still borrowed from the connection,
+// and reusing the frame layout keeps that append a straight copy with
+// no re-marshalling.
+
+// Record kinds.
+const (
+	recRegister = 0x01
+	recOpen     = 0x02
+	recReport   = 0x03
+	recAdjust   = 0x04
+	recClose    = 0x05
+)
+
+// reportPreamble is the fixed prefix of a report body: user(8) round(8)
+// d(8) w(8) n(8) seed(8) keystream(1) reserved(7) — identical to the
+// wire report frame's preamble.
+const reportPreamble = 56
+
+// openBody is the fixed size of a round-open body.
+const openBody = 41
+
+// maxRecordBody caps a record body (mirrors wire.MaxFrame): the largest
+// legitimate record is a report, whose cell block the wire layer
+// already caps at 16 MiB.
+const maxRecordBody = 16 << 20
+
+// Geometry bounds for decoded report headers, mirroring the wire
+// layer's: d·w is additionally tied to the record length, so a hostile
+// header cannot claim more cells than the record carries.
+const (
+	maxReportDepth = 1 << 20
+	maxReportWidth = 1 << 32
+)
+
+// Errors of the record layer.
+var (
+	// ErrCorruptRecord marks a record whose length, kind, or checksum is
+	// invalid — the point where a segment's replay stops.
+	ErrCorruptRecord = errors.New("store: corrupt WAL record")
+	// ErrBadRecord marks a structurally valid record whose body does not
+	// parse (wrong size for its kind, impossible geometry).
+	ErrBadRecord = errors.New("store: malformed WAL record body")
+)
+
+// castagnoli is the CRC-32C table (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// appendRecord writes one framed record: the 5-byte length+kind header,
+// the body pieces in order, and the trailing CRC over kind+body. Body
+// pieces are written as given (no concatenation), so a report's cell
+// block streams straight from the caller's (possibly pooled) memory.
+func appendRecord(w io.Writer, kind byte, body ...[]byte) error {
+	n := 0
+	for _, b := range body {
+		n += len(b)
+	}
+	if n > maxRecordBody {
+		return fmt.Errorf("%w: %d-byte body", ErrBadRecord, n)
+	}
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(n))
+	hdr[4] = kind
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	crc := crc32.Update(0, castagnoli, hdr[4:5])
+	for _, b := range body {
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+		crc = crc32.Update(crc, castagnoli, b)
+	}
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], crc)
+	_, err := w.Write(tail[:])
+	return err
+}
+
+// ReadWALRecord reads one framed record from r. buf is an optional
+// reusable scratch buffer; the returned body aliases it (or a grown
+// replacement, also returned) and is valid until the next call. A clean
+// end of input returns io.EOF; a torn or corrupt record returns
+// ErrCorruptRecord. Exported so the fuzz harness and offline WAL tools
+// share the exact decoder recovery runs.
+func ReadWALRecord(r io.Reader, buf []byte) (kind byte, body, newBuf []byte, err error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
+		if err == io.EOF {
+			return 0, nil, buf, io.EOF
+		}
+		return 0, nil, buf, fmt.Errorf("%w: %v", ErrCorruptRecord, err)
+	}
+	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
+		return 0, nil, buf, fmt.Errorf("%w: torn header: %v", ErrCorruptRecord, err)
+	}
+	n := binary.LittleEndian.Uint32(hdr[0:4])
+	kind = hdr[4]
+	if n > maxRecordBody {
+		return 0, nil, buf, fmt.Errorf("%w: %d-byte body", ErrCorruptRecord, n)
+	}
+	if uint32(cap(buf)) < n {
+		buf = make([]byte, n)
+	}
+	body = buf[:n]
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, buf, fmt.Errorf("%w: torn body: %v", ErrCorruptRecord, err)
+	}
+	var tail [4]byte
+	if _, err := io.ReadFull(r, tail[:]); err != nil {
+		return 0, nil, buf, fmt.Errorf("%w: torn checksum: %v", ErrCorruptRecord, err)
+	}
+	crc := crc32.Update(0, castagnoli, hdr[4:5])
+	crc = crc32.Update(crc, castagnoli, body)
+	if binary.LittleEndian.Uint32(tail[:]) != crc {
+		return 0, nil, buf, fmt.Errorf("%w: checksum mismatch", ErrCorruptRecord)
+	}
+	return kind, body, buf, nil
+}
+
+// EncodeReportRecord frames one report event — the wire frame's payload
+// (56-byte preamble + little-endian cell block) as a WAL record — onto
+// w. On little-endian hosts the cell block is written as the slice's
+// raw byte view, so the append is one header write plus one bulk copy
+// of memory the wire layer already holds. Exported so the pipeline
+// bench measures exactly the encoder the hot path runs.
+func EncodeReportRecord(w io.Writer, round uint64, user, d, wd int, n, seed uint64, keystream byte, cells []uint64) error {
+	if d < 1 || wd < 1 || uint64(d) > maxReportDepth || uint64(wd) >= maxReportWidth ||
+		uint64(d)*uint64(wd) != uint64(len(cells)) {
+		return fmt.Errorf("%w: report geometry d=%d w=%d cells=%d", ErrBadRecord, d, wd, len(cells))
+	}
+	var pre [reportPreamble]byte
+	binary.LittleEndian.PutUint64(pre[0:], uint64(user))
+	binary.LittleEndian.PutUint64(pre[8:], round)
+	binary.LittleEndian.PutUint64(pre[16:], uint64(d))
+	binary.LittleEndian.PutUint64(pre[24:], uint64(wd))
+	binary.LittleEndian.PutUint64(pre[32:], n)
+	binary.LittleEndian.PutUint64(pre[40:], seed)
+	pre[48] = keystream // pre[49:56] reserved, zero
+	if view, ok := vec.AsBytes(cells); ok {
+		return appendRecord(w, recReport, pre[:], view)
+	}
+	raw := make([]byte, 8*len(cells))
+	vec.PutLE(raw, cells)
+	return appendRecord(w, recReport, pre[:], raw)
+}
+
+// reportRecord is a decoded report body. Cells is the raw little-endian
+// cell block, aliasing the record buffer.
+type reportRecord struct {
+	User      uint64
+	Round     uint64
+	D, W      uint64
+	N         uint64
+	Seed      uint64
+	Keystream byte
+	Cells     []byte
+}
+
+// decodeReportBody parses a recReport body. The geometry is validated
+// against the body length before use, so a corrupt-but-checksummed
+// record cannot claim cells it does not carry.
+func decodeReportBody(body []byte) (reportRecord, error) {
+	if len(body) < reportPreamble {
+		return reportRecord{}, fmt.Errorf("%w: short report body", ErrBadRecord)
+	}
+	rec := reportRecord{
+		User:      binary.LittleEndian.Uint64(body[0:]),
+		Round:     binary.LittleEndian.Uint64(body[8:]),
+		D:         binary.LittleEndian.Uint64(body[16:]),
+		W:         binary.LittleEndian.Uint64(body[24:]),
+		N:         binary.LittleEndian.Uint64(body[32:]),
+		Seed:      binary.LittleEndian.Uint64(body[40:]),
+		Keystream: body[48],
+	}
+	if rec.User > 1<<31 || rec.D < 1 || rec.W < 1 || rec.D > maxReportDepth || rec.W > maxReportWidth {
+		return reportRecord{}, fmt.Errorf("%w: report header", ErrBadRecord)
+	}
+	cells := rec.D * rec.W // ≤ 2⁵² by the bounds above: no overflow
+	if uint64(len(body)) != reportPreamble+8*cells {
+		return reportRecord{}, fmt.Errorf("%w: report body %d bytes, want %d cells", ErrBadRecord, len(body), cells)
+	}
+	rec.Cells = body[reportPreamble:]
+	return rec, nil
+}
+
+// encodeOpenRecord frames a round-open event onto w.
+func encodeOpenRecord(w io.Writer, round uint64, roster, d, wd int, seed uint64, keystream byte) error {
+	var body [openBody]byte
+	binary.LittleEndian.PutUint64(body[0:], round)
+	binary.LittleEndian.PutUint64(body[8:], uint64(roster))
+	binary.LittleEndian.PutUint64(body[16:], uint64(d))
+	binary.LittleEndian.PutUint64(body[24:], uint64(wd))
+	binary.LittleEndian.PutUint64(body[32:], seed)
+	body[40] = keystream
+	return appendRecord(w, recOpen, body[:])
+}
+
+// openRecord is a decoded round-open body.
+type openRecord struct {
+	Round     uint64
+	Roster    uint64
+	D, W      uint64
+	Seed      uint64
+	Keystream byte
+}
+
+// decodeOpenBody parses a recOpen body.
+func decodeOpenBody(body []byte) (openRecord, error) {
+	if len(body) != openBody {
+		return openRecord{}, fmt.Errorf("%w: open body %d bytes", ErrBadRecord, len(body))
+	}
+	rec := openRecord{
+		Round:     binary.LittleEndian.Uint64(body[0:]),
+		Roster:    binary.LittleEndian.Uint64(body[8:]),
+		D:         binary.LittleEndian.Uint64(body[16:]),
+		W:         binary.LittleEndian.Uint64(body[24:]),
+		Seed:      binary.LittleEndian.Uint64(body[32:]),
+		Keystream: body[40],
+	}
+	if rec.Roster > 1<<31 || rec.D < 1 || rec.W < 1 || rec.D > maxReportDepth || rec.W > maxReportWidth ||
+		rec.D*rec.W > maxSnapshotCells {
+		return openRecord{}, fmt.Errorf("%w: open header", ErrBadRecord)
+	}
+	return rec, nil
+}
+
+// encodeAdjustRecord frames an adjustment-share upload onto w.
+func encodeAdjustRecord(w io.Writer, round uint64, user int, cells []uint64) error {
+	var pre [16]byte
+	binary.LittleEndian.PutUint64(pre[0:], round)
+	binary.LittleEndian.PutUint64(pre[8:], uint64(user))
+	if view, ok := vec.AsBytes(cells); ok {
+		return appendRecord(w, recAdjust, pre[:], view)
+	}
+	raw := make([]byte, 8*len(cells))
+	vec.PutLE(raw, cells)
+	return appendRecord(w, recAdjust, pre[:], raw)
+}
+
+// adjustRecord is a decoded adjustment body. Cells aliases the record
+// buffer.
+type adjustRecord struct {
+	Round uint64
+	User  uint64
+	Cells []byte
+}
+
+// decodeAdjustBody parses a recAdjust body.
+func decodeAdjustBody(body []byte) (adjustRecord, error) {
+	if len(body) < 16 || (len(body)-16)%8 != 0 {
+		return adjustRecord{}, fmt.Errorf("%w: adjust body %d bytes", ErrBadRecord, len(body))
+	}
+	rec := adjustRecord{
+		Round: binary.LittleEndian.Uint64(body[0:]),
+		User:  binary.LittleEndian.Uint64(body[8:]),
+		Cells: body[16:],
+	}
+	if rec.User > 1<<31 {
+		return adjustRecord{}, fmt.Errorf("%w: adjust user", ErrBadRecord)
+	}
+	return rec, nil
+}
+
+// encodeCloseRecord frames a round-close event onto w.
+func encodeCloseRecord(w io.Writer, round uint64) error {
+	var body [8]byte
+	binary.LittleEndian.PutUint64(body[:], round)
+	return appendRecord(w, recClose, body[:])
+}
+
+// encodeRegisterRecord frames a bulletin-board registration onto w.
+func encodeRegisterRecord(w io.Writer, user int, publicKey []byte) error {
+	var pre [8]byte
+	binary.LittleEndian.PutUint64(pre[:], uint64(user))
+	return appendRecord(w, recRegister, pre[:], publicKey)
+}
+
+// registerRecord is a decoded registration body. Key aliases the record
+// buffer.
+type registerRecord struct {
+	User uint64
+	Key  []byte
+}
+
+// decodeRegisterBody parses a recRegister body.
+func decodeRegisterBody(body []byte) (registerRecord, error) {
+	if len(body) < 8 {
+		return registerRecord{}, fmt.Errorf("%w: register body %d bytes", ErrBadRecord, len(body))
+	}
+	rec := registerRecord{User: binary.LittleEndian.Uint64(body[0:]), Key: body[8:]}
+	if rec.User > 1<<31 {
+		return registerRecord{}, fmt.Errorf("%w: register user", ErrBadRecord)
+	}
+	return rec, nil
+}

@@ -1,0 +1,141 @@
+package store
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"eyewnder/internal/vec"
+)
+
+// Replay: applying WAL records to recovered state.
+//
+// The applier mirrors the live aggregator's acceptance rules exactly —
+// unknown round, out-of-roster user, duplicate report, mismatched cell
+// layout, mismatched blinding suite, and closed round are all *skipped*,
+// never applied — for two reasons. First, byte-identical recovery: the
+// live path logs a report only after reserving its user slot, so a
+// record the live aggregator accepted is accepted on replay and one it
+// would have rejected is rejected on replay. Second, idempotence: a
+// snapshot is taken *after* the WAL rotates, so the segment replayed on
+// top of it may contain records the snapshot already reflects; the
+// duplicate/closed checks make re-applying them a no-op, which is what
+// lets recovery compose a fuzzy snapshot with its overlapping segment.
+
+// recovered accumulates state during recovery: the bulletin board and
+// the per-round states, keyed by round ID.
+type recovered struct {
+	rounds map[uint64]*RoundState
+	roster map[int][]byte
+}
+
+// newRecovered seeds recovery from a loaded snapshot (nil for none).
+func newRecovered(snap *snapshotData) *recovered {
+	rec := &recovered{rounds: make(map[uint64]*RoundState), roster: make(map[int][]byte)}
+	if snap != nil {
+		for _, rs := range snap.rounds {
+			rec.rounds[rs.Round] = rs
+		}
+		for u, k := range snap.roster {
+			rec.roster[u] = k
+		}
+	}
+	return rec
+}
+
+// apply folds one decoded WAL record into the recovered state. A record
+// that fails the live acceptance rules is skipped; a record whose body
+// does not parse at all returns ErrBadRecord (the caller treats it like
+// a corrupt record and ends the segment).
+func (rec *recovered) apply(kind byte, body []byte) error {
+	switch kind {
+	case recRegister:
+		r, err := decodeRegisterBody(body)
+		if err != nil {
+			return err
+		}
+		rec.roster[int(r.User)] = append([]byte(nil), r.Key...)
+
+	case recOpen:
+		r, err := decodeOpenBody(body)
+		if err != nil {
+			return err
+		}
+		if _, ok := rec.rounds[r.Round]; ok {
+			return nil // round already open (snapshot overlap): idempotent
+		}
+		rec.rounds[r.Round] = &RoundState{
+			Round:      r.Round,
+			RosterSize: int(r.Roster),
+			D:          int(r.D),
+			W:          int(r.W),
+			Seed:       r.Seed,
+			Keystream:  r.Keystream,
+			Cells:      make([]uint64, r.D*r.W),
+			Reported:   make([]bool, r.Roster),
+			Adjusts:    make(map[int][]uint64),
+		}
+
+	case recReport:
+		r, err := decodeReportBody(body)
+		if err != nil {
+			return err
+		}
+		rs, ok := rec.rounds[r.Round]
+		if !ok || rs.Closed {
+			return nil // unknown or closed round: the live path rejects too
+		}
+		user := int(r.User)
+		if user < 0 || user >= rs.RosterSize || rs.Reported[user] {
+			return nil // out-of-roster or duplicate: skip, as live
+		}
+		if int(r.D) != rs.D || int(r.W) != rs.W || r.Seed != rs.Seed || r.Keystream != rs.Keystream {
+			return nil // layout or blinding-suite mismatch: skip, as live
+		}
+		rs.Reported[user] = true
+		rs.N += r.N
+		raw := r.Cells
+		for i := range rs.Cells {
+			rs.Cells[i] += binary.LittleEndian.Uint64(raw[8*i:])
+		}
+
+	case recAdjust:
+		r, err := decodeAdjustBody(body)
+		if err != nil {
+			return err
+		}
+		rs, ok := rec.rounds[r.Round]
+		if !ok || rs.Closed {
+			return nil
+		}
+		user := int(r.User)
+		if user < 0 || user >= rs.RosterSize || len(r.Cells) != 8*len(rs.Cells) {
+			return nil
+		}
+		cells := make([]uint64, len(rs.Cells))
+		vec.GetLE(cells, r.Cells)
+		rs.Adjusts[user] = cells // overwrite, as the live map store does
+
+	case recClose:
+		if len(body) != 8 {
+			return ErrBadRecord
+		}
+		if rs, ok := rec.rounds[binary.LittleEndian.Uint64(body)]; ok {
+			rs.Closed = true
+		}
+
+	default:
+		return ErrBadRecord // unknown kind under a valid checksum
+	}
+	return nil
+}
+
+// sortedRounds returns the recovered rounds ordered by round ID, so
+// recovery hands the back-end a deterministic sequence.
+func (rec *recovered) sortedRounds() []*RoundState {
+	out := make([]*RoundState, 0, len(rec.rounds))
+	for _, rs := range rec.rounds {
+		out = append(out, rs)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Round < out[j].Round })
+	return out
+}

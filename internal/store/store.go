@@ -1,0 +1,197 @@
+// Package store is the back-end's durable round store: an append-only
+// write-ahead log (WAL) of binary round events — round open, report
+// folded, adjustment uploaded, round closed, user registered — with
+// periodic snapshots of the full round state and crash recovery that
+// replays WAL-after-snapshot into byte-identical round state.
+//
+// The aggregation protocol only works if a round completes: each user's
+// report is blinded noise on its own, and the blinding factors cancel
+// only once every roster member's contribution is folded. An aggregator
+// crash mid-round would therefore silently destroy the work of the
+// entire user population for that round. The store makes the round
+// survive the process: every event is logged *before* it mutates the
+// in-memory aggregate, and recovery rebuilds the aggregate — including
+// the reported-bitmap, the adjustment shares, and the blinding-suite
+// byte — exactly as it was, so the aggregator's duplicate-report and
+// suite-mismatch invariants keep holding across restarts.
+//
+// # Durability model
+//
+// Appends are buffered; Sync is the durability barrier, implemented as
+// a group commit: concurrent Sync callers coalesce onto one fsync that
+// covers everything appended so far. The back-end calls Sync exactly
+// where the wire protocol acknowledges — once per batched-ack window,
+// not once per report — so the ack batch k amortizes the fsync the same
+// way it amortizes the ack write (see wire.ReportDurability).
+//
+// On-disk layout (one directory per back-end):
+//
+//	wal-<gen>.log    8-byte magic, then CRC-framed records (record.go)
+//	snap-<gen>.snap  full round+roster state at some instant (snapshot.go)
+//
+// A snapshot at generation G is written only after the WAL has rotated
+// to segment G, so snap-G is a superset of every record in segments
+// < G and possibly includes a prefix of segment G. Recovery loads the
+// newest valid snapshot and replays every segment with generation ≥ its
+// own; replay is idempotent (a record already reflected in the snapshot
+// is rejected by the same duplicate/closed checks the live aggregator
+// applies), which is what makes the fuzzy snapshot safe. Torn or
+// corrupt records — a crash mid-append leaves one, at a segment's tail
+// — fail their CRC and cleanly end that segment's replay.
+package store
+
+// RoundState is one round's complete durable state: everything needed
+// to rebuild the back-end's in-memory aggregator byte-identically. It
+// is the unit both snapshots and recovery speak in.
+type RoundState struct {
+	// Round is the round identifier.
+	Round uint64
+	// RosterSize is the enrolled-user count the round expects reports
+	// from; it bounds user indices and sizes the Reported bitmap.
+	RosterSize int
+	// D, W and Seed fix the CMS cell layout of the round aggregate.
+	D, W int
+	Seed uint64
+	// N is the aggregate's total update weight (sum of folded report
+	// weights).
+	N uint64
+	// Keystream is the blinding-suite byte of the round: recovery
+	// restores it so the aggregator keeps rejecting mismatched-suite
+	// reports after a restart exactly as it did before.
+	Keystream byte
+	// Closed marks a finalized round.
+	Closed bool
+	// Cells is the aggregate's flat cell vector (d·w counters).
+	Cells []uint64
+	// Reported is the reported-bitmap: Reported[u] is true once user u's
+	// report has been folded. Restoring it is what keeps the duplicate-
+	// report invariant across restarts.
+	Reported []bool
+	// Adjusts holds the uploaded second-round adjustment shares by
+	// reporter index.
+	Adjusts map[int][]uint64
+}
+
+// Store is the back-end's durability interface. The Disk implementation
+// persists every event; Null is the in-memory no-op that preserves the
+// original (volatile) behavior. All methods are safe for concurrent
+// use.
+type Store interface {
+	// Rounds returns the round states recovered at Open (nil for a fresh
+	// or volatile store). Valid until the first mutation; the back-end
+	// consumes it once during construction.
+	Rounds() []*RoundState
+	// Roster returns the recovered bulletin-board entries (user index →
+	// blinding public key).
+	Roster() map[int][]byte
+
+	// AppendRegister logs a bulletin-board registration.
+	AppendRegister(user int, publicKey []byte) error
+	// AppendOpen logs the creation of a round with the given geometry,
+	// roster size, and blinding-suite byte.
+	AppendOpen(round uint64, rosterSize, d, w int, seed uint64, keystream byte) error
+	// AppendReport logs one accepted report — header fields plus the
+	// flat cell vector, i.e. exactly the streamed wire frame's payload —
+	// before the cells are folded into the aggregate. The cells are
+	// consumed during the call and may be recycled as soon as it
+	// returns.
+	AppendReport(round uint64, user, d, w int, n, seed uint64, keystream byte, cells []uint64) error
+	// AppendAdjust logs an accepted second-round adjustment share.
+	AppendAdjust(round uint64, user int, cells []uint64) error
+	// AppendClose logs a round's finalization.
+	AppendClose(round uint64) error
+
+	// Sync is the durability barrier: it returns once every record
+	// appended before the call is on stable storage. Concurrent callers
+	// group-commit onto a shared fsync.
+	Sync() error
+
+	// ShouldSnapshot reports whether enough has been logged since the
+	// last snapshot that the owner should trigger one.
+	ShouldSnapshot() bool
+	// Snapshot rotates the WAL, captures the owner's current state via
+	// the callback (which runs without any store lock held), writes it
+	// as a new snapshot, and prunes old segments. Calls are serialized.
+	Snapshot(capture func() ([]*RoundState, error)) error
+
+	// Close flushes and releases the store. Appends after Close fail.
+	Close() error
+}
+
+// Null is the volatile no-op store: every append succeeds without doing
+// anything and recovery finds nothing. A back-end configured with it
+// behaves exactly like one with no store at all.
+type Null struct{}
+
+// Rounds implements Store.
+func (Null) Rounds() []*RoundState { return nil }
+
+// Roster implements Store.
+func (Null) Roster() map[int][]byte { return nil }
+
+// AppendRegister implements Store.
+func (Null) AppendRegister(int, []byte) error { return nil }
+
+// AppendOpen implements Store.
+func (Null) AppendOpen(uint64, int, int, int, uint64, byte) error { return nil }
+
+// AppendReport implements Store.
+func (Null) AppendReport(uint64, int, int, int, uint64, uint64, byte, []uint64) error { return nil }
+
+// AppendAdjust implements Store.
+func (Null) AppendAdjust(uint64, int, []uint64) error { return nil }
+
+// AppendClose implements Store.
+func (Null) AppendClose(uint64) error { return nil }
+
+// Sync implements Store.
+func (Null) Sync() error { return nil }
+
+// ShouldSnapshot implements Store.
+func (Null) ShouldSnapshot() bool { return false }
+
+// Snapshot implements Store.
+func (Null) Snapshot(func() ([]*RoundState, error)) error { return nil }
+
+// Close implements Store.
+func (Null) Close() error { return nil }
+
+// SyncMode selects when WAL appends reach stable storage.
+type SyncMode int
+
+const (
+	// SyncBatch (the default) makes Sync the durability barrier: appends
+	// buffer, and concurrent Sync callers group-commit onto one fsync.
+	// With batched acknowledgements on the wire this costs one fsync per
+	// ack window, not per report.
+	SyncBatch SyncMode = iota
+	// SyncAlways fsyncs every append before it returns. Maximum
+	// durability, one fsync per record.
+	SyncAlways
+	// SyncOff never fsyncs: appends and Sync only flush to the OS.
+	// Survives a process kill but not a host crash.
+	SyncOff
+)
+
+// DefaultSnapshotEvery is the report-append count between snapshots
+// when Options does not set one.
+const DefaultSnapshotEvery = 4096
+
+// Options configures a Disk store.
+type Options struct {
+	// Sync selects the fsync policy. The zero value is SyncBatch.
+	Sync SyncMode
+	// SnapshotEvery is the number of report appends after which
+	// ShouldSnapshot turns true (and the WAL is compacted into a fresh
+	// snapshot). 0 picks DefaultSnapshotEvery; negative disables
+	// snapshotting (the WAL grows until the owner calls Snapshot).
+	SnapshotEvery int
+}
+
+// snapshotEvery resolves the configured snapshot cadence.
+func (o Options) snapshotEvery() int {
+	if o.SnapshotEvery == 0 {
+		return DefaultSnapshotEvery
+	}
+	return o.SnapshotEvery
+}

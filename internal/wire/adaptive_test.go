@@ -1,0 +1,129 @@
+package wire
+
+import (
+	"net"
+	"sync"
+	"testing"
+)
+
+// fillStream queues n decoded frames (round 1, distinct users) on st.
+func fillStream(st *connStream, n int) {
+	for i := 0; i < n; i++ {
+		rb := reportBufPool.Get().(*reportBuf)
+		st.ch <- streamItem{rb: rb, f: &ReportFrame{User: i, Round: 1}}
+	}
+}
+
+// readAckSeqs reads acks until the cumulative sequence reaches total,
+// returning every seq observed.
+func readAckSeqs(t *testing.T, conn net.Conn, total uint64) []uint64 {
+	t.Helper()
+	var seqs []uint64
+	for {
+		seq, msg, err := readAckFrame(conn)
+		if err != nil || msg != "" {
+			t.Fatalf("ack: %d %q %v", seq, msg, err)
+		}
+		seqs = append(seqs, seq)
+		if seq >= total {
+			return seqs
+		}
+	}
+}
+
+// Under sustained backlog an adaptive connection must double its batch
+// after every full batch, so the ack cadence grows exponentially — and
+// the final idle flush shrinks it back to the drained depth. The
+// channel is pre-filled, so the whole run is deterministic.
+func TestAdaptiveAckGrowsUnderBacklog(t *testing.T) {
+	sink := &countingSink{}
+	s := &Server{sink: sink, opts: StreamOpts{}}
+	srvConn, cliConn := net.Pipe()
+	defer cliConn.Close()
+	defer srvConn.Close()
+	var wmu sync.Mutex
+	st := &connStream{ch: make(chan streamItem, 64), done: make(chan struct{}), k: 4, adaptive: true}
+	fillStream(st, 64)
+	s.wg.Add(1)
+	go s.foldLoop(srvConn, &wmu, st)
+
+	// k: 4 → 8 → 16 → 32 → … gives acks at 4, 12, 28, 60; the last 4
+	// frames drain the pipeline, so the final ack is the idle flush.
+	want := []uint64{4, 12, 28, 60, 64}
+	got := readAckSeqs(t, cliConn, 64)
+	if len(got) != len(want) {
+		t.Fatalf("ack seqs = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ack seqs = %v, want %v", got, want)
+		}
+	}
+	close(st.ch)
+	<-st.done
+	if sink.count() != 64 {
+		t.Fatalf("sink saw %d frames", sink.count())
+	}
+}
+
+// A fixed batch (AckBatch ≥ 1) must never adapt: the same backlog gets
+// one ack every k frames, regardless of depth.
+func TestFixedAckBatchDoesNotAdapt(t *testing.T) {
+	sink := &countingSink{}
+	s := &Server{sink: sink, opts: StreamOpts{AckBatch: 4}}
+	srvConn, cliConn := net.Pipe()
+	defer cliConn.Close()
+	defer srvConn.Close()
+	var wmu sync.Mutex
+	st := &connStream{ch: make(chan streamItem, 32), done: make(chan struct{}), k: 4}
+	fillStream(st, 32)
+	s.wg.Add(1)
+	go s.foldLoop(srvConn, &wmu, st)
+
+	got := readAckSeqs(t, cliConn, 32)
+	for i, seq := range got {
+		if want := uint64(4 * (i + 1)); seq != want {
+			t.Fatalf("fixed-k ack %d = %d, want %d (%v)", i, seq, want, got)
+		}
+	}
+	close(st.ch)
+	<-st.done
+}
+
+// The adaptive cap: k must stop doubling at maxAdaptiveAckBatch.
+func TestAdaptiveAckRespectsCap(t *testing.T) {
+	if got := clampAckBatch(maxAdaptiveAckBatch * 4); got != maxAdaptiveAckBatch {
+		t.Fatalf("clamp high = %d", got)
+	}
+	if got := clampAckBatch(0); got != 1 {
+		t.Fatalf("clamp low = %d", got)
+	}
+}
+
+// End-to-end smoke over a real server: an adaptive connection (the
+// default StreamOpts) negotiates DefaultAckBatch as its initial k and
+// carries a long windowed stream correctly.
+func TestAdaptiveAckEndToEnd(t *testing.T) {
+	sink := &countingSink{}
+	_, cli := batchedPair(t, sink, StreamOpts{})
+	rs, err := cli.OpenReportStream(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.k != DefaultAckBatch {
+		t.Fatalf("negotiated initial k = %d, want %d", rs.k, DefaultAckBatch)
+	}
+	f := testFrame(32)
+	for i := 0; i < 300; i++ {
+		f.User = i
+		if err := rs.Submit(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if sink.count() != 300 {
+		t.Fatalf("sink saw %d frames, want 300", sink.count())
+	}
+}

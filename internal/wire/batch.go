@@ -51,9 +51,16 @@ import (
 // flush-on-idle guarantees that a blocked client always gets an ack even
 // mid-batch, so no timer is needed on either side.
 
-// DefaultAckBatch is the server's ack batch size k when StreamOpts does
-// not set one: one binary ack per 16 streamed report frames.
+// DefaultAckBatch is the initial ack batch size k when StreamOpts does
+// not fix one: adaptive connections start here and adjust from the
+// observed in-flight depth.
 const DefaultAckBatch = 16
+
+// maxAdaptiveAckBatch caps the per-connection batch an adaptive
+// connection can grow to: beyond ~64 frames per ack the ack overhead is
+// already amortized into noise, while a larger window only delays error
+// propagation.
+const maxAdaptiveAckBatch = 64
 
 // defaultPipelineDepth bounds the decoded-but-unfolded frames buffered
 // per connection when StreamOpts does not set PipelineDepth.
@@ -74,8 +81,15 @@ var (
 // StreamOpts configures a server's batched-ack streaming behaviour.
 type StreamOpts struct {
 	// AckBatch is k: the streamed report frames covered by one binary
-	// ack once a connection negotiates batched mode. 0 picks
-	// DefaultAckBatch; 1 acknowledges every frame (the legacy cadence).
+	// ack once a connection negotiates batched mode. 0 (the default)
+	// makes k adaptive per connection: it starts at DefaultAckBatch,
+	// shrinks (by halving, toward the in-flight depth the fold loop
+	// actually observed, floor 2) whenever the pipeline runs dry — a
+	// client with a small window gets prompt acks — and doubles, up to
+	// maxAdaptiveAckBatch, while the backlog never drains (a blasting
+	// client pays for fewer acks and, with a durable sink, fewer
+	// fsyncs). A positive value fixes k for every connection; 1
+	// acknowledges every frame (the legacy cadence).
 	AckBatch int
 	// PipelineDepth bounds the decoded-but-unfolded frames buffered per
 	// connection (the decode-ahead window). 0 picks the default.
@@ -150,28 +164,40 @@ type streamItem struct {
 }
 
 // connStream is the per-connection batched-mode state: the bounded
-// pipeline channel into the fold goroutine and the negotiated batch.
+// pipeline channel into the fold goroutine and the (initial) batch.
 type connStream struct {
-	ch   chan streamItem
-	done chan struct{}
-	k    int
+	ch       chan streamItem
+	done     chan struct{}
+	k        int  // initial batch, reported at negotiation
+	adaptive bool // fold loop adjusts k from observed in-flight depth
 }
 
 // startStream switches a connection into batched mode: subsequent report
 // frames flow through the pipeline channel to a dedicated fold goroutine.
 func (s *Server) startStream(conn net.Conn, wmu *sync.Mutex) *connStream {
-	k := s.opts.AckBatch
+	k, adaptive := s.opts.AckBatch, false
 	if k < 1 {
-		k = DefaultAckBatch
+		k, adaptive = DefaultAckBatch, true
 	}
 	depth := s.opts.PipelineDepth
 	if depth < 1 {
 		depth = defaultPipelineDepth
 	}
-	st := &connStream{ch: make(chan streamItem, depth), done: make(chan struct{}), k: k}
+	st := &connStream{ch: make(chan streamItem, depth), done: make(chan struct{}), k: k, adaptive: adaptive}
 	s.wg.Add(1)
 	go s.foldLoop(conn, wmu, st)
 	return st
+}
+
+// clampAckBatch bounds an adaptive batch size.
+func clampAckBatch(k int) int {
+	if k < 1 {
+		return 1
+	}
+	if k > maxAdaptiveAckBatch {
+		return maxAdaptiveAckBatch
+	}
+	return k
 }
 
 // stop closes the pipeline and waits for the fold goroutine to drain it.
@@ -192,10 +218,24 @@ func (st *connStream) stop() {
 // marker, and whenever the pipeline runs dry while frames are unacked —
 // the flush-on-idle that guarantees a window-blocked client always
 // unblocks without either side arming a timer.
+//
+// With a durable sink (ReportDurability) every ack is preceded by a
+// SyncReports barrier, so an acknowledged report is on stable storage;
+// the sink's group commit collapses the barrier to one fsync per ack.
+//
+// On an adaptive connection (StreamOpts.AckBatch 0) k tracks the
+// observed in-flight depth: an idle flush means the client drained at
+// the current cadence, so k halves toward the depth actually seen
+// (prompt acks for shallow submitters); a full batch with more frames
+// already queued means sustained backlog, so k doubles up to
+// maxAdaptiveAckBatch (fewer acks — and fewer fsyncs — for blasting
+// submitters). A fixed k (AckBatch ≥ 1) never adjusts.
 func (s *Server) foldLoop(conn net.Conn, wmu *sync.Mutex, st *connStream) {
 	defer s.wg.Done()
 	defer close(st.done)
+	dur, _ := s.sink.(ReportDurability)
 	var (
+		k         = st.k // current batch; adjusts when st.adaptive
 		seq       uint64 // sequence slots consumed, cumulative
 		pending   int    // slots consumed since the last ack went out
 		lastRound uint64
@@ -207,6 +247,21 @@ func (s *Server) foldLoop(conn net.Conn, wmu *sync.Mutex, st *connStream) {
 		pending = 0
 		if connDead {
 			return
+		}
+		if dur != nil {
+			// Durability barrier: everything consumed so far must be on
+			// stable storage before seq covers it. A sync failure must
+			// reach the client even when the ack already carries a
+			// (possibly benign) per-frame sink error — the client keeps
+			// only the first remote error stickily, and a lost-durability
+			// report must not hide behind a duplicate-report message.
+			if err := dur.SyncReports(); err != nil {
+				if errMsg == "" {
+					errMsg = err.Error()
+				} else {
+					errMsg = err.Error() + " (after: " + errMsg + ")"
+				}
+			}
 		}
 		scratch = appendAckFrame(scratch[:0], seq, errMsg)
 		wmu.Lock()
@@ -223,7 +278,23 @@ func (s *Server) foldLoop(conn net.Conn, wmu *sync.Mutex, st *connStream) {
 		case it, ok = <-st.ch:
 		default:
 			// Pipeline dry: the socket is idle, flush the partial batch.
+			// The adaptive cadence shrinks toward the depth the client
+			// sustained before draining — but by halving, with a floor of
+			// 2, not straight to `pending`: a momentarily empty channel
+			// (frame in flight on the socket, not yet decoded) is
+			// indistinguishable from a drained client window, and a
+			// one-observation collapse to k=1 would cost a durable sink
+			// one fsync per report on exactly the steady streams the
+			// batch exists to amortize.
 			if pending > 0 {
+				if st.adaptive && pending < k {
+					if k = k / 2; k < pending {
+						k = pending
+					}
+					if k < 2 {
+						k = 2
+					}
+				}
 				ack("")
 			}
 			it, ok = <-st.ch
@@ -248,8 +319,12 @@ func (s *Server) foldLoop(conn net.Conn, wmu *sync.Mutex, st *connStream) {
 			ack(err.Error())
 			continue
 		}
-		if pending >= st.k {
+		if pending >= k {
+			backlog := len(st.ch) > 0
 			ack("")
+			if st.adaptive && backlog {
+				k = clampAckBatch(k * 2)
+			}
 		}
 	}
 }

@@ -92,6 +92,20 @@ type ReportSink interface {
 	ConsumeReport(f *ReportFrame) error
 }
 
+// ReportDurability is optionally implemented by a ReportSink whose
+// consumed reports must reach stable storage before they are
+// acknowledged (the back-end's write-ahead log). The server calls
+// SyncReports immediately before every report acknowledgement — the
+// per-frame JSON ack on the legacy path, the binary ack on the batched
+// path — so the acknowledgement is a durability barrier and the
+// batched-ack window amortizes the sink's fsyncs exactly as it
+// amortizes the ack writes. A SyncReports failure is reported to the
+// client in place of the ack: the reports were consumed but cannot be
+// promised durable.
+type ReportDurability interface {
+	SyncReports() error
+}
+
 // reportBuf is the per-frame scratch a connection borrows from the pool:
 // the cell slice payloads decode into and, on big-endian hosts only, the
 // byte buffer the socket is read into first. Pooling a struct pointer

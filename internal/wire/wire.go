@@ -252,7 +252,9 @@ func (s *Server) serveConn(conn net.Conn) {
 			// the sink, recycle, answer with a JSON ack. A framing error
 			// is unrecoverable (the stream position is unknown), so it
 			// drops the connection; a sink error is an ordinary request
-			// failure.
+			// failure. A durable sink syncs before the ack goes out: on
+			// this one-ack-per-frame path every report pays its own
+			// barrier (the batched path amortizes it).
 			rb := reportBufPool.Get().(*reportBuf)
 			frame, err := readReportFrame(conn, n, rb)
 			if err != nil {
@@ -264,6 +266,11 @@ func (s *Server) serveConn(conn net.Conn) {
 				sinkErr = s.sink.ConsumeReport(frame)
 			}
 			reportBufPool.Put(rb)
+			if sinkErr == nil {
+				if dur, ok := s.sink.(ReportDurability); ok {
+					sinkErr = dur.SyncReports()
+				}
+			}
 			respType, resp := TypeSubmitReportOK, interface{}(struct{}{})
 			if sinkErr != nil {
 				respType, resp = "error", ErrorPayload{Error: sinkErr.Error()}
