@@ -1,14 +1,21 @@
 // Command eyewnder-client is a simulated browser-extension user: it
-// connects to a running eyewnder-server pair, registers its blinding key,
-// browses simulator-rendered pages for a week, uploads its blinded
-// report, and audits the ads it saw once the round is closed.
+// connects to a running eyewnder-server pair, negotiates the round
+// config, registers its blinding key, browses simulator-rendered pages
+// for a week, uploads its blinded report, and audits the ads it saw
+// once the round is closed.
+//
+// The client carries ZERO protocol flags: the sketch geometry, ad-ID
+// space, blinding-keystream suite, roster size, and ack policy all
+// arrive in the server's Welcome handshake, so operators cannot
+// misconfigure a client into corrupting a round. A server that does not
+// speak the handshake (an older release) is reported cleanly.
 //
 // Run one process per user, then close the round with -close once every
 // user has reported:
 //
-//	eyewnder-client -user 0 -total 3 &
-//	eyewnder-client -user 1 -total 3 &
-//	eyewnder-client -user 2 -total 3 -close
+//	eyewnder-client -user 0 &
+//	eyewnder-client -user 1 &
+//	eyewnder-client -user 2 -close
 package main
 
 import (
@@ -17,11 +24,8 @@ import (
 	"time"
 
 	"eyewnder/internal/adsim"
-	"eyewnder/internal/blind"
 	"eyewnder/internal/client"
 	"eyewnder/internal/detector"
-	"eyewnder/internal/group"
-	"eyewnder/internal/privacy"
 	"eyewnder/internal/wire"
 )
 
@@ -30,22 +34,12 @@ func main() {
 		backendAddr = flag.String("backend", "127.0.0.1:7001", "back-end address")
 		oprfAddr    = flag.String("oprf", "127.0.0.1:7002", "oprf-server address")
 		user        = flag.Int("user", 0, "this user's roster index")
-		total       = flag.Int("total", 3, "total roster size (must match the server)")
 		visits      = flag.Int("visits", 40, "page visits to simulate")
 		round       = flag.Uint64("round", 1, "reporting round")
 		closeRound  = flag.Bool("close", false, "close the round after reporting and audit")
 		seed        = flag.Int64("seed", 1, "browsing seed")
-		epsilon     = flag.Float64("epsilon", 0.01, "CMS epsilon (must match the server)")
-		delta       = flag.Float64("delta", 0.01, "CMS delta (must match the server)")
-		idSpace     = flag.Uint64("id-space", 100000, "ad-ID space (must match the server)")
-		keystream   = flag.String("keystream", "hmac-sha256", "blinding keystream suite: hmac-sha256 or aes-ctr (must match the server and every other client)")
 	)
 	flag.Parse()
-
-	ks, err := blind.KeystreamByName(*keystream)
-	if err != nil {
-		log.Fatalf("keystream: %v", err)
-	}
 
 	beConn, err := wire.Dial(*backendAddr)
 	if err != nil {
@@ -62,32 +56,39 @@ func main() {
 		log.Fatalf("fetch oprf key: %v", err)
 	}
 
-	params := privacy.Params{Epsilon: *epsilon, Delta: *delta, IDSpace: *idSpace, Suite: group.P256(), Keystream: ks}
+	// No Params in the options: client.New negotiates the round config
+	// from the back-end (Hello/Welcome) before doing anything else.
 	ext, err := client.New(client.Options{
-		User: *user, Detector: detector.DefaultConfig(), Params: params,
+		User: *user, Detector: detector.DefaultConfig(),
 	}, &client.WireBackend{C: beConn}, &client.WireEvaluator{C: opConn}, pub)
 	if err != nil {
-		log.Fatal(err)
+		log.Fatalf("negotiate config: %v", err)
 	}
+	cfg := ext.Config()
+	total := cfg.RosterSize
+	log.Printf("negotiated config v%d: ε=%g δ=%g |A|=%d keystream=%s roster v%d (%d users)",
+		cfg.Version, cfg.Params.Epsilon, cfg.Params.Delta, cfg.Params.IDSpace,
+		cfg.Params.Keystream, cfg.RosterVersion, total)
+
 	if err := ext.Register(); err != nil {
 		log.Fatalf("register: %v", err)
 	}
-	log.Printf("user %d registered; waiting for full roster of %d", *user, *total)
+	log.Printf("user %d registered; waiting for full roster of %d", *user, total)
 	for {
 		if err := ext.Join(); err == nil {
 			break
 		}
 		time.Sleep(300 * time.Millisecond)
 	}
-	log.Printf("user %d joined the roster", *user)
+	log.Printf("user %d joined the roster (config v%d)", *user, ext.Config().Version)
 
 	// Browse simulator-generated pages.
-	cfg := adsim.DefaultConfig()
-	cfg.Users = *total
-	cfg.Sites = 200
-	cfg.Campaigns = 400
-	cfg.Seed = *seed
-	sim, err := adsim.New(cfg)
+	simCfg := adsim.DefaultConfig()
+	simCfg.Users = total
+	simCfg.Sites = 200
+	simCfg.Campaigns = 400
+	simCfg.Seed = *seed
+	sim, err := adsim.New(simCfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -127,7 +128,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if reported >= *total {
+		if reported >= total {
 			break
 		}
 		time.Sleep(300 * time.Millisecond)

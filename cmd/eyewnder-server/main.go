@@ -40,7 +40,8 @@ func main() {
 		idSpace     = flag.Uint64("id-space", 100000, "ad-ID space size |A| (overestimate)")
 		stripes     = flag.Int("merge-stripes", 0, "intra-round merge stripes (0 = 2×GOMAXPROCS, 1 = single merge lock)")
 		ackBatch    = flag.Int("ack-batch", 0, "streamed-report ack batch k for batched-ack connections (0 = adaptive per connection, 1 = ack every frame)")
-		keystream   = flag.String("keystream", "hmac-sha256", "blinding keystream suite accepted from clients: hmac-sha256 or aes-ctr (must match the clients)")
+		keystream   = flag.String("keystream", "hmac-sha256", "blinding keystream suite, advertised to clients in the config handshake: hmac-sha256 or aes-ctr")
+		retain      = flag.Int("retain-rounds", 0, "age a closed round out of memory and snapshots once its Users_th has been served for N newer closed rounds (0 = keep forever)")
 		dataDir     = flag.String("data-dir", "", "durable round store directory: WAL + snapshots, crash recovery on restart (empty = in-memory rounds only)")
 		fsync       = flag.String("fsync", "batch", "WAL fsync policy with -data-dir: batch (group-committed at ack barriers), always (every append), off (OS page cache only)")
 		snapEvery   = flag.Int("snapshot-every", 0, "reports between WAL-compacting snapshots with -data-dir (0 = default, negative = never)")
@@ -85,6 +86,7 @@ func main() {
 		MergeStripes:   *stripes,
 		AckBatch:       *ackBatch,
 		Store:          st,
+		RetainRounds:   *retain,
 	})
 	if err != nil {
 		log.Fatalf("back-end: %v", err)
@@ -101,8 +103,10 @@ func main() {
 	}
 	defer opSrv.Close()
 
-	log.Printf("back-end on %s (roster %d users, ε=%g δ=%g |A|=%d, streamed reports on, merge stripes=%d, ack batch=%d, keystream=%s, durable=%v)",
-		beSrv.Addr(), *users, *epsilon, *delta, *idSpace, be.MergeStripes(), *ackBatch, ks, *dataDir != "")
+	cfg := be.CurrentConfig()
+	log.Printf("back-end on %s (config v%d, roster v%d with %d users, ε=%g δ=%g |A|=%d, streamed reports on, merge stripes=%d, ack batch=%d, keystream=%s, durable=%v, retain=%d)",
+		beSrv.Addr(), cfg.Version, cfg.RosterVersion, *users, *epsilon, *delta, *idSpace,
+		be.MergeStripes(), *ackBatch, ks, *dataDir != "", *retain)
 	log.Printf("oprf-server on %s (RSA-%d)", opSrv.Addr(), *rsaBits)
 
 	sig := make(chan os.Signal, 1)

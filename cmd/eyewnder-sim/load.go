@@ -8,6 +8,7 @@ import (
 
 	"eyewnder/internal/backend"
 	"eyewnder/internal/blind"
+	"eyewnder/internal/client"
 	"eyewnder/internal/detector"
 	"eyewnder/internal/group"
 	"eyewnder/internal/privacy"
@@ -63,23 +64,38 @@ func runLoad(cfg loadConfig) error {
 	}
 	defer srv.Close()
 
-	roster, err := blind.NewRoster(params.Suite, cfg.users, rand.Reader)
-	if err != nil {
-		return err
-	}
 	cli, err := wire.Dial(srv.Addr())
 	if err != nil {
 		return err
 	}
 	defer cli.Close()
 
+	// Adopt whatever the server's Welcome advertises — geometry, suite,
+	// and config version — rather than mirroring the params above: the
+	// harness then exercises the exact deployment path, and its frames
+	// carry the version the aggregator checks.
+	cf, err := cli.Handshake()
+	if err != nil {
+		return fmt.Errorf("config handshake: %w", err)
+	}
+	rcfg, err := client.RoundConfigFromFrame(cf)
+	if err != nil {
+		return err
+	}
+	params = rcfg.Params
+
+	roster, err := blind.NewRosterKeystream(params.Suite, cfg.users, rand.Reader, params.Keystream)
+	if err != nil {
+		return err
+	}
+
 	d, w, err := sketch.Dimensions(params.Epsilon, params.Delta)
 	if err != nil {
 		return err
 	}
 	frameBytes := 8 * d * w
-	fmt.Printf("load: %d users × %d rounds over one batched stream (window %d, %d ads/user, %d-cell sketches%s)\n",
-		cfg.users, cfg.rounds, cfg.window, cfg.adsEach, d*w, durabilityNote(cfg.dataDir))
+	fmt.Printf("load: %d users × %d rounds over one batched stream (config v%d, window %d, %d ads/user, %d-cell sketches%s)\n",
+		cfg.users, cfg.rounds, rcfg.Version, cfg.window, cfg.adsEach, d*w, durabilityNote(cfg.dataDir))
 
 	for round := uint64(1); round <= uint64(cfg.rounds); round++ {
 		// Blind the whole population's reports for this round first, so
@@ -103,7 +119,9 @@ func runLoad(cfg loadConfig) error {
 			frames[u] = &wire.ReportFrame{
 				User: u, Round: round,
 				D: cms.Depth(), W: cms.Width(), N: cms.N(), Seed: cms.Seed(),
-				Cells: cells,
+				Keystream:     byte(params.Keystream),
+				ConfigVersion: rcfg.Version,
+				Cells:         cells,
 			}
 		}
 

@@ -19,6 +19,9 @@ import (
 
 func main() {
 	params := privacy.Params{Epsilon: 0.05, Delta: 0.05, IDSpace: 1000, Suite: group.P256()}
+	// A versioned round config normally arrives from the server's Welcome
+	// handshake; this single-process walkthrough pins an unversioned one.
+	rcfg := privacy.UnversionedConfig(params, 5)
 
 	// (1) Oblivious PRF: the client learns F(k, url); the server never
 	// sees the URL, the client never sees k.
@@ -51,13 +54,13 @@ func main() {
 		log.Fatal(err)
 	}
 	clients := make([]*privacy.Client, 5)
-	agg, err := privacy.NewAggregator(params, 1, 5)
+	agg, err := privacy.NewAggregator(rcfg, 1)
 	if err != nil {
 		log.Fatal(err)
 	}
 	var sharedID uint64
 	for i, p := range roster.Parties {
-		clients[i] = privacy.NewClient(params, p, osrv.PublicKey(), osrv)
+		clients[i] = privacy.NewClient(rcfg, p, osrv.PublicKey(), osrv)
 		sharedID, err = clients[i].ObserveAd("https://ads.example/shared")
 		if err != nil {
 			log.Fatal(err)
@@ -88,7 +91,7 @@ func main() {
 
 	// Fault tolerance: re-run with user 3 missing; reporters adjust.
 	fmt.Println("\n--- round 2, user 3 never reports ---")
-	agg2, err := privacy.NewAggregator(params, 2, 5)
+	agg2, err := privacy.NewAggregator(rcfg, 2)
 	if err != nil {
 		log.Fatal(err)
 	}

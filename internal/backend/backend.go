@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"math/big"
+	"sort"
 	"sync"
 
 	"eyewnder/internal/blind"
@@ -56,6 +57,14 @@ type Config struct {
 	// durable before its ack and the batched-ack window amortizes the
 	// fsyncs.
 	Store store.Store
+	// RetainRounds bounds closed-round retention: once a round's
+	// Users_th has been served for RetainRounds newer closed rounds, the
+	// round ages out of memory (and out of subsequent snapshots) — its
+	// threshold and audits answer ErrUnknownRound afterwards. 0 keeps
+	// every closed round forever (the original behavior). Retention also
+	// applies at recovery, so a restart does not resurrect aged-out
+	// rounds.
+	RetainRounds int
 }
 
 // Backend is the server state. All methods are safe for concurrent use.
@@ -93,6 +102,21 @@ type Backend struct {
 	mu     sync.Mutex
 	roster [][]byte // bulletin board; nil slot = unregistered
 	rounds map[uint64]*round
+	// retiredBelow is the retention cutoff (guarded by mu): rounds with
+	// ID below it have had their Users_th served for the full horizon
+	// and were dropped. getRound refuses to re-create them — a retired
+	// round must answer ErrUnknownRound, not silently reopen with a
+	// fresh reported bitmap. 0 = nothing retired.
+	retiredBelow uint64
+	// configVersion and rosterVersion are the deployment-wide negotiated
+	// round-config counters (guarded by mu). The back-end is the single
+	// source of truth for them: the wire handshake advertises the
+	// current pair, every registration that changes the bulletin board
+	// bumps both, rounds pin the pair current at their open, and with a
+	// durable store the counters survive restarts (recConfig records +
+	// snapshot headers).
+	configVersion uint32
+	rosterVersion uint32
 }
 
 type round struct {
@@ -148,7 +172,13 @@ func New(cfg Config) (*Backend, error) {
 // recovered geometry, roster size, and blinding suite must match this
 // back-end's configuration: persisted rounds from a different protocol
 // configuration could never aggregate correctly, so a mismatch refuses
-// to start rather than corrupt rounds silently.
+// to start rather than corrupt rounds silently. The deployment-wide
+// config/roster version counters are adopted from the store (floored at
+// 1 — version 0 is reserved for the unversioned legacy style — and at
+// the highest version any recovered round was opened under), so the
+// negotiated state a restart advertises is exactly the one the crash
+// interrupted. Closed rounds past the retention horizon are not
+// resurrected.
 func (b *Backend) restore() error {
 	for u, key := range b.store.Roster() {
 		if u < 0 || u >= b.cfg.Users {
@@ -156,7 +186,17 @@ func (b *Backend) restore() error {
 		}
 		b.roster[u] = append([]byte(nil), key...)
 	}
-	for _, rs := range b.store.Rounds() {
+	cv, rv := b.store.ConfigVersions()
+	b.configVersion, b.rosterVersion = max32(cv, 1), max32(rv, 1)
+	recovered := b.store.Rounds()
+	var closed []uint64
+	for _, rs := range recovered {
+		if rs.Closed {
+			closed = append(closed, rs.Round)
+		}
+	}
+	b.retiredBelow = retentionCutoff(closed, b.cfg.RetainRounds)
+	for _, rs := range recovered {
 		if rs.D*rs.W != b.cells {
 			return fmt.Errorf("backend: recovered round %d has %dx%d cells, config wants %d — data dir from a different geometry?", rs.Round, rs.D, rs.W, b.cells)
 		}
@@ -166,7 +206,18 @@ func (b *Backend) restore() error {
 		if rs.Keystream != byte(b.cfg.Params.Keystream) {
 			return fmt.Errorf("backend: recovered round %d used keystream suite %#02x, config says %#02x", rs.Round, rs.Keystream, byte(b.cfg.Params.Keystream))
 		}
-		agg, err := privacy.RestoreAggregatorStripes(b.cfg.Params, rs.Round, b.cfg.Users, b.cfg.MergeStripes,
+		b.configVersion = max32(b.configVersion, rs.ConfigVersion)
+		b.rosterVersion = max32(b.rosterVersion, rs.RosterVersion)
+		if rs.Closed && rs.Round < b.retiredBelow {
+			continue // aged out: its Users_th has been served long enough
+		}
+		rcfg := privacy.RoundConfig{
+			Version:       rs.ConfigVersion,
+			RosterVersion: rs.RosterVersion,
+			RosterSize:    b.cfg.Users,
+			Params:        b.cfg.Params,
+		}
+		agg, err := privacy.RestoreAggregatorStripes(rcfg, rs.Round, b.cfg.MergeStripes,
 			rs.Cells, rs.N, rs.Seed, rs.Reported)
 		if err != nil {
 			return err
@@ -188,6 +239,31 @@ func (b *Backend) restore() error {
 		b.rounds[rs.Round] = r
 	}
 	return nil
+}
+
+// retentionCutoff returns the exclusive round-ID bound below which
+// closed rounds age out: with retain > 0 and more than retain closed
+// rounds, it is the retain-th newest closed round's ID — every closed
+// round older than that has had its Users_th served while retain newer
+// closed rounds were published. Counting closed rounds (rather than
+// subtracting retain from an ID) keeps the promise independent of the
+// round numbering scheme: sparse or date-keyed round IDs retire on the
+// same schedule as consecutive ones. 0 means nothing retires. The
+// slice is sorted in place.
+func retentionCutoff(closed []uint64, retain int) uint64 {
+	if retain <= 0 || len(closed) <= retain {
+		return 0
+	}
+	sort.Slice(closed, func(i, j int) bool { return closed[i] > closed[j] })
+	return closed[retain-1]
+}
+
+// max32 returns the larger of two uint32s.
+func max32(a, b uint32) uint32 {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // snapshotLoop runs store snapshots off the hot path: report ingestion
@@ -239,6 +315,7 @@ func (b *Backend) captureRoundStates() ([]*store.RoundState, error) {
 	for i, r := range rounds {
 		r.mu.Lock()
 		d, w, seed, n, ks, cells, reported := r.agg.SnapshotState()
+		rcfg := r.agg.Config()
 		adjusts := make(map[int][]uint64, len(r.adjusts))
 		for u, s := range r.adjusts {
 			adjusts[u] = append([]uint64(nil), s...)
@@ -247,6 +324,7 @@ func (b *Backend) captureRoundStates() ([]*store.RoundState, error) {
 		r.mu.Unlock()
 		out = append(out, &store.RoundState{
 			Round: ids[i], RosterSize: b.cfg.Users,
+			ConfigVersion: rcfg.Version, RosterVersion: rcfg.RosterVersion,
 			D: d, W: w, Seed: seed, N: n, Keystream: byte(ks),
 			Closed: closed, Cells: cells, Reported: reported, Adjusts: adjusts,
 		})
@@ -280,23 +358,90 @@ func (b *Backend) MergeStripes() int {
 	return vec.EffectiveStripes(b.cells, b.cfg.MergeStripes)
 }
 
+// CurrentConfig returns the negotiated round config the back-end
+// currently advertises: the flag-derived protocol geometry stamped with
+// the live config/roster versions. This — not any client-side flag set
+// — is the deployment's source of truth; the wire handshake serves it
+// to every connecting client.
+func (b *Backend) CurrentConfig() privacy.RoundConfig {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.currentConfigLocked()
+}
+
+// currentConfigLocked is CurrentConfig under b.mu.
+func (b *Backend) currentConfigLocked() privacy.RoundConfig {
+	return privacy.RoundConfig{
+		Version:       b.configVersion,
+		RosterVersion: b.rosterVersion,
+		RosterSize:    b.cfg.Users,
+		Params:        b.cfg.Params,
+	}
+}
+
+// wireConfig renders the current config as a Welcome-frame payload
+// (wire.StreamOpts.Config).
+func (b *Backend) wireConfig() wire.ConfigFrame {
+	cfg := b.CurrentConfig()
+	return wire.ConfigFrame{
+		ConfigVersion: cfg.Version,
+		RosterVersion: cfg.RosterVersion,
+		RosterSize:    uint32(cfg.RosterSize),
+		Epsilon:       cfg.Params.Epsilon,
+		Delta:         cfg.Params.Delta,
+		IDSpace:       cfg.Params.IDSpace,
+		Keystream:     byte(cfg.Params.Keystream),
+		Group:         wire.GroupP256,
+		Estimator:     byte(b.cfg.UsersEstimator),
+		AckBatch:      uint32(b.cfg.AckBatch),
+	}
+}
+
 // Register stores a user's blinding public key on the bulletin board
 // (durably, when a store is configured: the board must survive restarts
-// or recovered rounds would face an empty roster). The fsync barrier
-// runs after b.mu is released — report ingestion (which needs b.mu for
-// round lookup) never stalls behind a registration's disk flush, and
-// concurrent registrations group-commit onto one fsync. A Sync failure
-// surfaces as the registration's error; the client retries and the
-// overwrite is idempotent.
+// or recovered rounds would face an empty roster). A registration that
+// changes the board — a fresh slot, or a new key over an old one —
+// bumps the roster and config versions: the pairwise blinding sets
+// every other member derived are now stale, so rounds opened before the
+// bump stop admitting new-config reporters and rounds opened after it
+// reject old-config ones (privacy.ErrIncompatibleConfig), instead of
+// silently breaking blinding cancellation. Re-registering an identical
+// key (a client retry) bumps nothing.
+//
+// The fsync barrier runs after b.mu is released — report ingestion
+// (which needs b.mu for round lookup) never stalls behind a
+// registration's disk flush, and concurrent registrations group-commit
+// onto one fsync. A Sync failure surfaces as the registration's error;
+// the client retries and the overwrite is idempotent.
 func (b *Backend) Register(user int, publicKey []byte) (rosterSize int, err error) {
 	b.mu.Lock()
 	if user < 0 || user >= b.cfg.Users {
 		b.mu.Unlock()
 		return 0, ErrBadUser
 	}
+	if len(publicKey) == 0 {
+		// An empty key can never be a blinding public key, and accepting
+		// one would let a buggy client bump the deployment versions on
+		// every retry (empty never compares equal to an absent slot).
+		b.mu.Unlock()
+		return 0, errors.New("backend: empty public key")
+	}
 	if err := b.store.AppendRegister(user, publicKey); err != nil {
 		b.mu.Unlock()
 		return 0, err
+	}
+	if !bytesEqual(b.roster[user], publicKey) {
+		// The version bump is logged in the same critical section as the
+		// register record, so recovery can never observe one without the
+		// other; the live counters advance only once the record is
+		// appended, so a failed append never leaves the backend
+		// advertising a version no durable record backs.
+		cv, rv := b.configVersion+1, b.rosterVersion+1
+		if err := b.store.AppendConfig(cv, rv); err != nil {
+			b.mu.Unlock()
+			return 0, err
+		}
+		b.configVersion, b.rosterVersion = cv, rv
 	}
 	b.roster[user] = append([]byte(nil), publicKey...)
 	b.mu.Unlock()
@@ -306,8 +451,23 @@ func (b *Backend) Register(user int, publicKey []byte) (rosterSize int, err erro
 	return b.cfg.Users, nil
 }
 
-// Roster returns the bulletin board.
-func (b *Backend) Roster() [][]byte {
+// bytesEqual reports whether a and b hold the same bytes.
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Roster returns the bulletin board together with the config/roster
+// versions it is current at, so a caller deriving pairwise blinding
+// secrets can pin the exact negotiated state its reports belong to.
+func (b *Backend) Roster() (keys [][]byte, configVersion, rosterVersion uint32) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	out := make([][]byte, len(b.roster))
@@ -316,7 +476,7 @@ func (b *Backend) Roster() [][]byte {
 			out[i] = append([]byte(nil), k...)
 		}
 	}
-	return out
+	return out, b.configVersion, b.rosterVersion
 }
 
 // getRound returns (creating on first touch) the round's state. Only the
@@ -333,12 +493,26 @@ func (b *Backend) getRound(id uint64) (*round, error) {
 	defer b.mu.Unlock()
 	r, ok := b.rounds[id]
 	if !ok {
-		agg, err := privacy.NewAggregatorStripes(b.cfg.Params, id, b.cfg.Users, b.cfg.MergeStripes)
+		if id < b.retiredBelow {
+			// The round was retired: its Users_th has already been
+			// published and served. Re-creating it here would hand out a
+			// fresh reported bitmap (breaking the duplicate invariant
+			// for late or replayed reports) and eventually publish a
+			// second, different threshold for the same round ID.
+			return nil, ErrUnknownRound
+		}
+		// The round pins the config current at its open: later version
+		// bumps (roster changes) open *future* rounds under the new
+		// config, while this one keeps accepting exactly the cohort that
+		// negotiated it.
+		rcfg := b.currentConfigLocked()
+		agg, err := privacy.NewAggregatorStripes(rcfg, id, b.cfg.MergeStripes)
 		if err != nil {
 			return nil, err
 		}
 		d, w, seed := agg.Layout()
-		if err := b.store.AppendOpen(id, b.cfg.Users, d, w, seed, byte(b.cfg.Params.Keystream)); err != nil {
+		if err := b.store.AppendOpen(id, b.cfg.Users, d, w, seed, byte(b.cfg.Params.Keystream),
+			rcfg.Version, rcfg.RosterVersion); err != nil {
 			return nil, err
 		}
 		r = &round{agg: agg, adjusts: make(map[int][]uint64)}
@@ -382,7 +556,7 @@ func (b *Backend) SubmitReport(rep *privacy.Report) error {
 	}
 	sk := rep.Sketch
 	if err := b.store.AppendReport(rep.Round, rep.User, sk.Depth(), sk.Width(), sk.N(), sk.Seed(),
-		byte(rep.Keystream), sk.FlatCells()); err != nil {
+		byte(rep.Keystream), rep.ConfigVersion, sk.FlatCells()); err != nil {
 		r.agg.Unreserve(rep.User, sk.N())
 		r.mu.RUnlock()
 		return err
@@ -422,10 +596,10 @@ func (b *Backend) ConsumeReport(f *wire.ReportFrame) error {
 		return ErrRoundClosed
 	}
 	ks := blind.Keystream(f.Keystream)
-	if err := r.agg.ReserveCells(f.User, f.D, f.W, f.N, f.Seed, ks, len(f.Cells)); err != nil {
+	if err := r.agg.ReserveCells(f.User, f.D, f.W, f.N, f.Seed, ks, f.ConfigVersion, len(f.Cells)); err != nil {
 		return err
 	}
-	if err := b.store.AppendReport(f.Round, f.User, f.D, f.W, f.N, f.Seed, f.Keystream, f.Cells); err != nil {
+	if err := b.store.AppendReport(f.Round, f.User, f.D, f.W, f.N, f.Seed, f.Keystream, f.ConfigVersion, f.Cells); err != nil {
 		r.agg.Unreserve(f.User, f.N)
 		return err
 	}
@@ -484,28 +658,91 @@ func (b *Backend) SubmitAdjustment(user int, id uint64, cells []uint64) error {
 // extracts the per-ad user counts, and computes Users_th. The close is
 // logged and synced before the round flips to closed, so a crash
 // straddling the close either replays it (record durable) or leaves
-// the round open and retryable (record lost) — never half-closed.
+// the round open and retryable (record lost) — never half-closed. With
+// Config.RetainRounds set, a successful close also ages out closed
+// rounds whose Users_th has now been served for the retention horizon.
 func (b *Backend) CloseRound(id uint64) (usersTh float64, distinctAds int, err error) {
 	r, err := b.getRound(id)
 	if err != nil {
 		return 0, 0, err
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if r.closed {
+		defer r.mu.Unlock()
 		return r.usersTh, len(r.counts), nil
 	}
 	if err := b.finalizeLocked(r); err != nil {
+		r.mu.Unlock()
 		return 0, 0, err
 	}
 	if err := b.store.AppendClose(id); err != nil {
+		r.mu.Unlock()
 		return 0, 0, err
 	}
 	if err := b.store.Sync(); err != nil {
+		r.mu.Unlock()
 		return 0, 0, err
 	}
 	r.closed = true
-	return r.usersTh, len(r.counts), nil
+	usersTh, distinctAds = r.usersTh, len(r.counts)
+	r.mu.Unlock()
+	b.retireRounds()
+	return usersTh, distinctAds, nil
+}
+
+// retireRounds drops every closed round older than the RetainRounds-th
+// newest closed round: its Users_th has been served for the configured
+// horizon, so its memory (cells, counts, final sketch) and its slot in
+// future snapshots are released, and getRound refuses to resurrect it.
+// Open stragglers are never retired — they have not served anything
+// yet. Retention is not logged — the WAL may still carry the rounds
+// until compaction — because the same cutoff is re-derived at recovery
+// (restore), so an aged-out round stays gone across restarts.
+func (b *Backend) retireRounds() {
+	if b.cfg.RetainRounds <= 0 {
+		return
+	}
+	// Pass 1: snapshot the round map under b.mu only. Checking a
+	// round's closed flag takes its lock, and a round mid-close holds
+	// its write lock across an fsync — blocking on that while holding
+	// b.mu would stall every reporter's round lookup behind a disk
+	// flush.
+	b.mu.Lock()
+	ids := make([]uint64, 0, len(b.rounds))
+	rounds := make([]*round, 0, len(b.rounds))
+	for rid, r := range b.rounds {
+		ids = append(ids, rid)
+		rounds = append(rounds, r)
+	}
+	b.mu.Unlock()
+	var closed []uint64
+	closedSet := make(map[uint64]bool)
+	for i, r := range rounds {
+		r.mu.RLock()
+		c := r.closed
+		r.mu.RUnlock()
+		if c {
+			closed = append(closed, ids[i])
+			closedSet[ids[i]] = true
+		}
+	}
+	cutoff := retentionCutoff(closed, b.cfg.RetainRounds)
+	if cutoff == 0 {
+		return
+	}
+	// Pass 2: delete under b.mu. Rounds are only ever created or
+	// deleted, never replaced, and closed is sticky — a round observed
+	// closed in pass 1 is still the same closed round now.
+	b.mu.Lock()
+	for rid := range b.rounds {
+		if rid < cutoff && closedSet[rid] {
+			delete(b.rounds, rid)
+		}
+	}
+	if cutoff > b.retiredBelow {
+		b.retiredBelow = cutoff
+	}
+	b.mu.Unlock()
 }
 
 // finalizeLocked computes a round's close-time results — the unblinded
@@ -600,7 +837,10 @@ func (b *Backend) Handler() wire.Handler {
 			return wire.TypeRegisterOK, wire.RegisterResp{RosterSize: n}, nil
 
 		case wire.TypeRoster:
-			return wire.TypeRosterOK, wire.RosterResp{PublicKeys: b.Roster()}, nil
+			keys, cv, rv := b.Roster()
+			return wire.TypeRosterOK, wire.RosterResp{
+				PublicKeys: keys, ConfigVersion: cv, RosterVersion: rv,
+			}, nil
 
 		case wire.TypeSubmitReport:
 			var req wire.SubmitReportReq
@@ -613,7 +853,8 @@ func (b *Backend) Handler() wire.Handler {
 			}
 			rep := &privacy.Report{
 				User: req.User, Round: req.Round, Sketch: &cms,
-				Keystream: blind.Keystream(req.Keystream),
+				Keystream:     blind.Keystream(req.Keystream),
+				ConfigVersion: req.ConfigVersion,
 			}
 			if err := b.SubmitReport(rep); err != nil {
 				return "", nil, err
@@ -686,9 +927,14 @@ func (b *Backend) Handler() wire.Handler {
 // messages and streamed report frames (the back-end is its own
 // wire.ReportSink). Connections that negotiate batched acknowledgements
 // get one binary ack per Config.AckBatch frames and pipelined
-// decode-while-fold ingestion.
+// decode-while-fold ingestion; Hello frames are answered with the
+// back-end's current negotiated config, making the server — not any
+// operator flag set — the source of truth for protocol state.
 func (b *Backend) Serve(addr string) (*wire.Server, error) {
-	return wire.ServeWithSinkOpts(addr, b.Handler(), b, wire.StreamOpts{AckBatch: b.cfg.AckBatch})
+	return wire.ServeWithSinkOpts(addr, b.Handler(), b, wire.StreamOpts{
+		AckBatch: b.cfg.AckBatch,
+		Config:   b.wireConfig,
+	})
 }
 
 // OPRFHandler adapts an oprf.Server to the wire protocol.

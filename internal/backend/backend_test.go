@@ -51,7 +51,7 @@ func newBackend(t *testing.T) (*Backend, []*privacy.Client) {
 	}
 	clients := make([]*privacy.Client, len(ros.Parties))
 	for i, p := range ros.Parties {
-		clients[i] = privacy.NewClient(params, p, srv.PublicKey(), srv)
+		clients[i] = privacy.NewClient(privacy.UnversionedConfig(params, 0), p, srv.PublicKey(), srv)
 	}
 	return b, clients
 }
@@ -68,14 +68,31 @@ func TestRegisterAndRoster(t *testing.T) {
 	if _, err := b.Register(4, nil); err != ErrBadUser {
 		t.Fatalf("bad user err = %v", err)
 	}
-	roster := b.Roster()
+	roster, cv, rv := b.Roster()
 	if len(roster) != 4 || roster[0] == nil || roster[1] != nil {
 		t.Fatalf("roster = %v", roster)
 	}
+	if cv < 2 || rv < 2 {
+		t.Fatalf("registration did not bump versions: config v%d roster v%d", cv, rv)
+	}
 	// Roster copies are isolated.
 	roster[0][0] = 99
-	if b.Roster()[0][0] == 99 {
+	if again, _, _ := b.Roster(); again[0][0] == 99 {
 		t.Fatal("roster aliases internal state")
+	}
+	// An identical re-registration is an idempotent retry: no bump.
+	if _, err := b.Register(0, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, cv2, rv2 := b.Roster(); cv2 != cv || rv2 != rv {
+		t.Fatalf("idempotent re-register bumped versions: %d->%d / %d->%d", cv, cv2, rv, rv2)
+	}
+	// A changed key is a roster change: both versions bump.
+	if _, err := b.Register(0, []byte{9, 9, 9}); err != nil {
+		t.Fatal(err)
+	}
+	if _, cv3, rv3 := b.Roster(); cv3 != cv+1 || rv3 != rv+1 {
+		t.Fatalf("key change did not bump versions: config v%d roster v%d", cv3, rv3)
 	}
 }
 

@@ -53,8 +53,9 @@ func frameOf(r *privacy.Report) *wire.ReportFrame {
 		User: r.User, Round: r.Round,
 		D: r.Sketch.Depth(), W: r.Sketch.Width(),
 		N: r.Sketch.N(), Seed: r.Sketch.Seed(),
-		Keystream: byte(r.Keystream),
-		Cells:     r.Sketch.FlatCells(),
+		Keystream:     byte(r.Keystream),
+		ConfigVersion: r.ConfigVersion,
+		Cells:         r.Sketch.FlatCells(),
 	}
 }
 
@@ -135,8 +136,8 @@ func TestBackendRecoversMidRound(t *testing.T) {
 		t.Fatalf("recovered missing = %v", missing)
 	}
 	// …the roster too…
-	if key := b2.Roster()[3]; string(key) != "pk3" {
-		t.Fatalf("roster entry lost: %q", key)
+	if keys, _, _ := b2.Roster(); string(keys[3]) != "pk3" {
+		t.Fatalf("roster entry lost: %q", keys[3])
 	}
 	// …and the duplicate invariant must hold across the restart.
 	if err := b2.ConsumeReport(frameOf(reports[0])); !errors.Is(err, privacy.ErrDuplicate) {

@@ -24,7 +24,6 @@ import (
 	"eyewnder/internal/group"
 	"eyewnder/internal/oprf"
 	"eyewnder/internal/privacy"
-	"eyewnder/internal/sketch"
 	"eyewnder/internal/wire"
 )
 
@@ -33,31 +32,34 @@ var ErrNotRegistered = errors.New("client: extension not registered")
 
 // BackendAPI is the subset of back-end operations the extension needs.
 // *wire.Client-backed and in-process implementations both satisfy it.
+// Roster returns the bulletin board together with the config/roster
+// versions it is current at, in one atomic response — the extension
+// pins its reports to exactly that negotiated state.
 type BackendAPI interface {
 	Register(user int, publicKey []byte) (rosterSize int, err error)
-	Roster() ([][]byte, error)
-	SubmitReport(user int, round uint64, ks blind.Keystream, sketch []byte) error
+	Roster() (keys [][]byte, configVersion, rosterVersion uint32, err error)
+	SubmitReport(rep *privacy.Report) error
 	RoundStatus(round uint64) (reported int, missing []int, closed bool, err error)
 	SubmitAdjustment(user int, round uint64, cells []uint64) error
 	Threshold(round uint64) (float64, error)
 	AuditAd(round uint64, adID uint64) (users uint64, err error)
 }
 
-// StreamingBackend is the optional fast path a BackendAPI may implement:
-// submit a round report as a structured sketch rather than a serialized
-// []byte. The wire adapter streams it as a binary report frame (the
-// server decodes straight into pooled cell slices) and the in-process
-// adapter hands the sketch over directly — either way the intermediate
-// serialization round-trip disappears.
-type StreamingBackend interface {
-	SubmitReportCMS(user int, round uint64, ks blind.Keystream, cms *sketch.CMS) error
+// ConfigNegotiator is the optional interface a BackendAPI implements
+// when it can fetch the server's negotiated round config — the wire
+// adapter performs the Hello/Welcome handshake, the in-process adapter
+// reads the back-end's CurrentConfig. When Options.Params is left zero,
+// New requires it: the server, not a mirrored flag set, then decides
+// the sketch geometry, ad-ID space, and blinding-keystream suite.
+type ConfigNegotiator interface {
+	NegotiateConfig() (privacy.RoundConfig, error)
 }
 
 // Extension is one user's eyeWnder instance.
 type Extension struct {
 	user    int
 	cfg     detector.Config
-	params  privacy.Params
+	rcfg    privacy.RoundConfig
 	priv    group.PrivateKey
 	det     *addetect.Detector
 	state   *detector.UserState
@@ -74,21 +76,42 @@ type Extension struct {
 type Options struct {
 	User     int
 	Detector detector.Config
-	Params   privacy.Params
-	Rules    *addetect.Ruleset
+	// Params explicitly fixes the protocol geometry — the legacy
+	// flag-agreement style, for tests and single-process deployments
+	// that own both sides. Leave it zero to adopt whatever the backend
+	// advertises (the backend must then implement ConfigNegotiator);
+	// that is the deployment mode: zero protocol knobs on the client.
+	Params privacy.Params
+	Rules  *addetect.Ruleset
 }
 
-// New creates an extension for one user. backendAPI and eval connect it to
-// the two servers; oprfPub is the oprf-server's public key.
+// New creates an extension for one user. backendAPI and eval connect it
+// to the two servers; oprfPub is the oprf-server's public key. With a
+// zero Options.Params the protocol config is negotiated from the
+// backend before anything else — a server speaking an unknown blinding
+// suite or group surfaces as ErrIncompatibleConfig here, not as a
+// corrupted round later.
 func New(opts Options, backendAPI BackendAPI, eval privacy.Evaluator, oprfPub oprf.PublicKey) (*Extension, error) {
-	priv, err := opts.Params.Suite.GenerateKey(crand.Reader)
+	rcfg := privacy.UnversionedConfig(opts.Params, 0)
+	if opts.Params.Suite == nil {
+		neg, ok := backendAPI.(ConfigNegotiator)
+		if !ok {
+			return nil, errors.New("client: no Params given and the backend cannot negotiate a config")
+		}
+		c, err := neg.NegotiateConfig()
+		if err != nil {
+			return nil, err
+		}
+		rcfg = c
+	}
+	priv, err := rcfg.Params.Suite.GenerateKey(crand.Reader)
 	if err != nil {
 		return nil, fmt.Errorf("client: key generation: %w", err)
 	}
 	return &Extension{
 		user:    opts.User,
 		cfg:     opts.Detector,
-		params:  opts.Params,
+		rcfg:    rcfg,
 		priv:    priv,
 		det:     addetect.New(opts.Rules),
 		state:   detector.NewUserState(opts.Detector),
@@ -102,29 +125,44 @@ func New(opts Options, backendAPI BackendAPI, eval privacy.Evaluator, oprfPub op
 // User returns the extension's roster index.
 func (e *Extension) User() int { return e.user }
 
+// Config returns the round config the extension operates under: the
+// negotiated (or explicitly given) protocol geometry, with the
+// config/roster versions pinned at the last successful Join.
+func (e *Extension) Config() privacy.RoundConfig { return e.rcfg }
+
 // Register publishes the user's blinding key on the bulletin board.
 func (e *Extension) Register() error {
 	_, err := e.backend.Register(e.user, e.priv.PublicKey())
 	return err
 }
 
-// Join downloads the roster and derives the pairwise blinding secrets.
+// Join downloads the roster and derives the pairwise blinding secrets,
+// pinning the extension to the config version the board was served at:
+// every report it produces from here carries that version, so if the
+// roster changes (a re-registration bumps the version) its reports are
+// cleanly rejected with privacy.ErrIncompatibleConfig — re-Join to
+// adopt the new roster — instead of breaking blinding cancellation.
 // Call it after every user has registered.
 func (e *Extension) Join() error {
-	roster, err := e.backend.Roster()
+	roster, cv, rv, err := e.backend.Roster()
 	if err != nil {
 		return err
+	}
+	if e.rcfg.RosterSize > 0 && len(roster) != e.rcfg.RosterSize {
+		return fmt.Errorf("%w: roster has %d slots, negotiated config says %d",
+			privacy.ErrIncompatibleConfig, len(roster), e.rcfg.RosterSize)
 	}
 	for i, k := range roster {
 		if k == nil {
 			return fmt.Errorf("client: roster slot %d empty — not all users registered", i)
 		}
 	}
-	party, err := blind.NewPartyKeystream(e.priv, roster, e.user, e.params.Keystream)
+	party, err := blind.NewPartyKeystream(e.priv, roster, e.user, e.rcfg.Params.Keystream)
 	if err != nil {
 		return err
 	}
-	e.pclient = privacy.NewClient(e.params, party, e.oprfPub, e.eval)
+	e.rcfg.Version, e.rcfg.RosterVersion, e.rcfg.RosterSize = cv, rv, len(roster)
+	e.pclient = privacy.NewClient(e.rcfg, party, e.oprfPub, e.eval)
 	return nil
 }
 
@@ -172,14 +210,7 @@ func (e *Extension) SubmitReport(round uint64) error {
 	if err != nil {
 		return err
 	}
-	if sb, ok := e.backend.(StreamingBackend); ok {
-		return sb.SubmitReportCMS(e.user, round, rep.Keystream, rep.Sketch)
-	}
-	raw, err := rep.Sketch.MarshalBinary()
-	if err != nil {
-		return err
-	}
-	return e.backend.SubmitReport(e.user, round, rep.Keystream, raw)
+	return e.backend.SubmitReport(rep)
 }
 
 // SubmitAdjustmentIfNeeded asks the back-end which users are missing and,
@@ -196,7 +227,7 @@ func (e *Extension) SubmitAdjustmentIfNeeded(round uint64) ([]int, error) {
 	if closed || len(missing) == 0 {
 		return missing, nil
 	}
-	cms, err := e.params.NewSketch()
+	cms, err := e.rcfg.Params.NewSketch()
 	if err != nil {
 		return nil, err
 	}
@@ -243,6 +274,44 @@ func (e *Extension) State() *detector.UserState { return e.state }
 // WireBackend adapts a wire.Client to BackendAPI.
 type WireBackend struct{ C *wire.Client }
 
+// NegotiateConfig implements ConfigNegotiator: the Hello/Welcome
+// handshake, with the advertised frame validated and converted into a
+// privacy.RoundConfig. A server that predates the handshake, or one
+// advertising a group or blinding suite this build does not implement,
+// surfaces as (an error wrapping) privacy.ErrIncompatibleConfig.
+func (w *WireBackend) NegotiateConfig() (privacy.RoundConfig, error) {
+	cf, err := w.C.Handshake()
+	if err != nil {
+		return privacy.RoundConfig{}, fmt.Errorf("%w: %v", privacy.ErrIncompatibleConfig, err)
+	}
+	return RoundConfigFromFrame(cf)
+}
+
+// RoundConfigFromFrame validates a Welcome-frame config and converts it
+// to the privacy layer's typed form.
+func RoundConfigFromFrame(cf wire.ConfigFrame) (privacy.RoundConfig, error) {
+	if cf.Group != wire.GroupP256 {
+		return privacy.RoundConfig{}, fmt.Errorf("%w: unknown DH group %#02x", privacy.ErrIncompatibleConfig, cf.Group)
+	}
+	ks := blind.Keystream(cf.Keystream)
+	if !ks.Valid() {
+		return privacy.RoundConfig{}, fmt.Errorf("%w: unknown keystream suite %#02x", privacy.ErrIncompatibleConfig, cf.Keystream)
+	}
+	if cf.Epsilon <= 0 || cf.Delta <= 0 || cf.IDSpace == 0 {
+		return privacy.RoundConfig{}, fmt.Errorf("%w: degenerate geometry (ε=%g δ=%g |A|=%d)",
+			privacy.ErrIncompatibleConfig, cf.Epsilon, cf.Delta, cf.IDSpace)
+	}
+	return privacy.RoundConfig{
+		Version:       cf.ConfigVersion,
+		RosterVersion: cf.RosterVersion,
+		RosterSize:    int(cf.RosterSize),
+		Params: privacy.Params{
+			Epsilon: cf.Epsilon, Delta: cf.Delta, IDSpace: cf.IDSpace,
+			Suite: group.P256(), Keystream: ks,
+		},
+	}, nil
+}
+
 // Register implements BackendAPI.
 func (w *WireBackend) Register(user int, publicKey []byte) (int, error) {
 	var resp wire.RegisterResp
@@ -251,30 +320,27 @@ func (w *WireBackend) Register(user int, publicKey []byte) (int, error) {
 }
 
 // Roster implements BackendAPI.
-func (w *WireBackend) Roster() ([][]byte, error) {
+func (w *WireBackend) Roster() ([][]byte, uint32, uint32, error) {
 	var resp wire.RosterResp
 	if err := w.C.Do(wire.TypeRoster, struct{}{}, &resp); err != nil {
-		return nil, err
+		return nil, 0, 0, err
 	}
-	return resp.PublicKeys, nil
+	return resp.PublicKeys, resp.ConfigVersion, resp.RosterVersion, nil
 }
 
-// SubmitReport implements BackendAPI.
-func (w *WireBackend) SubmitReport(user int, round uint64, ks blind.Keystream, sk []byte) error {
-	return w.C.Do(wire.TypeSubmitReport,
-		wire.SubmitReportReq{User: user, Round: round, Sketch: sk, Keystream: byte(ks)}, nil)
-}
-
-// SubmitReportCMS implements StreamingBackend: the sketch goes out as a
-// binary report frame, its cell block written as one raw little-endian
-// run the server reads directly into its pooled cell slices.
-func (w *WireBackend) SubmitReportCMS(user int, round uint64, ks blind.Keystream, cms *sketch.CMS) error {
+// SubmitReport implements BackendAPI: the sketch goes out as a binary
+// report frame — its cell block one raw little-endian run the server
+// reads directly into its pooled cell slices — with the blinding suite
+// and config version in the preamble.
+func (w *WireBackend) SubmitReport(rep *privacy.Report) error {
+	cms := rep.Sketch
 	return w.C.SubmitReportFrame(&wire.ReportFrame{
-		User: user, Round: round,
+		User: rep.User, Round: rep.Round,
 		D: cms.Depth(), W: cms.Width(),
 		N: cms.N(), Seed: cms.Seed(),
-		Keystream: byte(ks),
-		Cells:     cms.FlatCells(),
+		Keystream:     byte(rep.Keystream),
+		ConfigVersion: rep.ConfigVersion,
+		Cells:         cms.FlatCells(),
 	})
 }
 

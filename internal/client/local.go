@@ -2,14 +2,18 @@ package client
 
 import (
 	"eyewnder/internal/backend"
-	"eyewnder/internal/blind"
 	"eyewnder/internal/privacy"
-	"eyewnder/internal/sketch"
 )
 
 // LocalBackend adapts an in-process *backend.Backend to BackendAPI, so
 // simulations and tests can run the full protocol without TCP.
 type LocalBackend struct{ B *backend.Backend }
+
+// NegotiateConfig implements ConfigNegotiator: in-process, the
+// "handshake" is a direct read of the back-end's current config.
+func (l *LocalBackend) NegotiateConfig() (privacy.RoundConfig, error) {
+	return l.B.CurrentConfig(), nil
+}
 
 // Register implements BackendAPI.
 func (l *LocalBackend) Register(user int, publicKey []byte) (int, error) {
@@ -17,21 +21,15 @@ func (l *LocalBackend) Register(user int, publicKey []byte) (int, error) {
 }
 
 // Roster implements BackendAPI.
-func (l *LocalBackend) Roster() ([][]byte, error) { return l.B.Roster(), nil }
-
-// SubmitReport implements BackendAPI.
-func (l *LocalBackend) SubmitReport(user int, round uint64, ks blind.Keystream, raw []byte) error {
-	var cms sketch.CMS
-	if err := cms.UnmarshalBinary(raw); err != nil {
-		return err
-	}
-	return l.B.SubmitReport(&privacy.Report{User: user, Round: round, Sketch: &cms, Keystream: ks})
+func (l *LocalBackend) Roster() ([][]byte, uint32, uint32, error) {
+	keys, cv, rv := l.B.Roster()
+	return keys, cv, rv, nil
 }
 
-// SubmitReportCMS implements StreamingBackend: in-process, the sketch is
-// handed to the back-end as-is — no marshal/unmarshal round-trip at all.
-func (l *LocalBackend) SubmitReportCMS(user int, round uint64, ks blind.Keystream, cms *sketch.CMS) error {
-	return l.B.SubmitReport(&privacy.Report{User: user, Round: round, Sketch: cms, Keystream: ks})
+// SubmitReport implements BackendAPI: in-process, the report is handed
+// to the back-end as-is — no marshal/unmarshal round-trip at all.
+func (l *LocalBackend) SubmitReport(rep *privacy.Report) error {
+	return l.B.SubmitReport(rep)
 }
 
 // RoundStatus implements BackendAPI.

@@ -85,9 +85,10 @@ func Fig2(cfg Fig2Config) ([]Fig2Week, error) {
 	if err != nil {
 		return nil, err
 	}
+	rcfg := privacy.UnversionedConfig(cfg.Params, cfg.Sim.Users)
 	clients := make([]*privacy.Client, cfg.Sim.Users)
 	for i, p := range roster.Parties {
-		clients[i] = privacy.NewClient(cfg.Params, p, osrv.PublicKey(), osrv)
+		clients[i] = privacy.NewClient(rcfg, p, osrv.PublicKey(), osrv)
 	}
 
 	weeks := make([]Fig2Week, 0, cfg.Sim.Weeks)
@@ -96,7 +97,7 @@ func Fig2(cfg Fig2Config) ([]Fig2Week, error) {
 		actual := counters.UserCountsDistribution()
 
 		// Feed each user's week of impressions through the protocol.
-		agg, err := privacy.NewAggregator(cfg.Params, uint64(w), cfg.Sim.Users)
+		agg, err := privacy.NewAggregator(rcfg, uint64(w))
 		if err != nil {
 			return nil, err
 		}

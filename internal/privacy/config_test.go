@@ -1,0 +1,141 @@
+package privacy
+
+import (
+	"errors"
+	"testing"
+
+	"eyewnder/internal/blind"
+)
+
+// versionedConfig is smallParams pinned to a nonzero config version, as
+// a negotiated deployment would run.
+func versionedConfig(t *testing.T, version, rosterVersion uint32) RoundConfig {
+	t.Helper()
+	return RoundConfig{
+		Version:       version,
+		RosterVersion: rosterVersion,
+		RosterSize:    6,
+		Params:        smallParams(),
+	}
+}
+
+func TestCompatibleReportVersion(t *testing.T) {
+	cases := []struct {
+		round, report uint32
+		want          bool
+	}{
+		{0, 0, true},  // unversioned everywhere: legacy
+		{0, 7, true},  // legacy round defers to geometry/suite checks
+		{4, 0, true},  // legacy report into a versioned round
+		{4, 4, true},  // exact match
+		{4, 3, false}, // stale reporter
+		{4, 5, false}, // reporter from the future (roster moved on)
+	}
+	for _, c := range cases {
+		cfg := RoundConfig{Version: c.round}
+		if got := cfg.CompatibleReportVersion(c.report); got != c.want {
+			t.Errorf("round v%d, report v%d: compatible = %v, want %v", c.round, c.report, got, c.want)
+		}
+	}
+}
+
+// A report stamped with a different config version than the round's
+// must bounce with ErrIncompatibleConfig — before any duplicate slot is
+// taken — on both the structured and the streamed ingestion paths.
+func TestAggregatorRejectsStaleConfigVersion(t *testing.T) {
+	clients := newClients(t, smallParams())
+	agg, err := NewAggregator(versionedConfig(t, 4, 2), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := clients[0].ObserveAd("https://ads.example/a"); err != nil {
+		t.Fatal(err)
+	}
+	r, err := clients[0].Report(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stale := *r
+	stale.ConfigVersion = 3
+	if err := agg.Add(&stale); !errors.Is(err, ErrIncompatibleConfig) {
+		t.Fatalf("stale version err = %v, want ErrIncompatibleConfig", err)
+	}
+	cms := r.Sketch
+	err = agg.AddCells(r.User, cms.Depth(), cms.Width(), cms.N(), cms.Seed(),
+		blind.KeystreamHMACSHA256, 3, cms.FlatCells())
+	if !errors.Is(err, ErrIncompatibleConfig) {
+		t.Fatalf("stale streamed version err = %v, want ErrIncompatibleConfig", err)
+	}
+	// The rejection must not have consumed the user's roster slot.
+	if agg.Reported() != 0 {
+		t.Fatalf("rejected report reserved a slot: Reported = %d", agg.Reported())
+	}
+
+	// A legacy (version-0) report and an exact match both fold.
+	if err := agg.Add(r); err != nil { // clients stamp 0 (unversioned config)
+		t.Fatalf("legacy report err = %v", err)
+	}
+	if _, err := clients[1].ObserveAd("https://ads.example/a"); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := clients[1].Report(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.ConfigVersion = 4
+	if err := agg.Add(r2); err != nil {
+		t.Fatalf("matching version err = %v", err)
+	}
+	if agg.Reported() != 2 {
+		t.Fatalf("Reported = %d, want 2", agg.Reported())
+	}
+}
+
+// A client built under a versioned config stamps its reports with that
+// version.
+func TestClientStampsConfigVersion(t *testing.T) {
+	srv, ros := fixtures(t)
+	cfg := versionedConfig(t, 9, 4)
+	c := NewClient(cfg, ros.Parties[0], srv.PublicKey(), srv)
+	if _, err := c.ObserveAd("https://ads.example/x"); err != nil {
+		t.Fatal(err)
+	}
+	r, err := c.Report(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ConfigVersion != 9 {
+		t.Fatalf("report config version = %d, want 9", r.ConfigVersion)
+	}
+	agg, err := NewAggregator(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := agg.Add(r); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A restored aggregator keeps the round's pinned config: stale versions
+// bounce after recovery exactly as before it.
+func TestRestoredAggregatorKeepsConfigVersion(t *testing.T) {
+	cfg := versionedConfig(t, 4, 2)
+	agg, err := NewAggregator(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, w, seed := agg.Layout()
+	_, _, _, n, _, cells, reported := agg.SnapshotState()
+	restored, err := RestoreAggregatorStripes(cfg, 1, 0, cells, n, seed, reported)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Config() != cfg {
+		t.Fatalf("restored config = %+v, want %+v", restored.Config(), cfg)
+	}
+	err = restored.AddCells(0, d, w, 1, seed, blind.KeystreamHMACSHA256, 3, make([]uint64, d*w))
+	if !errors.Is(err, ErrIncompatibleConfig) {
+		t.Fatalf("stale version after restore = %v, want ErrIncompatibleConfig", err)
+	}
+}

@@ -43,6 +43,13 @@ var (
 	ErrNoReports         = errors.New("privacy: no reports to aggregate")
 	ErrNotFinalizable    = errors.New("privacy: missing adjustments not yet supplied")
 	ErrKeystreamMismatch = errors.New("privacy: report blinded under a different keystream suite")
+	// ErrIncompatibleConfig rejects a report (or a negotiated handshake)
+	// whose round-config version differs from the round's. A stale
+	// version means the reporter derived its blinding from an outdated
+	// roster or protocol state; folding it in would silently break
+	// blinding cancellation, so it is refused the way suite mismatches
+	// are.
+	ErrIncompatibleConfig = errors.New("privacy: report under an incompatible round-config version")
 )
 
 // Params fixes the protocol geometry shared by all participants.
@@ -66,6 +73,52 @@ type Params struct {
 // 100k ad-ID space, P-256 blinding keys.
 func DefaultParams() Params {
 	return Params{Epsilon: 0.001, Delta: 0.001, IDSpace: 100000, Suite: group.P256()}
+}
+
+// RoundConfig is the negotiated, versioned protocol state every roster
+// member must agree on for aggregation to stay correct: the sketch
+// geometry and blinding suite (Params), the roster the blindings cancel
+// over (RosterVersion, RosterSize), and the config Version that names
+// this exact combination. The server is the single source of truth — it
+// advertises the current config in the wire-layer Welcome handshake and
+// bumps Version whenever any component changes (in particular whenever a
+// registration changes the roster) — and every report carries the
+// version it was built under, so the aggregator can reject a stale
+// reporter (ErrIncompatibleConfig) instead of silently corrupting the
+// round.
+//
+// A RoundConfig is an immutable value: rounds pin the config they were
+// opened under and never observe later bumps.
+type RoundConfig struct {
+	// Version is the config version. 0 means "unversioned": the legacy
+	// flag-agreement deployment style, where reports carry no version and
+	// only the geometry/suite checks apply.
+	Version uint32
+	// RosterVersion counts bulletin-board changes. Two reporters whose
+	// roster versions differ derived different pairwise blinding sets;
+	// their reports must never fold into the same round.
+	RosterVersion uint32
+	// RosterSize is the enrolled-user count (0 = unknown, client side
+	// only — aggregators require it).
+	RosterSize int
+	// Params is the protocol geometry the config freezes.
+	Params Params
+}
+
+// UnversionedConfig wraps legacy flag-derived Params in a version-0
+// config: every report version is accepted (subject to the usual
+// geometry and suite checks), which is exactly the old behavior.
+func UnversionedConfig(params Params, rosterSize int) RoundConfig {
+	return RoundConfig{RosterSize: rosterSize, Params: params}
+}
+
+// CompatibleReportVersion reports whether a report built under config
+// version v may fold into a round pinned to this config. Version 0 on
+// either side means "unversioned" (a legacy report, or a legacy round)
+// and defers to the geometry/suite checks; otherwise the versions must
+// match exactly.
+func (c RoundConfig) CompatibleReportVersion(v uint32) bool {
+	return v == 0 || c.Version == 0 || v == c.Version
 }
 
 // NewSketch allocates a CMS with the params' geometry.
@@ -97,7 +150,7 @@ type Evaluator interface {
 
 // Client is one user's protocol endpoint.
 type Client struct {
-	params  Params
+	cfg     RoundConfig
 	party   *blind.Party
 	oprfCli *oprf.Client
 	eval    Evaluator
@@ -110,11 +163,13 @@ type Client struct {
 }
 
 // NewClient builds a protocol client for the user at the given roster
-// position. oprfPub is the oprf-server's public key; eval performs the
-// blinded evaluations.
-func NewClient(params Params, party *blind.Party, oprfPub oprf.PublicKey, eval Evaluator) *Client {
+// position, under the given (typically server-negotiated) round config.
+// Reports it produces carry cfg.Version, so a stale client is rejected
+// by the aggregator instead of corrupting the round. oprfPub is the
+// oprf-server's public key; eval performs the blinded evaluations.
+func NewClient(cfg RoundConfig, party *blind.Party, oprfPub oprf.PublicKey, eval Evaluator) *Client {
 	return &Client{
-		params:  params,
+		cfg:     cfg,
 		party:   party,
 		oprfCli: oprf.NewClient(oprfPub, nil),
 		eval:    eval,
@@ -146,7 +201,7 @@ func (c *Client) ObserveAd(url string) (adID uint64, err error) {
 			return 0, fmt.Errorf("privacy: oprf finalize: %w", err)
 		}
 		c.OPRFExchanges++
-		id = c.params.AdID(out)
+		id = c.cfg.Params.AdID(out)
 		c.idCache[url] = id
 	}
 	c.seen[id] = true
@@ -161,7 +216,7 @@ func (c *Client) SeenCount() int { return len(c.seen) }
 // returns the report. The per-round observation set is then cleared, ready
 // for the next weekly round.
 func (c *Client) Report(round uint64) (*Report, error) {
-	cms, err := c.params.NewSketch()
+	cms, err := c.cfg.Params.NewSketch()
 	if err != nil {
 		return nil, err
 	}
@@ -176,10 +231,11 @@ func (c *Client) Report(round uint64) (*Report, error) {
 	}
 	c.seen = make(map[uint64]bool)
 	return &Report{
-		User:      c.party.Index(),
-		Round:     round,
-		Sketch:    cms,
-		Keystream: c.party.Keystream(),
+		User:          c.party.Index(),
+		Round:         round,
+		Sketch:        cms,
+		Keystream:     c.party.Keystream(),
+		ConfigVersion: c.cfg.Version,
 	}, nil
 }
 
@@ -193,12 +249,15 @@ func (c *Client) Adjust(round uint64, cells int, missing []int) ([]uint64, error
 // blinding suite the cells were expanded under (zero = HMAC-SHA256, the
 // original): the aggregator rejects reports whose suite differs from the
 // round's, because their pairwise terms would not cancel and would
-// silently corrupt the aggregate for everyone.
+// silently corrupt the aggregate for everyone. ConfigVersion names the
+// negotiated round config the report was built under (0 = legacy,
+// unversioned); the aggregator rejects stale versions the same way.
 type Report struct {
-	User      int
-	Round     uint64
-	Sketch    *sketch.CMS
-	Keystream blind.Keystream
+	User          int
+	Round         uint64
+	Sketch        *sketch.CMS
+	Keystream     blind.Keystream
+	ConfigVersion uint32
 }
 
 // SizeBytes returns the wire size of the report payload assuming the given
@@ -216,40 +275,43 @@ func (r *Report) SizeBytes(cellBytes int) int { return r.Sketch.SizeBytes(cellBy
 // Adds; the caller excludes them (the back-end holds a per-round RWMutex
 // write lock across close, reporters hold the read side).
 type Aggregator struct {
-	params     Params
-	round      uint64
-	rosterSize int
-	agg        *sketch.CMS
-	merger     *vec.Striped // striped view over agg's flat cells
+	cfg    RoundConfig
+	round  uint64
+	agg    *sketch.CMS
+	merger *vec.Striped // striped view over agg's flat cells
 
 	mu       sync.Mutex // guards reported, adjusted, and agg's weight total
 	reported map[int]bool
 	adjusted bool
 }
 
-// NewAggregator opens an aggregation round expecting reports from a roster
-// of rosterSize users, with the default merge striping (2×GOMAXPROCS).
-func NewAggregator(params Params, round uint64, rosterSize int) (*Aggregator, error) {
-	return NewAggregatorStripes(params, round, rosterSize, 0)
+// NewAggregator opens an aggregation round under the given round config
+// (which fixes the geometry, the blinding suite, the roster size, and
+// the config version every report must match), with the default merge
+// striping (2×GOMAXPROCS).
+func NewAggregator(cfg RoundConfig, round uint64) (*Aggregator, error) {
+	return NewAggregatorStripes(cfg, round, 0)
 }
 
 // NewAggregatorStripes is NewAggregator with an explicit merge stripe
 // count: 1 degenerates to a single merge lock (the baseline the
 // contention benchmark compares against), 0 picks the default.
-func NewAggregatorStripes(params Params, round uint64, rosterSize, stripes int) (*Aggregator, error) {
-	cms, err := params.NewSketch()
+func NewAggregatorStripes(cfg RoundConfig, round uint64, stripes int) (*Aggregator, error) {
+	cms, err := cfg.Params.NewSketch()
 	if err != nil {
 		return nil, err
 	}
 	return &Aggregator{
-		params:     params,
-		round:      round,
-		rosterSize: rosterSize,
-		agg:        cms,
-		merger:     vec.NewStriped(cms.FlatCells(), stripes),
-		reported:   make(map[int]bool),
+		cfg:      cfg,
+		round:    round,
+		agg:      cms,
+		merger:   vec.NewStriped(cms.FlatCells(), stripes),
+		reported: make(map[int]bool),
 	}, nil
 }
+
+// Config returns the round config the aggregator was opened under.
+func (a *Aggregator) Config() RoundConfig { return a.cfg }
 
 // Add folds one blinded report into the aggregate. Safe for concurrent
 // use with other Add/AddCells calls.
@@ -264,13 +326,14 @@ func (a *Aggregator) Add(r *Report) error {
 // AddCells folds a report that arrived as raw header fields plus a flat
 // cell vector — the wire layer's streaming ingestion path, which decodes
 // payloads into pooled slices instead of materializing a CMS. ks is the
-// report's blinding-suite byte from the frame preamble; like the sketch
-// geometry it must match the round's, or the report's pairwise terms
-// would not cancel. The cells are consumed during the call and may be
-// recycled by the caller as soon as it returns. Safe for concurrent use
-// with other Add/AddCells calls.
-func (a *Aggregator) AddCells(user int, d, w int, n, seed uint64, ks blind.Keystream, cells []uint64) error {
-	if err := a.ReserveCells(user, d, w, n, seed, ks, len(cells)); err != nil {
+// report's blinding-suite byte and cv its round-config version, both
+// from the frame preamble; like the sketch geometry they must match the
+// round's, or the report's pairwise terms would not cancel. The cells
+// are consumed during the call and may be recycled by the caller as
+// soon as it returns. Safe for concurrent use with other Add/AddCells
+// calls.
+func (a *Aggregator) AddCells(user int, d, w int, n, seed uint64, ks blind.Keystream, cv uint32, cells []uint64) error {
+	if err := a.ReserveCells(user, d, w, n, seed, ks, cv, len(cells)); err != nil {
 		return err
 	}
 	a.FoldReserved(cells)
@@ -289,7 +352,10 @@ func (a *Aggregator) Reserve(r *Report) error {
 	if r.Round != a.round {
 		return ErrRoundMismatch
 	}
-	if r.Keystream != a.params.Keystream {
+	if !a.cfg.CompatibleReportVersion(r.ConfigVersion) {
+		return ErrIncompatibleConfig
+	}
+	if r.Keystream != a.cfg.Params.Keystream {
 		return ErrKeystreamMismatch
 	}
 	if r.Sketch == nil || !a.agg.SameLayout(r.Sketch) {
@@ -300,8 +366,11 @@ func (a *Aggregator) Reserve(r *Report) error {
 
 // ReserveCells is Reserve for the streaming ingestion path's raw header
 // fields (see AddCells). cellsLen is the report's flat cell count.
-func (a *Aggregator) ReserveCells(user int, d, w int, n, seed uint64, ks blind.Keystream, cellsLen int) error {
-	if ks != a.params.Keystream {
+func (a *Aggregator) ReserveCells(user int, d, w int, n, seed uint64, ks blind.Keystream, cv uint32, cellsLen int) error {
+	if !a.cfg.CompatibleReportVersion(cv) {
+		return ErrIncompatibleConfig
+	}
+	if ks != a.cfg.Params.Keystream {
 		return ErrKeystreamMismatch
 	}
 	if !a.agg.LayoutMatches(d, w, seed) || cellsLen != a.agg.Cells() {
@@ -313,8 +382,8 @@ func (a *Aggregator) ReserveCells(user int, d, w int, n, seed uint64, ks blind.K
 // reserve runs the bookkeeping under the short lock: duplicate
 // rejection, the reported-bitmap mark, and the weight total.
 func (a *Aggregator) reserve(user int, n uint64) error {
-	if user < 0 || user >= a.rosterSize {
-		return fmt.Errorf("privacy: user %d outside roster of %d", user, a.rosterSize)
+	if user < 0 || user >= a.cfg.RosterSize {
+		return fmt.Errorf("privacy: user %d outside roster of %d", user, a.cfg.RosterSize)
 	}
 	a.mu.Lock()
 	if a.reported[user] {
@@ -345,14 +414,17 @@ func (a *Aggregator) Unreserve(user int, n uint64) {
 
 // RestoreAggregatorStripes rebuilds an aggregation round from durably
 // persisted state: the aggregate's flat cells (adopted, not copied),
-// its update weight, the hash-seed base, and the reported bitmap. The
-// cell count must match the params' geometry — a mismatch means the
-// persisted state was written under a different configuration, which
-// can never be folded into safely. The restored aggregator enforces the
-// same duplicate/suite/layout invariants as the original: a user who
+// its update weight, the hash-seed base, and the reported bitmap. cfg
+// is the round config the round was opened under — persisted alongside
+// the cells, so a recovered round keeps rejecting stale config versions
+// exactly as it did before the crash. The cell count must match the
+// config's geometry — a mismatch means the persisted state was written
+// under a different configuration, which can never be folded into
+// safely. The restored aggregator enforces the same
+// duplicate/suite/layout invariants as the original: a user who
 // reported before the crash is still a duplicate after it.
-func RestoreAggregatorStripes(params Params, round uint64, rosterSize, stripes int, cells []uint64, n, seed uint64, reported []bool) (*Aggregator, error) {
-	d, w, err := sketch.Dimensions(params.Epsilon, params.Delta)
+func RestoreAggregatorStripes(cfg RoundConfig, round uint64, stripes int, cells []uint64, n, seed uint64, reported []bool) (*Aggregator, error) {
+	d, w, err := sketch.Dimensions(cfg.Params.Epsilon, cfg.Params.Delta)
 	if err != nil {
 		return nil, err
 	}
@@ -365,20 +437,19 @@ func RestoreAggregatorStripes(params Params, round uint64, rosterSize, stripes i
 	}
 	rep := make(map[int]bool, len(reported))
 	for u, r := range reported {
-		if u >= rosterSize {
-			return nil, fmt.Errorf("privacy: restored bitmap covers %d users, roster is %d", len(reported), rosterSize)
+		if u >= cfg.RosterSize {
+			return nil, fmt.Errorf("privacy: restored bitmap covers %d users, roster is %d", len(reported), cfg.RosterSize)
 		}
 		if r {
 			rep[u] = true
 		}
 	}
 	return &Aggregator{
-		params:     params,
-		round:      round,
-		rosterSize: rosterSize,
-		agg:        cms,
-		merger:     vec.NewStriped(cms.FlatCells(), stripes),
-		reported:   rep,
+		cfg:      cfg,
+		round:    round,
+		agg:      cms,
+		merger:   vec.NewStriped(cms.FlatCells(), stripes),
+		reported: rep,
 	}, nil
 }
 
@@ -395,13 +466,13 @@ func (a *Aggregator) Layout() (d, w int, seed uint64) {
 // Add/Fold calls (the back-end holds the round's write lock).
 func (a *Aggregator) SnapshotState() (d, w int, seed, n uint64, ks blind.Keystream, cells []uint64, reported []bool) {
 	cells = append([]uint64(nil), a.agg.FlatCells()...)
-	reported = make([]bool, a.rosterSize)
+	reported = make([]bool, a.cfg.RosterSize)
 	a.mu.Lock()
 	for u := range a.reported {
 		reported[u] = true
 	}
 	a.mu.Unlock()
-	return a.agg.Depth(), a.agg.Width(), a.agg.Seed(), a.agg.N(), a.params.Keystream, cells, reported
+	return a.agg.Depth(), a.agg.Width(), a.agg.Seed(), a.agg.N(), a.cfg.Params.Keystream, cells, reported
 }
 
 // Reported returns how many reports have been folded in.
@@ -417,7 +488,7 @@ func (a *Aggregator) Missing() []int {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	var out []int
-	for i := 0; i < a.rosterSize; i++ {
+	for i := 0; i < a.cfg.RosterSize; i++ {
 		if !a.reported[i] {
 			out = append(out, i)
 		}
@@ -448,7 +519,7 @@ func (a *Aggregator) Finalize() (*sketch.CMS, error) {
 	if reported == 0 {
 		return nil, ErrNoReports
 	}
-	if reported < a.rosterSize && !adjusted {
+	if reported < a.cfg.RosterSize && !adjusted {
 		return nil, ErrNotFinalizable
 	}
 	return a.agg.Clone(), nil
@@ -467,7 +538,7 @@ func (a *Aggregator) FinalizeWithAdjustments(adjustments ...[]uint64) (*sketch.C
 	if reported == 0 {
 		return nil, ErrNoReports
 	}
-	if reported < a.rosterSize && !adjusted && len(adjustments) == 0 {
+	if reported < a.cfg.RosterSize && !adjusted && len(adjustments) == 0 {
 		return nil, ErrNotFinalizable
 	}
 	out := a.agg.Clone()

@@ -47,7 +47,7 @@ func newClients(t testing.TB, params Params) []*Client {
 	srv, ros := fixtures(t)
 	clients := make([]*Client, len(ros.Parties))
 	for i, p := range ros.Parties {
-		clients[i] = NewClient(params, p, srv.PublicKey(), srv)
+		clients[i] = NewClient(UnversionedConfig(params, 0), p, srv.PublicKey(), srv)
 	}
 	return clients
 }
@@ -65,7 +65,7 @@ func TestEndToEndFullParticipation(t *testing.T) {
 		"https://ads.example.com/targeted-2": {3},
 	}
 	ids := map[string]uint64{}
-	agg, err := NewAggregator(params, round, len(clients))
+	agg, err := NewAggregator(UnversionedConfig(params, len(clients)), round)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,7 +182,7 @@ func TestMissingClientsRecovery(t *testing.T) {
 	params := smallParams()
 	clients := newClients(t, params)
 	const round = 4
-	agg, err := NewAggregator(params, round, len(clients))
+	agg, err := NewAggregator(UnversionedConfig(params, len(clients)), round)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,7 +246,7 @@ func TestMissingClientsRecovery(t *testing.T) {
 func TestAggregatorValidation(t *testing.T) {
 	params := smallParams()
 	clients := newClients(t, params)
-	agg, err := NewAggregator(params, 9, len(clients))
+	agg, err := NewAggregator(UnversionedConfig(params, len(clients)), 9)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -290,7 +290,7 @@ func TestAggregatorValidation(t *testing.T) {
 func TestAggregatorRejectsKeystreamMismatch(t *testing.T) {
 	params := smallParams()
 	clients := newClients(t, params)
-	agg, err := NewAggregator(params, 3, len(clients))
+	agg, err := NewAggregator(UnversionedConfig(params, len(clients)), 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -309,7 +309,7 @@ func TestAggregatorRejectsKeystreamMismatch(t *testing.T) {
 	// The streamed path enforces the same invariant.
 	cms := r.Sketch
 	err = agg.AddCells(r.User, cms.Depth(), cms.Width(), cms.N(), cms.Seed(),
-		blind.KeystreamAESCTR, cms.FlatCells())
+		blind.KeystreamAESCTR, 0, cms.FlatCells())
 	if err != ErrKeystreamMismatch {
 		t.Fatalf("mismatched streamed suite err = %v", err)
 	}
@@ -332,10 +332,10 @@ func TestEndToEndAESCTRSuite(t *testing.T) {
 	}
 	clients := make([]*Client, len(roster.Parties))
 	for i, p := range roster.Parties {
-		clients[i] = NewClient(params, p, srv.PublicKey(), srv)
+		clients[i] = NewClient(UnversionedConfig(params, 0), p, srv.PublicKey(), srv)
 	}
 	const round = 2
-	agg, err := NewAggregator(params, round, len(clients))
+	agg, err := NewAggregator(UnversionedConfig(params, len(clients)), round)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -371,7 +371,7 @@ func TestUserCountsEnumeration(t *testing.T) {
 	params := smallParams()
 	clients := newClients(t, params)
 	const round = 12
-	agg, _ := NewAggregator(params, round, len(clients))
+	agg, _ := NewAggregator(UnversionedConfig(params, len(clients)), round)
 	urls := []string{"https://a.example/1", "https://a.example/2"}
 	for _, c := range clients[:3] {
 		for _, u := range urls {

@@ -40,12 +40,21 @@ type Disk struct {
 	cond    *sync.Cond // signals sync completion and rotation safety
 	f       *os.File
 	bw      *bufio.Writer
+	enc     RecordEncoder // reusable encode scratch; guarded by mu
 	gen     uint64
 	seq     uint64 // records appended
 	synced  uint64 // records known durable
 	syncing bool   // a group-commit leader is mid-fsync
 	err     error  // sticky I/O failure; everything fails after
 	closed  bool
+
+	// cfgVer and rosVer are the live deployment-wide config/roster
+	// version counters, guarded by mu and updated in the same critical
+	// section as the recConfig append (like roster below), so a snapshot
+	// rotation always captures counters consistent with the records its
+	// segments supersede.
+	cfgVer uint32
+	rosVer uint32
 
 	reports atomic.Int64 // report appends since the last snapshot
 
@@ -145,6 +154,8 @@ func Open(dir string, opts Options) (*Disk, error) {
 		f:      f,
 		bw:     bufio.NewWriterSize(f, walBufSize),
 		gen:    gen,
+		cfgVer: rec.configVersion,
+		rosVer: rec.rosterVersion,
 		rounds: rec.sortedRounds(),
 	}
 	d.cond = sync.NewCond(&d.mu)
@@ -242,6 +253,13 @@ func (d *Disk) Roster() map[int][]byte {
 	return out
 }
 
+// ConfigVersions implements Store.
+func (d *Disk) ConfigVersions() (uint32, uint32) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.cfgVer, d.rosVer
+}
+
 // append runs one encoded record append under the store lock, honoring
 // the sticky error and the SyncAlways policy.
 func (d *Disk) append(encode func(w io.Writer) error) error {
@@ -293,7 +311,7 @@ func (d *Disk) AppendRegister(user int, publicKey []byte) error {
 		d.mu.Unlock()
 		return err
 	}
-	if err := encodeRegisterRecord(d.bw, user, publicKey); err != nil {
+	if err := d.enc.register(d.bw, user, publicKey); err != nil {
 		d.failLocked(err)
 		d.mu.Unlock()
 		return err
@@ -311,32 +329,75 @@ func (d *Disk) AppendRegister(user int, publicKey []byte) error {
 	return nil
 }
 
+// AppendConfig implements Store. Like AppendRegister, the live version
+// counters advance in the same critical section as the append, so a
+// snapshot rotation captures counters consistent with the segments it
+// supersedes.
+func (d *Disk) AppendConfig(configVersion, rosterVersion uint32) error {
+	d.mu.Lock()
+	if err := d.usableLocked(); err != nil {
+		d.mu.Unlock()
+		return err
+	}
+	if err := d.enc.config(d.bw, configVersion, rosterVersion); err != nil {
+		d.failLocked(err)
+		d.mu.Unlock()
+		return err
+	}
+	d.seq++
+	if configVersion > d.cfgVer {
+		d.cfgVer = configVersion
+	}
+	if rosterVersion > d.rosVer {
+		d.rosVer = rosterVersion
+	}
+	sync := d.opts.Sync == SyncAlways
+	d.mu.Unlock()
+	if sync {
+		return d.Sync()
+	}
+	return nil
+}
+
 // AppendOpen implements Store.
-func (d *Disk) AppendOpen(round uint64, rosterSize, dRows, wCols int, seed uint64, keystream byte) error {
+func (d *Disk) AppendOpen(round uint64, rosterSize, dRows, wCols int, seed uint64, keystream byte, configVersion, rosterVersion uint32) error {
 	return d.append(func(w io.Writer) error {
-		return encodeOpenRecord(w, round, rosterSize, dRows, wCols, seed, keystream)
+		return d.enc.open(w, round, rosterSize, dRows, wCols, seed, keystream, configVersion, rosterVersion)
 	})
 }
 
-// AppendReport implements Store.
-func (d *Disk) AppendReport(round uint64, user, dRows, wCols int, n, seed uint64, keystream byte, cells []uint64) error {
-	err := d.append(func(w io.Writer) error {
-		return EncodeReportRecord(w, round, user, dRows, wCols, n, seed, keystream, cells)
-	})
-	if err == nil {
-		d.reports.Add(1)
+// AppendReport implements Store. This is the ingestion hot path: the
+// locking is inlined (no encode closure) and the encoder's scratch is
+// reused, so a steady-state report append allocates nothing.
+func (d *Disk) AppendReport(round uint64, user, dRows, wCols int, n, seed uint64, keystream byte, configVersion uint32, cells []uint64) error {
+	d.mu.Lock()
+	if err := d.usableLocked(); err != nil {
+		d.mu.Unlock()
+		return err
 	}
-	return err
+	if err := d.enc.Report(d.bw, round, user, dRows, wCols, n, seed, keystream, configVersion, cells); err != nil {
+		d.failLocked(err)
+		d.mu.Unlock()
+		return err
+	}
+	d.seq++
+	sync := d.opts.Sync == SyncAlways
+	d.mu.Unlock()
+	d.reports.Add(1)
+	if sync {
+		return d.Sync()
+	}
+	return nil
 }
 
 // AppendAdjust implements Store.
 func (d *Disk) AppendAdjust(round uint64, user int, cells []uint64) error {
-	return d.append(func(w io.Writer) error { return encodeAdjustRecord(w, round, user, cells) })
+	return d.append(func(w io.Writer) error { return d.enc.adjust(w, round, user, cells) })
 }
 
 // AppendClose implements Store.
 func (d *Disk) AppendClose(round uint64) error {
-	return d.append(func(w io.Writer) error { return encodeCloseRecord(w, round) })
+	return d.append(func(w io.Writer) error { return d.enc.close(w, round) })
 }
 
 // Sync implements Store: the group-committed durability barrier. The
@@ -466,13 +527,15 @@ func (d *Disk) Snapshot(capture func() ([]*RoundState, error)) error {
 	old, oldGen := d.f, d.gen
 	d.f, d.bw, d.gen = f, bufio.NewWriterSize(f, walBufSize), newGen
 	d.synced = d.seq // the old segment is durable in full
-	// Copy the roster inside the rotation's critical section: it then
-	// reflects exactly the register records up to the rotation point, so
-	// pruning the old segments cannot lose a registration.
+	// Copy the roster (and the version counters) inside the rotation's
+	// critical section: they then reflect exactly the register/config
+	// records up to the rotation point, so pruning the old segments
+	// cannot lose a registration or a version bump.
 	roster := make(map[int][]byte, len(d.roster))
 	for u, k := range d.roster {
 		roster[u] = k
 	}
+	cfgVer, rosVer := d.cfgVer, d.rosVer
 	d.mu.Unlock()
 	old.Close()
 	// The cadence counter resets at the rotation, not at success: if the
@@ -485,7 +548,7 @@ func (d *Disk) Snapshot(capture func() ([]*RoundState, error)) error {
 	if err != nil {
 		return err // WAL already rotated: harmless, the next snapshot retries
 	}
-	if err := writeSnapshot(filepath.Join(d.dir, snapName(newGen)), roster, states); err != nil {
+	if err := writeSnapshot(filepath.Join(d.dir, snapName(newGen)), roster, states, cfgVer, rosVer); err != nil {
 		return err
 	}
 	for g := oldGen; g > 0; g-- {

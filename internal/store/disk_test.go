@@ -39,11 +39,11 @@ func openTestStore(t *testing.T, dir string, opts Options) *Disk {
 // logRound writes a round open plus reports from the given users.
 func logRound(t *testing.T, d *Disk, round uint64, roster int, users ...int) {
 	t.Helper()
-	if err := d.AppendOpen(round, roster, testD, testW, 0, 1); err != nil {
+	if err := d.AppendOpen(round, roster, testD, testW, 0, 1, 0, 0); err != nil {
 		t.Fatalf("AppendOpen: %v", err)
 	}
 	for _, u := range users {
-		if err := d.AppendReport(round, u, testD, testW, 5, 0, 1, testCells(uint64(u))); err != nil {
+		if err := d.AppendReport(round, u, testD, testW, 5, 0, 1, 0, testCells(uint64(u))); err != nil {
 			t.Fatalf("AppendReport(%d): %v", u, err)
 		}
 	}
@@ -120,29 +120,29 @@ func TestReplayMirrorsAggregatorInvariants(t *testing.T) {
 	logRound(t, d, 1, 4, 0)
 	// Duplicate of user 0: skipped on replay (the live path would never
 	// log it, but replay must reject it anyway for snapshot overlap).
-	if err := d.AppendReport(1, 0, testD, testW, 5, 0, 1, testCells(42)); err != nil {
+	if err := d.AppendReport(1, 0, testD, testW, 5, 0, 1, 0, testCells(42)); err != nil {
 		t.Fatal(err)
 	}
 	// Out-of-roster user.
-	if err := d.AppendReport(1, 9, testD, testW, 5, 0, 1, testCells(9)); err != nil {
+	if err := d.AppendReport(1, 9, testD, testW, 5, 0, 1, 0, testCells(9)); err != nil {
 		t.Fatal(err)
 	}
 	// Wrong suite byte.
-	if err := d.AppendReport(1, 1, testD, testW, 5, 0, 0, testCells(1)); err != nil {
+	if err := d.AppendReport(1, 1, testD, testW, 5, 0, 0, 0, testCells(1)); err != nil {
 		t.Fatal(err)
 	}
 	// Wrong geometry (fresh round so the record itself is valid).
-	if err := d.AppendOpen(2, 4, testD, testW, 0, 1); err != nil {
+	if err := d.AppendOpen(2, 4, testD, testW, 0, 1, 0, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := d.AppendReport(2, 0, testD+1, testW, 5, 0, 1, make([]uint64, (testD+1)*testW)); err != nil {
+	if err := d.AppendReport(2, 0, testD+1, testW, 5, 0, 1, 0, make([]uint64, (testD+1)*testW)); err != nil {
 		t.Fatal(err)
 	}
 	// Close round 2, then try to sneak in a report and an adjustment.
 	if err := d.AppendClose(2); err != nil {
 		t.Fatal(err)
 	}
-	if err := d.AppendReport(2, 1, testD, testW, 5, 0, 1, testCells(1)); err != nil {
+	if err := d.AppendReport(2, 1, testD, testW, 5, 0, 1, 0, testCells(1)); err != nil {
 		t.Fatal(err)
 	}
 	if err := d.AppendAdjust(2, 1, testCells(1)); err != nil {
@@ -212,7 +212,7 @@ func TestRecoveryTruncatedTail(t *testing.T) {
 		}
 		// The store must keep working: append the lost report again and
 		// recover once more.
-		if err := d2.AppendReport(1, 1, testD, testW, 5, 0, 1, testCells(1)); err != nil {
+		if err := d2.AppendReport(1, 1, testD, testW, 5, 0, 1, 0, testCells(1)); err != nil {
 			t.Fatal(err)
 		}
 		if err := d2.Close(); err != nil {
@@ -273,7 +273,8 @@ func TestRecoveryRefusesUnparseableValidRecord(t *testing.T) {
 		t.Fatal(err)
 	}
 	// A perfectly framed record of a kind this binary does not know.
-	if err := appendRecord(f, 0x7F, []byte("future record")); err != nil {
+	var enc RecordEncoder
+	if err := enc.record(f, 0x7F, []byte("future record"), nil); err != nil {
 		t.Fatal(err)
 	}
 	if err := f.Close(); err != nil {
@@ -351,10 +352,10 @@ func TestSnapshotCycleAndPrune(t *testing.T) {
 	}
 	// Post-snapshot traffic, including a replay-overlap record (user 1
 	// again — already in the snapshot, must be rejected on replay).
-	if err := d.AppendReport(1, 1, testD, testW, 5, 0, 1, testCells(77)); err != nil {
+	if err := d.AppendReport(1, 1, testD, testW, 5, 0, 1, 0, testCells(77)); err != nil {
 		t.Fatal(err)
 	}
-	if err := d.AppendReport(1, 2, testD, testW, 5, 0, 1, testCells(2)); err != nil {
+	if err := d.AppendReport(1, 2, testD, testW, 5, 0, 1, 0, testCells(2)); err != nil {
 		t.Fatal(err)
 	}
 	if err := d.Close(); err != nil {
@@ -406,14 +407,14 @@ func TestShouldSnapshotCadence(t *testing.T) {
 	dir := t.TempDir()
 	d := openTestStore(t, dir, Options{SnapshotEvery: 3})
 	defer d.Close()
-	if err := d.AppendOpen(1, 4, testD, testW, 0, 0); err != nil {
+	if err := d.AppendOpen(1, 4, testD, testW, 0, 0, 0, 0); err != nil {
 		t.Fatal(err)
 	}
 	for u := 0; u < 3; u++ {
 		if d.ShouldSnapshot() {
 			t.Fatalf("ShouldSnapshot true after %d reports", u)
 		}
-		if err := d.AppendReport(1, u, testD, testW, 1, 0, 0, testCells(uint64(u))); err != nil {
+		if err := d.AppendReport(1, u, testD, testW, 1, 0, 0, 0, testCells(uint64(u))); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -434,7 +435,7 @@ func TestConcurrentAppendsGroupCommit(t *testing.T) {
 	dir := t.TempDir()
 	d := openTestStore(t, dir, Options{})
 	const users = 32
-	if err := d.AppendOpen(1, users, testD, testW, 0, 0); err != nil {
+	if err := d.AppendOpen(1, users, testD, testW, 0, 0, 0, 0); err != nil {
 		t.Fatal(err)
 	}
 	var wg sync.WaitGroup
@@ -443,7 +444,7 @@ func TestConcurrentAppendsGroupCommit(t *testing.T) {
 		wg.Add(1)
 		go func(u int) {
 			defer wg.Done()
-			if err := d.AppendReport(1, u, testD, testW, 1, 0, 0, testCells(uint64(u))); err != nil {
+			if err := d.AppendReport(1, u, testD, testW, 1, 0, 0, 0, testCells(uint64(u))); err != nil {
 				errs <- err
 				return
 			}
@@ -489,23 +490,44 @@ func TestClosedStoreFails(t *testing.T) {
 	}
 }
 
+// The report append path must be allocation-free: the encoder's scratch
+// replaces the stack arrays that used to escape through the io.Writer
+// interface (the ~3 allocs/report the ROADMAP flagged). wal_append in
+// BENCH_pipeline.json tracks the same property under the -check gate.
+func TestRecordEncoderReportZeroAllocs(t *testing.T) {
+	var enc RecordEncoder
+	cells := testCells(1)
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := enc.Report(io.Discard, 1, 1, testD, testW, 5, 0, 1, 3, cells); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("encoder report append allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
 // The record codec round-trips every kind through an in-memory buffer.
 func TestRecordRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
+	var enc RecordEncoder
 	cells := testCells(5)
-	if err := encodeRegisterRecord(&buf, 3, []byte("key")); err != nil {
+	if err := enc.register(&buf, 3, []byte("key")); err != nil {
 		t.Fatal(err)
 	}
-	if err := encodeOpenRecord(&buf, 9, 16, testD, testW, 77, 1); err != nil {
+	if err := enc.open(&buf, 9, 16, testD, testW, 77, 1, 6, 2); err != nil {
 		t.Fatal(err)
 	}
-	if err := EncodeReportRecord(&buf, 9, 3, testD, testW, 11, 77, 1, cells); err != nil {
+	if err := enc.Report(&buf, 9, 3, testD, testW, 11, 77, 1, 6, cells); err != nil {
 		t.Fatal(err)
 	}
-	if err := encodeAdjustRecord(&buf, 9, 3, cells); err != nil {
+	if err := enc.adjust(&buf, 9, 3, cells); err != nil {
 		t.Fatal(err)
 	}
-	if err := encodeCloseRecord(&buf, 9); err != nil {
+	if err := enc.config(&buf, 7, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.close(&buf, 9); err != nil {
 		t.Fatal(err)
 	}
 
@@ -524,7 +546,8 @@ func TestRecordRoundTrip(t *testing.T) {
 		t.Fatalf("open: %d %v", kind, err)
 	}
 	op, err := decodeOpenBody(body)
-	if err != nil || op.Round != 9 || op.Roster != 16 || op.D != testD || op.W != testW || op.Seed != 77 || op.Keystream != 1 {
+	if err != nil || op.Round != 9 || op.Roster != 16 || op.D != testD || op.W != testW || op.Seed != 77 || op.Keystream != 1 ||
+		op.ConfigVersion != 6 || op.RosterVersion != 2 {
 		t.Fatalf("open body: %+v %v", op, err)
 	}
 	kind, body, scratch, err = ReadWALRecord(r, scratch)
@@ -532,7 +555,7 @@ func TestRecordRoundTrip(t *testing.T) {
 		t.Fatalf("report: %d %v", kind, err)
 	}
 	rep, err := decodeReportBody(body)
-	if err != nil || rep.Round != 9 || rep.User != 3 || rep.N != 11 || rep.Keystream != 1 {
+	if err != nil || rep.Round != 9 || rep.User != 3 || rep.N != 11 || rep.Keystream != 1 || rep.ConfigVersion != 6 {
 		t.Fatalf("report body: %+v %v", rep, err)
 	}
 	if len(rep.Cells) != 8*len(cells) {
@@ -545,6 +568,13 @@ func TestRecordRoundTrip(t *testing.T) {
 	adj, err := decodeAdjustBody(body)
 	if err != nil || adj.Round != 9 || adj.User != 3 || len(adj.Cells) != 8*len(cells) {
 		t.Fatalf("adjust body: %+v %v", adj, err)
+	}
+	kind, body, scratch, err = ReadWALRecord(r, scratch)
+	if err != nil || kind != recConfig {
+		t.Fatalf("config: %d %v", kind, err)
+	}
+	if cv, rv, err := decodeConfigBody(body); err != nil || cv != 7 || rv != 3 {
+		t.Fatalf("config body: %d %d %v", cv, rv, err)
 	}
 	kind, _, scratch, err = ReadWALRecord(r, scratch)
 	if err != nil || kind != recClose {

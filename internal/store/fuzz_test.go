@@ -21,11 +21,13 @@ func FuzzReadWALRecord(f *testing.F) {
 	// classic torn shapes: empty input, a bare length, a length with no
 	// body, and a checksum off by one bit.
 	var seed bytes.Buffer
-	encodeRegisterRecord(&seed, 2, []byte("pk"))
-	encodeOpenRecord(&seed, 4, 8, 2, 4, 7, 1)
-	EncodeReportRecord(&seed, 4, 2, 2, 4, 3, 7, 1, make([]uint64, 8))
-	encodeAdjustRecord(&seed, 4, 2, []uint64{1, 2, 3})
-	encodeCloseRecord(&seed, 4)
+	var enc RecordEncoder
+	enc.register(&seed, 2, []byte("pk"))
+	enc.open(&seed, 4, 8, 2, 4, 7, 1, 3, 2)
+	enc.Report(&seed, 4, 2, 2, 4, 3, 7, 1, 3, make([]uint64, 8))
+	enc.adjust(&seed, 4, 2, []uint64{1, 2, 3})
+	enc.config(&seed, 3, 2)
+	enc.close(&seed, 4)
 	f.Add(seed.Bytes())
 	f.Add([]byte{})
 	f.Add([]byte{5})
@@ -65,8 +67,9 @@ func FuzzReadWALRecord(f *testing.F) {
 					cells[i] = binary.LittleEndian.Uint64(rec.Cells[8*i:])
 				}
 				var out bytes.Buffer
-				if err := EncodeReportRecord(&out, rec.Round, int(rec.User), int(rec.D), int(rec.W),
-					rec.N, rec.Seed, rec.Keystream, cells); err != nil {
+				var enc RecordEncoder
+				if err := enc.Report(&out, rec.Round, int(rec.User), int(rec.D), int(rec.W),
+					rec.N, rec.Seed, rec.Keystream, rec.ConfigVersion, cells); err != nil {
 					t.Fatalf("re-encode of accepted report failed: %v", err)
 				}
 				kind2, body2, _, err := ReadWALRecord(bytes.NewReader(out.Bytes()), nil)
@@ -75,6 +78,8 @@ func FuzzReadWALRecord(f *testing.F) {
 				}
 			case recAdjust:
 				decodeAdjustBody(body)
+			case recConfig:
+				decodeConfigBody(body)
 			case recClose:
 			}
 		}

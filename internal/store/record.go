@@ -28,16 +28,25 @@ import (
 //
 //	recRegister  user(8) publicKey(rest)
 //	recOpen      round(8) roster(8) d(8) w(8) seed(8) keystream(1)
+//	             [configVersion(4) rosterVersion(4)]
 //	recReport    user(8) round(8) d(8) w(8) n(8) seed(8) keystream(1)
-//	             reserved(7) cells(8·d·w)   — the wire frame payload
+//	             reserved(3) configVersion(4) cells(8·d·w)
+//	             — the wire frame payload
 //	recAdjust    round(8) user(8) cells(8·c)
 //	recClose     round(8)
+//	recConfig    configVersion(4) rosterVersion(4)
 //
 // The report body deliberately mirrors the streamed wire frame's
 // payload byte-for-byte (wire/stream.go): the back-end logs the report
 // while its pooled cell slice is still borrowed from the connection,
 // and reusing the frame layout keeps that append a straight copy with
-// no re-marshalling.
+// no re-marshalling. recOpen's trailing version pair rode in with the
+// negotiated-config redesign; a 41-byte body (written by an older
+// release) decodes with both versions zero, the unversioned deployment
+// style. recConfig logs a bump of the deployment-wide config/roster
+// version counters (a registration changed the bulletin board), so
+// recovery restores the exact negotiated state, not just the round
+// contents.
 
 // Record kinds.
 const (
@@ -46,15 +55,23 @@ const (
 	recReport   = 0x03
 	recAdjust   = 0x04
 	recClose    = 0x05
+	recConfig   = 0x06
 )
 
 // reportPreamble is the fixed prefix of a report body: user(8) round(8)
-// d(8) w(8) n(8) seed(8) keystream(1) reserved(7) — identical to the
-// wire report frame's preamble.
+// d(8) w(8) n(8) seed(8) keystream(1) reserved(3) configVersion(4) —
+// identical to the wire report frame's preamble.
 const reportPreamble = 56
 
-// openBody is the fixed size of a round-open body.
-const openBody = 41
+// Round-open body sizes: openBodyV1 predates the config handshake,
+// openBody appends configVersion(4) rosterVersion(4).
+const (
+	openBodyV1 = 41
+	openBody   = 49
+)
+
+// configBody is the size of a recConfig body.
+const configBody = 8
 
 // maxRecordBody caps a record body (mirrors wire.MaxFrame): the largest
 // legitimate record is a report, whose cell block the wire layer
@@ -82,34 +99,51 @@ var (
 // castagnoli is the CRC-32C table (hardware-accelerated on amd64/arm64).
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
-// appendRecord writes one framed record: the 5-byte length+kind header,
-// the body pieces in order, and the trailing CRC over kind+body. Body
-// pieces are written as given (no concatenation), so a report's cell
-// block streams straight from the caller's (possibly pooled) memory.
-func appendRecord(w io.Writer, kind byte, body ...[]byte) error {
-	n := 0
-	for _, b := range body {
-		n += len(b)
-	}
+// RecordEncoder frames WAL records onto an io.Writer. The header,
+// fixed-prefix, and checksum scratch live in the encoder rather than on
+// the stack: small byte arrays handed through the io.Writer interface
+// escape, and those per-append allocations (three of them) were the
+// last ones left on the durable report-ingestion path. A long-lived
+// encoder — the Disk store owns one, serialized by its append lock —
+// makes every append allocation-free (wal_append in
+// BENCH_pipeline.json tracks it at 0 allocs/op). The zero value is
+// ready to use; an encoder is not safe for concurrent use.
+type RecordEncoder struct {
+	hdr  [5]byte
+	pre  [reportPreamble]byte // largest fixed body prefix
+	tail [4]byte
+}
+
+// record writes one framed record: the 5-byte length+kind header, the
+// fixed body prefix (from e.pre), an optional variable block, and the
+// trailing CRC over kind+body. The variable block is written as given,
+// so a report's cell view streams straight from the caller's (possibly
+// pooled) memory.
+func (e *RecordEncoder) record(w io.Writer, kind byte, fixed, rest []byte) error {
+	n := len(fixed) + len(rest)
 	if n > maxRecordBody {
 		return fmt.Errorf("%w: %d-byte body", ErrBadRecord, n)
 	}
-	var hdr [5]byte
-	binary.LittleEndian.PutUint32(hdr[0:], uint32(n))
-	hdr[4] = kind
-	if _, err := w.Write(hdr[:]); err != nil {
+	binary.LittleEndian.PutUint32(e.hdr[0:], uint32(n))
+	e.hdr[4] = kind
+	if _, err := w.Write(e.hdr[:]); err != nil {
 		return err
 	}
-	crc := crc32.Update(0, castagnoli, hdr[4:5])
-	for _, b := range body {
-		if _, err := w.Write(b); err != nil {
+	crc := crc32.Update(0, castagnoli, e.hdr[4:5])
+	if len(fixed) > 0 {
+		if _, err := w.Write(fixed); err != nil {
 			return err
 		}
-		crc = crc32.Update(crc, castagnoli, b)
+		crc = crc32.Update(crc, castagnoli, fixed)
 	}
-	var tail [4]byte
-	binary.LittleEndian.PutUint32(tail[:], crc)
-	_, err := w.Write(tail[:])
+	if len(rest) > 0 {
+		if _, err := w.Write(rest); err != nil {
+			return err
+		}
+		crc = crc32.Update(crc, castagnoli, rest)
+	}
+	binary.LittleEndian.PutUint32(e.tail[:], crc)
+	_, err := w.Write(e.tail[:])
 	return err
 }
 
@@ -154,43 +188,45 @@ func ReadWALRecord(r io.Reader, buf []byte) (kind byte, body, newBuf []byte, err
 	return kind, body, buf, nil
 }
 
-// EncodeReportRecord frames one report event — the wire frame's payload
-// (56-byte preamble + little-endian cell block) as a WAL record — onto
-// w. On little-endian hosts the cell block is written as the slice's
-// raw byte view, so the append is one header write plus one bulk copy
-// of memory the wire layer already holds. Exported so the pipeline
-// bench measures exactly the encoder the hot path runs.
-func EncodeReportRecord(w io.Writer, round uint64, user, d, wd int, n, seed uint64, keystream byte, cells []uint64) error {
+// Report frames one report event — the wire frame's payload (56-byte
+// preamble + little-endian cell block) as a WAL record — onto w. On
+// little-endian hosts the cell block is written as the slice's raw byte
+// view, so the append is one header write plus one bulk copy of memory
+// the wire layer already holds. Exported so the pipeline bench measures
+// exactly the encoder the hot path runs.
+func (e *RecordEncoder) Report(w io.Writer, round uint64, user, d, wd int, n, seed uint64, keystream byte, configVersion uint32, cells []uint64) error {
 	if d < 1 || wd < 1 || uint64(d) > maxReportDepth || uint64(wd) >= maxReportWidth ||
 		uint64(d)*uint64(wd) != uint64(len(cells)) {
 		return fmt.Errorf("%w: report geometry d=%d w=%d cells=%d", ErrBadRecord, d, wd, len(cells))
 	}
-	var pre [reportPreamble]byte
+	pre := e.pre[:reportPreamble]
 	binary.LittleEndian.PutUint64(pre[0:], uint64(user))
 	binary.LittleEndian.PutUint64(pre[8:], round)
 	binary.LittleEndian.PutUint64(pre[16:], uint64(d))
 	binary.LittleEndian.PutUint64(pre[24:], uint64(wd))
 	binary.LittleEndian.PutUint64(pre[32:], n)
 	binary.LittleEndian.PutUint64(pre[40:], seed)
-	pre[48] = keystream // pre[49:56] reserved, zero
+	pre[48], pre[49], pre[50], pre[51] = keystream, 0, 0, 0
+	binary.LittleEndian.PutUint32(pre[52:], configVersion)
 	if view, ok := vec.AsBytes(cells); ok {
-		return appendRecord(w, recReport, pre[:], view)
+		return e.record(w, recReport, pre, view)
 	}
 	raw := make([]byte, 8*len(cells))
 	vec.PutLE(raw, cells)
-	return appendRecord(w, recReport, pre[:], raw)
+	return e.record(w, recReport, pre, raw)
 }
 
 // reportRecord is a decoded report body. Cells is the raw little-endian
 // cell block, aliasing the record buffer.
 type reportRecord struct {
-	User      uint64
-	Round     uint64
-	D, W      uint64
-	N         uint64
-	Seed      uint64
-	Keystream byte
-	Cells     []byte
+	User          uint64
+	Round         uint64
+	D, W          uint64
+	N             uint64
+	Seed          uint64
+	Keystream     byte
+	ConfigVersion uint32
+	Cells         []byte
 }
 
 // decodeReportBody parses a recReport body. The geometry is validated
@@ -201,13 +237,14 @@ func decodeReportBody(body []byte) (reportRecord, error) {
 		return reportRecord{}, fmt.Errorf("%w: short report body", ErrBadRecord)
 	}
 	rec := reportRecord{
-		User:      binary.LittleEndian.Uint64(body[0:]),
-		Round:     binary.LittleEndian.Uint64(body[8:]),
-		D:         binary.LittleEndian.Uint64(body[16:]),
-		W:         binary.LittleEndian.Uint64(body[24:]),
-		N:         binary.LittleEndian.Uint64(body[32:]),
-		Seed:      binary.LittleEndian.Uint64(body[40:]),
-		Keystream: body[48],
+		User:          binary.LittleEndian.Uint64(body[0:]),
+		Round:         binary.LittleEndian.Uint64(body[8:]),
+		D:             binary.LittleEndian.Uint64(body[16:]),
+		W:             binary.LittleEndian.Uint64(body[24:]),
+		N:             binary.LittleEndian.Uint64(body[32:]),
+		Seed:          binary.LittleEndian.Uint64(body[40:]),
+		Keystream:     body[48],
+		ConfigVersion: binary.LittleEndian.Uint32(body[52:]),
 	}
 	if rec.User > 1<<31 || rec.D < 1 || rec.W < 1 || rec.D > maxReportDepth || rec.W > maxReportWidth {
 		return reportRecord{}, fmt.Errorf("%w: report header", ErrBadRecord)
@@ -220,30 +257,37 @@ func decodeReportBody(body []byte) (reportRecord, error) {
 	return rec, nil
 }
 
-// encodeOpenRecord frames a round-open event onto w.
-func encodeOpenRecord(w io.Writer, round uint64, roster, d, wd int, seed uint64, keystream byte) error {
-	var body [openBody]byte
+// open frames a round-open event onto w, carrying the round config the
+// round is pinned to.
+func (e *RecordEncoder) open(w io.Writer, round uint64, roster, d, wd int, seed uint64, keystream byte, configVersion, rosterVersion uint32) error {
+	body := e.pre[:openBody]
 	binary.LittleEndian.PutUint64(body[0:], round)
 	binary.LittleEndian.PutUint64(body[8:], uint64(roster))
 	binary.LittleEndian.PutUint64(body[16:], uint64(d))
 	binary.LittleEndian.PutUint64(body[24:], uint64(wd))
 	binary.LittleEndian.PutUint64(body[32:], seed)
 	body[40] = keystream
-	return appendRecord(w, recOpen, body[:])
+	binary.LittleEndian.PutUint32(body[41:], configVersion)
+	binary.LittleEndian.PutUint32(body[45:], rosterVersion)
+	return e.record(w, recOpen, body, nil)
 }
 
 // openRecord is a decoded round-open body.
 type openRecord struct {
-	Round     uint64
-	Roster    uint64
-	D, W      uint64
-	Seed      uint64
-	Keystream byte
+	Round         uint64
+	Roster        uint64
+	D, W          uint64
+	Seed          uint64
+	Keystream     byte
+	ConfigVersion uint32
+	RosterVersion uint32
 }
 
-// decodeOpenBody parses a recOpen body.
+// decodeOpenBody parses a recOpen body. The 41-byte pre-handshake
+// layout decodes with zero config/roster versions — the unversioned
+// deployment style, accepted so old data dirs keep recovering.
 func decodeOpenBody(body []byte) (openRecord, error) {
-	if len(body) != openBody {
+	if len(body) != openBody && len(body) != openBodyV1 {
 		return openRecord{}, fmt.Errorf("%w: open body %d bytes", ErrBadRecord, len(body))
 	}
 	rec := openRecord{
@@ -254,6 +298,10 @@ func decodeOpenBody(body []byte) (openRecord, error) {
 		Seed:      binary.LittleEndian.Uint64(body[32:]),
 		Keystream: body[40],
 	}
+	if len(body) == openBody {
+		rec.ConfigVersion = binary.LittleEndian.Uint32(body[41:])
+		rec.RosterVersion = binary.LittleEndian.Uint32(body[45:])
+	}
 	if rec.Roster > 1<<31 || rec.D < 1 || rec.W < 1 || rec.D > maxReportDepth || rec.W > maxReportWidth ||
 		rec.D*rec.W > maxSnapshotCells {
 		return openRecord{}, fmt.Errorf("%w: open header", ErrBadRecord)
@@ -261,17 +309,33 @@ func decodeOpenBody(body []byte) (openRecord, error) {
 	return rec, nil
 }
 
-// encodeAdjustRecord frames an adjustment-share upload onto w.
-func encodeAdjustRecord(w io.Writer, round uint64, user int, cells []uint64) error {
-	var pre [16]byte
+// config frames a deployment-wide config/roster version bump onto w.
+func (e *RecordEncoder) config(w io.Writer, configVersion, rosterVersion uint32) error {
+	body := e.pre[:configBody]
+	binary.LittleEndian.PutUint32(body[0:], configVersion)
+	binary.LittleEndian.PutUint32(body[4:], rosterVersion)
+	return e.record(w, recConfig, body, nil)
+}
+
+// decodeConfigBody parses a recConfig body.
+func decodeConfigBody(body []byte) (configVersion, rosterVersion uint32, err error) {
+	if len(body) != configBody {
+		return 0, 0, fmt.Errorf("%w: config body %d bytes", ErrBadRecord, len(body))
+	}
+	return binary.LittleEndian.Uint32(body[0:]), binary.LittleEndian.Uint32(body[4:]), nil
+}
+
+// adjust frames an adjustment-share upload onto w.
+func (e *RecordEncoder) adjust(w io.Writer, round uint64, user int, cells []uint64) error {
+	pre := e.pre[:16]
 	binary.LittleEndian.PutUint64(pre[0:], round)
 	binary.LittleEndian.PutUint64(pre[8:], uint64(user))
 	if view, ok := vec.AsBytes(cells); ok {
-		return appendRecord(w, recAdjust, pre[:], view)
+		return e.record(w, recAdjust, pre, view)
 	}
 	raw := make([]byte, 8*len(cells))
 	vec.PutLE(raw, cells)
-	return appendRecord(w, recAdjust, pre[:], raw)
+	return e.record(w, recAdjust, pre, raw)
 }
 
 // adjustRecord is a decoded adjustment body. Cells aliases the record
@@ -298,18 +362,18 @@ func decodeAdjustBody(body []byte) (adjustRecord, error) {
 	return rec, nil
 }
 
-// encodeCloseRecord frames a round-close event onto w.
-func encodeCloseRecord(w io.Writer, round uint64) error {
-	var body [8]byte
-	binary.LittleEndian.PutUint64(body[:], round)
-	return appendRecord(w, recClose, body[:])
+// close frames a round-close event onto w.
+func (e *RecordEncoder) close(w io.Writer, round uint64) error {
+	body := e.pre[:8]
+	binary.LittleEndian.PutUint64(body, round)
+	return e.record(w, recClose, body, nil)
 }
 
-// encodeRegisterRecord frames a bulletin-board registration onto w.
-func encodeRegisterRecord(w io.Writer, user int, publicKey []byte) error {
-	var pre [8]byte
-	binary.LittleEndian.PutUint64(pre[:], uint64(user))
-	return appendRecord(w, recRegister, pre[:], publicKey)
+// register frames a bulletin-board registration onto w.
+func (e *RecordEncoder) register(w io.Writer, user int, publicKey []byte) error {
+	pre := e.pre[:8]
+	binary.LittleEndian.PutUint64(pre, uint64(user))
+	return e.record(w, recRegister, pre, publicKey)
 }
 
 // registerRecord is a decoded registration body. Key aliases the record

@@ -11,8 +11,8 @@ import (
 //
 // The applier mirrors the live aggregator's acceptance rules exactly —
 // unknown round, out-of-roster user, duplicate report, mismatched cell
-// layout, mismatched blinding suite, and closed round are all *skipped*,
-// never applied — for two reasons. First, byte-identical recovery: the
+// layout, mismatched blinding suite, stale round-config version, and
+// closed round are all *skipped*, never applied — for two reasons. First, byte-identical recovery: the
 // live path logs a report only after reserving its user slot, so a
 // record the live aggregator accepted is accepted on replay and one it
 // would have rejected is rejected on replay. Second, idempotence: a
@@ -21,11 +21,14 @@ import (
 // duplicate/closed checks make re-applying them a no-op, which is what
 // lets recovery compose a fuzzy snapshot with its overlapping segment.
 
-// recovered accumulates state during recovery: the bulletin board and
-// the per-round states, keyed by round ID.
+// recovered accumulates state during recovery: the bulletin board, the
+// per-round states keyed by round ID, and the deployment-wide
+// config/roster version counters.
 type recovered struct {
-	rounds map[uint64]*RoundState
-	roster map[int][]byte
+	rounds        map[uint64]*RoundState
+	roster        map[int][]byte
+	configVersion uint32
+	rosterVersion uint32
 }
 
 // newRecovered seeds recovery from a loaded snapshot (nil for none).
@@ -38,8 +41,21 @@ func newRecovered(snap *snapshotData) *recovered {
 		for u, k := range snap.roster {
 			rec.roster[u] = k
 		}
+		rec.configVersion, rec.rosterVersion = snap.configVersion, snap.rosterVersion
 	}
 	return rec
+}
+
+// bumpVersions raises the recovered version counters (never lowers:
+// replay on top of a snapshot may revisit older bumps, and version
+// counters only ever grow).
+func (rec *recovered) bumpVersions(cv, rv uint32) {
+	if cv > rec.configVersion {
+		rec.configVersion = cv
+	}
+	if rv > rec.rosterVersion {
+		rec.rosterVersion = rv
+	}
 }
 
 // apply folds one decoded WAL record into the recovered state. A record
@@ -60,20 +76,30 @@ func (rec *recovered) apply(kind byte, body []byte) error {
 		if err != nil {
 			return err
 		}
+		rec.bumpVersions(r.ConfigVersion, r.RosterVersion)
 		if _, ok := rec.rounds[r.Round]; ok {
 			return nil // round already open (snapshot overlap): idempotent
 		}
 		rec.rounds[r.Round] = &RoundState{
-			Round:      r.Round,
-			RosterSize: int(r.Roster),
-			D:          int(r.D),
-			W:          int(r.W),
-			Seed:       r.Seed,
-			Keystream:  r.Keystream,
-			Cells:      make([]uint64, r.D*r.W),
-			Reported:   make([]bool, r.Roster),
-			Adjusts:    make(map[int][]uint64),
+			Round:         r.Round,
+			RosterSize:    int(r.Roster),
+			ConfigVersion: r.ConfigVersion,
+			RosterVersion: r.RosterVersion,
+			D:             int(r.D),
+			W:             int(r.W),
+			Seed:          r.Seed,
+			Keystream:     r.Keystream,
+			Cells:         make([]uint64, r.D*r.W),
+			Reported:      make([]bool, r.Roster),
+			Adjusts:       make(map[int][]uint64),
 		}
+
+	case recConfig:
+		cv, rv, err := decodeConfigBody(body)
+		if err != nil {
+			return err
+		}
+		rec.bumpVersions(cv, rv)
 
 	case recReport:
 		r, err := decodeReportBody(body)
@@ -90,6 +116,9 @@ func (rec *recovered) apply(kind byte, body []byte) error {
 		}
 		if int(r.D) != rs.D || int(r.W) != rs.W || r.Seed != rs.Seed || r.Keystream != rs.Keystream {
 			return nil // layout or blinding-suite mismatch: skip, as live
+		}
+		if r.ConfigVersion != 0 && rs.ConfigVersion != 0 && r.ConfigVersion != rs.ConfigVersion {
+			return nil // stale config version: skip, as live (ErrIncompatibleConfig)
 		}
 		rs.Reported[user] = true
 		rs.N += r.N

@@ -15,12 +15,14 @@ import (
 // atomically (temp file, fsync, rename, directory fsync) so a crash
 // mid-snapshot leaves either the previous snapshot or the new one,
 // never a half-written file that recovery would trust. Layout (all
-// integers little-endian):
+// integers little-endian; bracketed fields are version ≥ 2 only):
 //
 //	magic "EYWSNAP1" (8)  version(4)
+//	[configVersion(4) rosterVersion(4)]
 //	rosterCount(8) { user(8) keyLen(8) key }*
 //	roundCount(8) {
 //	    round(8) roster(8) d(8) w(8) seed(8) n(8)
+//	    [roundConfigVersion(4) roundRosterVersion(4)]
 //	    keystream(1) closed(1)
 //	    reportedBitmap(⌈roster/8⌉)
 //	    adjustCount(8) { user(8) cells(8·d·w) }*
@@ -28,13 +30,22 @@ import (
 //	}*
 //	crc32c(4) over everything before it
 //
+// Version 2 added the negotiated-config versions: the deployment-wide
+// config/roster counters at the top, and per round the config the round
+// was opened under. Version-1 snapshots (pre-handshake releases) load
+// with all versions zero — the unversioned deployment style.
+//
 // The trailing whole-file CRC is the validity marker: a snapshot that
 // fails it (torn write, partial disk) is ignored and recovery falls
 // back to the previous generation's snapshot plus its WAL segments.
 
 const snapMagic = "EYWSNAP1"
 
-const snapVersion = 1
+// snapVersion is the written format; snapVersionV1 is still readable.
+const (
+	snapVersionV1 = 1
+	snapVersion   = 2
+)
 
 // maxSnapshotCells caps a single round's cell count on load (2²⁸ cells
 // = 2 GiB), mirroring the sketch deserializer's bound so a corrupt
@@ -43,13 +54,15 @@ const maxSnapshotCells = 1 << 28
 
 // snapshotData is a decoded snapshot.
 type snapshotData struct {
-	rounds []*RoundState
-	roster map[int][]byte
+	rounds        []*RoundState
+	roster        map[int][]byte
+	configVersion uint32
+	rosterVersion uint32
 }
 
 // writeSnapshot writes the state to path atomically.
-func writeSnapshot(path string, roster map[int][]byte, rounds []*RoundState) error {
-	buf := encodeSnapshot(roster, rounds)
+func writeSnapshot(path string, roster map[int][]byte, rounds []*RoundState, configVersion, rosterVersion uint32) error {
+	buf := encodeSnapshot(roster, rounds, configVersion, rosterVersion)
 	tmp := path + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
@@ -77,15 +90,15 @@ func writeSnapshot(path string, roster map[int][]byte, rounds []*RoundState) err
 }
 
 // encodeSnapshot serializes the state with the trailing CRC.
-func encodeSnapshot(roster map[int][]byte, rounds []*RoundState) []byte {
-	size := len(snapMagic) + 4 + 8
+func encodeSnapshot(roster map[int][]byte, rounds []*RoundState, configVersion, rosterVersion uint32) []byte {
+	size := len(snapMagic) + 4 + 8 + 8
 	users := sortedUsers(roster)
 	for _, u := range users {
 		size += 16 + len(roster[u])
 	}
 	size += 8
 	for _, rs := range rounds {
-		size += 50 + (rs.RosterSize+7)/8 + 8
+		size += 58 + (rs.RosterSize+7)/8 + 8
 		for range rs.Adjusts {
 			size += 8 + 8*len(rs.Cells)
 		}
@@ -95,6 +108,8 @@ func encodeSnapshot(roster map[int][]byte, rounds []*RoundState) []byte {
 	buf := make([]byte, 0, size)
 	buf = append(buf, snapMagic...)
 	buf = binary.LittleEndian.AppendUint32(buf, snapVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, configVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, rosterVersion)
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(users)))
 	for _, u := range users {
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(u))
@@ -109,6 +124,8 @@ func encodeSnapshot(roster map[int][]byte, rounds []*RoundState) []byte {
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(rs.W))
 		buf = binary.LittleEndian.AppendUint64(buf, rs.Seed)
 		buf = binary.LittleEndian.AppendUint64(buf, rs.N)
+		buf = binary.LittleEndian.AppendUint32(buf, rs.ConfigVersion)
+		buf = binary.LittleEndian.AppendUint32(buf, rs.RosterVersion)
 		flags := []byte{rs.Keystream, 0}
 		if rs.Closed {
 			flags[1] = 1
@@ -159,10 +176,15 @@ func loadSnapshot(path string) (*snapshotData, error) {
 		return nil, fmt.Errorf("store: %s: snapshot checksum mismatch", path)
 	}
 	r := snapReader{buf: body[len(snapMagic):]}
-	if v := r.uint32(); v != snapVersion {
+	v := r.uint32()
+	if v != snapVersion && v != snapVersionV1 {
 		return nil, fmt.Errorf("store: %s: snapshot version %d", path, v)
 	}
 	snap := &snapshotData{roster: make(map[int][]byte)}
+	if v >= snapVersion {
+		snap.configVersion = r.uint32()
+		snap.rosterVersion = r.uint32()
+	}
 	users := r.uint64()
 	for i := uint64(0); i < users && r.err == nil; i++ {
 		u := r.uint64()
@@ -180,6 +202,10 @@ func loadSnapshot(path string) (*snapshotData, error) {
 		d, w := r.uint64(), r.uint64()
 		rs.Seed = r.uint64()
 		rs.N = r.uint64()
+		if v >= snapVersion {
+			rs.ConfigVersion = r.uint32()
+			rs.RosterVersion = r.uint32()
+		}
 		flags := r.bytes(2)
 		if r.err != nil {
 			break

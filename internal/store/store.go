@@ -49,6 +49,13 @@ type RoundState struct {
 	// RosterSize is the enrolled-user count the round expects reports
 	// from; it bounds user indices and sizes the Reported bitmap.
 	RosterSize int
+	// ConfigVersion and RosterVersion pin the negotiated round config
+	// the round was opened under (0/0 = unversioned, the pre-handshake
+	// deployment style). Recovery restores them so a recovered round
+	// keeps rejecting stale-config reports exactly as it did before the
+	// crash.
+	ConfigVersion uint32
+	RosterVersion uint32
 	// D, W and Seed fix the CMS cell layout of the round aggregate.
 	D, W int
 	Seed uint64
@@ -84,18 +91,26 @@ type Store interface {
 	// Roster returns the recovered bulletin-board entries (user index →
 	// blinding public key).
 	Roster() map[int][]byte
+	// ConfigVersions returns the recovered deployment-wide config and
+	// roster version counters (0, 0 for a fresh or volatile store, or a
+	// data dir written before the config handshake existed).
+	ConfigVersions() (configVersion, rosterVersion uint32)
 
 	// AppendRegister logs a bulletin-board registration.
 	AppendRegister(user int, publicKey []byte) error
+	// AppendConfig logs a bump of the deployment-wide config/roster
+	// version counters (a registration changed the bulletin board).
+	AppendConfig(configVersion, rosterVersion uint32) error
 	// AppendOpen logs the creation of a round with the given geometry,
-	// roster size, and blinding-suite byte.
-	AppendOpen(round uint64, rosterSize, d, w int, seed uint64, keystream byte) error
+	// roster size, blinding-suite byte, and the config/roster versions
+	// the round is pinned to.
+	AppendOpen(round uint64, rosterSize, d, w int, seed uint64, keystream byte, configVersion, rosterVersion uint32) error
 	// AppendReport logs one accepted report — header fields plus the
-	// flat cell vector, i.e. exactly the streamed wire frame's payload —
-	// before the cells are folded into the aggregate. The cells are
-	// consumed during the call and may be recycled as soon as it
-	// returns.
-	AppendReport(round uint64, user, d, w int, n, seed uint64, keystream byte, cells []uint64) error
+	// flat cell vector, i.e. exactly the streamed wire frame's payload
+	// (config version included) — before the cells are folded into the
+	// aggregate. The cells are consumed during the call and may be
+	// recycled as soon as it returns.
+	AppendReport(round uint64, user, d, w int, n, seed uint64, keystream byte, configVersion uint32, cells []uint64) error
 	// AppendAdjust logs an accepted second-round adjustment share.
 	AppendAdjust(round uint64, user int, cells []uint64) error
 	// AppendClose logs a round's finalization.
@@ -129,14 +144,22 @@ func (Null) Rounds() []*RoundState { return nil }
 // Roster implements Store.
 func (Null) Roster() map[int][]byte { return nil }
 
+// ConfigVersions implements Store.
+func (Null) ConfigVersions() (uint32, uint32) { return 0, 0 }
+
 // AppendRegister implements Store.
 func (Null) AppendRegister(int, []byte) error { return nil }
 
+// AppendConfig implements Store.
+func (Null) AppendConfig(uint32, uint32) error { return nil }
+
 // AppendOpen implements Store.
-func (Null) AppendOpen(uint64, int, int, int, uint64, byte) error { return nil }
+func (Null) AppendOpen(uint64, int, int, int, uint64, byte, uint32, uint32) error { return nil }
 
 // AppendReport implements Store.
-func (Null) AppendReport(uint64, int, int, int, uint64, uint64, byte, []uint64) error { return nil }
+func (Null) AppendReport(uint64, int, int, int, uint64, uint64, byte, uint32, []uint64) error {
+	return nil
+}
 
 // AppendAdjust implements Store.
 func (Null) AppendAdjust(uint64, int, []uint64) error { return nil }

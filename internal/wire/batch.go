@@ -94,6 +94,12 @@ type StreamOpts struct {
 	// PipelineDepth bounds the decoded-but-unfolded frames buffered per
 	// connection (the decode-ahead window). 0 picks the default.
 	PipelineDepth int
+	// Config, when non-nil, is called to answer each Hello frame with
+	// the current negotiated round config (see handshake.go). It must be
+	// safe for concurrent use and should always reflect the *latest*
+	// config — the server, not the flag set of any one binary, is the
+	// source of truth. nil answers Hellos with WelcomeNoConfig.
+	Config func() ConfigFrame
 }
 
 // appendAckFrame appends one encoded ack frame to dst. An empty errMsg

@@ -1,0 +1,246 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// testConfigFrame is the advertisement used by handshake tests.
+func testConfigFrame() ConfigFrame {
+	return ConfigFrame{
+		ConfigVersion: 5,
+		RosterVersion: 3,
+		RosterSize:    100,
+		Epsilon:       0.001,
+		Delta:         0.01,
+		IDSpace:       100000,
+		Keystream:     1,
+		Group:         GroupP256,
+		Estimator:     2,
+		AckBatch:      16,
+	}
+}
+
+// The full exchange over a live server: Hello out, Welcome back, every
+// config field intact — and the connection stays usable for JSON
+// requests and streamed reports afterwards.
+func TestHandshakeRoundTrip(t *testing.T) {
+	sink := &countSink{}
+	srv, err := ServeWithSinkOpts("127.0.0.1:0", echoHandler, sink, StreamOpts{
+		Config: testConfigFrame,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	got, err := cli.Handshake()
+	if err != nil {
+		t.Fatalf("Handshake: %v", err)
+	}
+	if got != testConfigFrame() {
+		t.Fatalf("config round trip: got %+v want %+v", got, testConfigFrame())
+	}
+	// The connection is not consumed by the handshake: a JSON request, a
+	// second handshake (a client re-checking the config between rounds),
+	// and a streamed report all still work.
+	if err := cli.Do("echo", struct{}{}, nil); err != nil {
+		t.Fatalf("Do after handshake: %v", err)
+	}
+	if _, err := cli.Handshake(); err != nil {
+		t.Fatalf("second Handshake: %v", err)
+	}
+	if err := cli.SubmitReportFrame(testFrame(8)); err != nil {
+		t.Fatalf("SubmitReportFrame after handshake: %v", err)
+	}
+	if sink.n != 1 {
+		t.Fatalf("sink folded %d frames, want 1", sink.n)
+	}
+}
+
+// countSink counts consumed frames.
+type countSink struct{ n int }
+
+func (s *countSink) ConsumeReport(*ReportFrame) error { s.n++; return nil }
+
+// A server with no config source (e.g. a bare oprf-server) answers the
+// handshake with WelcomeNoConfig, surfaced as ErrNoConfig.
+func TestHandshakeNoConfig(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if _, err := cli.Handshake(); !errors.Is(err, ErrNoConfig) {
+		t.Fatalf("Handshake against config-less server = %v, want ErrNoConfig", err)
+	}
+	// The connection survives a no-config answer.
+	if err := cli.Do("echo", struct{}{}, nil); err != nil {
+		t.Fatalf("Do after no-config handshake: %v", err)
+	}
+}
+
+// A new client against a server predating the handshake: the old server
+// treats the Hello as a malformed report frame and hangs up; the client
+// must surface ErrNoHandshake instead of hanging or returning garbage.
+func TestHandshakeAgainstPreHandshakeServer(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	go func() {
+		conn, err := lis.Accept()
+		if err != nil {
+			return
+		}
+		// The old serveConn: read the header word, see the report flag
+		// with a sub-preamble length, treat it as a malformed frame, and
+		// drop the connection — exactly what a pre-handshake release does.
+		var hdr [4]byte
+		io.ReadFull(conn, hdr[:])
+		conn.Close()
+	}()
+	cli, err := Dial(lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if _, err := cli.Handshake(); !errors.Is(err, ErrNoHandshake) {
+		t.Fatalf("Handshake against old server = %v, want ErrNoHandshake", err)
+	}
+}
+
+// A Hello whose revision range does not include the server's is
+// answered WelcomeIncompatible (and the connection survives).
+func TestHandshakeRevisionMismatch(t *testing.T) {
+	srv, err := ServeWithSinkOpts("127.0.0.1:0", echoHandler, nil, StreamOpts{
+		Config: testConfigFrame,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	conn, err := net.DialTimeout("tcp", srv.Addr(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// A future client demanding revisions [7, 9].
+	var buf [4 + helloPayload]byte
+	binary.BigEndian.PutUint32(buf[0:], uint32(helloPayload)|reportFlag)
+	copy(buf[4:], helloMagic)
+	binary.LittleEndian.PutUint32(buf[12:], 7)
+	binary.LittleEndian.PutUint32(buf[16:], 9)
+	if _, err := conn.Write(buf[:]); err != nil {
+		t.Fatal(err)
+	}
+	status, _, err := ReadWelcomeFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != WelcomeIncompatible {
+		t.Fatalf("status = %d, want WelcomeIncompatible", status)
+	}
+}
+
+// A Hello with a corrupt magic is a framing error: the stream position
+// is unknown, so the server must drop the connection.
+func TestHelloBadMagicDropsConnection(t *testing.T) {
+	srv, err := ServeWithSinkOpts("127.0.0.1:0", echoHandler, nil, StreamOpts{
+		Config: testConfigFrame,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	conn, err := net.DialTimeout("tcp", srv.Addr(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	var buf [4 + helloPayload]byte
+	binary.BigEndian.PutUint32(buf[0:], uint32(helloPayload)|reportFlag)
+	copy(buf[4:], "NOTHELLO")
+	if _, err := conn.Write(buf[:]); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	var one [1]byte
+	if _, err := conn.Read(one[:]); err != io.EOF {
+		t.Fatalf("read after bad hello = %v, want EOF (dropped connection)", err)
+	}
+}
+
+// The Welcome decoder rejects wrong headers and magics.
+func TestReadWelcomeFrameMalformed(t *testing.T) {
+	// Wrong payload length in the header word.
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(12)|reportFlag)
+	if _, _, err := ReadWelcomeFrame(bytes.NewReader(hdr[:])); !errors.Is(err, ErrBadWelcomeFrame) {
+		t.Fatalf("short welcome = %v", err)
+	}
+	// Right length, wrong magic.
+	var good bytes.Buffer
+	if err := WriteWelcomeFrame(&good, WelcomeOK, testConfigFrame()); err != nil {
+		t.Fatal(err)
+	}
+	raw := good.Bytes()
+	copy(raw[4:], "NOTWELC1")
+	if _, _, err := ReadWelcomeFrame(bytes.NewReader(raw)); !errors.Is(err, ErrBadWelcomeFrame) {
+		t.Fatalf("bad-magic welcome = %v", err)
+	}
+}
+
+// FuzzReadHelloFrame hammers the server-side Hello decoder with
+// arbitrary bytes: it must never panic and must classify every input as
+// either a valid revision range or ErrBadHelloFrame — the server drops
+// the connection on the latter, so misclassification is a denial of
+// service either way.
+func FuzzReadHelloFrame(f *testing.F) {
+	var seed bytes.Buffer
+	if err := WriteHelloFrame(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes()[4:]) // payload only, as the server reads it
+	f.Add([]byte{})
+	f.Add([]byte(helloMagic))
+	bad := append([]byte(helloMagic), 0, 0, 0, 0, 0, 0, 0, 0)
+	f.Add(bad)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		minRev, maxRev, err := ReadHelloFrame(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrBadHelloFrame) {
+				t.Fatalf("unexpected error class: %v", err)
+			}
+			return
+		}
+		if minRev == 0 || maxRev < minRev {
+			t.Fatalf("accepted impossible revision range [%d, %d]", minRev, maxRev)
+		}
+		// An accepted payload must re-encode to the same 16 bytes through
+		// the reference writer layout.
+		var out [helloPayload]byte
+		copy(out[:], helloMagic)
+		binary.LittleEndian.PutUint32(out[8:], minRev)
+		binary.LittleEndian.PutUint32(out[12:], maxRev)
+		if !bytes.Equal(out[:], data[:helloPayload]) {
+			t.Fatal("hello round-trip mismatch")
+		}
+	})
+}

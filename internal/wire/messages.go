@@ -63,20 +63,31 @@ type RegisterResp struct {
 }
 
 // RosterResp returns the bulletin board. Index i holds user i's key;
-// unregistered slots are null.
+// unregistered slots are null. ConfigVersion and RosterVersion stamp
+// the negotiated state the board is current at (absent = 0 from an
+// older server): a client derives its pairwise blinding secrets from
+// exactly this board, so its reports carry this ConfigVersion and the
+// aggregator can reject reports blinded against a superseded roster.
+// Board and versions travel in one response so no registration can
+// slip between them.
 type RosterResp struct {
-	PublicKeys [][]byte `json:"public_keys"`
+	PublicKeys    [][]byte `json:"public_keys"`
+	ConfigVersion uint32   `json:"config_version,omitempty"`
+	RosterVersion uint32   `json:"roster_version,omitempty"`
 }
 
 // SubmitReportReq uploads a blinded CMS (binary serialization of
 // sketch.CMS). Keystream is the blinding-suite byte (blind.Keystream);
 // absent means suite 0, the original HMAC-SHA256 expansion, so old
-// clients' reports still verify.
+// clients' reports still verify. ConfigVersion is the negotiated
+// round-config version the report was built under (see handshake.go);
+// absent means 0, "unversioned", the flag-agreement deployment style.
 type SubmitReportReq struct {
-	User      int    `json:"user"`
-	Round     uint64 `json:"round"`
-	Sketch    []byte `json:"sketch"`
-	Keystream byte   `json:"keystream,omitempty"`
+	User          int    `json:"user"`
+	Round         uint64 `json:"round"`
+	Sketch        []byte `json:"sketch"`
+	Keystream     byte   `json:"keystream,omitempty"`
+	ConfigVersion uint32 `json:"config_version,omitempty"`
 }
 
 // AckBatchReq switches the connection's streamed-report acknowledgements

@@ -26,8 +26,9 @@ import (
 // report frame (JSON payload lengths are capped at MaxFrame = 16 MiB, so
 // the bit is never set by the JSON path); the low 31 bits are the payload
 // length. The payload is a 56-byte preamble — user, round, d, w, n, seed
-// as little-endian uint64, then the blinding-keystream suite byte and
-// seven reserved bytes — followed by the 8·d·w-byte cell block. The
+// as little-endian uint64, then the blinding-keystream suite byte, three
+// reserved bytes, and the negotiated config version as a little-endian
+// uint32 — followed by the 8·d·w-byte cell block. The
 // preamble length is itself protocol state: both endpoints must run the
 // same revision (a mismatched peer fails the length check and is
 // dropped), so like the cell layout it changes only in lockstep across
@@ -42,7 +43,7 @@ import (
 const reportFlag = 1 << 31
 
 // reportPreamble is the fixed payload prefix: user(8) round(8) d(8) w(8)
-// n(8) seed(8) keystream(1) reserved(7).
+// n(8) seed(8) keystream(1) reserved(3) configVersion(4).
 const reportPreamble = 56
 
 // Report-frame geometry bounds, mirroring the sketch deserializer's: d·w
@@ -79,10 +80,17 @@ type ReportFrame struct {
 	// the suite existed still aggregate correctly. Note the byte rode in
 	// on a preamble widening (48 → 56 bytes) — a wire-format revision
 	// that, like every frame-header change, deploys in lockstep across
-	// all endpoints (ARCHITECTURE.md §4); a 48-byte-preamble peer cannot
+	// all endpoints (ARCHITECTURE.md §5); a 48-byte-preamble peer cannot
 	// interoperate with this revision.
 	Keystream byte
-	Cells     []uint64
+	// ConfigVersion is the negotiated round-config version the report
+	// was built under (see handshake.go), riding in what used to be
+	// reserved preamble bytes — so a pre-handshake peer's reports decode
+	// as version 0, "unversioned", and keep aggregating. The aggregator
+	// rejects a stale nonzero version (privacy.ErrIncompatibleConfig):
+	// it means the reporter blinded against an outdated roster.
+	ConfigVersion uint32
+	Cells         []uint64
 }
 
 // ReportSink consumes streamed report frames. Implementations must
@@ -147,7 +155,8 @@ func WriteReportFrame(w io.Writer, f *ReportFrame) error {
 	binary.LittleEndian.PutUint64(hdr[28:], uint64(f.W))
 	binary.LittleEndian.PutUint64(hdr[36:], f.N)
 	binary.LittleEndian.PutUint64(hdr[44:], f.Seed)
-	hdr[52] = f.Keystream // hdr[53:60] reserved, zero
+	hdr[52] = f.Keystream // hdr[53:56] reserved, zero
+	binary.LittleEndian.PutUint32(hdr[56:], f.ConfigVersion)
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -178,7 +187,8 @@ func readReportFrame(r io.Reader, n uint32, buf *reportBuf) (*ReportFrame, error
 	w64 := binary.LittleEndian.Uint64(pre[24:])
 	nTotal := binary.LittleEndian.Uint64(pre[32:])
 	seed := binary.LittleEndian.Uint64(pre[40:])
-	ks := pre[48] // pre[49:56] reserved for future protocol revisions
+	ks := pre[48] // pre[49:52] reserved for future protocol revisions
+	cv := binary.LittleEndian.Uint32(pre[52:])
 	if user > 1<<31 || d64 < 1 || w64 < 1 || d64 > maxReportDepth || w64 > maxReportWidth {
 		return nil, ErrBadReportFrame
 	}
@@ -205,7 +215,7 @@ func readReportFrame(r io.Reader, n uint32, buf *reportBuf) (*ReportFrame, error
 	return &ReportFrame{
 		User: int(user), Round: round,
 		D: int(d64), W: int(w64),
-		N: nTotal, Seed: seed, Keystream: ks, Cells: dst,
+		N: nTotal, Seed: seed, Keystream: ks, ConfigVersion: cv, Cells: dst,
 	}, nil
 }
 

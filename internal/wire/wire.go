@@ -226,6 +226,18 @@ func (s *Server) serveConn(conn net.Conn) {
 
 		if word&reportFlag != 0 {
 			n := word &^ reportFlag
+			if n == helloPayload {
+				// Config handshake (handshake.go). A Hello's payload
+				// length is distinguishable from every other top-bit
+				// frame (reports are ≥ reportPreamble, flush markers 0),
+				// and it may arrive at any point in the conversation —
+				// a long-lived client re-checks the config between
+				// rounds on the same connection.
+				if err := s.answerHello(conn, &wmu); err != nil {
+					return
+				}
+				continue
+			}
 			if st != nil {
 				// Batched mode: pipeline the frame to the fold goroutine
 				// and immediately decode the next one. The channel bound

@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# Cross-version compatibility e2e for the config-handshake protocol.
+#
+# Usage: compat_e2e.sh <mode> <old-bin-dir> <new-bin-dir>
+#   mode old-client-new-server : the previous release's flag-driven
+#        clients must complete a full streamed-report round against the
+#        current server (their reports decode as config version 0,
+#        "unversioned", and the flag-derived geometry matches the
+#        server's defaults).
+#   mode new-client-old-server : the current zero-flag client must fail
+#        FAST and CLEANLY against the previous release's server — the
+#        old server drops the Hello, the client reports the missing
+#        handshake — never hang, never join, never submit.
+#
+# Both directions bind to fixed localhost ports; the script owns the
+# processes it starts and kills them on exit.
+set -euo pipefail
+
+mode="$1"
+old="$2"
+new="$3"
+
+BE=127.0.0.1:7861
+OPRF=127.0.0.1:7862
+log="$(mktemp -d)"
+pids=()
+cleanup() {
+    for p in "${pids[@]:-}"; do kill "$p" 2>/dev/null || true; done
+    wait 2>/dev/null || true
+}
+trap cleanup EXIT
+
+wait_port() { # host:port
+    local hp="$1" i
+    for i in $(seq 1 100); do
+        if (exec 3<>"/dev/tcp/${hp%:*}/${hp#*:}") 2>/dev/null; then
+            exec 3>&- 3<&-
+            return 0
+        fi
+        sleep 0.2
+    done
+    echo "server on $hp never came up" >&2
+    return 1
+}
+
+case "$mode" in
+old-client-new-server)
+    # Current server, 3-user roster; the old clients mirror its default
+    # geometry through their own default flags (the legacy deployment
+    # style this PR keeps working).
+    "$new/eyewnder-server" -backend "$BE" -oprf "$OPRF" -users 3 >"$log/server.log" 2>&1 &
+    pids+=($!)
+    wait_port "$BE"
+    "$old/eyewnder-client" -backend "$BE" -oprf "$OPRF" -user 0 -total 3 -visits 10 >"$log/c0.log" 2>&1 &
+    c0=$!
+    "$old/eyewnder-client" -backend "$BE" -oprf "$OPRF" -user 1 -total 3 -visits 10 >"$log/c1.log" 2>&1 &
+    c1=$!
+    if ! "$old/eyewnder-client" -backend "$BE" -oprf "$OPRF" -user 2 -total 3 -visits 10 -close >"$log/c2.log" 2>&1; then
+        echo "old client failed against new server:" >&2
+        tail -n 20 "$log"/c2.log "$log"/server.log >&2
+        exit 1
+    fi
+    wait "$c0" "$c1"
+    grep -q "closed: Users_th" "$log/c2.log"
+    echo "OK: previous release's clients completed a round against the current server"
+    ;;
+
+new-client-old-server)
+    "$old/eyewnder-server" -backend "$BE" -oprf "$OPRF" -users 3 >"$log/server.log" 2>&1 &
+    pids+=($!)
+    wait_port "$BE"
+    # The new client must exit nonzero quickly with the handshake error,
+    # not hang waiting for a roster it can never negotiate.
+    set +e
+    timeout 30 "$new/eyewnder-client" -backend "$BE" -oprf "$OPRF" -user 0 >"$log/c.log" 2>&1
+    rc=$?
+    set -e
+    if [ "$rc" -eq 0 ]; then
+        echo "new client unexpectedly succeeded against the old server" >&2
+        exit 1
+    fi
+    if [ "$rc" -eq 124 ]; then
+        echo "new client HUNG against the old server (timeout)" >&2
+        tail -n 20 "$log/c.log" >&2
+        exit 1
+    fi
+    if ! grep -qi "handshake" "$log/c.log"; then
+        echo "new client failed without naming the handshake:" >&2
+        tail -n 20 "$log/c.log" >&2
+        exit 1
+    fi
+    echo "OK: current client failed cleanly against the previous release's server"
+    ;;
+
+*)
+    echo "unknown mode $mode" >&2
+    exit 2
+    ;;
+esac
