@@ -13,30 +13,44 @@ import (
 	"sync"
 	"testing"
 
+	"eyewnder/internal/backend"
 	"eyewnder/internal/blind"
+	"eyewnder/internal/client"
+	"eyewnder/internal/detector"
 	"eyewnder/internal/group"
 	"eyewnder/internal/privacy"
 	"eyewnder/internal/sketch"
 	"eyewnder/internal/store"
+	"eyewnder/internal/vec"
 	"eyewnder/internal/wire"
 )
 
-// pipelineResult is one stage's measurement.
+// pipelineResult is one stage's measurement. MaxProcs records the
+// GOMAXPROCS the row actually ran under: rows promoted from another
+// machine's artifact (see -promote) keep their own stamp, and the
+// regression gate refuses to compare rows whose parallelism differs
+// from the fresh run's — a many-core baseline number is not a bound a
+// single-core rerun could honestly be held to, and vice versa.
 type pipelineResult struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
+	MaxProcs    int     `json:"maxprocs,omitempty"`
 }
 
 // pipelineReport is the BENCH_pipeline.json schema. Baseline is carried
 // forward from a previous report (see -baseline) so the perf trajectory
 // of the hot path is tracked across PRs in one committed artifact.
+// BaselineMaxProcs is the loaded baseline's report-level stamp, the
+// fallback for baseline rows recorded before per-row stamps existed.
 type pipelineReport struct {
-	Schema     string                    `json:"schema"`
-	Go         string                    `json:"go"`
-	MaxProcs   int                       `json:"maxprocs"`
-	Benchmarks map[string]pipelineResult `json:"benchmarks"`
-	Baseline   map[string]pipelineResult `json:"baseline,omitempty"`
+	Schema           string                    `json:"schema"`
+	Go               string                    `json:"go"`
+	MaxProcs         int                       `json:"maxprocs"`
+	VecKernel        string                    `json:"vec_kernel,omitempty"`
+	Benchmarks       map[string]pipelineResult `json:"benchmarks"`
+	Baseline         map[string]pipelineResult `json:"baseline,omitempty"`
+	BaselineMaxProcs int                       `json:"baseline_maxprocs,omitempty"`
 }
 
 func measure(fn func(b *testing.B)) pipelineResult {
@@ -45,6 +59,7 @@ func measure(fn func(b *testing.B)) pipelineResult {
 		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 		AllocsPerOp: r.AllocsPerOp(),
 		BytesPerOp:  r.AllocedBytesPerOp(),
+		MaxProcs:    runtime.GOMAXPROCS(0),
 	}
 }
 
@@ -60,8 +75,10 @@ func runPipeline(outPath, baselinePath string, checkPct, checkNsPct float64) err
 		Schema:     "eyewnder/bench-pipeline/v1",
 		Go:         runtime.Version(),
 		MaxProcs:   runtime.GOMAXPROCS(0),
+		VecKernel:  vec.Active(),
 		Benchmarks: map[string]pipelineResult{},
 	}
+	fmt.Fprintf(os.Stderr, "pipeline: vec kernels: %s, GOMAXPROCS=%d\n", rep.VecKernel, rep.MaxProcs)
 	if baselinePath != "" {
 		var prev pipelineReport
 		raw, err := os.ReadFile(baselinePath)
@@ -72,6 +89,7 @@ func runPipeline(outPath, baselinePath string, checkPct, checkNsPct float64) err
 			return fmt.Errorf("parsing baseline: %w", err)
 		}
 		rep.Baseline = prev.Benchmarks
+		rep.BaselineMaxProcs = prev.MaxProcs
 	}
 
 	// Paper geometry: ε = δ = 0.001 (d=7, w=2719 ≈ 19k cells).
@@ -101,30 +119,65 @@ func runPipeline(outPath, baselinePath string, checkPct, checkNsPct float64) err
 		}
 	})
 
-	fmt.Fprintln(os.Stderr, "pipeline: report marshal/unmarshal ...")
-	rep.Benchmarks["cms_marshal"] = measure(func(b *testing.B) {
+	// generic reruns a benchmark with the vec dispatch forced onto the
+	// pure-Go kernels — the same code a `purego` build selects — so every
+	// SIMD-backed row gets a paired *_purego row out of one binary and the
+	// committed report carries the kernels' measured win on the recording
+	// host. (ForceGeneric is safe here: testing.Benchmark joins its
+	// goroutine before the deferred restore runs.)
+	generic := func(fn func(b *testing.B)) pipelineResult {
+		vec.ForceGeneric(true)
+		defer vec.ForceGeneric(false)
+		return measure(fn)
+	}
+
+	// The rows measure the encode/decode path the way the repeat callers
+	// run it — AppendBinary into a reused buffer, UnmarshalBinary into a
+	// reused receiver — so the tracked number is the (SIMD-dispatched)
+	// cell-block transcode, not the allocator: a fresh 152 KB allocation
+	// per op costs more than the encode itself and would bury any kernel
+	// change in GC noise.
+	fmt.Fprintln(os.Stderr, "pipeline: report marshal/unmarshal (amortized buffers) ...")
+	marshalBench := func(b *testing.B) {
 		c := newCMS()
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			if _, err := c.MarshalBinary(); err != nil {
-				b.Fatal(err)
-			}
-		}
-	})
-	rep.Benchmarks["cms_unmarshal"] = measure(func(b *testing.B) {
-		c := newCMS()
-		data, err := c.MarshalBinary()
+		// Warm the scratch buffer in setup: the steady state is 0
+		// allocs/op exactly, not a one-time allocation divided by b.N
+		// (which jitters with the iteration count and trips the tight
+		// alloc/bytes gate on noise).
+		scratch, err := c.AppendBinary(nil)
 		if err != nil {
 			b.Fatal(err)
 		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			var d sketch.CMS
+			scratch, err = c.AppendBinary(scratch[:0])
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	unmarshalBench := func(b *testing.B) {
+		c := newCMS()
+		data, err := c.MarshalBinary()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var d sketch.CMS
+		// Same: the receiver's cell slice is allocated once, in setup.
+		if err := d.UnmarshalBinary(data); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
 			if err := d.UnmarshalBinary(data); err != nil {
 				b.Fatal(err)
 			}
 		}
-	})
+	}
+	rep.Benchmarks["cms_marshal"] = measure(marshalBench)
+	rep.Benchmarks["cms_marshal_purego"] = generic(marshalBench)
+	rep.Benchmarks["cms_unmarshal"] = measure(unmarshalBench)
+	rep.Benchmarks["cms_unmarshal_purego"] = generic(unmarshalBench)
 
 	fmt.Fprintln(os.Stderr, "pipeline: blinding vector (16-user roster, 5k cells), HMAC vs AES-CTR ...")
 	roster, err := blind.NewRoster(group.P256(), 16, rand.Reader)
@@ -140,14 +193,16 @@ func runPipeline(outPath, baselinePath string, checkPct, checkNsPct float64) err
 	if err != nil {
 		return err
 	}
-	rep.Benchmarks["blind_aesctr"] = measure(func(b *testing.B) {
+	aesBench := func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			rosterAES.Parties[0].Blinding(uint64(i), 5000)
 		}
-	})
+	}
+	rep.Benchmarks["blind_aesctr"] = measure(aesBench)
+	rep.Benchmarks["blind_aesctr_purego"] = generic(aesBench)
 
 	fmt.Fprintln(os.Stderr, "pipeline: aggregate merge ...")
-	rep.Benchmarks["cms_merge"] = measure(func(b *testing.B) {
+	mergeBench := func(b *testing.B) {
 		dst, src := newCMS(), newCMS()
 		src.Update(key)
 		b.ResetTimer()
@@ -156,7 +211,9 @@ func runPipeline(outPath, baselinePath string, checkPct, checkNsPct float64) err
 				b.Fatal(err)
 			}
 		}
-	})
+	}
+	rep.Benchmarks["cms_merge"] = measure(mergeBench)
+	rep.Benchmarks["cms_merge_purego"] = generic(mergeBench)
 
 	fmt.Fprintln(os.Stderr, "pipeline: report ingestion, JSON vs streamed (loopback TCP) ...")
 	if err := benchIngestion(rep, newCMS, key); err != nil {
@@ -170,6 +227,11 @@ func runPipeline(outPath, baselinePath string, checkPct, checkNsPct float64) err
 
 	fmt.Fprintln(os.Stderr, "pipeline: durable round store, WAL append + crash recovery ...")
 	if err := benchStore(rep, newCMS); err != nil {
+		return err
+	}
+
+	fmt.Fprintln(os.Stderr, "pipeline: end-to-end ingest, batched stream into a durable back-end ...")
+	if err := benchE2EIngest(rep); err != nil {
 		return err
 	}
 
@@ -265,6 +327,16 @@ func runPipeline(outPath, baselinePath string, checkPct, checkNsPct float64) err
 		if aesKS, ok := rep.Benchmarks["blind_aesctr"]; ok && aesKS.NsPerOp > 0 {
 			fmt.Printf("  blinding keystream: aes-ctr %.2fx vs hmac-sha256\n", hmacKS.NsPerOp/aesKS.NsPerOp)
 		}
+	}
+	for _, name := range []string{"cms_merge", "cms_marshal", "cms_unmarshal", "blind_aesctr"} {
+		asm, ok1 := rep.Benchmarks[name]
+		gen, ok2 := rep.Benchmarks[name+"_purego"]
+		if ok1 && ok2 && asm.NsPerOp > 0 {
+			fmt.Printf("  simd [%s]: %-14s %.2fx vs pure-Go kernels\n", rep.VecKernel, name, gen.NsPerOp/asm.NsPerOp)
+		}
+	}
+	if e2e, ok := rep.Benchmarks["e2e_ingest_durable"]; ok && e2e.NsPerOp > 0 {
+		fmt.Printf("  e2e durable ingest: %.0f reports/min (GOMAXPROCS=%d)\n", 60e9/e2e.NsPerOp, rep.MaxProcs)
 	}
 	if checkPct > 0 || checkNsPct > 0 {
 		return checkRegressions(rep, checkPct, checkNsPct)
@@ -479,6 +551,100 @@ func benchStore(rep *pipelineReport, newCMS func() *sketch.CMS) error {
 	return nil
 }
 
+// benchE2EIngest is the whole system under one number: a batched report
+// stream over loopback TCP into a real back-end running on a durable
+// round store, so every op pays frame encode, wire transfer, pooled
+// decode, config-version check, WAL append, group-committed sync (per
+// ack window) and the striped fold. It uses the load harness's geometry
+// (ε = δ = 0.01, 1360 cells ≈ 11 KB/frame) rather than the paper's 19k
+// cells so the WAL the ramp-up writes stays small; reports/min at this
+// row is what `eyewnder-sim -load` reports as its summary, and the
+// ROADMAP's ≥1M reports/min target reads directly off it on a
+// many-core host (60e9 / ns_per_op).
+func benchE2EIngest(rep *pipelineReport) error {
+	dir, err := os.MkdirTemp("", "eyewnder-bench-e2e")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	// Users bounds the distinct reporters one round accepts; the ramp-up
+	// plus the timed run submit one report per distinct user, so give the
+	// round plenty of headroom.
+	const users = 1 << 21
+	params := privacy.Params{Epsilon: 0.01, Delta: 0.01, IDSpace: 20000, Suite: group.P256()}
+	be, err := backend.New(backend.Config{
+		Params:         params,
+		Users:          users,
+		UsersEstimator: detector.EstimatorMean,
+		Store:          st,
+	})
+	if err != nil {
+		return err
+	}
+	defer be.Close()
+	srv, err := be.Serve("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	cli, err := wire.Dial(srv.Addr())
+	if err != nil {
+		return err
+	}
+	defer cli.Close()
+	cf, err := cli.Handshake()
+	if err != nil {
+		return err
+	}
+	rcfg, err := client.RoundConfigFromFrame(cf)
+	if err != nil {
+		return err
+	}
+	cms, err := rcfg.Params.NewSketch()
+	if err != nil {
+		return err
+	}
+	cells := cms.FlatCells()
+	for i := range cells {
+		cells[i] = uint64(i) * 2_654_435_761
+	}
+	frame := &wire.ReportFrame{
+		Round: 1,
+		D:     cms.Depth(), W: cms.Width(), N: 50, Seed: cms.Seed(),
+		Keystream:     byte(rcfg.Params.Keystream),
+		ConfigVersion: rcfg.Version,
+		Cells:         cells,
+	}
+	next := 0 // distinct user per submitted report, across ramp-up reruns
+	rep.Benchmarks["e2e_ingest_durable"] = measure(func(b *testing.B) {
+		s, err := cli.OpenReportStream(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			frame.User = next % users
+			next++
+			if err := s.Submit(frame); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := s.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if err := s.Close(); err != nil {
+			b.Fatal(err)
+		}
+	})
+	return nil
+}
+
 // benchRoundContention measures many reporters folding into the SAME
 // round concurrently — the workload that used to serialize on one round
 // lock. The locked variant pins the aggregator to a single merge stripe
@@ -587,7 +753,7 @@ func promoteReport(srcPath, dstPath string, only []string) error {
 	if len(promoted) == 0 {
 		return fmt.Errorf("promote: no rows of %s match %s", srcPath, dstPath)
 	}
-	dst.Go, dst.MaxProcs = src.Go, src.MaxProcs
+	dst.Go, dst.MaxProcs, dst.VecKernel = src.Go, src.MaxProcs, src.VecKernel
 	out, err := json.MarshalIndent(&dst, "", "  ")
 	if err != nil {
 		return err
@@ -624,6 +790,23 @@ func checkRegressions(rep *pipelineReport, pct, nsPct float64) error {
 		base, ok := rep.Baseline[name]
 		if !ok {
 			continue // new benchmark: nothing to regress against
+		}
+		// Refuse to compare rows recorded under different parallelism: a
+		// many-core baseline is not a bound a single-core rerun can be
+		// held to (nor the reverse). Rows predating per-row stamps fall
+		// back to their report's header stamp.
+		baseMax, curMax := base.MaxProcs, cur.MaxProcs
+		if baseMax == 0 {
+			baseMax = rep.BaselineMaxProcs
+		}
+		if curMax == 0 {
+			curMax = rep.MaxProcs
+		}
+		if baseMax > 0 && curMax > 0 && baseMax != curMax {
+			failures = append(failures, fmt.Sprintf(
+				"%s: baseline recorded at GOMAXPROCS=%d but this run used %d — not comparable; rerun with GOMAXPROCS=%d or re-promote the baseline from a matching host",
+				name, baseMax, curMax, baseMax))
+			continue
 		}
 		check := func(metric string, got, want float64, threshold float64) {
 			if threshold <= 0 || want <= 0 {

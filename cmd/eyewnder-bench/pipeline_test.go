@@ -143,3 +143,96 @@ func TestPromoteReport(t *testing.T) {
 		t.Fatal("missing promote row accepted")
 	}
 }
+
+// The gate must refuse — not silently mis-compare — when a baseline row
+// was recorded under a different GOMAXPROCS than the fresh run, and the
+// refusal must say how to rerun comparably.
+func TestCheckRegressionsRefusesMaxProcsMismatch(t *testing.T) {
+	rep := &pipelineReport{
+		MaxProcs: 1,
+		Benchmarks: map[string]pipelineResult{
+			"hot": {NsPerOp: 100, AllocsPerOp: 1, BytesPerOp: 1, MaxProcs: 1},
+		},
+		Baseline: map[string]pipelineResult{
+			"hot": {NsPerOp: 100, AllocsPerOp: 1, BytesPerOp: 1, MaxProcs: 4},
+		},
+		BaselineMaxProcs: 4,
+	}
+	err := checkRegressions(rep, 30, 300)
+	if err == nil {
+		t.Fatal("GOMAXPROCS=4 baseline row vs GOMAXPROCS=1 run passed the gate")
+	}
+	// Matching parallelism compares normally again.
+	rep.MaxProcs = 4
+	rep.Benchmarks["hot"] = pipelineResult{NsPerOp: 100, AllocsPerOp: 1, BytesPerOp: 1, MaxProcs: 4}
+	if err := checkRegressions(rep, 30, 300); err != nil {
+		t.Fatalf("like-for-like report failed the gate: %v", err)
+	}
+}
+
+// Baseline rows recorded before per-row stamps existed (MaxProcs == 0)
+// fall back to the baseline report's header stamp; fresh rows fall back
+// to the run's.
+func TestCheckRegressionsMaxProcsHeaderFallback(t *testing.T) {
+	rep := &pipelineReport{
+		MaxProcs: 1,
+		Benchmarks: map[string]pipelineResult{
+			"hot": {NsPerOp: 100, AllocsPerOp: 1, BytesPerOp: 1},
+		},
+		Baseline: map[string]pipelineResult{
+			"hot": {NsPerOp: 100, AllocsPerOp: 1, BytesPerOp: 1},
+		},
+		BaselineMaxProcs: 4,
+	}
+	if err := checkRegressions(rep, 30, 300); err == nil {
+		t.Fatal("header stamps 4 vs 1 passed the gate")
+	}
+	rep.MaxProcs = 4
+	if err := checkRegressions(rep, 30, 300); err != nil {
+		t.Fatalf("matching header stamps failed the gate: %v", err)
+	}
+	// Reports with no stamps anywhere (both headers zero) predate the
+	// guard entirely: compare as before.
+	rep.MaxProcs, rep.BaselineMaxProcs = 0, 0
+	if err := checkRegressions(rep, 30, 300); err != nil {
+		t.Fatalf("stampless reports failed the gate: %v", err)
+	}
+}
+
+// Promotion carries each row's own maxprocs stamp into the committed
+// baseline, so a later -check holds promoted rows to like-for-like
+// parallelism even when the rest of the file was recorded elsewhere.
+func TestPromoteCarriesPerRowMaxProcs(t *testing.T) {
+	dir := t.TempDir()
+	src := &pipelineReport{
+		Go: "go9.9", MaxProcs: 32, VecKernel: "avx2",
+		Benchmarks: map[string]pipelineResult{
+			"round_merge_striped": {NsPerOp: 10, AllocsPerOp: 1, BytesPerOp: 1, MaxProcs: 32},
+		},
+	}
+	dst := &pipelineReport{
+		Go: "go1.0", MaxProcs: 1,
+		Benchmarks: map[string]pipelineResult{
+			"round_merge_striped": {NsPerOp: 900, AllocsPerOp: 9, BytesPerOp: 9, MaxProcs: 1},
+		},
+	}
+	srcPath := writeReport(t, dir, "src.json", src)
+	dstPath := writeReport(t, dir, "dst.json", dst)
+	if err := promoteReport(srcPath, dstPath, []string{"round_merge_striped"}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(dstPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got pipelineReport
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	if r := got.Benchmarks["round_merge_striped"]; r.MaxProcs != 32 {
+		t.Fatalf("promoted row maxprocs = %d, want 32", r.MaxProcs)
+	}
+	if got.VecKernel != "avx2" || got.MaxProcs != 32 {
+		t.Fatalf("host stamps not adopted: kernel %q maxprocs %d", got.VecKernel, got.MaxProcs)
+	}
+}

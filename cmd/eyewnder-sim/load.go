@@ -3,7 +3,11 @@ package main
 import (
 	"crypto/rand"
 	"encoding/binary"
+	"encoding/json"
 	"fmt"
+	"os"
+	"runtime"
+	"sort"
 	"time"
 
 	"eyewnder/internal/backend"
@@ -14,6 +18,7 @@ import (
 	"eyewnder/internal/privacy"
 	"eyewnder/internal/sketch"
 	"eyewnder/internal/store"
+	"eyewnder/internal/vec"
 	"eyewnder/internal/wire"
 )
 
@@ -32,6 +37,67 @@ type loadConfig struct {
 	window  int
 	adsEach int
 	dataDir string
+}
+
+// loadSummary is the machine-readable result the harness prints as its
+// final stdout line (single-line JSON): the reproducible form of the
+// end-to-end ingest bench row. ReportsPerMin covers the timed streaming
+// sections only (submit through flush — the sustained-ingest number the
+// ROADMAP targets at ≥1M/min on a many-core host); ack latencies are
+// measured per sequence slot from submit to the covering batched ack.
+type loadSummary struct {
+	Schema        string  `json:"schema"`
+	Users         int     `json:"users"`
+	Rounds        int     `json:"rounds"`
+	Reports       int     `json:"reports"`
+	Cells         int     `json:"cells"`
+	Window        int     `json:"window"`
+	Durable       bool    `json:"durable"`
+	VecKernel     string  `json:"vec_kernel"`
+	MaxProcs      int     `json:"maxprocs"`
+	IngestSeconds float64 `json:"ingest_seconds"`
+	ReportsPerSec float64 `json:"reports_per_sec"`
+	ReportsPerMin float64 `json:"reports_per_min"`
+	P50AckMs      float64 `json:"p50_ack_ms"`
+	P99AckMs      float64 `json:"p99_ack_ms"`
+}
+
+// ackTracker pairs submit timestamps with the stream's cumulative ack
+// counter to produce per-slot ack latencies. Flush markers occupy
+// sequence slots too; they carry a zero timestamp and are skipped.
+type ackTracker struct {
+	submitted []time.Time // index = sequence slot - 1
+	observed  uint64      // acks attributed so far
+	latencies []time.Duration
+}
+
+func (a *ackTracker) submit(t time.Time) { a.submitted = append(a.submitted, t) }
+
+func (a *ackTracker) onAck(acked uint64) {
+	now := time.Now()
+	for ; a.observed < acked && a.observed < uint64(len(a.submitted)); a.observed++ {
+		if t := a.submitted[a.observed]; !t.IsZero() {
+			a.latencies = append(a.latencies, now.Sub(t))
+		}
+	}
+}
+
+// percentileMs returns the p-th percentile (0 < p <= 100) of the
+// collected ack latencies in milliseconds, 0 when none were observed.
+func (a *ackTracker) percentileMs(p float64) float64 {
+	if len(a.latencies) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), a.latencies...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(p/100*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return float64(sorted[idx]) / float64(time.Millisecond)
 }
 
 // runLoad spins an in-process back-end, blinds one report per roster
@@ -97,6 +163,11 @@ func runLoad(cfg loadConfig) error {
 	fmt.Printf("load: %d users × %d rounds over one batched stream (config v%d, window %d, %d ads/user, %d-cell sketches%s)\n",
 		cfg.users, cfg.rounds, rcfg.Version, cfg.window, cfg.adsEach, d*w, durabilityNote(cfg.dataDir))
 
+	// Sequence slots are cumulative per connection, so one tracker spans
+	// every round's stream on cli.
+	track := &ackTracker{submitted: make([]time.Time, 0, (cfg.users+1)*cfg.rounds)}
+	var ingest time.Duration
+
 	for round := uint64(1); round <= uint64(cfg.rounds); round++ {
 		// Blind the whole population's reports for this round first, so
 		// the timed section measures the wire+fold path, not the client
@@ -129,16 +200,22 @@ func runLoad(cfg loadConfig) error {
 		if err != nil {
 			return err
 		}
+		rs.OnAck = track.onAck
 		start := time.Now()
 		for _, f := range frames {
+			track.submit(time.Now())
 			if err := rs.Submit(f); err != nil {
 				return fmt.Errorf("round %d user %d: %w", round, f.User, err)
 			}
 		}
+		// Close consumes one more slot for its flush marker; a zero
+		// timestamp excludes it from the latency sample.
+		track.submit(time.Time{})
 		if err := rs.Close(); err != nil {
 			return err
 		}
 		elapsed := time.Since(start)
+		ingest += elapsed
 
 		var resp wire.CloseRoundResp
 		if err := cli.Do(wire.TypeCloseRound, wire.CloseRoundReq{Round: round}, &resp); err != nil {
@@ -150,6 +227,31 @@ func runLoad(cfg loadConfig) error {
 			float64(cfg.users)/elapsed.Seconds(), mb/elapsed.Seconds(),
 			resp.UsersTh, resp.DistinctAds)
 	}
+
+	reports := cfg.users * cfg.rounds
+	sum := loadSummary{
+		Schema:        "eyewnder-load/v1",
+		Users:         cfg.users,
+		Rounds:        cfg.rounds,
+		Reports:       reports,
+		Cells:         d * w,
+		Window:        cfg.window,
+		Durable:       cfg.dataDir != "",
+		VecKernel:     vec.Active(),
+		MaxProcs:      runtime.GOMAXPROCS(0),
+		IngestSeconds: ingest.Seconds(),
+		ReportsPerSec: float64(reports) / ingest.Seconds(),
+		ReportsPerMin: float64(reports) / ingest.Seconds() * 60,
+		P50AckMs:      track.percentileMs(50),
+		P99AckMs:      track.percentileMs(99),
+	}
+	// The final stdout line is the machine-readable summary; CI greps it
+	// out and feeds it to jq.
+	line, err := json.Marshal(sum)
+	if err != nil {
+		return err
+	}
+	os.Stdout.Write(append(line, '\n'))
 	return nil
 }
 

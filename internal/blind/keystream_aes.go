@@ -5,17 +5,22 @@ import (
 	"crypto/cipher"
 	"crypto/sha256"
 	"encoding/binary"
+
+	"eyewnder/internal/vec"
 )
 
 // aesFactorsPerFill is how many 64-bit blinding factors one refill of the
-// AES-CTR keystream yields: the stream is advanced 64 bytes (four AES
-// blocks) at a time, i.e. eight factors per refill — twice HMAC-SHA256's
-// four — and the bulk XORKeyStream call rides the pipelined AES-NI
-// assembly instead of paying per-block dispatch.
-const aesFactorsPerFill = 64 / 8
+// AES-CTR keystream yields. The stream is advanced 512 bytes (32 AES
+// blocks) at a time: one XORKeyStream call covers 64 factors, so the
+// AES-NI multiblock assembly runs long pipelined bursts and the
+// per-refill dispatch overhead amortizes to noise. The refill width is
+// an implementation detail, NOT protocol state — CTR output depends only
+// on the absolute stream position, so any refill width produces the
+// same suite-0x01 factors (the reference tests pin them byte for byte).
+const aesFactorsPerFill = 512 / 8
 
-// aesBlocksPerFill is the AES block count of one refill (4 × 16 bytes).
-const aesBlocksPerFill = 4
+// aesBlocksPerFill is the AES block count of one refill (32 × 16 bytes).
+const aesBlocksPerFill = aesFactorsPerFill * 8 / aes.BlockSize
 
 // aesKeyLabel domain-separates the AES-CTR expansion key from the raw
 // pairwise secret (which also keys the HMAC suite): both suites may exist
@@ -38,13 +43,18 @@ var aesZero [aesBlocksPerFill * aes.BlockSize]byte
 // reused for every refill, so factor generation is allocation-free after
 // keying (asserted by TestAESKeystreamZeroAllocs).
 //
+// The refill is decoded once into words so accumulate can fold whole
+// 64-factor runs with vec.Add/vec.Sub — the SIMD merge kernels — instead
+// of a per-word load/decode/add loop.
+//
 // COMPATIBILITY: this expansion defines the suite-0x01 blinding values.
 // All parties in a round must run the same suite or their pairwise terms
 // would not cancel; see the Keystream type.
 type aesKeystream struct {
 	stream cipher.Stream
-	buf    [aesBlocksPerFill * aes.BlockSize]byte // current expanded run
-	word   int                                    // next word within buf; aesFactorsPerFill = refill
+	buf    [aesBlocksPerFill * aes.BlockSize]byte // raw keystream bytes of the current run
+	words  [aesFactorsPerFill]uint64              // the run decoded as factors
+	word   int                                    // next word within words; aesFactorsPerFill = refill
 }
 
 // init keys the stream for (key, round) and positions it at cell `cell`.
@@ -68,9 +78,11 @@ func (k *aesKeystream) init(key []byte, round uint64, cell int) {
 	k.fill()
 }
 
-// fill advances the CTR stream by one 64-byte run into k.buf.
+// fill advances the CTR stream by one 512-byte run and decodes it into
+// k.words. It does not touch k.word: the caller owns the cursor.
 func (k *aesKeystream) fill() {
 	k.stream.XORKeyStream(k.buf[:], aesZero[:])
+	vec.GetLE(k.words[:], k.buf[:])
 }
 
 // next returns the following 64-bit blinding factor.
@@ -79,21 +91,51 @@ func (k *aesKeystream) next() uint64 {
 		k.fill()
 		k.word = 0
 	}
-	v := binary.LittleEndian.Uint64(k.buf[8*k.word:])
+	v := k.words[k.word]
 	k.word++
 	return v
 }
 
 // accumulate folds the remainder of the stream into out, adding when add
-// is true and subtracting otherwise (two's-complement == mod-2⁶⁴).
+// is true and subtracting otherwise (two's-complement == mod-2⁶⁴). Whole
+// refills fold through the vec SIMD kernels, 64 factors per call; only
+// the run already partially consumed and the final short tail go word by
+// word.
 func (k *aesKeystream) accumulate(out []uint64, add bool) {
-	if add {
-		for m := range out {
-			out[m] += k.next()
+	m := 0
+	// Drain the partially consumed run (after init at an unaligned cell,
+	// or a previous short accumulate).
+	for m < len(out) && k.word != aesFactorsPerFill {
+		if add {
+			out[m] += k.words[k.word]
+		} else {
+			out[m] -= k.words[k.word]
 		}
-	} else {
-		for m := range out {
-			out[m] -= k.next()
+		k.word++
+		m++
+	}
+	// Bulk runs: one XORKeyStream refill, one SIMD fold per 64 factors.
+	for len(out)-m >= aesFactorsPerFill {
+		k.fill()
+		if add {
+			vec.Add(out[m:m+aesFactorsPerFill], k.words[:])
+		} else {
+			vec.Sub(out[m:m+aesFactorsPerFill], k.words[:])
+		}
+		m += aesFactorsPerFill
+	}
+	// Tail shorter than a run: refill and consume word by word, leaving
+	// the cursor mid-run for any follow-up accumulate.
+	if m < len(out) {
+		k.fill()
+		k.word = 0
+		for ; m < len(out); m++ {
+			if add {
+				out[m] += k.words[k.word]
+			} else {
+				out[m] -= k.words[k.word]
+			}
+			k.word++
 		}
 	}
 }

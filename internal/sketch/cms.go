@@ -346,19 +346,33 @@ const maxUnmarshalCells = 1 << 28
 // the cells in little-endian order. The cell block is encoded in bulk
 // (a single memmove on little-endian hosts), not cell by cell.
 func (c *CMS) MarshalBinary() ([]byte, error) {
-	buf := make([]byte, 32+8*len(c.cells))
+	return c.AppendBinary(make([]byte, 0, 32+8*len(c.cells)))
+}
+
+// AppendBinary appends the MarshalBinary encoding to b and returns the
+// extended slice (encoding.BinaryAppender). Callers that serialize
+// repeatedly — snapshot writers, report submitters — pass a reused
+// buffer and pay only the encode, not a fresh allocation per sketch.
+func (c *CMS) AppendBinary(b []byte) ([]byte, error) {
+	off := len(b)
+	b = append(b, make([]byte, 32+8*len(c.cells))...)
+	buf := b[off:]
 	binary.LittleEndian.PutUint64(buf[0:], uint64(c.d))
 	binary.LittleEndian.PutUint64(buf[8:], uint64(c.w))
 	binary.LittleEndian.PutUint64(buf[16:], c.n)
 	binary.LittleEndian.PutUint64(buf[24:], c.seed)
 	vec.PutLE(buf[32:], c.cells)
-	return buf, nil
+	return b, nil
 }
 
 // UnmarshalBinary restores a sketch serialized by MarshalBinary. The
 // header is validated in uint64 arithmetic before any size computation, so
 // adversarial (d, w) pairs cannot overflow the expected-length check or
-// provoke a huge allocation.
+// provoke a huge allocation. A receiver whose existing cell slice has
+// enough capacity is decoded into in place — reusing one CMS across many
+// decodes (the ingest handler's shape) amortizes the allocation away —
+// so a sketch previously shared via FlatCells must not be reused as a
+// decode target.
 func (c *CMS) UnmarshalBinary(data []byte) error {
 	if len(data) < 32 {
 		return ErrCorrupt
@@ -378,7 +392,11 @@ func (c *CMS) UnmarshalBinary(data []byte) error {
 	c.d, c.w = int(d64), int(w64)
 	c.n = binary.LittleEndian.Uint64(data[16:])
 	c.seed = binary.LittleEndian.Uint64(data[24:])
-	c.cells = make([]uint64, cells)
+	if uint64(cap(c.cells)) >= cells {
+		c.cells = c.cells[:cells]
+	} else {
+		c.cells = make([]uint64, cells)
+	}
 	vec.GetLE(c.cells, data[32:])
 	return nil
 }

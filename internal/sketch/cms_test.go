@@ -1,6 +1,7 @@
 package sketch
 
 import (
+	"bytes"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -251,6 +252,53 @@ func TestSerializationRoundTrip(t *testing.T) {
 		k := fmt.Sprintf("ad-%d", i)
 		if a.QueryString(k) != b.QueryString(k) {
 			t.Fatalf("query mismatch for %s", k)
+		}
+	}
+}
+
+func TestAppendBinaryMatchesMarshalAndReuses(t *testing.T) {
+	a, _ := New(0.01, 0.05)
+	for i := 0; i < 100; i++ {
+		a.UpdateString(fmt.Sprintf("ad-%d", i%17))
+	}
+	want, err := a.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Appends after a prefix, byte-identical to MarshalBinary.
+	got, err := a.AppendBinary([]byte("prefix"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got[:6]) != "prefix" || !bytes.Equal(got[6:], want) {
+		t.Fatal("AppendBinary encoding differs from MarshalBinary")
+	}
+	// A buffer with capacity is extended without reallocating.
+	scratch := make([]byte, 0, len(want))
+	out, err := a.AppendBinary(scratch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &out[0] != &scratch[:1][0] {
+		t.Fatal("AppendBinary reallocated despite sufficient capacity")
+	}
+
+	// UnmarshalBinary into a same-geometry receiver reuses its cells.
+	var b CMS
+	if err := b.UnmarshalBinary(want); err != nil {
+		t.Fatal(err)
+	}
+	before := &b.FlatCells()[0]
+	if err := b.UnmarshalBinary(want); err != nil {
+		t.Fatal(err)
+	}
+	if &b.FlatCells()[0] != before {
+		t.Fatal("UnmarshalBinary reallocated a reusable cell slice")
+	}
+	for i := 0; i < 17; i++ {
+		k := fmt.Sprintf("ad-%d", i)
+		if a.QueryString(k) != b.QueryString(k) {
+			t.Fatalf("query mismatch for %s after reuse decode", k)
 		}
 	}
 }

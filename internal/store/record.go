@@ -112,6 +112,26 @@ type RecordEncoder struct {
 	hdr  [5]byte
 	pre  [reportPreamble]byte // largest fixed body prefix
 	tail [4]byte
+	cell []byte // cell-block scratch for hosts without a zero-copy byte view
+}
+
+// cellBytes returns the little-endian byte block for cells: the slice's
+// raw byte view where the layout allows it (little-endian hosts outside
+// purego builds), otherwise an encoder-owned scratch buffer the cells
+// are re-encoded into. The scratch grows to the largest block seen and
+// is then reused, keeping the append path allocation-free under both
+// dispatch modes. The returned slice is valid until the next call.
+func (e *RecordEncoder) cellBytes(cells []uint64) []byte {
+	if view, ok := vec.AsBytes(cells); ok {
+		return view
+	}
+	n := 8 * len(cells)
+	if cap(e.cell) < n {
+		e.cell = make([]byte, n)
+	}
+	raw := e.cell[:n]
+	vec.PutLE(raw, cells)
+	return raw
 }
 
 // record writes one framed record: the 5-byte length+kind header, the
@@ -208,12 +228,7 @@ func (e *RecordEncoder) Report(w io.Writer, round uint64, user, d, wd int, n, se
 	binary.LittleEndian.PutUint64(pre[40:], seed)
 	pre[48], pre[49], pre[50], pre[51] = keystream, 0, 0, 0
 	binary.LittleEndian.PutUint32(pre[52:], configVersion)
-	if view, ok := vec.AsBytes(cells); ok {
-		return e.record(w, recReport, pre, view)
-	}
-	raw := make([]byte, 8*len(cells))
-	vec.PutLE(raw, cells)
-	return e.record(w, recReport, pre, raw)
+	return e.record(w, recReport, pre, e.cellBytes(cells))
 }
 
 // reportRecord is a decoded report body. Cells is the raw little-endian
@@ -330,12 +345,7 @@ func (e *RecordEncoder) adjust(w io.Writer, round uint64, user int, cells []uint
 	pre := e.pre[:16]
 	binary.LittleEndian.PutUint64(pre[0:], round)
 	binary.LittleEndian.PutUint64(pre[8:], uint64(user))
-	if view, ok := vec.AsBytes(cells); ok {
-		return e.record(w, recAdjust, pre, view)
-	}
-	raw := make([]byte, 8*len(cells))
-	vec.PutLE(raw, cells)
-	return e.record(w, recAdjust, pre, raw)
+	return e.record(w, recAdjust, pre, e.cellBytes(cells))
 }
 
 // adjustRecord is a decoded adjustment body. Cells aliases the record

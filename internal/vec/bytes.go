@@ -1,0 +1,33 @@
+package vec
+
+import "encoding/binary"
+
+// Bulk little-endian (de)serialization of uint64 vectors: the encode
+// half of cms_marshal / the wire frame path and the decode half of
+// cms_unmarshal / WAL replay. The exported functions dispatch to the
+// kernel selected at init: on little-endian hosts outside the `purego`
+// tag the in-memory slice layout IS the wire layout, so the bulk kernel
+// is a single memmove (see bytes_le.go); the generic kernel below is
+// the portable per-word loop.
+
+// PutLE encodes src into dst as little-endian uint64s. dst must hold
+// 8*len(src) bytes.
+func PutLE(dst []byte, src []uint64) { putLEImpl(dst, src) }
+
+// GetLE decodes 8*len(dst) little-endian bytes from src into dst.
+func GetLE(dst []uint64, src []byte) { getLEImpl(dst, src) }
+
+// putLEGeneric encodes word by word; the reference implementation the
+// equivalence tests compare the bulk kernel against.
+func putLEGeneric(dst []byte, src []uint64) {
+	for i, v := range src {
+		binary.LittleEndian.PutUint64(dst[8*i:], v)
+	}
+}
+
+// getLEGeneric decodes word by word.
+func getLEGeneric(dst []uint64, src []byte) {
+	for i := range dst {
+		dst[i] = binary.LittleEndian.Uint64(src[8*i:])
+	}
+}

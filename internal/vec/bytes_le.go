@@ -1,4 +1,4 @@
-//go:build amd64 || arm64 || 386 || arm || riscv64 || loong64 || mipsle || mips64le || ppc64le || wasm
+//go:build !purego && (amd64 || arm64 || 386 || arm || riscv64 || loong64 || mipsle || mips64le || ppc64le || wasm)
 
 package vec
 
@@ -7,13 +7,20 @@ import "unsafe"
 // On little-endian architectures the in-memory layout of a []uint64 is
 // exactly its little-endian wire serialization, so wire payloads can be
 // read from (or written to) the slice's backing memory directly — the
-// zero-copy fast path of the streaming report reader.
+// zero-copy fast path of the streaming report reader. Under the
+// `purego` tag (no unsafe) the portable per-word kernels stand in and
+// AsBytes reports no view.
 
 // AsBytes returns the little-endian byte view over v's backing array and
 // true. Reading wire bytes into the view (or writing the view out) IS
 // the (de)serialization; no intermediate buffer exists. The view aliases
 // v: it is valid only while v is, and must not be resliced beyond its
 // length.
+//
+// AsBytes is layout, not a kernel: it stays available even under
+// EYEWNDER_NOSIMD (which disables the SIMD/bulk kernels at runtime),
+// because disabling it would silently change the wire path's pooling
+// behaviour, not just its speed.
 func AsBytes(v []uint64) ([]byte, bool) {
 	if len(v) == 0 {
 		return nil, true
@@ -21,19 +28,24 @@ func AsBytes(v []uint64) ([]byte, bool) {
 	return unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), 8*len(v)), true
 }
 
-// PutLE encodes src into dst as little-endian uint64s. dst must hold
-// 8*len(src) bytes.
-func PutLE(dst []byte, src []uint64) {
+// putLEBulk encodes src into dst in one memmove: the byte view over src
+// already is the little-endian serialization.
+func putLEBulk(dst []byte, src []uint64) {
 	if len(src) == 0 {
 		return
 	}
 	copy(dst, unsafe.Slice((*byte)(unsafe.Pointer(&src[0])), 8*len(src)))
 }
 
-// GetLE decodes 8*len(dst) little-endian bytes from src into dst.
-func GetLE(dst []uint64, src []byte) {
+// getLEBulk decodes 8*len(dst) bytes from src in one memmove.
+func getLEBulk(dst []uint64, src []byte) {
 	if len(dst) == 0 {
 		return
 	}
 	copy(unsafe.Slice((*byte)(unsafe.Pointer(&dst[0])), 8*len(dst)), src)
+}
+
+// pickEncode selects the single-memmove encode kernels.
+func pickEncode() {
+	selPutLE, selGetLE = putLEBulk, getLEBulk
 }

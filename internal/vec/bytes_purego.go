@@ -1,0 +1,14 @@
+//go:build purego || !(amd64 || arm64 || 386 || arm || riscv64 || loong64 || mipsle || mips64le || ppc64le || wasm)
+
+package vec
+
+// Portable fallback for purego builds and big-endian (or unlisted)
+// architectures: no unsafe, so no raw byte view exists — callers read
+// into a byte buffer and decode with GetLE — and the encode kernels
+// stay the generic per-word loops.
+
+// AsBytes reports that no zero-copy byte view is available.
+func AsBytes(v []uint64) ([]byte, bool) { return nil, false }
+
+// pickEncode keeps the generic encode kernels selected at init.
+func pickEncode() {}

@@ -1,0 +1,21 @@
+// Package cpu detects, once at init, the SIMD capabilities the vec
+// kernel dispatch needs: AVX2 on amd64 (via CPUID, including the
+// OS-support XGETBV check) and NEON/ASIMD on arm64 (architecturally
+// guaranteed, so no probe is needed).
+//
+// The package reports raw hardware capability only. Policy — the
+// `purego` build tag, the EYEWNDER_NOSIMD environment override — lives
+// in package vec, which combines capability and policy when it picks
+// kernels. Under the `purego` tag this package carries no assembly and
+// every capability reads false, so a purego build cannot reach a SIMD
+// path even by accident.
+package cpu
+
+// HasAVX2 reports whether the CPU and OS support AVX2 (256-bit integer
+// SIMD): always false off amd64 and under the purego tag.
+var HasAVX2 bool
+
+// HasNEON reports whether NEON/ASIMD vector instructions are available:
+// true on every arm64 (the base A64 ISA includes ASIMD), false
+// elsewhere and under the purego tag.
+var HasNEON bool

@@ -1,0 +1,30 @@
+//go:build amd64 && !purego
+
+package cpu
+
+// Implemented in cpuid_amd64.s.
+func cpuid(eaxArg, ecxArg uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv() (eax, edx uint32)
+
+func init() {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	const (
+		osxsave = 1 << 27
+		avx     = 1 << 28
+	)
+	if ecx1&osxsave == 0 || ecx1&avx == 0 {
+		return
+	}
+	// The OS must have enabled XMM (bit 1) and YMM (bit 2) state saving,
+	// or executing a VEX-256 instruction faults even on capable silicon.
+	if eax, _ := xgetbv(); eax&0x6 != 0x6 {
+		return
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	const avx2 = 1 << 5
+	HasAVX2 = ebx7&avx2 != 0
+}

@@ -1,0 +1,9 @@
+//go:build arm64 && !purego
+
+package cpu
+
+func init() {
+	// ASIMD (NEON) is part of the base A64 ISA: every arm64 Go target
+	// has it, so there is nothing to probe.
+	HasNEON = true
+}

@@ -1,0 +1,28 @@
+//go:build amd64 && !purego
+
+package vec
+
+import "eyewnder/internal/vec/cpu"
+
+// addAVX2 adds src into dst element-wise modulo 2⁶⁴, 16 words (four
+// 256-bit lanes) per iteration with a scalar tail. Implemented in
+// kernels_amd64.s; the wrapper layer guarantees len(dst) == len(src).
+//
+//go:noescape
+func addAVX2(dst, src []uint64)
+
+// subAVX2 subtracts src from dst element-wise modulo 2⁶⁴.
+//
+//go:noescape
+func subAVX2(dst, src []uint64)
+
+// pickKernels selects the AVX2 add/sub kernels when the CPU and OS
+// support them (VPADDQ/VPSUBQ need AVX2 and OS-enabled YMM state).
+func pickKernels() {
+	if cpu.HasAVX2 {
+		selAdd, selSub = addAVX2, subAVX2
+		kernelName = "avx2"
+	} else {
+		activeNote = "no avx2"
+	}
+}

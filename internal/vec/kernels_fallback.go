@@ -1,0 +1,8 @@
+//go:build purego || !(amd64 || arm64)
+
+package vec
+
+// pickKernels keeps the generic add/sub kernels: either this is a
+// `purego` build (no assembly compiled in) or the architecture has no
+// checked-in kernels.
+func pickKernels() {}

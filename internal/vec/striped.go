@@ -103,7 +103,7 @@ func (s *Striped) Add(src []uint64) {
 		}
 		lo, hi := s.bounds[j], s.bounds[j+1]
 		s.locks[j].Lock()
-		addSerial(s.dst[lo:hi], src[lo:hi])
+		addImpl(s.dst[lo:hi], src[lo:hi])
 		s.locks[j].Unlock()
 	}
 }

@@ -8,6 +8,13 @@
 // processed by up to runtime.GOMAXPROCS workers; small vectors stay on the
 // caller's goroutine so the common ε = δ = 0.001 sketch (≈19k cells) pays
 // no synchronization cost unless it profits from it.
+//
+// The element kernels themselves are selected once at init (see
+// dispatch.go): checked-in AVX2 (amd64) or NEON (arm64) assembly when
+// the host supports it, and the portable generic Go loops otherwise —
+// or always, under the `purego` build tag or the EYEWNDER_NOSIMD
+// environment override. Every path computes bit-identical results;
+// the equivalence tests assert it.
 package vec
 
 import (
@@ -30,10 +37,10 @@ func Add(dst, src []uint64) {
 		panic("vec: length mismatch")
 	}
 	if len(dst) < parallelThreshold {
-		addSerial(dst, src)
+		addImpl(dst, src)
 		return
 	}
-	parallel(len(dst), minChunk, func(lo, hi int) { addSerial(dst[lo:hi], src[lo:hi]) })
+	parallel(len(dst), minChunk, func(lo, hi int) { addImpl(dst[lo:hi], src[lo:hi]) })
 }
 
 // Sub subtracts src from dst element-wise modulo 2⁶⁴. The slices must have
@@ -43,15 +50,17 @@ func Sub(dst, src []uint64) {
 		panic("vec: length mismatch")
 	}
 	if len(dst) < parallelThreshold {
-		subSerial(dst, src)
+		subImpl(dst, src)
 		return
 	}
-	parallel(len(dst), minChunk, func(lo, hi int) { subSerial(dst[lo:hi], src[lo:hi]) })
+	parallel(len(dst), minChunk, func(lo, hi int) { subImpl(dst[lo:hi], src[lo:hi]) })
 }
 
-// addSerial is the scalar kernel, unrolled 4-wide; after the bounds hint
-// the compiler keeps the loop check-free.
-func addSerial(dst, src []uint64) {
+// addGeneric is the portable scalar kernel, unrolled 4-wide; after the
+// bounds hint the compiler keeps the loop check-free. It is both the
+// fallback when no SIMD kernel is selected and the reference the
+// equivalence tests compare the assembly kernels against.
+func addGeneric(dst, src []uint64) {
 	_ = dst[:len(src)]
 	n := len(src) &^ 3
 	for i := 0; i < n; i += 4 {
@@ -65,7 +74,7 @@ func addSerial(dst, src []uint64) {
 	}
 }
 
-func subSerial(dst, src []uint64) {
+func subGeneric(dst, src []uint64) {
 	_ = dst[:len(src)]
 	n := len(src) &^ 3
 	for i := 0; i < n; i += 4 {

@@ -356,7 +356,25 @@ type ReportStream struct {
 	remote error // first error ack (sink-side); sticky
 	dead   error // transport failure; stream and connection unusable
 	closed bool
+
+	// OnAck, when set, observes every ack the stream consumes: acked is
+	// the new cumulative acknowledged sequence count (see Sent for the
+	// matching submit-side counter). Load harnesses use it to attribute
+	// an ack timestamp to each in-flight slot and compute ack-latency
+	// percentiles. Called synchronously from Submit/Flush/Close on the
+	// submitting goroutine; keep it cheap.
+	OnAck func(acked uint64)
 }
+
+// Sent returns the cumulative sequence slots written on the stream's
+// connection: every Submit consumes one, every Flush (and the flush
+// Close issues) one more. The slot a Submit occupied is Sent() right
+// after it returns; pairing that with OnAck timestamps per-slot ack
+// latency.
+func (s *ReportStream) Sent() uint64 { return s.c.rsSent }
+
+// Acked returns the cumulative acknowledged sequence slots.
+func (s *ReportStream) Acked() uint64 { return s.c.rsAcked }
 
 // OpenReportStream negotiates batched acknowledgements (first use only —
 // the mode is sticky per connection) and opens a windowed submission
@@ -498,6 +516,9 @@ func (s *ReportStream) readAck() error {
 	if err := s.c.readAckInto(&s.remote); err != nil {
 		s.dead = err
 		return err
+	}
+	if s.OnAck != nil {
+		s.OnAck(s.c.rsAcked)
 	}
 	return nil
 }
