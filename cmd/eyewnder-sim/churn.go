@@ -1,0 +1,117 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"eyewnder/internal/churn"
+	"eyewnder/internal/vec"
+)
+
+// The churn harness: a seeded, deterministic population lifecycle —
+// arrivals, permanent dropouts, mid-round darkness, re-registrations,
+// stream reconnects — replayed against a real back-end, with every
+// round's finalized counts byte-compared to a trace oracle. See
+// internal/churn for the mechanics; this file is the CLI and the
+// machine-readable summary CI consumes.
+type churnConfig struct {
+	users      int
+	rounds     int
+	seed       uint64
+	ads        int
+	idSpace    uint64
+	window     int
+	pDark      float64
+	pDrop      float64
+	pArrive    float64
+	pRereg     float64
+	adjustWait time.Duration
+	dataDir    string
+	artifacts  string
+}
+
+// churnSummary is the final stdout line (single-line JSON), the
+// machine-readable run result: CI double-runs the same seed and
+// asserts the digests are identical, and jq-checks that every round
+// either closed through the adjustment path or was skipped empty.
+type churnSummary struct {
+	Schema    string  `json:"schema"`
+	Users     int     `json:"users"`
+	Rounds    int     `json:"rounds"`
+	Seed      uint64  `json:"seed"`
+	Reports   int     `json:"reports"`
+	Shares    int     `json:"shares"`
+	Adjusted  int     `json:"adjusted_rounds"`
+	Skipped   int     `json:"skipped_rounds"`
+	Durable   bool    `json:"durable"`
+	VecKernel string  `json:"vec_kernel"`
+	MaxProcs  int     `json:"maxprocs"`
+	Seconds   float64 `json:"seconds"`
+	Digest    string  `json:"digest"`
+}
+
+// runChurn generates the seeded trace, replays it, and prints one
+// human line per round plus the JSON summary line.
+func runChurn(cfg churnConfig) error {
+	ccfg := churn.Config{
+		Users:       cfg.users,
+		Rounds:      cfg.rounds,
+		Seed:        cfg.seed,
+		AdsPerUser:  cfg.ads,
+		IDSpace:     cfg.idSpace,
+		Window:      cfg.window,
+		PDark:       cfg.pDark,
+		PDrop:       cfg.pDrop,
+		PArrive:     cfg.pArrive,
+		PRereg:      cfg.pRereg,
+		AdjustWait:  cfg.adjustWait,
+		DataDir:     cfg.dataDir,
+		ArtifactDir: cfg.artifacts,
+	}
+	fmt.Printf("churn: %d users × %d rounds, seed %d%s\n",
+		cfg.users, cfg.rounds, cfg.seed, durabilityNote(cfg.dataDir))
+	start := time.Now()
+	res, err := churn.Run(ccfg, func(format string, args ...interface{}) {
+		fmt.Printf("  "+format+"\n", args...)
+	})
+	if err != nil {
+		// The partial summary still goes out: CI's failure path uploads
+		// it next to the trace/diff artifacts.
+		if res != nil {
+			printChurnSummary(cfg, res, time.Since(start))
+		}
+		return err
+	}
+	printChurnSummary(cfg, res, time.Since(start))
+	return nil
+}
+
+func printChurnSummary(cfg churnConfig, res *churn.Result, elapsed time.Duration) {
+	sum := churnSummary{
+		Schema:    "eyewnder-churn/v1",
+		Users:     cfg.users,
+		Rounds:    len(res.Rounds),
+		Seed:      cfg.seed,
+		Reports:   res.Reports,
+		Shares:    res.Shares,
+		Durable:   cfg.dataDir != "",
+		VecKernel: vec.Active(),
+		MaxProcs:  runtime.GOMAXPROCS(0),
+		Seconds:   elapsed.Seconds(),
+		Digest:    res.Digest,
+	}
+	for _, rr := range res.Rounds {
+		if rr.Adjusted {
+			sum.Adjusted++
+		}
+		if rr.Skipped {
+			sum.Skipped++
+		}
+	}
+	if line, err := json.Marshal(sum); err == nil {
+		os.Stdout.Write(append(line, '\n'))
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"time"
 
 	"eyewnder/internal/adsim"
 	"eyewnder/internal/experiments"
@@ -33,6 +34,20 @@ func main() {
 		loadWin  = flag.Int("load-window", 0, "in-flight frame window in -load mode (0 = twice the server's ack batch)")
 		loadAds  = flag.Int("load-ads", 50, "distinct ads per user per round in -load mode")
 		loadDir  = flag.String("load-data-dir", "", "run the -load back-end on a durable round store in this directory")
+
+		churnN     = flag.Int("churn", 0, "replay a deterministic N-user population-lifecycle trace (the churn harness)")
+		seed       = flag.Uint64("seed", 1, "master seed for -churn (same seed → identical trace and finalized counts)")
+		churnRnds  = flag.Int("churn-rounds", 4, "rounds to replay in -churn mode")
+		churnAds   = flag.Int("churn-ads", 3, "ad observations per reporter per round in -churn mode")
+		churnIDs   = flag.Uint64("churn-idspace", 20000, "ad-ID space in -churn mode")
+		churnWin   = flag.Int("churn-window", 256, "in-flight frame window in -churn mode")
+		churnDark  = flag.Float64("churn-dark", 0.12, "per-round probability an active user goes dark (forces the adjustment round)")
+		churnDrop  = flag.Float64("churn-drop", 0.03, "per-round probability an active user drops out permanently")
+		churnJoin  = flag.Float64("churn-arrive", 0.05, "per-round probability an unregistered user joins")
+		churnRereg = flag.Float64("churn-rereg", 0.02, "per-round probability an active user re-registers (version bump)")
+		churnWait  = flag.Duration("churn-adjust-wait", 10*time.Second, "adjustment-share deadline for closing rounds in -churn mode")
+		churnDir   = flag.String("churn-data-dir", "", "run the -churn back-end on a durable round store in this directory")
+		churnArts  = flag.String("churn-artifacts", "", "directory for trace + oracle-diff artifacts on a -churn failure")
 	)
 	flag.Parse()
 
@@ -46,6 +61,17 @@ func main() {
 	}
 
 	switch {
+	case *churnN > 0:
+		if err := runChurn(churnConfig{
+			users: *churnN, rounds: *churnRnds, seed: *seed,
+			ads: *churnAds, idSpace: *churnIDs, window: *churnWin,
+			pDark: *churnDark, pDrop: *churnDrop,
+			pArrive: *churnJoin, pRereg: *churnRereg,
+			adjustWait: *churnWait, dataDir: *churnDir, artifacts: *churnArts,
+		}); err != nil {
+			log.Fatal(err)
+		}
+
 	case *load > 0:
 		if err := runLoad(loadConfig{
 			users: *load, rounds: *loadRnds, window: *loadWin,

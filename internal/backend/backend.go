@@ -13,6 +13,7 @@ import (
 	"math/big"
 	"sort"
 	"sync"
+	"time"
 
 	"eyewnder/internal/blind"
 	"eyewnder/internal/detector"
@@ -30,6 +31,28 @@ var (
 	ErrRoundNotClosed = errors.New("backend: round not closed yet")
 	ErrUnknownRound   = errors.New("backend: unknown round")
 	ErrBadUser        = errors.New("backend: user index out of range")
+	// ErrRoundSealed rejects a report into a round that a deadline close
+	// (CloseRoundWait) has sealed: the missing set is frozen so reporters
+	// can compute adjustment shares against it, and a late report would
+	// invalidate every share already computed.
+	ErrRoundSealed = errors.New("backend: round sealed for closing")
+	// ErrAdjustIncomplete is a deadline close giving up: the wait expired
+	// with reporters' second-round shares still outstanding. The round
+	// stays open (and sealed) — stragglers can still upload shares and
+	// the close can be retried.
+	ErrAdjustIncomplete = errors.New("backend: adjustment shares still outstanding")
+	// ErrAdjustConflict rejects a second adjustment share from a user
+	// whose stored share differs: an identical re-upload is an idempotent
+	// retry, but two different shares for the same round mean the client
+	// computed against two different missing sets, and silently keeping
+	// either would be a coin flip on correctness.
+	ErrAdjustConflict = errors.New("backend: conflicting adjustment share already stored")
+	// ErrAdjustNotReporter rejects an adjustment share from a user whose
+	// report is not in the aggregate: a share is the sum of the
+	// submitter's pairwise blinding terms toward the missing users, so
+	// without the submitter's blinded report there is nothing for it to
+	// cancel — subtracting it would corrupt the round.
+	ErrAdjustNotReporter = errors.New("backend: adjustment share from a user who has not reported")
 )
 
 // Config fixes the back-end's parameters.
@@ -123,6 +146,15 @@ type round struct {
 	mu      sync.RWMutex
 	agg     *privacy.Aggregator
 	adjusts map[int][]uint64 // second-round shares by reporter
+	// sealed stops report admission without closing: a deadline close
+	// (CloseRoundWait) seals first so the missing set is frozen while
+	// reporters compute and upload their adjustment shares. Sealing is
+	// in-memory only — after a crash the round recovers open, and the
+	// retried deadline close simply seals it again.
+	sealed bool
+	// adjCond (lazily created under mu's write side) wakes deadline
+	// closes whenever an adjustment share lands.
+	adjCond *sync.Cond
 	closed  bool
 	final   *sketch.CMS
 	usersTh float64
@@ -550,6 +582,10 @@ func (b *Backend) SubmitReport(rep *privacy.Report) error {
 		r.mu.RUnlock()
 		return ErrRoundClosed
 	}
+	if r.sealed {
+		r.mu.RUnlock()
+		return ErrRoundSealed
+	}
 	if err := r.agg.Reserve(rep); err != nil {
 		r.mu.RUnlock()
 		return err
@@ -586,6 +622,13 @@ func (b *Backend) SubmitReport(rep *privacy.Report) error {
 // each acknowledgement, so one group-committed fsync covers a whole
 // batched-ack window instead of every report paying its own.
 func (b *Backend) ConsumeReport(f *wire.ReportFrame) error {
+	if f.Kind == wire.FrameKindAdjust {
+		// A streamed second-round share: same batched connection, same
+		// ack slots and durability barrier as reports (the ack's
+		// SyncReports covers the share's WAL append), different store.
+		return b.submitAdjustment(f.User, f.Round, f.ConfigVersion,
+			blind.Keystream(f.Keystream), true, f.Cells, false)
+	}
 	r, err := b.getRound(f.Round)
 	if err != nil {
 		return err
@@ -594,6 +637,9 @@ func (b *Backend) ConsumeReport(f *wire.ReportFrame) error {
 	defer r.mu.RUnlock()
 	if r.closed {
 		return ErrRoundClosed
+	}
+	if r.sealed {
+		return ErrRoundSealed
 	}
 	ks := blind.Keystream(f.Keystream)
 	if err := r.agg.ReserveCells(f.User, f.D, f.W, f.N, f.Seed, ks, f.ConfigVersion, len(f.Cells)); err != nil {
@@ -608,34 +654,91 @@ func (b *Backend) ConsumeReport(f *wire.ReportFrame) error {
 	return nil
 }
 
-// RoundStatus reports progress of a round.
-func (b *Backend) RoundStatus(id uint64) (reported int, missing []int, closed bool, err error) {
+// RoundProgress is one consistent observation of a round's state:
+// Reported and Missing come from the same aggregator critical section
+// (Reported + len(Missing) equals the roster size, always), and the
+// adjusted count, sealed and closed flags are read under the same round
+// lock. Separate Reported()/Missing() reads can each be individually
+// correct yet disagree when a report folds in between them — the torn
+// view a status poll racing submissions used to publish.
+type RoundProgress struct {
+	Reported int
+	Missing  []int
+	// Adjusted counts the reporters whose second-round shares are
+	// stored.
+	Adjusted int
+	Sealed   bool
+	Closed   bool
+}
+
+// RoundProgressOf reports a round's progress as one consistent snapshot.
+func (b *Backend) RoundProgressOf(id uint64) (RoundProgress, error) {
 	r, err := b.getRound(id)
 	if err != nil {
-		return 0, nil, false, err
+		return RoundProgress{}, err
 	}
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	return r.agg.Reported(), r.agg.Missing(), r.closed, nil
+	reported, missing := r.agg.Progress()
+	return RoundProgress{
+		Reported: reported, Missing: missing,
+		Adjusted: len(r.adjusts), Sealed: r.sealed, Closed: r.closed,
+	}, nil
 }
 
-// SubmitAdjustment records a reporter's second-round share. Shares with
-// the wrong cell count are rejected here, at upload time: a stored
-// bad-length share would otherwise make every CloseRound attempt fail.
+// RoundStatus reports progress of a round.
+func (b *Backend) RoundStatus(id uint64) (reported int, missing []int, closed bool, err error) {
+	p, err := b.RoundProgressOf(id)
+	if err != nil {
+		return 0, nil, false, err
+	}
+	return p.Reported, p.Missing, p.Closed, nil
+}
+
+// SubmitAdjustment records a reporter's second-round share. Invalid
+// shares are rejected here, at upload time, rather than poisoning every
+// later CloseRound attempt: the cell count must match the geometry, the
+// round must exist and be open, and the submitter must be one of the
+// round's reporters — a share is the sum of the submitter's pairwise
+// blinding terms toward the missing users, meaningless without the
+// submitter's own report in the aggregate. Re-uploading an identical
+// share is an idempotent retry; a *different* share for the same round
+// is refused (ErrAdjustConflict) — the client computed against two
+// different missing sets and the server cannot tell which one is right.
 func (b *Backend) SubmitAdjustment(user int, id uint64, cells []uint64) error {
+	return b.submitAdjustment(user, id, 0, 0, false, cells, true)
+}
+
+// SubmitAdjustmentVersion is SubmitAdjustment for a share derived under
+// a specific negotiated config version: a stale nonzero version is
+// rejected (the share's pairwise terms come from a superseded roster
+// and could not cancel), exactly as stale reports are.
+func (b *Backend) SubmitAdjustmentVersion(user int, id uint64, cv uint32, cells []uint64) error {
+	return b.submitAdjustment(user, id, cv, 0, false, cells, true)
+}
+
+// submitAdjustment is the shared adjustment-upload path. checkKS
+// enforces ks against the round's blinding suite (the streamed-frame
+// path carries the byte; the JSON path never did). syncNow runs the
+// fsync barrier before returning — the streamed path passes false and
+// lets the wire layer's ack barrier (SyncReports) cover the append, so
+// batched adjustment uploads amortize fsyncs exactly like reports.
+func (b *Backend) submitAdjustment(user int, id uint64, cv uint32, ks blind.Keystream, checkKS bool, cells []uint64, syncNow bool) error {
 	if user < 0 || user >= b.cfg.Users {
 		return ErrBadUser
 	}
 	if len(cells) != b.cells {
 		return fmt.Errorf("backend: adjustment share has %d cells, want %d", len(cells), b.cells)
 	}
-	r, err := b.getRound(id)
-	if err != nil {
-		return err
+	// Unlike reports, an adjustment never opens a round: a share can
+	// only repair a round that reports have already touched.
+	r, ok := b.lookupRound(id)
+	if !ok {
+		return ErrUnknownRound
 	}
-	// The write lock covers only the closed check, the append (which
-	// must order against a concurrent close), and the map update; the
-	// fsync barrier runs after it is released, so the round's reporters
+	// The write lock covers only the validation, the append (which must
+	// order against a concurrent close), and the map update; the fsync
+	// barrier runs after it is released, so the round's reporters
 	// (read-lock holders) never stall behind an adjustment's disk flush
 	// and concurrent adjustment uploads group-commit onto one fsync. A
 	// Sync failure surfaces as this upload's error; a retry overwrites
@@ -645,13 +748,53 @@ func (b *Backend) SubmitAdjustment(user int, id uint64, cells []uint64) error {
 		r.mu.Unlock()
 		return ErrRoundClosed
 	}
+	if !r.agg.Config().CompatibleReportVersion(cv) {
+		r.mu.Unlock()
+		return privacy.ErrIncompatibleConfig
+	}
+	if checkKS && ks != r.agg.Config().Params.Keystream {
+		r.mu.Unlock()
+		return privacy.ErrKeystreamMismatch
+	}
+	if !r.agg.HasReported(user) {
+		r.mu.Unlock()
+		return ErrAdjustNotReporter
+	}
+	if prev, dup := r.adjusts[user]; dup && !cellsEqual(prev, cells) {
+		r.mu.Unlock()
+		return ErrAdjustConflict
+	}
+	// An identical duplicate still appends and (re-)syncs: the retry may
+	// be recovering from a Sync failure, and replay is last-wins.
 	if err := b.store.AppendAdjust(id, user, cells); err != nil {
 		r.mu.Unlock()
 		return err
 	}
 	r.adjusts[user] = append([]uint64(nil), cells...)
+	if r.adjCond != nil {
+		r.adjCond.Broadcast() // wake deadline closes waiting on shares
+	}
 	r.mu.Unlock()
-	return b.store.Sync()
+	if syncNow {
+		if err := b.store.Sync(); err != nil {
+			return err
+		}
+	}
+	b.maybeSnapshot()
+	return nil
+}
+
+// cellsEqual reports whether two cell vectors hold the same values.
+func cellsEqual(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // CloseRound unblinds the aggregate (applying any adjustment shares),
@@ -671,23 +814,145 @@ func (b *Backend) CloseRound(id uint64) (usersTh float64, distinctAds int, err e
 		defer r.mu.Unlock()
 		return r.usersTh, len(r.counts), nil
 	}
-	if err := b.finalizeLocked(r); err != nil {
+	if err := b.closeLocked(id, r); err != nil {
 		r.mu.Unlock()
 		return 0, 0, err
 	}
-	if err := b.store.AppendClose(id); err != nil {
-		r.mu.Unlock()
-		return 0, 0, err
-	}
-	if err := b.store.Sync(); err != nil {
-		r.mu.Unlock()
-		return 0, 0, err
-	}
-	r.closed = true
 	usersTh, distinctAds = r.usersTh, len(r.counts)
 	r.mu.Unlock()
 	b.retireRounds()
 	return usersTh, distinctAds, nil
+}
+
+// CloseRoundWait is the deadline close: it *seals* the round (reports
+// are refused from here on, so the missing set is frozen and every
+// reporter can compute its adjustment share against the same list),
+// then waits up to `wait` for every reporter's share to land before
+// finalizing. If the deadline expires with shares still outstanding it
+// returns ErrAdjustIncomplete and leaves the round open (and sealed):
+// stragglers can still upload and the close can be retried. This is how
+// a round with permanently-lost users closes — the lost users simply
+// stay in the missing set, and once the reporters that ARE alive have
+// all adjusted for them, the round finalizes without them. A reporter
+// that vanishes *between* its report and its share, by contrast, holds
+// the round at ErrAdjustIncomplete: its pairwise terms are in the
+// aggregate and nobody else can cancel them.
+//
+// With a full roster (nothing missing) no shares are owed and the close
+// proceeds immediately. Sealing is in-memory: a crash recovers the
+// round unsealed, and the retried deadline close re-seals it.
+func (b *Backend) CloseRoundWait(id uint64, wait time.Duration) (usersTh float64, distinctAds int, err error) {
+	r, err := b.getRound(id)
+	if err != nil {
+		return 0, 0, err
+	}
+	r.mu.Lock()
+	if r.closed {
+		defer r.mu.Unlock()
+		return r.usersTh, len(r.counts), nil
+	}
+	r.sealed = true
+	deadline := time.Now().Add(wait)
+	var timer *time.Timer
+	for {
+		owed := owedLocked(r)
+		if len(owed) == 0 {
+			break
+		}
+		if !time.Now().Before(deadline) {
+			reported, _ := r.agg.Progress()
+			r.mu.Unlock()
+			if timer != nil {
+				timer.Stop()
+			}
+			return 0, 0, fmt.Errorf("%w: %d of %d reporters after %v (first: user %d)",
+				ErrAdjustIncomplete, len(owed), reported, wait, owed[0])
+		}
+		if r.adjCond == nil {
+			r.adjCond = sync.NewCond(&r.mu)
+		}
+		if timer == nil {
+			// One timer per close call: it grabs the round lock and
+			// broadcasts, so a wait with no more shares arriving still
+			// wakes up to observe its expired deadline.
+			cond := r.adjCond
+			timer = time.AfterFunc(time.Until(deadline), func() {
+				r.mu.Lock()
+				cond.Broadcast()
+				r.mu.Unlock()
+			})
+		}
+		r.adjCond.Wait()
+		if r.closed { // a concurrent close won the race
+			defer r.mu.Unlock()
+			timer.Stop()
+			return r.usersTh, len(r.counts), nil
+		}
+	}
+	if timer != nil {
+		timer.Stop()
+	}
+	closeErr := b.closeLocked(id, r)
+	usersTh, distinctAds = r.usersTh, len(r.counts)
+	r.mu.Unlock()
+	if closeErr != nil {
+		return 0, 0, closeErr
+	}
+	b.retireRounds()
+	return usersTh, distinctAds, nil
+}
+
+// owedLocked lists the reporters whose second-round shares are still
+// outstanding — empty when nothing is missing (no adjustment round is
+// needed) or when no reports have landed at all (nothing to repair;
+// the close will fail on ErrNoReports instead). Caller holds r.mu.
+func owedLocked(r *round) []int {
+	reported, missing := r.agg.Progress()
+	if reported == 0 || len(missing) == 0 {
+		return nil
+	}
+	miss := make(map[int]bool, len(missing))
+	for _, m := range missing {
+		miss[m] = true
+	}
+	var owed []int
+	for u := 0; u < r.agg.Config().RosterSize; u++ {
+		if miss[u] {
+			continue
+		}
+		if _, ok := r.adjusts[u]; !ok {
+			owed = append(owed, u)
+		}
+	}
+	return owed
+}
+
+// closeLocked runs the close body under r.mu (write): finalize, log,
+// sync, flip closed. The close record is durable before the flag flips,
+// so a crash straddling the close either replays it or leaves the round
+// open and retryable — never half-closed.
+//
+// A close with users missing requires EVERY reporter's adjustment share
+// first: a partial share set subtracts a partial set of pairwise terms
+// and would publish corrupted counts that look plausible. CloseRoundWait
+// waits for the stragglers; the plain close refuses immediately.
+func (b *Backend) closeLocked(id uint64, r *round) error {
+	if owed := owedLocked(r); len(owed) > 0 {
+		reported, _ := r.agg.Progress()
+		return fmt.Errorf("%w: %d of %d reporters (first: user %d)",
+			ErrAdjustIncomplete, len(owed), reported, owed[0])
+	}
+	if err := b.finalizeLocked(r); err != nil {
+		return err
+	}
+	if err := b.store.AppendClose(id); err != nil {
+		return err
+	}
+	if err := b.store.Sync(); err != nil {
+		return err
+	}
+	r.closed = true
+	return nil
 }
 
 // retireRounds drops every closed round older than the RetainRounds-th
@@ -754,10 +1019,16 @@ func (b *Backend) finalizeLocked(r *round) error {
 	// Adjustments are applied to a clone of the aggregate
 	// (FinalizeWithAdjustments), never to the live one: if the close
 	// fails (reports still missing, say), a retry must not subtract the
-	// same shares twice.
-	shares := make([][]uint64, 0, len(r.adjusts))
-	for _, s := range r.adjusts {
-		shares = append(shares, s)
+	// same shares twice. With a full roster the shares are skipped
+	// entirely — any stored ones were computed against a transient
+	// missing view that later reports emptied, and subtracting terms
+	// that already cancel pairwise would corrupt the aggregate.
+	var shares [][]uint64
+	if _, missing := r.agg.Progress(); len(missing) > 0 {
+		shares = make([][]uint64, 0, len(r.adjusts))
+		for _, s := range r.adjusts {
+			shares = append(shares, s)
+		}
 	}
 	final, err := r.agg.FinalizeWithAdjustments(shares...)
 	if err != nil {
@@ -866,12 +1137,13 @@ func (b *Backend) Handler() wire.Handler {
 			if err := m.Decode(&req); err != nil {
 				return "", nil, err
 			}
-			reported, missing, closed, err := b.RoundStatus(req.Round)
+			p, err := b.RoundProgressOf(req.Round)
 			if err != nil {
 				return "", nil, err
 			}
 			return wire.TypeRoundStatusOK, wire.RoundStatusResp{
-				Round: req.Round, Reported: reported, Missing: missing, Closed: closed,
+				Round: req.Round, Reported: p.Reported, Missing: p.Missing,
+				Closed: p.Closed, Sealed: p.Sealed, Adjusted: p.Adjusted,
 			}, nil
 
 		case wire.TypeSubmitAdjust:
@@ -879,7 +1151,7 @@ func (b *Backend) Handler() wire.Handler {
 			if err := m.Decode(&req); err != nil {
 				return "", nil, err
 			}
-			if err := b.SubmitAdjustment(req.User, req.Round, req.Cells); err != nil {
+			if err := b.SubmitAdjustmentVersion(req.User, req.Round, req.ConfigVersion, req.Cells); err != nil {
 				return "", nil, err
 			}
 			return wire.TypeSubmitAdjustOK, struct{}{}, nil
@@ -889,12 +1161,32 @@ func (b *Backend) Handler() wire.Handler {
 			if err := m.Decode(&req); err != nil {
 				return "", nil, err
 			}
-			th, ads, err := b.CloseRound(req.Round)
+			var th float64
+			var ads int
+			var err error
+			if req.AdjustWaitMS > 0 {
+				th, ads, err = b.CloseRoundWait(req.Round, time.Duration(req.AdjustWaitMS)*time.Millisecond)
+			} else {
+				th, ads, err = b.CloseRound(req.Round)
+			}
 			if err != nil {
 				return "", nil, err
 			}
 			return wire.TypeCloseRoundOK, wire.CloseRoundResp{
 				Round: req.Round, UsersTh: th, DistinctAds: ads,
+			}, nil
+
+		case wire.TypeRoundCounts:
+			var req wire.RoundCountsReq
+			if err := m.Decode(&req); err != nil {
+				return "", nil, err
+			}
+			counts, err := b.UserCountsOfRound(req.Round)
+			if err != nil {
+				return "", nil, err
+			}
+			return wire.TypeRoundCountsOK, wire.RoundCountsResp{
+				Round: req.Round, Counts: counts,
 			}, nil
 
 		case wire.TypeThreshold:

@@ -2,6 +2,7 @@ package backend
 
 import (
 	"encoding/binary"
+	"errors"
 	"strings"
 	"sync"
 	"testing"
@@ -85,28 +86,27 @@ func TestSubmitAdjustmentRejectsBadLength(t *testing.T) {
 	}
 }
 
-// A CloseRound that fails (here: reports missing, no adjustments) must
-// leave the round aggregate untouched, so that a later successful close
-// does not subtract adjustment shares twice.
+// A CloseRound that fails must leave the round aggregate untouched, so
+// that a later successful close does not subtract adjustment shares
+// twice; and an adjustment upload racing ahead of its own report must
+// be refused without creating the round.
 func TestCloseRoundRetrySafe(t *testing.T) {
 	b, clients := newBackend(t)
 	const round = 9
 	sketchCells := b.cells
 
-	// Upload an adjustment share before any report: the close attempt
-	// must fail (no reports) WITHOUT consuming the share.
+	// A share before any report touches the round: refused (the round
+	// does not even exist yet — shares repair rounds, never open them).
 	adj, err := clients[0].Adjust(round, sketchCells, []int{1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := b.SubmitAdjustment(0, round, adj); err != nil {
-		t.Fatal(err)
-	}
-	if _, _, err := b.CloseRound(round); err == nil {
-		t.Fatal("close with zero reports succeeded")
+	if err := b.SubmitAdjustment(0, round, adj); !errors.Is(err, ErrUnknownRound) {
+		t.Fatalf("pre-report adjustment share: err = %v, want ErrUnknownRound", err)
 	}
 
-	// Users 0, 2, 3 report (user 1 is missing); they all adjust for 1.
+	// Users 0, 2, 3 report (user 1 is missing). A close attempt with no
+	// shares yet must fail without consuming anything.
 	for _, u := range []int{0, 2, 3} {
 		if _, err := clients[u].ObserveAd("https://ad.example/x"); err != nil {
 			t.Fatal(err)
@@ -118,14 +118,19 @@ func TestCloseRoundRetrySafe(t *testing.T) {
 		if err := b.SubmitReport(rep); err != nil {
 			t.Fatal(err)
 		}
-		if u != 0 {
-			adj, err := clients[u].Adjust(round, sketchCells, []int{1})
-			if err != nil {
-				t.Fatal(err)
-			}
-			if err := b.SubmitAdjustment(u, round, adj); err != nil {
-				t.Fatal(err)
-			}
+	}
+	if _, _, err := b.CloseRound(round); err == nil {
+		t.Fatal("close with a missing user and no adjustment shares succeeded")
+	}
+
+	// All three reporters adjust for user 1; the retried close succeeds.
+	for _, u := range []int{0, 2, 3} {
+		adj, err := clients[u].Adjust(round, sketchCells, []int{1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.SubmitAdjustment(u, round, adj); err != nil {
+			t.Fatal(err)
 		}
 	}
 	if _, _, err := b.CloseRound(round); err != nil {

@@ -23,6 +23,14 @@ func storeTestParams() privacy.Params {
 // buildReports blinds one report per roster member for the given round.
 func buildReports(t *testing.T, params privacy.Params, users int, round uint64) []*privacy.Report {
 	t.Helper()
+	reports, _ := buildReportsWithRoster(t, params, users, round)
+	return reports
+}
+
+// buildReportsWithRoster is buildReports keeping the roster, so a test
+// can later derive the same parties' adjustment shares.
+func buildReportsWithRoster(t *testing.T, params privacy.Params, users int, round uint64) ([]*privacy.Report, *blind.Roster) {
+	t.Helper()
 	roster, err := blind.NewRosterKeystream(params.Suite, users, rand.Reader, params.Keystream)
 	if err != nil {
 		t.Fatal(err)
@@ -44,7 +52,7 @@ func buildReports(t *testing.T, params privacy.Params, users int, round uint64) 
 		}
 		reports[u] = &privacy.Report{User: u, Round: round, Sketch: cms, Keystream: params.Keystream}
 	}
-	return reports
+	return reports, roster
 }
 
 // frameOf converts a report to its streamed wire form.

@@ -1,0 +1,232 @@
+package churn
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// testConfig keeps e2e runs fast: a few hundred users is enough to hit
+// every lifecycle event kind in four rounds, while a real back-end and
+// real wire connections are exercised end to end.
+func testConfig(users int, seed uint64) Config {
+	return Config{Users: users, Seed: seed, Rounds: 4, AdjustWait: 5 * time.Second}
+}
+
+// TestGenerateDeterministic pins trace generation: same seed, same
+// trace, bit for bit; different seed, different trace.
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(testConfig(400, 9))
+	b := Generate(testConfig(400, 9))
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different traces")
+	}
+	c := Generate(testConfig(400, 10))
+	if reflect.DeepEqual(a.Rounds, c.Rounds) {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+// TestGenerateEventsDisjoint checks the trace's structural contract:
+// per round, a user appears in at most one of Joins/Reregs/Drops; a
+// joiner or re-registrant may additionally go dark (register, then
+// vanish — the version bump lands but no report follows), a dropper
+// never does; and nothing ever happens to a dropped user again.
+func TestGenerateEventsDisjoint(t *testing.T) {
+	cfg := testConfig(600, 3)
+	cfg.Rounds = 6
+	tr := Generate(cfg)
+	pop := newPopulation(cfg.Users)
+	for _, ev := range tr.Rounds {
+		seen := make(map[int]string)
+		mark := func(list []int, kind string) {
+			for _, u := range list {
+				if prev, dup := seen[u]; dup && !(kind == "dark" && (prev == "join" || prev == "rereg")) {
+					t.Fatalf("round %d: user %d in both %s and %s", ev.Round, u, prev, kind)
+				}
+				seen[u] = kind
+				if pop.dropped[u] {
+					t.Fatalf("round %d: dropped user %d has event %s", ev.Round, u, kind)
+				}
+			}
+		}
+		mark(ev.Joins, "join")
+		mark(ev.Reregs, "rereg")
+		mark(ev.Drops, "drop")
+		for _, u := range ev.Joins {
+			if pop.gen[u] != 0 {
+				t.Fatalf("round %d: join for already-registered user %d", ev.Round, u)
+			}
+		}
+		for _, u := range ev.Reregs {
+			if pop.gen[u] == 0 {
+				t.Fatalf("round %d: rereg for unregistered user %d", ev.Round, u)
+			}
+		}
+		mark(ev.Darks, "dark")
+		pop.apply(ev)
+		for _, u := range ev.Darks {
+			if pop.gen[u] == 0 || pop.dropped[u] {
+				t.Fatalf("round %d: dark user %d is not active", ev.Round, u)
+			}
+		}
+	}
+}
+
+// TestRingCancellation checks the harness's blinding algebra directly,
+// without a server: summing every ring member's blinded cells yields
+// the plain sums when everyone is present, and subtracting the
+// reporters' adjustment shares restores the plain sums when some
+// members go dark.
+func TestRingCancellation(t *testing.T) {
+	const cells, round, seed = 16, 3, 77
+	active := []int{1, 4, 5, 9, 12}
+	gens := make([]uint32, 13)
+	for _, u := range active {
+		gens[u] = uint32(u%3 + 1)
+	}
+	dark := map[int]bool{5: true, 9: true}
+	missing := make([]bool, 13)
+	for u := range dark {
+		missing[u] = true
+	}
+
+	plain := make([]uint64, cells)
+	sum := make([]uint64, cells)
+	var nb [2]int
+	for i, u := range active {
+		if dark[u] {
+			continue
+		}
+		user := make([]uint64, cells)
+		for c := range user {
+			user[c] = uint64(u)*100 + uint64(c) // stand-in sketch cells
+			plain[c] += user[c]
+		}
+		a, b, n := ringNeighbors(active, i)
+		nb[0], nb[1] = a, b
+		blindCells(user, seed, round, u, nb[:n], gens)
+		for c := range sum {
+			sum[c] += user[c]
+		}
+	}
+	share := make([]uint64, cells)
+	for i, u := range active {
+		if dark[u] {
+			continue
+		}
+		a, b, n := ringNeighbors(active, i)
+		nb[0], nb[1] = a, b
+		adjustShare(share, seed, round, u, nb[:n], gens, missing)
+		for c := range sum {
+			sum[c] -= share[c]
+		}
+	}
+	for c := range sum {
+		if sum[c] != plain[c] {
+			t.Fatalf("cell %d: adjusted sum %d != plain sum %d", c, sum[c], plain[c])
+		}
+	}
+}
+
+// TestReplayEndToEnd is the tentpole assertion at test scale: a seeded
+// trace with well over 10%% of reporters going dark every round replays
+// against a real server, every non-empty round closes through the
+// adjustment path, and every round's finalized counts byte-match the
+// trace oracle (Replay fails otherwise).
+func TestReplayEndToEnd(t *testing.T) {
+	cfg := testConfig(300, 42)
+	res, err := Run(cfg, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rounds) != cfg.Rounds {
+		t.Fatalf("replayed %d rounds, want %d", len(res.Rounds), cfg.Rounds)
+	}
+	darks := 0
+	for _, rr := range res.Rounds {
+		if rr.Skipped {
+			continue
+		}
+		if !rr.Adjusted {
+			t.Fatalf("round %d closed without the adjustment path (%d missing)", rr.Round, rr.Missing)
+		}
+		if rr.Shares != rr.Reporters {
+			t.Fatalf("round %d: %d shares from %d reporters", rr.Round, rr.Shares, rr.Reporters)
+		}
+		darks += rr.Darks
+	}
+	if darks == 0 {
+		t.Fatal("trace produced no dark users; the adjustment round was never forced")
+	}
+	if res.Digest == "" {
+		t.Fatal("empty digest")
+	}
+}
+
+// TestReplayDeterministic double-runs one seed and cross-runs another:
+// the digest (chained over every round's finalized counts) must be
+// identical for identical seeds and different otherwise.
+func TestReplayDeterministic(t *testing.T) {
+	a, err := Run(testConfig(200, 5), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(testConfig(200, 5), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest != b.Digest {
+		t.Fatalf("same seed, different digests: %s != %s", a.Digest, b.Digest)
+	}
+	if a.Reports != b.Reports || a.Shares != b.Shares {
+		t.Fatalf("same seed, different traffic: %d/%d reports, %d/%d shares",
+			a.Reports, b.Reports, a.Shares, b.Shares)
+	}
+	c, err := Run(testConfig(200, 6), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest == c.Digest {
+		t.Fatal("different seeds produced the same digest")
+	}
+}
+
+// TestReplayDurable replays on a disk-backed round store: every
+// registration, report, share, and close also pays its WAL append, and
+// the digest must match the volatile run's — durability must not
+// change the arithmetic.
+func TestReplayDurable(t *testing.T) {
+	volatile, err := Run(testConfig(150, 21), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(150, 21)
+	cfg.DataDir = t.TempDir()
+	durable, err := Run(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if volatile.Digest != durable.Digest {
+		t.Fatalf("durable run diverged from volatile: %s != %s", durable.Digest, volatile.Digest)
+	}
+}
+
+// TestTraceRoundTripsJSON pins the artifact format: a trace survives
+// JSON encode/decode intact (CI uploads trace.json on failure and a
+// developer replays it).
+func TestTraceRoundTripsJSON(t *testing.T) {
+	tr := Generate(testConfig(100, 13))
+	data, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Trace
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr.Rounds, back.Rounds) {
+		t.Fatal("trace did not survive the JSON round trip")
+	}
+}

@@ -1,0 +1,457 @@
+package churn
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"eyewnder/internal/backend"
+	"eyewnder/internal/detector"
+	"eyewnder/internal/group"
+	"eyewnder/internal/privacy"
+	"eyewnder/internal/sketch"
+	"eyewnder/internal/store"
+	"eyewnder/internal/wire"
+)
+
+// RoundResult is one replayed round's outcome.
+type RoundResult struct {
+	Round     uint64  `json:"round"`
+	Joins     int     `json:"joins"`
+	Reregs    int     `json:"reregs"`
+	Drops     int     `json:"drops"`
+	Darks     int     `json:"darks"`
+	Reporters int     `json:"reporters"`
+	Missing   int     `json:"missing"`
+	Shares    int     `json:"shares"`
+	Adjusted  bool    `json:"adjusted"` // round closed through the adjustment path
+	Skipped   bool    `json:"skipped"`  // no reporters: nothing to open or close
+	UsersTh   float64 `json:"users_th"`
+	Ads       int     `json:"distinct_ads"`
+}
+
+// Result is a whole run's outcome. Digest chains every round's oracle
+// counts (sorted, with the round number) through SHA-256: two runs of
+// the same seed must produce identical digests — the bit-determinism
+// assertion CI double-runs.
+type Result struct {
+	Trace   *Trace        `json:"-"`
+	Rounds  []RoundResult `json:"rounds"`
+	Reports int           `json:"reports"`
+	Shares  int           `json:"shares"`
+	Digest  string        `json:"digest"`
+}
+
+// Run generates the seeded trace for cfg and replays it. logf (nil ok)
+// receives one progress line per round.
+func Run(cfg Config, logf func(format string, args ...interface{})) (*Result, error) {
+	return Replay(Generate(cfg), logf)
+}
+
+// Replay drives a real back-end through the trace: per round it
+// registers the joiners and re-registrants (re-pinning the negotiated
+// config version the bumps produce), streams every reporter's blinded
+// report over the batched frame connection (tearing the connection
+// down and re-handshaking mid-round when the trace says so), asserts
+// the server's round status matches the trace exactly, streams the
+// reporters' adjustment shares, closes the round under an adjustment
+// deadline, and byte-compares the finalized per-ad counts against the
+// oracle computed from the trace alone. The first divergence fails the
+// run (dumping trace and diff artifacts when Cfg.ArtifactDir is set).
+func Replay(tr *Trace, logf func(format string, args ...interface{})) (*Result, error) {
+	if logf == nil {
+		logf = func(string, ...interface{}) {}
+	}
+	cfg := tr.Cfg.withDefaults()
+	params := privacy.Params{Epsilon: cfg.Epsilon, Delta: cfg.Delta, IDSpace: cfg.IDSpace, Suite: group.P256()}
+
+	var st store.Store
+	if cfg.DataDir != "" {
+		disk, err := store.Open(cfg.DataDir, store.Options{})
+		if err != nil {
+			return nil, err
+		}
+		defer disk.Close()
+		st = disk
+	}
+	be, err := backend.New(backend.Config{
+		Params:         params,
+		Users:          cfg.Users,
+		UsersEstimator: detector.EstimatorMean,
+		Store:          st,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer be.Close()
+	srv, err := be.Serve("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+
+	// Two connections, like a real aggregating proxy: ctrl carries the
+	// JSON control plane (registrations, status, close, counts), stream
+	// carries the batched binary frames (reports and adjustment
+	// shares). Only stream is ever torn down by a reconnect event.
+	ctrl, err := wire.Dial(srv.Addr())
+	if err != nil {
+		return nil, err
+	}
+	defer ctrl.Close()
+	stream, err := wire.Dial(srv.Addr())
+	if err != nil {
+		return nil, err
+	}
+	defer func() { stream.Close() }()
+	cf, err := stream.Handshake()
+	if err != nil {
+		return nil, fmt.Errorf("handshake: %w", err)
+	}
+	cv := cf.ConfigVersion
+
+	d, w, err := sketch.Dimensions(cfg.Epsilon, cfg.Delta)
+	if err != nil {
+		return nil, err
+	}
+	cells := d * w
+	scratch, err := sketch.New(cfg.Epsilon, cfg.Delta)
+	if err != nil {
+		return nil, err
+	}
+
+	pop := newPopulation(cfg.Users)
+	blindBuf := make([]uint64, cells)
+	shareBuf := make([]uint64, cells)
+	oracleCells := make([]uint64, cells)
+	activeBuf := make([]int, 0, cfg.Users)
+	isDark := make([]bool, cfg.Users)
+	isMissing := make([]bool, cfg.Users)
+	var key [8]byte
+	var digest [32]byte
+	res := &Result{Trace: tr}
+
+	for _, ev := range tr.Rounds {
+		round := ev.Round
+
+		// Population lifecycle: joins and re-registrations hit the real
+		// bulletin board (each board change bumps the deployment's
+		// config/roster versions); drops and darks are client-side
+		// silence, so the server learns of them only as missing users.
+		for _, u := range ev.Joins {
+			var resp wire.RegisterResp
+			if err := ctrl.Do(wire.TypeRegister, wire.RegisterReq{
+				User: u, PublicKey: keyBytes(cfg.Seed, u, 1),
+			}, &resp); err != nil {
+				return res, fmt.Errorf("round %d: register user %d: %w", round, u, err)
+			}
+		}
+		for _, u := range ev.Reregs {
+			var resp wire.RegisterResp
+			if err := ctrl.Do(wire.TypeRegister, wire.RegisterReq{
+				User: u, PublicKey: keyBytes(cfg.Seed, u, pop.gen[u]+1),
+			}, &resp); err != nil {
+				return res, fmt.Errorf("round %d: re-register user %d: %w", round, u, err)
+			}
+		}
+		pop.apply(ev)
+		if len(ev.Joins)+len(ev.Reregs) > 0 {
+			// The board changed: re-handshake so this round's frames
+			// carry the version the round will pin at its open.
+			if cf, err = stream.Handshake(); err != nil {
+				return res, fmt.Errorf("round %d: re-handshake: %w", round, err)
+			}
+			cv = cf.ConfigVersion
+		}
+
+		active := pop.activeInto(activeBuf)
+		activeBuf = active[:0]
+		for _, u := range ev.Darks {
+			isDark[u] = true
+		}
+		for i := range isMissing {
+			isMissing[i] = true
+		}
+		reporters := 0
+		for _, u := range active {
+			if !isDark[u] {
+				isMissing[u] = false
+				reporters++
+			}
+		}
+		rr := RoundResult{
+			Round: round,
+			Joins: len(ev.Joins), Reregs: len(ev.Reregs),
+			Drops: len(ev.Drops), Darks: len(ev.Darks),
+			Reporters: reporters, Missing: cfg.Users - reporters,
+		}
+		if reporters == 0 {
+			// Nothing reports, so the round never opens server-side and
+			// there is nothing to close (a close would be ErrNoReports).
+			rr.Skipped = true
+			res.Rounds = append(res.Rounds, rr)
+			digest = chainDigest(digest, round, nil)
+			for _, u := range ev.Darks {
+				isDark[u] = false
+			}
+			logf("churn: round %d skipped (no reporters; %d active, %d dark)", round, len(active), len(ev.Darks))
+			continue
+		}
+
+		// Report phase: build each reporter's sketch from its trace ad
+		// set, fold the unblinded cells into the oracle, blind over the
+		// ring, and stream the frame. A reconnect event splits the
+		// reporters across two connections with a full redial +
+		// re-handshake between them.
+		for i := range oracleCells {
+			oracleCells[i] = 0
+		}
+		var oracleN uint64
+		rs, err := stream.OpenReportStream(cfg.Window)
+		if err != nil {
+			return res, fmt.Errorf("round %d: open stream: %w", round, err)
+		}
+		splitAt := -1
+		if ev.Reconnect && reporters >= 2 {
+			splitAt = reporters / 2
+		}
+		ri := 0
+		var nb [2]int
+		for i, u := range active {
+			if isDark[u] {
+				continue
+			}
+			if ri == splitAt {
+				if err := rs.Close(); err != nil {
+					return res, fmt.Errorf("round %d: flush before reconnect: %w", round, err)
+				}
+				stream.Close()
+				if stream, err = wire.Dial(srv.Addr()); err != nil {
+					return res, fmt.Errorf("round %d: redial: %w", round, err)
+				}
+				if cf, err = stream.Handshake(); err != nil {
+					return res, fmt.Errorf("round %d: reconnect handshake: %w", round, err)
+				}
+				if cf.ConfigVersion != cv {
+					return res, fmt.Errorf("round %d: config version changed across reconnect: %d != %d", round, cf.ConfigVersion, cv)
+				}
+				if rs, err = stream.OpenReportStream(cfg.Window); err != nil {
+					return res, fmt.Errorf("round %d: reopen stream: %w", round, err)
+				}
+			}
+			ri++
+			scratch.Reset()
+			for _, id := range adIDs(cfg, u, round) {
+				binary.LittleEndian.PutUint64(key[:], id)
+				scratch.Update(key[:])
+			}
+			cs := scratch.FlatCells()
+			for c := range cs {
+				oracleCells[c] += cs[c]
+			}
+			oracleN += scratch.N()
+			copy(blindBuf, cs)
+			a, b, n := ringNeighbors(active, i)
+			nb[0], nb[1] = a, b
+			blindCells(blindBuf, cfg.Seed, round, u, nb[:n], pop.gen)
+			if err := rs.Submit(&wire.ReportFrame{
+				User: u, Round: round, D: d, W: w,
+				N: scratch.N(), Seed: scratch.Seed(),
+				Keystream:     byte(params.Keystream),
+				ConfigVersion: cv,
+				Cells:         blindBuf,
+			}); err != nil {
+				return res, fmt.Errorf("round %d: report from user %d: %w", round, u, err)
+			}
+			res.Reports++
+		}
+		if err := rs.Close(); err != nil {
+			return res, fmt.Errorf("round %d: flush reports: %w", round, err)
+		}
+
+		// Status assertion: the server's view of the round — reported
+		// count and the exact missing set — must match the trace.
+		var status wire.RoundStatusResp
+		if err := ctrl.Do(wire.TypeRoundStatus, wire.CloseRoundReq{Round: round}, &status); err != nil {
+			return res, fmt.Errorf("round %d: status: %w", round, err)
+		}
+		if status.Reported != reporters {
+			return res, fmt.Errorf("round %d: server reports %d reporters, trace says %d", round, status.Reported, reporters)
+		}
+		if err := assertMissing(isMissing, status.Missing); err != nil {
+			return res, fmt.Errorf("round %d: %w", round, err)
+		}
+
+		// Adjustment phase: whenever anyone is missing, every reporter
+		// owes a share — the sum of its ring terms toward its missing
+		// (dark) neighbors, the zero vector when all its neighbors
+		// reported. Shares ride the same batched stream as reports.
+		if len(status.Missing) > 0 {
+			if rs, err = stream.OpenReportStream(cfg.Window); err != nil {
+				return res, fmt.Errorf("round %d: open adjust stream: %w", round, err)
+			}
+			for i, u := range active {
+				if isDark[u] {
+					continue
+				}
+				a, b, n := ringNeighbors(active, i)
+				nb[0], nb[1] = a, b
+				adjustShare(shareBuf, cfg.Seed, round, u, nb[:n], pop.gen, isMissing)
+				if err := rs.Submit(wire.AdjustFrame(u, round, d, w, byte(params.Keystream), cv, shareBuf)); err != nil {
+					return res, fmt.Errorf("round %d: share from user %d: %w", round, u, err)
+				}
+				rr.Shares++
+			}
+			if err := rs.Close(); err != nil {
+				return res, fmt.Errorf("round %d: flush shares: %w", round, err)
+			}
+			res.Shares += rr.Shares
+			rr.Adjusted = true
+		}
+
+		// Deadline close: seals the round, waits for outstanding shares
+		// (all already flushed above, so the wait never bites on a
+		// healthy run), finalizes.
+		var closed wire.CloseRoundResp
+		if err := ctrl.Do(wire.TypeCloseRound, wire.CloseRoundReq{
+			Round: round, AdjustWaitMS: cfg.AdjustWait.Milliseconds(),
+		}, &closed); err != nil {
+			return res, fmt.Errorf("round %d: close: %w", round, err)
+		}
+		rr.UsersTh, rr.Ads = closed.UsersTh, closed.DistinctAds
+
+		// Oracle comparison: the finalized counts must byte-match the
+		// counts of the merged *unblinded* reporter sketches — the
+		// ground truth the trace implies, computed with zero knowledge
+		// of blinding or adjustments.
+		oracleCMS, err := sketch.Restore(d, w, scratch.Seed(), oracleN, append([]uint64(nil), oracleCells...))
+		if err != nil {
+			return res, err
+		}
+		oracle := privacy.UserCounts(oracleCMS, params)
+		var counts wire.RoundCountsResp
+		if err := ctrl.Do(wire.TypeRoundCounts, wire.RoundCountsReq{Round: round}, &counts); err != nil {
+			return res, fmt.Errorf("round %d: counts: %w", round, err)
+		}
+		if diff := countsDiff(counts.Counts, oracle); len(diff) > 0 {
+			paths := dumpArtifacts(cfg.ArtifactDir, tr, round, diff)
+			return res, fmt.Errorf("round %d: finalized counts diverge from trace oracle at %d ad IDs (first: ad %d server=%d oracle=%d)%s",
+				round, len(diff), diff[0].AdID, diff[0].Server, diff[0].Oracle, paths)
+		}
+		if closed.DistinctAds != len(oracle) {
+			return res, fmt.Errorf("round %d: close reported %d distinct ads, oracle has %d", round, closed.DistinctAds, len(oracle))
+		}
+		digest = chainDigest(digest, round, oracle)
+		res.Rounds = append(res.Rounds, rr)
+		for _, u := range ev.Darks {
+			isDark[u] = false
+		}
+		logf("churn: round %d ok (%d reporters, %d missing, %d dark, %d shares, %d ads, Users_th=%.2f)",
+			round, reporters, rr.Missing, rr.Darks, rr.Shares, rr.Ads, rr.UsersTh)
+	}
+	res.Digest = hex.EncodeToString(digest[:])
+	return res, nil
+}
+
+// assertMissing checks the server's missing list against the trace's
+// expected set (isMissing indexed by user), element by element — the
+// lists must be identical, including order (ascending).
+func assertMissing(isMissing []bool, got []int) error {
+	gi := 0
+	for u := range isMissing {
+		if !isMissing[u] {
+			continue
+		}
+		if gi >= len(got) || got[gi] != u {
+			at := "nothing"
+			if gi < len(got) {
+				at = fmt.Sprintf("user %d", got[gi])
+			}
+			return fmt.Errorf("missing set diverges: trace expects user %d at position %d, server has %s", u, gi, at)
+		}
+		gi++
+	}
+	if gi != len(got) {
+		return fmt.Errorf("missing set diverges: server lists %d users, trace expects %d", len(got), gi)
+	}
+	return nil
+}
+
+// countDiff is one diverging ad ID in a failed oracle comparison.
+type countDiff struct {
+	AdID   uint64 `json:"ad_id"`
+	Server uint64 `json:"server"`
+	Oracle uint64 `json:"oracle"`
+}
+
+// countsDiff returns the ad IDs whose counts differ, sorted by ID.
+func countsDiff(server, oracle map[uint64]uint64) []countDiff {
+	var out []countDiff
+	for id, v := range server {
+		if oracle[id] != v {
+			out = append(out, countDiff{AdID: id, Server: v, Oracle: oracle[id]})
+		}
+	}
+	for id, v := range oracle {
+		if _, ok := server[id]; !ok {
+			out = append(out, countDiff{AdID: id, Server: 0, Oracle: v})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].AdID < out[j].AdID })
+	return out
+}
+
+// dumpArtifacts writes the full trace and the failing round's count
+// diff into dir (no-op when dir is empty), returning a note naming the
+// files for the error message. Failures to write are folded into the
+// note — the oracle mismatch is the error that matters.
+func dumpArtifacts(dir string, tr *Trace, round uint64, diff []countDiff) string {
+	if dir == "" {
+		return ""
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Sprintf(" (artifacts unavailable: %v)", err)
+	}
+	tracePath := filepath.Join(dir, "trace.json")
+	diffPath := filepath.Join(dir, fmt.Sprintf("round-%d-diff.json", round))
+	if data, err := json.MarshalIndent(tr, "", "  "); err == nil {
+		if err := os.WriteFile(tracePath, data, 0o644); err != nil {
+			return fmt.Sprintf(" (artifacts unavailable: %v)", err)
+		}
+	}
+	if data, err := json.MarshalIndent(diff, "", "  "); err == nil {
+		if err := os.WriteFile(diffPath, data, 0o644); err != nil {
+			return fmt.Sprintf(" (artifacts unavailable: %v)", err)
+		}
+	}
+	return fmt.Sprintf(" (trace: %s, diff: %s)", tracePath, diffPath)
+}
+
+// chainDigest folds one round's oracle counts (sorted by ad ID) into
+// the running determinism digest.
+func chainDigest(prev [32]byte, round uint64, counts map[uint64]uint64) [32]byte {
+	ids := make([]uint64, 0, len(counts))
+	for id := range counts {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	h := sha256.New()
+	h.Write(prev[:])
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], round)
+	h.Write(b[:])
+	for _, id := range ids {
+		binary.LittleEndian.PutUint64(b[:], id)
+		h.Write(b[:])
+		binary.LittleEndian.PutUint64(b[:], counts[id])
+		h.Write(b[:])
+	}
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}

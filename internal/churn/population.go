@@ -1,0 +1,184 @@
+package churn
+
+import "encoding/binary"
+
+// population is the lifecycle state machine both the trace generator
+// and the replay driver walk: per user, the registration generation
+// (0 = never registered; re-registrations bump it, changing the user's
+// synthetic key and therefore its pairwise factor stream) and the
+// permanent-dropout flag.
+type population struct {
+	gen     []uint32
+	dropped []bool
+}
+
+func newPopulation(users int) *population {
+	return &population{gen: make([]uint32, users), dropped: make([]bool, users)}
+}
+
+// apply advances the state past one round's events. Drops are applied
+// last so a round's events read against round-start state; the order
+// among the three is immaterial because the event lists are disjoint.
+func (p *population) apply(ev RoundEvents) {
+	for _, u := range ev.Joins {
+		p.gen[u] = 1
+	}
+	for _, u := range ev.Reregs {
+		p.gen[u]++
+	}
+	for _, u := range ev.Drops {
+		p.dropped[u] = true
+	}
+}
+
+// activeInto appends the active users — registered and not dropped —
+// to buf[:0] in ascending order: the round's peer graph. Dark users
+// ARE active (their neighbors blind toward them); droppers and the
+// never-registered are not in the graph, so nobody owes terms for
+// them — they are simply missing.
+func (p *population) activeInto(buf []int) []int {
+	buf = buf[:0]
+	for u := range p.gen {
+		if p.gen[u] > 0 && !p.dropped[u] {
+			buf = append(buf, u)
+		}
+	}
+	return buf
+}
+
+// keyBytes derives user u's generation-gen synthetic blinding public
+// key: 33 bytes (compressed-P-256-point sized), deterministic in
+// (seed, u, gen) and distinct across generations, which is all the
+// bulletin board needs — the harness's blinding is synthetic (see
+// pairBase), so the keys are roster payload, not key-agreement input.
+// Deriving real pairwise secrets by ECDH would cost O(n²) point
+// multiplications across the roster, which is exactly what caps the
+// real client at small n and what this harness must avoid to reach
+// 10⁵–10⁶ simulated users.
+func keyBytes(seed uint64, u int, gen uint32) []byte {
+	b := make([]byte, 33)
+	b[0] = 0x02
+	for i := 0; i < 4; i++ {
+		binary.LittleEndian.PutUint64(b[1+8*i:], mix(tagKey, seed, uint64(u), uint64(gen), uint64(i)))
+	}
+	return b
+}
+
+// adIDs returns the deduplicated ad IDs user u observes in the given
+// round: AdsPerUser draws from (tagAds, seed, u, round) reduced into
+// the ID space. Deterministic, so the oracle sees exactly the set the
+// driver reports.
+func adIDs(cfg Config, u int, round uint64) []uint64 {
+	ids := make([]uint64, 0, cfg.AdsPerUser)
+	for k := 0; k < cfg.AdsPerUser; k++ {
+		id := mix(tagAds, cfg.Seed, uint64(u), round, uint64(k)) % cfg.IDSpace
+		dup := false
+		for _, prev := range ids {
+			if prev == id {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// The harness's blinding: additive shares of zero over a sparse ring.
+//
+// The real protocol blinds over the complete roster graph — every pair
+// of users shares a factor stream derived from their ECDH secret, and
+// cancellation (Σ over reporters of their blinding terms = 0 when all
+// pairs are present) is what hides individual sketches. The algebra,
+// though, holds for ANY graph on the reporters: each edge {i, j}
+// contributes +f to one endpoint's report and −f to the other's, so
+// summing both endpoints cancels the edge, and a missing endpoint
+// leaves exactly the terms the survivor's adjustment share re-supplies
+// for subtraction. The harness therefore uses a ring over the round's
+// active users: two edges per user, O(cells) blinding work per report
+// instead of O(n·cells), which is what makes 10⁵–10⁶ users tractable —
+// while the server-side arithmetic being exercised (fold, share
+// subtraction, finalize) is identical to the complete-graph case.
+
+// cellGamma spreads the per-cell factor stream within a pair's base
+// (an odd multiplier, so cell indexes map injectively mod 2⁶⁴).
+const cellGamma = 0x517cc1b727220a95
+
+// pairBase is edge {lo, hi}'s factor-stream base for a round. It
+// depends on both endpoints' registration generations, mirroring the
+// real protocol: a re-registration changes the keys and therefore the
+// pairwise stream — both live endpoints observe the same post-rereg
+// generations, so cancellation is unaffected.
+func pairBase(seed, round uint64, lo, hi int, genLo, genHi uint32) uint64 {
+	return mix(tagPair, seed, round, uint64(lo), uint64(hi), uint64(genLo), uint64(genHi))
+}
+
+// applyPairTerms folds edge factors into cells: added for the lower
+// endpoint of the pair, subtracted (mod 2⁶⁴) for the higher one, so
+// the two endpoints' contributions cancel exactly.
+func applyPairTerms(cells []uint64, base uint64, add bool) {
+	if add {
+		for c := range cells {
+			cells[c] += fin(base ^ (cellGamma * uint64(c+1)))
+		}
+		return
+	}
+	for c := range cells {
+		cells[c] -= fin(base ^ (cellGamma * uint64(c+1)))
+	}
+}
+
+// ringNeighbors returns active[i]'s neighbors on the ring over the
+// active list: the two adjacent members, one when the ring has only
+// two members, none when it is a singleton (nothing to blind against —
+// a lone reporter's sketch goes up bare, exactly like a roster of
+// one).
+func ringNeighbors(active []int, i int) (a, b int, n int) {
+	switch len(active) {
+	case 1:
+		return 0, 0, 0
+	case 2:
+		return active[1-i], 0, 1
+	}
+	prev := active[(i-1+len(active))%len(active)]
+	next := active[(i+1)%len(active)]
+	return prev, next, 2
+}
+
+// blindCells adds user u's blinding — its signed edge terms toward
+// each ring neighbor — into cells. gens is the population's current
+// generation vector.
+func blindCells(cells []uint64, seed, round uint64, u int, neighbors []int, gens []uint32) {
+	for _, v := range neighbors {
+		lo, hi := u, v
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		applyPairTerms(cells, pairBase(seed, round, lo, hi, gens[lo], gens[hi]), u == lo)
+	}
+}
+
+// adjustShare writes user u's second-round share into cells (zeroing
+// them first): the same signed terms u's report carried toward each
+// ring neighbor that is missing this round. The server subtracts the
+// share, cancelling exactly the orphaned terms. Reporters whose
+// neighbors all reported still owe a share when the round has missing
+// users (the server requires one from every reporter before a deadline
+// close finalizes) — theirs is the zero vector.
+func adjustShare(cells []uint64, seed, round uint64, u int, neighbors []int, gens []uint32, missing []bool) {
+	for c := range cells {
+		cells[c] = 0
+	}
+	for _, v := range neighbors {
+		if !missing[v] {
+			continue
+		}
+		lo, hi := u, v
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		applyPairTerms(cells, pairBase(seed, round, lo, hi, gens[lo], gens[hi]), u == lo)
+	}
+}

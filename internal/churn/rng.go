@@ -1,0 +1,58 @@
+package churn
+
+// Deterministic randomness for the churn harness. The trace generator
+// and the synthetic blinding both need bit-reproducible streams — the
+// same seed must replay the same population lifecycle and the same
+// pairwise factors on every platform and Go release — so the harness
+// carries its own tiny splitmix64 instead of math/rand (whose sequence
+// is not a compatibility promise across versions).
+
+const (
+	splitmixGamma = 0x9e3779b97f4a7c15
+	mixMul1       = 0xbf58476d1ce4e5b9
+	mixMul2       = 0x94d049bb133111eb
+)
+
+// fin is the splitmix64 output finalizer: a cheap, well-mixed uint64 →
+// uint64 permutation. It is the one-shot hash behind mix and the
+// per-cell factor stream.
+func fin(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * mixMul1
+	z = (z ^ (z >> 27)) * mixMul2
+	return z ^ (z >> 31)
+}
+
+// rng is a splitmix64 sequence generator.
+type rng struct{ s uint64 }
+
+func newRNG(seed uint64) *rng { return &rng{s: seed} }
+
+func (r *rng) Uint64() uint64 {
+	r.s += splitmixGamma
+	return fin(r.s)
+}
+
+// Float64 returns a uniform draw in [0, 1).
+func (r *rng) Float64() float64 { return float64(r.Uint64()>>11) / (1 << 53) }
+
+// mix folds a sequence of words into one hashed value; used to derive
+// independent sub-seeds (per-pair bases, per-user keys, per-user ad
+// sets) from the trace seed plus a domain tag.
+func mix(vs ...uint64) uint64 {
+	h := uint64(splitmixGamma)
+	for _, v := range vs {
+		h = fin(h ^ v)
+	}
+	return h
+}
+
+// Domain tags keeping the harness's derived streams independent: every
+// mix() call leads with one, so the trace's event rolls, the synthetic
+// registration keys, the per-user ad sets, and the pairwise factor
+// bases can never collide even under adversarial seeds.
+const (
+	tagTrace uint64 = 0x7452616365 // "tRace"
+	tagKey   uint64 = 0x744b6579   // "tKey"
+	tagAds   uint64 = 0x74416473   // "tAds"
+	tagPair  uint64 = 0x7450616972 // "tPair"
+)

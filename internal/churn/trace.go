@@ -1,0 +1,210 @@
+// Package churn is the deterministic population-lifecycle harness: a
+// seeded trace generator emits a whole deployment's worth of churn —
+// arrivals, permanent dropouts, clients going dark mid-round (the event
+// that forces the adjustment round), re-registrations that bump the
+// roster/config versions, connection loss mid-stream — and a driver
+// replays the trace against a real back-end server, asserting after
+// every round that the finalized per-ad counts byte-match an oracle
+// computed from the trace alone. Everything derives from one uint64
+// seed through the package's own splitmix64 streams, so two runs with
+// the same seed produce identical traces, identical wire traffic, and
+// identical finalized counts — the property CI pins.
+package churn
+
+import "time"
+
+// Config parameterizes a churn run. The zero value of any field picks
+// the default noted on it (withDefaults), except Users and Seed, which
+// callers always set.
+type Config struct {
+	// Users is the roster size the back-end is provisioned for. Not all
+	// of them ever register: the population grows into the roster over
+	// the trace (InitialActive, then PArrive per round).
+	Users int `json:"users"`
+	// Rounds is the number of reporting rounds to replay (default 4).
+	Rounds int `json:"rounds"`
+	// Seed is the master seed every derived stream hangs off.
+	Seed uint64 `json:"seed"`
+
+	// AdsPerUser is how many ad observations each reporter draws per
+	// round, before deduplication (default 3).
+	AdsPerUser int `json:"ads_per_user"`
+	// IDSpace is the ad-ID space (default 20000 — small enough that the
+	// per-round oracle walk stays cheap at e2e scale).
+	IDSpace uint64 `json:"id_space"`
+	// Epsilon and Delta size the CMS (default 0.05 each: d=3, w=55 —
+	// 165 cells, ~1.3 KB per report, so 10⁵–10⁶ simulated users fit in
+	// one process).
+	Epsilon float64 `json:"epsilon"`
+	Delta   float64 `json:"delta"`
+
+	// InitialActive is the fraction of the roster that registers before
+	// round 1 (default 0.8).
+	InitialActive float64 `json:"initial_active"`
+	// PArrive is the per-round probability that a never-registered user
+	// joins (default 0.05).
+	PArrive float64 `json:"p_arrive"`
+	// PRereg is the per-round probability that an active user
+	// re-registers with a fresh key, bumping the deployment's
+	// roster/config versions (default 0.02).
+	PRereg float64 `json:"p_rereg"`
+	// PDrop is the per-round probability that an active user drops out
+	// permanently — it stops reporting forever but its roster slot
+	// remains, so it sits in every later round's missing set (default
+	// 0.03).
+	PDrop float64 `json:"p_drop"`
+	// PDark is the per-round probability that an active user goes dark
+	// for just this round: it neither reports nor uploads an adjustment
+	// share, but its peers' blinding already includes terms toward it —
+	// exactly the event that forces the adjustment round (default 0.12,
+	// comfortably past the ≥10% the acceptance bar asks for).
+	PDark float64 `json:"p_dark"`
+	// PReconnect is the per-round probability that the report stream is
+	// torn down mid-round and re-established — redial, re-handshake,
+	// re-pin the negotiated config version (default 0.5).
+	PReconnect float64 `json:"p_reconnect"`
+
+	// Window is the streamed-frame in-flight window (default 256).
+	Window int `json:"window"`
+	// AdjustWait is the deadline-close budget: how long the server waits
+	// for outstanding adjustment shares before giving up on a close
+	// attempt (default 10s; the harness uploads all shares before
+	// closing, so the wait only bites when something is actually wrong).
+	AdjustWait time.Duration `json:"adjust_wait_ns"`
+	// DataDir, when set, runs the back-end on a durable round store so
+	// every replayed event also pays its WAL append.
+	DataDir string `json:"data_dir,omitempty"`
+	// ArtifactDir, when set, receives trace.json and a per-round oracle
+	// diff on the first mismatch — the debugging artifact CI uploads.
+	ArtifactDir string `json:"-"`
+}
+
+// withDefaults fills zero fields with the documented defaults.
+func (c Config) withDefaults() Config {
+	if c.Rounds == 0 {
+		c.Rounds = 4
+	}
+	if c.AdsPerUser == 0 {
+		c.AdsPerUser = 3
+	}
+	if c.IDSpace == 0 {
+		c.IDSpace = 20000
+	}
+	if c.Epsilon == 0 {
+		c.Epsilon = 0.05
+	}
+	if c.Delta == 0 {
+		c.Delta = 0.05
+	}
+	if c.InitialActive == 0 {
+		c.InitialActive = 0.8
+	}
+	if c.PArrive == 0 {
+		c.PArrive = 0.05
+	}
+	if c.PRereg == 0 {
+		c.PRereg = 0.02
+	}
+	if c.PDrop == 0 {
+		c.PDrop = 0.03
+	}
+	if c.PDark == 0 {
+		c.PDark = 0.12
+	}
+	if c.PReconnect == 0 {
+		c.PReconnect = 0.5
+	}
+	if c.Window == 0 {
+		c.Window = 256
+	}
+	if c.AdjustWait == 0 {
+		c.AdjustWait = 10 * time.Second
+	}
+	return c
+}
+
+// RoundEvents is one round's worth of population lifecycle, all user
+// lists sorted ascending. Events are disjoint: a user appears in at
+// most one of Joins/Reregs/Drops, and in Darks only if it is active
+// this round (a new joiner may go dark immediately; a dropper cannot).
+type RoundEvents struct {
+	Round uint64 `json:"round"`
+	// Joins register for the first time, at generation 1.
+	Joins []int `json:"joins,omitempty"`
+	// Reregs re-register with a fresh key (generation bump) — the
+	// server answers with a roster/config version bump, and this
+	// round's reports must carry the new version.
+	Reregs []int `json:"reregs,omitempty"`
+	// Drops leave permanently before reporting: out of the peer graph
+	// from this round on, in the server's missing set forever after.
+	Drops []int `json:"drops,omitempty"`
+	// Darks stay active but vanish for this round only: still in the
+	// peer graph (their neighbors blind toward them), absent from the
+	// report and adjustment phases — the users the adjustment round
+	// exists for.
+	Darks []int `json:"darks,omitempty"`
+	// Reconnect tears the report stream down halfway through this
+	// round's submissions and re-establishes it (redial, re-handshake).
+	Reconnect bool `json:"reconnect,omitempty"`
+}
+
+// Trace is a complete seeded lifecycle: the config that generated it
+// plus every round's events. It is the single source of truth both the
+// driver (what to replay) and the oracle (what the counts must be)
+// read from.
+type Trace struct {
+	Cfg    Config        `json:"cfg"`
+	Rounds []RoundEvents `json:"rounds"`
+}
+
+// Generate rolls the population lifecycle for cfg. The roll order is
+// part of the determinism contract: per round, first one join roll per
+// never-registered user (index order), then per active user — again in
+// index order — a drop roll, a rereg roll (skipped for this round's
+// joiners), and a dark roll, then one reconnect roll. Every draw comes
+// from a single splitmix64 stream seeded from (tagTrace, cfg.Seed), so
+// the same seed yields the same trace on any platform.
+func Generate(cfg Config) *Trace {
+	cfg = cfg.withDefaults()
+	rng := newRNG(mix(tagTrace, cfg.Seed))
+	pop := newPopulation(cfg.Users)
+	tr := &Trace{Cfg: cfg, Rounds: make([]RoundEvents, 0, cfg.Rounds)}
+	for r := 1; r <= cfg.Rounds; r++ {
+		ev := RoundEvents{Round: uint64(r)}
+		pJoin := cfg.PArrive
+		if r == 1 {
+			pJoin = cfg.InitialActive
+		}
+		for u := 0; u < cfg.Users; u++ {
+			if pop.gen[u] == 0 && rng.Float64() < pJoin {
+				ev.Joins = append(ev.Joins, u)
+			}
+		}
+		ji := 0
+		for u := 0; u < cfg.Users; u++ {
+			isNew := ji < len(ev.Joins) && ev.Joins[ji] == u
+			if isNew {
+				ji++
+			}
+			if (pop.gen[u] == 0 && !isNew) || pop.dropped[u] {
+				continue
+			}
+			if !isNew {
+				if rng.Float64() < cfg.PDrop {
+					ev.Drops = append(ev.Drops, u)
+					continue
+				}
+				if rng.Float64() < cfg.PRereg {
+					ev.Reregs = append(ev.Reregs, u)
+				}
+			}
+			if rng.Float64() < cfg.PDark {
+				ev.Darks = append(ev.Darks, u)
+			}
+		}
+		ev.Reconnect = rng.Float64() < cfg.PReconnect
+		pop.apply(ev)
+		tr.Rounds = append(tr.Rounds, ev)
+	}
+	return tr
+}

@@ -487,6 +487,11 @@ func (a *Aggregator) Reported() int {
 func (a *Aggregator) Missing() []int {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	return a.missingLocked()
+}
+
+// missingLocked is Missing under a.mu.
+func (a *Aggregator) missingLocked() []int {
 	var out []int
 	for i := 0; i < a.cfg.RosterSize; i++ {
 		if !a.reported[i] {
@@ -494,6 +499,30 @@ func (a *Aggregator) Missing() []int {
 		}
 	}
 	return out
+}
+
+// Progress returns the reported count and the missing list as ONE
+// consistent observation: both come from the same critical section, so
+// reported + len(missing) == RosterSize always holds. Separate
+// Reported() and Missing() calls can each be correct yet disagree when
+// a report folds in between them — a status poll racing submissions
+// would then publish a torn view (say, reported=3 alongside a missing
+// list of the other 2 in a 4-user roster).
+func (a *Aggregator) Progress() (reported int, missing []int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.reported), a.missingLocked()
+}
+
+// HasReported reports whether the user's report has been folded into
+// this round. The back-end uses it to validate adjustment uploads: a
+// second-round share is the sum of the submitter's pairwise terms
+// toward the missing users, so only a user whose (blinded) report is in
+// the aggregate has anything meaningful to cancel.
+func (a *Aggregator) HasReported(user int) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.reported[user]
 }
 
 // ApplyAdjustments subtracts the reporters' second-round shares, restoring

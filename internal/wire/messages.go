@@ -23,6 +23,8 @@ const (
 	TypeSubmitAdjustOK = "backend.submit_adjustment_ok"
 	TypeCloseRound     = "backend.close_round"
 	TypeCloseRoundOK   = "backend.close_round_ok"
+	TypeRoundCounts    = "backend.round_counts"
+	TypeRoundCountsOK  = "backend.round_counts_ok"
 	TypeThreshold      = "backend.threshold"
 	TypeThresholdOK    = "backend.threshold_ok"
 	TypeAuditAd        = "backend.audit_ad"
@@ -101,25 +103,46 @@ type AckBatchResp struct {
 	K int `json:"k"`
 }
 
-// RoundStatusResp describes an open round's progress.
+// RoundStatusResp describes an open round's progress. Reported and
+// Missing are one consistent observation (reported + len(missing) =
+// roster size, always). Sealed means the round stopped admitting
+// reports (a deadline close is in progress — see CloseRoundReq), so
+// Missing is final: reporters compute their adjustment shares against
+// exactly this list. Adjusted counts the reporters whose second-round
+// shares have been stored so far. Both fields are absent from older
+// servers and decode as zero values.
 type RoundStatusResp struct {
 	Round    uint64 `json:"round"`
 	Reported int    `json:"reported"`
 	Missing  []int  `json:"missing"`
 	Closed   bool   `json:"closed"`
+	Sealed   bool   `json:"sealed,omitempty"`
+	Adjusted int    `json:"adjusted,omitempty"`
 }
 
 // SubmitAdjustReq uploads a second-round adjustment share.
+// ConfigVersion is the negotiated round-config version the share's
+// pairwise terms were derived under; absent means 0, "unversioned",
+// accepted by any round. A stale nonzero version is rejected: the
+// share's terms come from a superseded roster and could not cancel.
 type SubmitAdjustReq struct {
-	User  int      `json:"user"`
-	Round uint64   `json:"round"`
-	Cells []uint64 `json:"cells"`
+	User          int      `json:"user"`
+	Round         uint64   `json:"round"`
+	Cells         []uint64 `json:"cells"`
+	ConfigVersion uint32   `json:"config_version,omitempty"`
 }
 
 // CloseRoundReq finalizes a round: the back-end unblinds the aggregate
-// and computes the Users_th threshold.
+// and computes the Users_th threshold. A nonzero AdjustWaitMS makes it
+// a deadline close: the round first *seals* (stops admitting reports,
+// freezing the missing set) and the close then waits up to the given
+// milliseconds for every reporter's adjustment share to land before
+// finalizing — the shutter the churn harness uses to close rounds with
+// permanently-lost users. Absent (or 0) preserves the original
+// immediate-close behavior.
 type CloseRoundReq struct {
-	Round uint64 `json:"round"`
+	Round        uint64 `json:"round"`
+	AdjustWaitMS int64  `json:"adjust_wait_ms,omitempty"`
 }
 
 // CloseRoundResp reports the computed global statistics.
@@ -127,6 +150,21 @@ type CloseRoundResp struct {
 	Round       uint64  `json:"round"`
 	UsersTh     float64 `json:"users_th"`
 	DistinctAds int     `json:"distinct_ads"`
+}
+
+// RoundCountsReq asks for a closed round's full per-ad-ID user-count
+// map — the byte-exact ground the churn harness compares its trace
+// oracle against (auditing IDs one by one would cost IDSpace round
+// trips per round).
+type RoundCountsReq struct {
+	Round uint64 `json:"round"`
+}
+
+// RoundCountsResp returns the per-ad-ID estimated user counts of a
+// closed round (JSON object keys are the decimal ad IDs).
+type RoundCountsResp struct {
+	Round  uint64            `json:"round"`
+	Counts map[uint64]uint64 `json:"counts"`
 }
 
 // ThresholdReq asks for a closed round's Users_th (Figure 1, arrow 5).

@@ -26,8 +26,9 @@ import (
 // report frame (JSON payload lengths are capped at MaxFrame = 16 MiB, so
 // the bit is never set by the JSON path); the low 31 bits are the payload
 // length. The payload is a 56-byte preamble — user, round, d, w, n, seed
-// as little-endian uint64, then the blinding-keystream suite byte, three
-// reserved bytes, and the negotiated config version as a little-endian
+// as little-endian uint64, then the blinding-keystream suite byte, the
+// frame-kind byte (report or adjustment share), two reserved bytes, and
+// the negotiated config version as a little-endian
 // uint32 — followed by the 8·d·w-byte cell block. The
 // preamble length is itself protocol state: both endpoints must run the
 // same revision (a mismatched peer fails the length check and is
@@ -43,8 +44,26 @@ import (
 const reportFlag = 1 << 31
 
 // reportPreamble is the fixed payload prefix: user(8) round(8) d(8) w(8)
-// n(8) seed(8) keystream(1) reserved(3) configVersion(4).
+// n(8) seed(8) keystream(1) kind(1) reserved(2) configVersion(4).
 const reportPreamble = 56
+
+// Frame kinds, carried in the preamble byte after the keystream suite
+// (formerly the first reserved byte, so every pre-kind frame decodes as
+// kind 0 — a report). Kind 1 is a second-round adjustment share riding
+// the same batched streaming path as reports: same preamble, same cell
+// block, same cumulative ack slots and durability barrier, so the
+// adjustment round scales exactly like the report round. Routing by a
+// preamble byte rather than by payload length matters because an
+// adjustment payload is indistinguishable from a report's by size.
+// Like every frame-format revision this deploys in lockstep
+// (ARCHITECTURE.md §5): a pre-kind server reads an adjustment frame as
+// a report — from a user whose report already folded in, so it fails
+// the duplicate check and surfaces as an explicit error ack, never as
+// silent corruption.
+const (
+	FrameKindReport byte = 0
+	FrameKindAdjust byte = 1
+)
 
 // Report-frame geometry bounds, mirroring the sketch deserializer's: d·w
 // is additionally capped by MaxFrame, so a hostile header cannot provoke
@@ -90,7 +109,25 @@ type ReportFrame struct {
 	// rejects a stale nonzero version (privacy.ErrIncompatibleConfig):
 	// it means the reporter blinded against an outdated roster.
 	ConfigVersion uint32
-	Cells         []uint64
+	// Kind distinguishes what the cell block is: FrameKindReport (zero —
+	// a blinded CMS, the only kind that existed before the byte) or
+	// FrameKindAdjust (a second-round adjustment share). For adjustment
+	// frames D and W still carry the sketch geometry (the share is one
+	// flat cell vector of the same shape) while N and Seed are zero.
+	Kind  byte
+	Cells []uint64
+}
+
+// AdjustFrame builds a streamed second-round adjustment share: the
+// submitting reporter's summed pairwise terms toward the round's missing
+// users, as one cell vector of the round's d×w geometry. It travels the
+// same batched, pipelined, durability-barriered path as report frames.
+func AdjustFrame(user int, round uint64, d, w int, ks byte, cv uint32, cells []uint64) *ReportFrame {
+	return &ReportFrame{
+		User: user, Round: round, D: d, W: w,
+		Keystream: ks, ConfigVersion: cv,
+		Kind: FrameKindAdjust, Cells: cells,
+	}
 }
 
 // ReportSink consumes streamed report frames. Implementations must
@@ -155,7 +192,8 @@ func WriteReportFrame(w io.Writer, f *ReportFrame) error {
 	binary.LittleEndian.PutUint64(hdr[28:], uint64(f.W))
 	binary.LittleEndian.PutUint64(hdr[36:], f.N)
 	binary.LittleEndian.PutUint64(hdr[44:], f.Seed)
-	hdr[52] = f.Keystream // hdr[53:56] reserved, zero
+	hdr[52] = f.Keystream
+	hdr[53] = f.Kind // hdr[54:56] reserved, zero
 	binary.LittleEndian.PutUint32(hdr[56:], f.ConfigVersion)
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
@@ -187,9 +225,13 @@ func readReportFrame(r io.Reader, n uint32, buf *reportBuf) (*ReportFrame, error
 	w64 := binary.LittleEndian.Uint64(pre[24:])
 	nTotal := binary.LittleEndian.Uint64(pre[32:])
 	seed := binary.LittleEndian.Uint64(pre[40:])
-	ks := pre[48] // pre[49:52] reserved for future protocol revisions
+	ks := pre[48]
+	kind := pre[49] // pre[50:52] reserved for future protocol revisions
 	cv := binary.LittleEndian.Uint32(pre[52:])
 	if user > 1<<31 || d64 < 1 || w64 < 1 || d64 > maxReportDepth || w64 > maxReportWidth {
+		return nil, ErrBadReportFrame
+	}
+	if kind > FrameKindAdjust {
 		return nil, ErrBadReportFrame
 	}
 	cells := d64 * w64 // ≤ 2⁵² by the bounds above: no overflow
@@ -215,7 +257,7 @@ func readReportFrame(r io.Reader, n uint32, buf *reportBuf) (*ReportFrame, error
 	return &ReportFrame{
 		User: int(user), Round: round,
 		D: int(d64), W: int(w64),
-		N: nTotal, Seed: seed, Keystream: ks, ConfigVersion: cv, Cells: dst,
+		N: nTotal, Seed: seed, Keystream: ks, ConfigVersion: cv, Kind: kind, Cells: dst,
 	}, nil
 }
 
