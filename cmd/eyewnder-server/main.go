@@ -12,6 +12,15 @@
 // -fsync) and snapshotted, and a restart on the same directory recovers
 // every round — reported bitmaps, adjustment shares, closed results —
 // exactly where the previous process left them.
+//
+// With -repl the primary additionally serves segment shipping: a second
+// listener followers pull WAL segments and snapshots from. A follower
+// runs the same binary with -follow pointed at that listener; it
+// mirrors the primary's store into its own -data-dir, keeps a warm
+// read-only replica answering queries, and is promoted to the writable
+// primary by SIGUSR1 or a repl.promote message — taking over mid-round
+// with exactly the state the dead primary had acknowledged. See
+// OPERATIONS.md for the full runbook.
 package main
 
 import (
@@ -19,6 +28,8 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"sync"
+	"time"
 
 	"eyewnder/internal/backend"
 	"eyewnder/internal/blind"
@@ -26,7 +37,9 @@ import (
 	"eyewnder/internal/group"
 	"eyewnder/internal/oprf"
 	"eyewnder/internal/privacy"
+	"eyewnder/internal/repl"
 	"eyewnder/internal/store"
+	"eyewnder/internal/wire"
 )
 
 func main() {
@@ -45,6 +58,11 @@ func main() {
 		dataDir     = flag.String("data-dir", "", "durable round store directory: WAL + snapshots, crash recovery on restart (empty = in-memory rounds only)")
 		fsync       = flag.String("fsync", "batch", "WAL fsync policy with -data-dir: batch (group-committed at ack barriers), always (every append), off (OS page cache only)")
 		snapEvery   = flag.Int("snapshot-every", 0, "reports between WAL-compacting snapshots with -data-dir (0 = default, negative = never)")
+		replAddr    = flag.String("repl", "", "segment-shipping listen address: serve WAL segments and snapshots to followers (requires -data-dir)")
+		follow      = flag.String("follow", "", "run as a hot-standby follower of the primary's -repl address, mirroring into -data-dir (promote with SIGUSR1 or a repl.promote message)")
+		replPoll    = flag.Duration("repl-poll", repl.DefaultPoll, "follower manifest poll interval with -follow (how far the warm replica may trail the primary)")
+		replChunk   = flag.Int("repl-chunk", repl.DefaultChunk, "replication fetch chunk size in bytes with -follow")
+		replRetain  = flag.Int("repl-retain", 2, "sealed WAL segments kept across snapshot pruning with -repl, so a briefly-lagging follower avoids a full snapshot resync")
 	)
 	flag.Parse()
 
@@ -52,24 +70,49 @@ func main() {
 	if err != nil {
 		log.Fatalf("keystream: %v", err)
 	}
+	var mode store.SyncMode
+	switch *fsync {
+	case "batch":
+		mode = store.SyncBatch
+	case "always":
+		mode = store.SyncAlways
+	case "off":
+		mode = store.SyncOff
+	default:
+		log.Fatalf("-fsync %q: want batch, always, or off", *fsync)
+	}
+	storeOpts := store.Options{Sync: mode, SnapshotEvery: *snapEvery}
+	if *replAddr != "" {
+		storeOpts.RetainSegments = *replRetain
+	}
+	params := privacy.Params{Epsilon: *epsilon, Delta: *delta, IDSpace: *idSpace, Suite: group.P256(), Keystream: ks}
+	beCfg := backend.Config{
+		Params:         params,
+		Users:          *users,
+		UsersEstimator: detector.EstimatorMean,
+		MergeStripes:   *stripes,
+		AckBatch:       *ackBatch,
+		RetainRounds:   *retain,
+	}
 	osrv, err := oprf.NewServer(*rsaBits)
 	if err != nil {
 		log.Fatalf("oprf key generation: %v", err)
 	}
+
+	if *follow != "" {
+		runFollower(*follow, *backendAddr, *oprfAddr, *replAddr, osrv, beCfg, repl.Options{
+			Dir: *dataDir, Addr: *follow,
+			Poll: *replPoll, Chunk: *replChunk,
+			StoreOpts: storeOpts,
+			Logf:      log.Printf,
+		})
+		return
+	}
+
+	var disk *store.Disk
 	var st store.Store
 	if *dataDir != "" {
-		var mode store.SyncMode
-		switch *fsync {
-		case "batch":
-			mode = store.SyncBatch
-		case "always":
-			mode = store.SyncAlways
-		case "off":
-			mode = store.SyncOff
-		default:
-			log.Fatalf("-fsync %q: want batch, always, or off", *fsync)
-		}
-		disk, err := store.Open(*dataDir, store.Options{Sync: mode, SnapshotEvery: *snapEvery})
+		disk, err = store.Open(*dataDir, storeOpts)
 		if err != nil {
 			log.Fatalf("round store: %v", err)
 		}
@@ -78,16 +121,8 @@ func main() {
 		log.Printf("round store in %s (fsync=%s, %d rounds and %d registrations recovered)",
 			*dataDir, *fsync, len(disk.Rounds()), len(disk.Roster()))
 	}
-	params := privacy.Params{Epsilon: *epsilon, Delta: *delta, IDSpace: *idSpace, Suite: group.P256(), Keystream: ks}
-	be, err := backend.New(backend.Config{
-		Params:         params,
-		Users:          *users,
-		UsersEstimator: detector.EstimatorMean,
-		MergeStripes:   *stripes,
-		AckBatch:       *ackBatch,
-		Store:          st,
-		RetainRounds:   *retain,
-	})
+	beCfg.Store = st
+	be, err := backend.New(beCfg)
 	if err != nil {
 		log.Fatalf("back-end: %v", err)
 	}
@@ -102,6 +137,17 @@ func main() {
 		log.Fatalf("oprf listen: %v", err)
 	}
 	defer opSrv.Close()
+	if *replAddr != "" {
+		if disk == nil {
+			log.Fatal("-repl requires -data-dir (there is no WAL to ship without one)")
+		}
+		rp, err := repl.ServePrimary(*replAddr, disk)
+		if err != nil {
+			log.Fatalf("replication listen: %v", err)
+		}
+		defer rp.Close()
+		log.Printf("segment shipping on %s (retaining %d sealed segments across snapshots)", rp.Addr(), *replRetain)
+	}
 
 	cfg := be.CurrentConfig()
 	log.Printf("back-end on %s (config v%d, roster v%d with %d users, ε=%g δ=%g |A|=%d, streamed reports on, merge stripes=%d, ack batch=%d, keystream=%s, durable=%v, retain=%d)",
@@ -113,4 +159,172 @@ func main() {
 	signal.Notify(sig, os.Interrupt)
 	<-sig
 	log.Print("shutting down")
+}
+
+// node is the follower front-end: one wire server whose handler and
+// report sink route to whichever back-end is current — the warm
+// read-only replica while following, the writable promoted back-end
+// afterwards. The listener never restarts across promotion, so clients
+// keep one address for the standby through its whole life.
+type node struct {
+	mu       sync.Mutex
+	follower *repl.Follower
+	promoted *backend.Backend
+	disk     *store.Disk
+	repl     *repl.Primary
+	rounds   int // recovered rounds at promotion (repl.promote's sanity answer)
+
+	replAddr  string // serve segment shipping here after promotion ("" = don't)
+	replRet   int
+	storeOpts store.Options
+}
+
+// backend returns the back-end currently serving this node.
+func (n *node) backend() *backend.Backend {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.promoted != nil {
+		return n.promoted
+	}
+	return n.follower.Replica()
+}
+
+// ConsumeReport implements wire.ReportSink against the current
+// back-end (a replica refuses with ErrReadOnlyReplica until promotion).
+func (n *node) ConsumeReport(f *wire.ReportFrame) error { return n.backend().ConsumeReport(f) }
+
+// SyncReports implements wire.ReportDurability against the current
+// back-end, so acknowledgements become fsync barriers the moment the
+// node is promoted onto a writable store.
+func (n *node) SyncReports() error { return n.backend().SyncReports() }
+
+// handler answers promotion requests itself and routes everything else
+// to the current back-end's handler.
+func (n *node) handler() wire.Handler {
+	return func(m *wire.Msg) (string, interface{}, error) {
+		if m.Type == wire.TypePromote {
+			rounds, err := n.promote()
+			if err != nil {
+				return "", nil, err
+			}
+			return wire.TypePromoteOK, wire.PromoteResp{Rounds: rounds}, nil
+		}
+		return n.backend().Handler()(m)
+	}
+}
+
+// promote performs the takeover exactly once: stop tailing, re-open
+// the mirror through crash recovery, swap the writable back-end in,
+// and start shipping segments to the next generation of followers if
+// configured. Repeat calls are idempotent (an operator retrying the
+// trigger must not fail).
+func (n *node) promote() (int, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.promoted != nil {
+		return n.rounds, nil
+	}
+	b, disk, err := n.follower.Promote()
+	if err != nil {
+		return 0, err
+	}
+	n.promoted, n.disk = b, disk
+	n.rounds = len(disk.Rounds())
+	log.Printf("promoted: %d rounds recovered from the mirror, now writable", n.rounds)
+	if n.replAddr != "" {
+		rp, err := repl.ServePrimary(n.replAddr, disk)
+		if err != nil {
+			log.Printf("segment shipping after promotion: %v", err)
+		} else {
+			n.repl = rp
+			log.Printf("segment shipping on %s (retaining %d sealed segments across snapshots)", rp.Addr(), n.replRet)
+		}
+	}
+	return n.rounds, nil
+}
+
+// runFollower is the -follow main loop: start the follower, serve the
+// warm replica on the ordinary back-end address, and wait for a
+// promotion trigger or shutdown.
+func runFollower(primary, backendAddr, oprfAddr, replAddr string, osrv *oprf.Server, beCfg backend.Config, opts repl.Options) {
+	if opts.Dir == "" {
+		log.Fatal("-follow requires -data-dir (the local mirror promotion re-opens)")
+	}
+	f, err := repl.StartFollower(opts, beCfg)
+	if err != nil {
+		log.Fatalf("follower: %v", err)
+	}
+	n := &node{
+		follower:  f,
+		replAddr:  replAddr,
+		replRet:   opts.StoreOpts.RetainSegments,
+		storeOpts: opts.StoreOpts,
+	}
+	srv, err := wire.ServeWithSinkOpts(backendAddr, n.handler(), n, wire.StreamOpts{
+		AckBatch: beCfg.AckBatch,
+		Config:   func() wire.ConfigFrame { return n.backend().WireConfig() },
+	})
+	if err != nil {
+		log.Fatalf("follower listen: %v", err)
+	}
+	defer srv.Close()
+	// The follower runs its own oprf-server with a fresh key: the OPRF
+	// key is per-process and never persisted (by design — it maps ad
+	// IDs, not round state). After promotion, clients re-fetch the
+	// public key; see OPERATIONS.md for what that means for audits.
+	opSrv, err := backend.ServeOPRF(oprfAddr, osrv)
+	if err != nil {
+		log.Fatalf("oprf listen: %v", err)
+	}
+	defer opSrv.Close()
+	s := f.Status()
+	log.Printf("following %s into %s (poll %s, tail gen %d, %d events applied, serving warm replica on %s)",
+		primary, opts.Dir, opts.Poll, s.TailGen, s.Events, srv.Addr())
+	log.Printf("oprf-server on %s", opSrv.Addr())
+
+	interrupt := make(chan os.Signal, 1)
+	signal.Notify(interrupt, os.Interrupt)
+	promoteCh := notifyPromote()
+	statusTick := time.NewTicker(30 * time.Second)
+	defer statusTick.Stop()
+	for {
+		select {
+		case <-interrupt:
+			log.Print("shutting down")
+			n.mu.Lock()
+			if n.promoted != nil {
+				if n.repl != nil {
+					n.repl.Close()
+				}
+				n.promoted.Close()
+				n.disk.Close()
+			}
+			n.mu.Unlock()
+			if n.backendIsReplica() {
+				f.Stop()
+			}
+			return
+		case <-promoteCh:
+			if _, err := n.promote(); err != nil {
+				log.Printf("promotion failed: %v", err)
+			}
+		case <-statusTick.C:
+			if n.backendIsReplica() {
+				s := f.Status()
+				if s.Err != nil {
+					log.Printf("replication stopped: %v (warm replica still serving; promotion refused)", s.Err)
+				} else {
+					log.Printf("replication: connected=%v caught_up=%v tail=%d@%d events=%d resyncs=%d",
+						s.Connected, s.CaughtUp, s.TailGen, s.TailOff, s.Events, s.Resyncs)
+				}
+			}
+		}
+	}
+}
+
+// backendIsReplica reports whether the node is still in standby mode.
+func (n *node) backendIsReplica() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.promoted == nil
 }

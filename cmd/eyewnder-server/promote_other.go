@@ -1,0 +1,11 @@
+//go:build !unix
+
+package main
+
+import "os"
+
+// notifyPromote on platforms without SIGUSR1: promotion is triggered
+// only via the repl.promote wire message. The channel never delivers.
+func notifyPromote() <-chan os.Signal {
+	return make(chan os.Signal)
+}

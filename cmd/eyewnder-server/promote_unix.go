@@ -1,0 +1,17 @@
+//go:build unix
+
+package main
+
+import (
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// notifyPromote delivers SIGUSR1 — the operator's follower-promotion
+// trigger — on the returned channel.
+func notifyPromote() <-chan os.Signal {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGUSR1)
+	return ch
+}

@@ -53,6 +53,13 @@ var (
 	// without the submitter's blinded report there is nothing for it to
 	// cancel — subtracting it would corrupt the round.
 	ErrAdjustNotReporter = errors.New("backend: adjustment share from a user who has not reported")
+	// ErrReadOnlyReplica rejects every mutating operation on a replica
+	// back-end (Config.Replica): a follower's state is defined entirely
+	// by the primary's WAL stream, and a local write would fork it. The
+	// follower answers reads (thresholds, audits, round status) and
+	// turns writable only through promotion — which builds a fresh,
+	// non-replica back-end over the same data directory.
+	ErrReadOnlyReplica = errors.New("backend: read-only replica")
 )
 
 // Config fixes the back-end's parameters.
@@ -88,6 +95,15 @@ type Config struct {
 	// applies at recovery, so a restart does not resurrect aged-out
 	// rounds.
 	RetainRounds int
+	// Replica puts the back-end in hot-standby mode: every mutating
+	// operation (registrations, reports, adjustments, closes) is refused
+	// with ErrReadOnlyReplica, rounds are never created on lookup, and
+	// state changes arrive exclusively through ApplyEvent — the
+	// replication follower feeding it the primary's decoded WAL stream.
+	// Reads (thresholds, audits, round status, roster) serve normally,
+	// so a follower answers queries from its warm copy. See
+	// internal/repl.
+	Replica bool
 }
 
 // Backend is the server state. All methods are safe for concurrent use.
@@ -181,10 +197,13 @@ func New(cfg Config) (*Backend, error) {
 	}
 	_, isNull := st.(store.Null)
 	b := &Backend{
-		cfg:     cfg,
-		cells:   d * w,
-		store:   st,
-		durable: !isNull,
+		cfg:   cfg,
+		cells: d * w,
+		store: st,
+		// A replica is never durable from its own point of view: its
+		// store is a read-only recovered view, the primary owns the WAL,
+		// and the snapshot machinery must stay off.
+		durable: !isNull && !cfg.Replica,
 		roster:  make([][]byte, cfg.Users),
 		rounds:  make(map[uint64]*round),
 	}
@@ -411,6 +430,12 @@ func (b *Backend) currentConfigLocked() privacy.RoundConfig {
 	}
 }
 
+// WireConfig renders the current config as a Welcome-frame payload.
+// Serve uses it directly; a follower front-end serving a switchable
+// replica/promoted back-end passes its own wire.StreamOpts.Config
+// callback that delegates here per request.
+func (b *Backend) WireConfig() wire.ConfigFrame { return b.wireConfig() }
+
 // wireConfig renders the current config as a Welcome-frame payload
 // (wire.StreamOpts.Config).
 func (b *Backend) wireConfig() wire.ConfigFrame {
@@ -446,6 +471,9 @@ func (b *Backend) wireConfig() wire.ConfigFrame {
 // onto one fsync. A Sync failure surfaces as the registration's error;
 // the client retries and the overwrite is idempotent.
 func (b *Backend) Register(user int, publicKey []byte) (rosterSize int, err error) {
+	if b.cfg.Replica {
+		return 0, ErrReadOnlyReplica
+	}
 	b.mu.Lock()
 	if user < 0 || user >= b.cfg.Users {
 		b.mu.Unlock()
@@ -525,6 +553,12 @@ func (b *Backend) getRound(id uint64) (*round, error) {
 	defer b.mu.Unlock()
 	r, ok := b.rounds[id]
 	if !ok {
+		if b.cfg.Replica {
+			// A replica's rounds exist exactly when the primary's WAL
+			// opened them (ApplyEvent); creating one here would log an
+			// open record the primary never wrote.
+			return nil, ErrUnknownRound
+		}
 		if id < b.retiredBelow {
 			// The round was retired: its Users_th has already been
 			// published and served. Re-creating it here would hand out a
@@ -573,6 +607,9 @@ func (b *Backend) lookupRound(id uint64) (*round, bool) {
 // before returning — its callers (JSON wire handler, in-process
 // clients) treat the return as the acknowledgement.
 func (b *Backend) SubmitReport(rep *privacy.Report) error {
+	if b.cfg.Replica {
+		return ErrReadOnlyReplica
+	}
 	r, err := b.getRound(rep.Round)
 	if err != nil {
 		return err
@@ -622,6 +659,9 @@ func (b *Backend) SubmitReport(rep *privacy.Report) error {
 // each acknowledgement, so one group-committed fsync covers a whole
 // batched-ack window instead of every report paying its own.
 func (b *Backend) ConsumeReport(f *wire.ReportFrame) error {
+	if b.cfg.Replica {
+		return ErrReadOnlyReplica
+	}
 	if f.Kind == wire.FrameKindAdjust {
 		// A streamed second-round share: same batched connection, same
 		// ack slots and durability barrier as reports (the ack's
@@ -724,6 +764,9 @@ func (b *Backend) SubmitAdjustmentVersion(user int, id uint64, cv uint32, cells 
 // lets the wire layer's ack barrier (SyncReports) cover the append, so
 // batched adjustment uploads amortize fsyncs exactly like reports.
 func (b *Backend) submitAdjustment(user int, id uint64, cv uint32, ks blind.Keystream, checkKS bool, cells []uint64, syncNow bool) error {
+	if b.cfg.Replica {
+		return ErrReadOnlyReplica
+	}
 	if user < 0 || user >= b.cfg.Users {
 		return ErrBadUser
 	}
@@ -805,6 +848,9 @@ func cellsEqual(a, b []uint64) bool {
 // Config.RetainRounds set, a successful close also ages out closed
 // rounds whose Users_th has now been served for the retention horizon.
 func (b *Backend) CloseRound(id uint64) (usersTh float64, distinctAds int, err error) {
+	if b.cfg.Replica {
+		return 0, 0, ErrReadOnlyReplica
+	}
 	r, err := b.getRound(id)
 	if err != nil {
 		return 0, 0, err
@@ -842,6 +888,9 @@ func (b *Backend) CloseRound(id uint64) (usersTh float64, distinctAds int, err e
 // proceeds immediately. Sealing is in-memory: a crash recovers the
 // round unsealed, and the retried deadline close re-seals it.
 func (b *Backend) CloseRoundWait(id uint64, wait time.Duration) (usersTh float64, distinctAds int, err error) {
+	if b.cfg.Replica {
+		return 0, 0, ErrReadOnlyReplica
+	}
 	r, err := b.getRound(id)
 	if err != nil {
 		return 0, 0, err

@@ -1,0 +1,149 @@
+package backend
+
+import (
+	"errors"
+	"fmt"
+
+	"eyewnder/internal/privacy"
+	"eyewnder/internal/store"
+	"eyewnder/internal/vec"
+)
+
+// ApplyEvent folds one decoded WAL event from the primary's stream into
+// a replica back-end. It is the live twin of the store's recovery
+// applier and enforces the same acceptance rules: a record the rules
+// reject — a duplicate report, a report into a closed round, a stale
+// config version — is *skipped*, never applied, which is what makes the
+// stream idempotent across snapshot overlap and follower restarts. The
+// two appliers must agree exactly, because promotion swaps one for the
+// other: the follower's warm state comes from ApplyEvent, the promoted
+// state from re-running recovery over the same bytes, and the
+// kill-the-primary e2e holds the two to byte-identical counts.
+//
+// Errors are reserved for streams the replica must not follow at all:
+// an event from a different deployment (geometry, roster size, or
+// blinding suite mismatch — the same refusals restore makes), or a
+// close of a round that cannot finalize. The caller treats any error as
+// fatal to replication, not as something to skip.
+//
+// ApplyEvent is not safe for concurrent use with itself (the follower
+// is the single writer); it is safe against concurrent readers.
+func (b *Backend) ApplyEvent(ev store.Event) error {
+	if !b.cfg.Replica {
+		return errors.New("backend: ApplyEvent on a non-replica back-end")
+	}
+	switch e := ev.(type) {
+	case *store.RegisterEvent:
+		if e.User < 0 || e.User >= b.cfg.Users {
+			return fmt.Errorf("backend: replicated registration for user %d, roster size %d — primary from a different deployment?", e.User, b.cfg.Users)
+		}
+		b.mu.Lock()
+		b.roster[e.User] = append([]byte(nil), e.PublicKey...)
+		b.mu.Unlock()
+		// No version bump here: the primary logs the bump as its own
+		// recConfig record (in the same critical section as the
+		// register), and applying it twice would run the counters ahead
+		// of the primary's.
+
+	case *store.ConfigEvent:
+		b.mu.Lock()
+		b.configVersion = max32(b.configVersion, e.ConfigVersion)
+		b.rosterVersion = max32(b.rosterVersion, e.RosterVersion)
+		b.mu.Unlock()
+
+	case *store.OpenEvent:
+		if e.D*e.W != b.cells {
+			return fmt.Errorf("backend: replicated round %d has %dx%d cells, config wants %d — primary from a different geometry?", e.Round, e.D, e.W, b.cells)
+		}
+		if e.RosterSize != b.cfg.Users {
+			return fmt.Errorf("backend: replicated round %d expects %d users, config says %d", e.Round, e.RosterSize, b.cfg.Users)
+		}
+		if e.Keystream != byte(b.cfg.Params.Keystream) {
+			return fmt.Errorf("backend: replicated round %d used keystream suite %#02x, config says %#02x", e.Round, e.Keystream, byte(b.cfg.Params.Keystream))
+		}
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		b.configVersion = max32(b.configVersion, e.ConfigVersion)
+		b.rosterVersion = max32(b.rosterVersion, e.RosterVersion)
+		if _, ok := b.rounds[e.Round]; ok {
+			return nil // already open (snapshot overlap): idempotent
+		}
+		rcfg := privacy.RoundConfig{
+			Version:       e.ConfigVersion,
+			RosterVersion: e.RosterVersion,
+			RosterSize:    b.cfg.Users,
+			Params:        b.cfg.Params,
+		}
+		agg, err := privacy.RestoreAggregatorStripes(rcfg, e.Round, b.cfg.MergeStripes,
+			make([]uint64, b.cells), 0, e.Seed, make([]bool, e.RosterSize))
+		if err != nil {
+			return err
+		}
+		b.rounds[e.Round] = &round{agg: agg, adjusts: make(map[int][]uint64)}
+
+	case *store.ReportEvent:
+		r, ok := b.lookupRound(e.Round)
+		if !ok {
+			return nil // unknown round: the recovery applier skips too
+		}
+		r.mu.RLock()
+		defer r.mu.RUnlock()
+		if r.closed {
+			return nil
+		}
+		cells := make([]uint64, len(e.Cells)/8)
+		vec.GetLE(cells, e.Cells)
+		// ReserveCells enforces exactly the acceptance rules the recovery
+		// applier mirrors — duplicate, out-of-roster, layout/seed/suite
+		// mismatch, stale config version. A refusal means the record is
+		// already reflected (overlap) or would have been rejected live:
+		// skip, don't fail.
+		ks := b.cfg.Params.Keystream
+		if e.Keystream != byte(ks) {
+			return nil
+		}
+		if err := r.agg.ReserveCells(e.User, e.D, e.W, e.N, e.Seed, ks, e.ConfigVersion, len(cells)); err != nil {
+			return nil
+		}
+		r.agg.FoldReserved(cells)
+
+	case *store.AdjustEvent:
+		r, ok := b.lookupRound(e.Round)
+		if !ok {
+			return nil
+		}
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		if r.closed {
+			return nil
+		}
+		if e.User < 0 || e.User >= b.cfg.Users || len(e.Cells) != 8*b.cells {
+			return nil
+		}
+		cells := make([]uint64, b.cells)
+		vec.GetLE(cells, e.Cells)
+		r.adjusts[e.User] = cells // last write wins, like the recovery applier
+
+	case *store.CloseEvent:
+		r, ok := b.lookupRound(e.Round)
+		if !ok {
+			return nil
+		}
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		if r.closed {
+			return nil
+		}
+		// Finalize from the replicated aggregate: the inputs are the
+		// primary's own logged records, so the counts come out
+		// byte-identical to the ones the primary published.
+		if err := b.finalizeLocked(r); err != nil {
+			return fmt.Errorf("backend: replicated close of round %d: %w", e.Round, err)
+		}
+		r.closed = true
+
+	default:
+		return fmt.Errorf("backend: unknown replicated event %T", ev)
+	}
+	return nil
+}

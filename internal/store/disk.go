@@ -79,52 +79,14 @@ func Open(dir string, opts Options) (*Disk, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	names, err := os.ReadDir(dir)
+	walGens, snapGens, maxGen, err := scanStoreDir(dir, true)
 	if err != nil {
 		return nil, err
 	}
-	var walGens, snapGens []uint64
-	maxGen := uint64(0)
-	for _, e := range names {
-		name := e.Name()
-		if filepath.Ext(name) == ".tmp" {
-			os.Remove(filepath.Join(dir, name)) // interrupted snapshot
-			continue
-		}
-		if g, ok := parseGen(name, "wal-", ".log"); ok {
-			walGens = append(walGens, g)
-			if g > maxGen {
-				maxGen = g
-			}
-		} else if g, ok := parseGen(name, "snap-", ".snap"); ok {
-			snapGens = append(snapGens, g)
-			if g > maxGen {
-				maxGen = g
-			}
-		}
-	}
-	sort.Slice(snapGens, func(i, j int) bool { return snapGens[i] > snapGens[j] })
-	sort.Slice(walGens, func(i, j int) bool { return walGens[i] < walGens[j] })
 
-	// Newest snapshot that validates wins; a torn one (crash mid-cycle)
-	// is skipped and the previous generation carries the recovery.
-	var snap *snapshotData
-	baseGen := uint64(0)
-	for _, g := range snapGens {
-		s, err := loadSnapshot(filepath.Join(dir, snapName(g)))
-		if err == nil {
-			snap, baseGen = s, g
-			break
-		}
-	}
-	rec := newRecovered(snap)
-	for _, g := range walGens {
-		if g < baseGen {
-			continue // fully reflected in the snapshot
-		}
-		if err := replaySegment(filepath.Join(dir, walName(g)), rec); err != nil {
-			return nil, err
-		}
+	rec, baseGen, _, _, err := recoverState(dir, walGens, snapGens)
+	if err != nil {
+		return nil, err
 	}
 
 	// New appends go to a fresh segment: the previous segment may end in
@@ -163,7 +125,75 @@ func Open(dir string, opts Options) (*Disk, error) {
 	return d, nil
 }
 
-// replaySegment folds one WAL segment into rec. A record that fails its
+// scanStoreDir lists the WAL and snapshot generations present in dir,
+// with walGens sorted ascending and snapGens descending (newest first,
+// the order snapshot selection wants). When clean is set, leftover .tmp
+// files from an interrupted snapshot are removed; a read-only caller
+// (Recover, Manifest) passes false.
+func scanStoreDir(dir string, clean bool) (walGens, snapGens []uint64, maxGen uint64, err error) {
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	for _, e := range names {
+		name := e.Name()
+		if filepath.Ext(name) == ".tmp" {
+			if clean {
+				os.Remove(filepath.Join(dir, name)) // interrupted snapshot
+			}
+			continue
+		}
+		if g, ok := parseGen(name, "wal-", ".log"); ok {
+			walGens = append(walGens, g)
+			if g > maxGen {
+				maxGen = g
+			}
+		} else if g, ok := parseGen(name, "snap-", ".snap"); ok {
+			snapGens = append(snapGens, g)
+			if g > maxGen {
+				maxGen = g
+			}
+		}
+	}
+	sort.Slice(snapGens, func(i, j int) bool { return snapGens[i] > snapGens[j] })
+	sort.Slice(walGens, func(i, j int) bool { return walGens[i] < walGens[j] })
+	return walGens, snapGens, maxGen, nil
+}
+
+// recoverState rebuilds round/roster state from the newest valid
+// snapshot plus every WAL segment at or after it. It also reports the
+// snapshot generation the recovery is based on, and the tail position —
+// the generation of the last segment replayed and the byte offset just
+// past its last valid record — which a replication follower resumes
+// tailing from. snapGens must be sorted newest-first and walGens
+// ascending (scanStoreDir's order).
+func recoverState(dir string, walGens, snapGens []uint64) (rec *recovered, baseGen, tailGen uint64, tailOff int64, err error) {
+	// Newest snapshot that validates wins; a torn one (crash mid-cycle)
+	// is skipped and the previous generation carries the recovery.
+	var snap *snapshotData
+	for _, g := range snapGens {
+		s, err := loadSnapshot(filepath.Join(dir, snapName(g)))
+		if err == nil {
+			snap, baseGen = s, g
+			break
+		}
+	}
+	rec = newRecovered(snap)
+	for _, g := range walGens {
+		if g < baseGen {
+			continue // fully reflected in the snapshot
+		}
+		off, err := replaySegment(filepath.Join(dir, walName(g)), rec)
+		if err != nil {
+			return nil, 0, 0, 0, err
+		}
+		tailGen, tailOff = g, off
+	}
+	return rec, baseGen, tailGen, tailOff, nil
+}
+
+// replaySegment folds one WAL segment into rec and returns the byte
+// offset just past the last record it applied. A record that fails its
 // CRC ends the segment cleanly — everything before it is applied; a
 // crash mid-append only ever leaves such a record at the tail, so
 // nothing real can follow it. A record whose CRC *validates* but whose
@@ -171,32 +201,38 @@ func Open(dir string, opts Options) (*Disk, error) {
 // encoder bug, and silently stopping there would discard
 // fsync-acknowledged records behind it — so that refuses recovery
 // loudly instead.
-func replaySegment(path string, rec *recovered) error {
+func replaySegment(path string, rec *recovered) (int64, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	defer f.Close()
 	br := bufio.NewReaderSize(f, walBufSize)
 	magic := make([]byte, len(walMagic))
 	if _, err := io.ReadFull(br, magic); err != nil || string(magic) != walMagic {
-		return nil // empty or foreign file: nothing to replay
+		return 0, nil // empty or foreign file: nothing to replay
 	}
+	off := int64(len(walMagic))
 	var buf []byte
 	for {
 		kind, body, nbuf, err := ReadWALRecord(br, buf)
 		buf = nbuf
 		if err == io.EOF {
-			return nil
+			return off, nil
 		}
 		if err != nil {
-			return nil // torn tail: recovery stops at the last valid record
+			return off, nil // torn tail: recovery stops at the last valid record
 		}
 		if err := rec.apply(kind, body); err != nil {
-			return fmt.Errorf("store: %s: checksummed record does not parse (version skew?): %w", path, err)
+			return off, fmt.Errorf("store: %s: checksummed record does not parse (version skew?): %w", path, err)
 		}
+		off += walRecordOverhead + int64(len(body))
 	}
 }
+
+// walRecordOverhead is the framing cost of one WAL record beyond its
+// body: length(4) + kind(1) + crc(4).
+const walRecordOverhead = 9
 
 // createSegment creates a WAL segment with its magic written and synced.
 func createSegment(path string) (*os.File, error) {
@@ -477,17 +513,73 @@ func (d *Disk) Snapshot(capture func() ([]*RoundState, error)) error {
 	d.snapMu.Lock()
 	defer d.snapMu.Unlock()
 
+	rot, err := d.rotate()
+	if err != nil {
+		return err
+	}
+	// The cadence counter resets at the rotation, not at success: if the
+	// snapshot write below fails persistently (disk full, say), the next
+	// attempt comes after another SnapshotEvery reports — a bounded
+	// retry, not a rotation per report on an already-struggling disk.
+	d.reports.Store(0)
+
+	states, err := capture()
+	if err != nil {
+		return err // WAL already rotated: harmless, the next snapshot retries
+	}
+	if err := writeSnapshot(filepath.Join(d.dir, snapName(rot.newGen)), rot.roster, states, rot.cfgVer, rot.rosVer); err != nil {
+		return err
+	}
+	// Retention holds the newest RetainSegments sealed segments back
+	// from pruning; each cycle's floor rises past the previous cycle's
+	// survivors, so the gap-stop below still sees a contiguous run.
+	lo := rot.oldGen
+	if k := uint64(d.opts.RetainSegments); k > 0 {
+		if lo > k {
+			lo -= k
+		} else {
+			lo = 0
+		}
+	}
+	for g := lo; g > 0; g-- {
+		// Contiguous generations below the new snapshot; stop at the
+		// first gap (already pruned).
+		p1 := filepath.Join(d.dir, walName(g))
+		p2 := filepath.Join(d.dir, snapName(g))
+		e1, e2 := os.Remove(p1), os.Remove(p2)
+		if os.IsNotExist(e1) && os.IsNotExist(e2) {
+			break
+		}
+	}
+	return nil
+}
+
+// rotation is the result of a WAL rotation: the generation sealed and
+// the one opened, plus a consistent copy of the roster and version
+// counters as of the rotation point (what a snapshot of the sealed
+// prefix must record).
+type rotation struct {
+	oldGen, newGen uint64
+	roster         map[int][]byte
+	cfgVer, rosVer uint32
+}
+
+// rotate seals the active segment — flush, fsync, swap appends to a
+// fresh segment of the next generation — and returns the rotation
+// point. Caller must hold snapMu (rotations are serialized; d.gen moves
+// only here).
+func (d *Disk) rotate() (rotation, error) {
 	// Create (and fsync) the next segment before taking the store lock:
 	// those are two fsyncs appends need not stall behind. snapMu
-	// serializes Snapshot calls and Open is not concurrent, so d.gen
-	// cannot move under us.
+	// serializes rotations and Open is not concurrent, so d.gen cannot
+	// move under us.
 	d.mu.Lock()
 	newGen := d.gen + 1
 	d.mu.Unlock()
 	newPath := filepath.Join(d.dir, walName(newGen))
 	f, err := createSegment(newPath)
 	if err != nil {
-		return err
+		return rotation{}, err
 	}
 	// If the rotation below fails, the pre-created segment must go away:
 	// the generation has not advanced, so the next attempt would try to
@@ -504,7 +596,7 @@ func (d *Disk) Snapshot(capture func() ([]*RoundState, error)) error {
 	if err := d.usableLocked(); err != nil {
 		d.mu.Unlock()
 		abort()
-		return err
+		return rotation{}, err
 	}
 	// The old segment's flush+fsync stays under the lock: the moment the
 	// swap below publishes `synced = seq`, every record in the old
@@ -514,14 +606,14 @@ func (d *Disk) Snapshot(capture func() ([]*RoundState, error)) error {
 		d.failLocked(err)
 		d.mu.Unlock()
 		abort()
-		return err
+		return rotation{}, err
 	}
 	if d.opts.Sync != SyncOff {
 		if err := d.f.Sync(); err != nil {
 			d.failLocked(err)
 			d.mu.Unlock()
 			abort()
-			return err
+			return rotation{}, err
 		}
 	}
 	old, oldGen := d.f, d.gen
@@ -538,30 +630,7 @@ func (d *Disk) Snapshot(capture func() ([]*RoundState, error)) error {
 	cfgVer, rosVer := d.cfgVer, d.rosVer
 	d.mu.Unlock()
 	old.Close()
-	// The cadence counter resets at the rotation, not at success: if the
-	// snapshot write below fails persistently (disk full, say), the next
-	// attempt comes after another SnapshotEvery reports — a bounded
-	// retry, not a rotation per report on an already-struggling disk.
-	d.reports.Store(0)
-
-	states, err := capture()
-	if err != nil {
-		return err // WAL already rotated: harmless, the next snapshot retries
-	}
-	if err := writeSnapshot(filepath.Join(d.dir, snapName(newGen)), roster, states, cfgVer, rosVer); err != nil {
-		return err
-	}
-	for g := oldGen; g > 0; g-- {
-		// Contiguous generations below the new snapshot; stop at the
-		// first gap (already pruned).
-		p1 := filepath.Join(d.dir, walName(g))
-		p2 := filepath.Join(d.dir, snapName(g))
-		e1, e2 := os.Remove(p1), os.Remove(p2)
-		if os.IsNotExist(e1) && os.IsNotExist(e2) {
-			break
-		}
-	}
-	return nil
+	return rotation{oldGen: oldGen, newGen: newGen, roster: roster, cfgVer: cfgVer, rosVer: rosVer}, nil
 }
 
 // Close implements Store: flushes, fsyncs, and releases the segment.

@@ -1,0 +1,132 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// SegmentParser incrementally parses a WAL segment's byte stream into
+// decoded events. It is the follower-side half of segment shipping: the
+// replication layer fetches arbitrary byte ranges of the primary's
+// active segment — chunk boundaries land mid-record all the time, a
+// bufio flush is not record-aligned — feeds them in order, and drains
+// whatever complete records they finish.
+//
+//	p := NewSegmentParser()
+//	for each fetched chunk c, in file order:
+//	    p.Feed(c)
+//	    for {
+//	        ev, err := p.Next()
+//	        if ev == nil { break }      // need more bytes (or err != nil)
+//	        apply(ev)
+//	    }
+//
+// Next's error split mirrors segment replay: ErrCorruptRecord means the
+// bytes themselves are bad — on a stream that will grow no further
+// (primary crashed mid-append) that is the torn tail, and the caller
+// stops the segment cleanly at Offset(); ErrBadRecord means a record
+// whose checksum validates does not parse, which is version skew, and
+// the caller must refuse loudly rather than skip. Both are sticky: the
+// parser refuses to continue past the damage.
+//
+// A SegmentParser is not safe for concurrent use.
+type SegmentParser struct {
+	buf   []byte
+	start int   // consumed prefix of buf
+	off   int64 // absolute segment offset of buf[start]
+	magic bool  // segment magic verified and consumed
+	err   error // sticky
+}
+
+// NewSegmentParser returns a parser positioned at offset 0 of a
+// segment, expecting the 8-byte segment magic first.
+func NewSegmentParser() *SegmentParser {
+	return &SegmentParser{}
+}
+
+// Feed appends the next chunk of the segment's byte stream. Chunks must
+// be fed in file order with no gaps. Feed copies the data; the caller
+// may reuse its buffer. Events previously returned by Next have
+// byte-slice fields aliasing the parser's buffer and are invalidated by
+// Feed.
+func (p *SegmentParser) Feed(data []byte) {
+	if p.start > 0 {
+		n := copy(p.buf, p.buf[p.start:])
+		p.buf = p.buf[:n]
+		p.start = 0
+	}
+	p.buf = append(p.buf, data...)
+}
+
+// Next returns the next complete record's event. A nil event with a nil
+// error means the buffered bytes end mid-record: feed more. A nil event
+// with ErrCorruptRecord or ErrBadRecord means the stream is damaged at
+// Offset() (see the type comment for which is recoverable); the error
+// is sticky. The returned event's byte-slice fields alias the parser's
+// buffer and are valid until the next Feed.
+func (p *SegmentParser) Next() (Event, error) {
+	if p.err != nil {
+		return nil, p.err
+	}
+	avail := p.buf[p.start:]
+	if !p.magic {
+		if len(avail) < len(walMagic) {
+			return nil, nil
+		}
+		if string(avail[:len(walMagic)]) != walMagic {
+			p.err = fmt.Errorf("%w: bad segment magic", ErrCorruptRecord)
+			return nil, p.err
+		}
+		p.start += len(walMagic)
+		p.off += int64(len(walMagic))
+		p.magic = true
+		avail = p.buf[p.start:]
+	}
+	if len(avail) < 5 {
+		return nil, nil
+	}
+	n := binary.LittleEndian.Uint32(avail[0:4])
+	kind := avail[4]
+	if n > maxRecordBody {
+		p.err = fmt.Errorf("%w: %d-byte body", ErrCorruptRecord, n)
+		return nil, p.err
+	}
+	total := walRecordOverhead + int(n)
+	if len(avail) < total {
+		return nil, nil
+	}
+	body := avail[5 : 5+n]
+	crc := crc32.Update(0, castagnoli, avail[4:5])
+	crc = crc32.Update(crc, castagnoli, body)
+	if binary.LittleEndian.Uint32(avail[5+n:total]) != crc {
+		p.err = fmt.Errorf("%w: checksum mismatch", ErrCorruptRecord)
+		return nil, p.err
+	}
+	ev, err := DecodeEvent(kind, body)
+	if err != nil {
+		p.err = err // checksummed but unparseable: version skew, refuse
+		return nil, p.err
+	}
+	p.start += total
+	p.off += int64(total)
+	return ev, nil
+}
+
+// Offset returns the absolute byte offset just past the last fully
+// parsed record (including the segment magic once consumed). On a
+// damaged stream it is where the damage starts — the offset a follower
+// truncates to before re-requesting.
+func (p *SegmentParser) Offset() int64 { return p.off }
+
+// SkipTo repositions the parser at absolute segment offset off with an
+// empty buffer, treating the magic as already verified when off > 0. A
+// follower that recovered its local tail up to some offset resumes
+// tailing there instead of re-feeding the whole file.
+func (p *SegmentParser) SkipTo(off int64) {
+	p.buf = p.buf[:0]
+	p.start = 0
+	p.off = off
+	p.magic = off >= int64(len(walMagic))
+	p.err = nil
+}

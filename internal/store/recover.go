@@ -1,0 +1,136 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+)
+
+// ErrReadOnlyStore is returned by mutating operations on a Recovered
+// store (and by a replica back-end rejecting writes routed at it).
+var ErrReadOnlyStore = errors.New("store: read-only")
+
+// Recovered is a read-only view of a store directory: the round and
+// roster state rebuilt by the same snapshot-plus-replay path Open runs,
+// without creating a fresh segment or touching the directory in any
+// way. It implements Store — reads return the recovered state, appends
+// fail with ErrReadOnlyStore — so a replica back-end can be built from
+// it exactly like a primary is built from a Disk.
+//
+// The replication follower is the consumer: it must rebuild state from
+// its local mirror of the primary's directory on every start, but must
+// NOT Open the directory — Open creates wal-(max+1).log, and that
+// generation belongs to the primary, whose next rotation would collide
+// with it. Promotion is the moment the follower finally does call Open,
+// on the same directory, and takes ownership of the generation space.
+type Recovered struct {
+	rounds  []*RoundState
+	roster  map[int][]byte
+	cfgVer  uint32
+	rosVer  uint32
+	tailGen uint64
+	tailOff int64
+	files   []FileInfo
+}
+
+// Recover rebuilds round state from the store directory at dir without
+// modifying it. A missing directory is not an error: it recovers as
+// empty (the state a brand-new follower starts from).
+func Recover(dir string) (*Recovered, error) {
+	walGens, snapGens, _, err := scanStoreDir(dir, false)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return &Recovered{roster: map[int][]byte{}}, nil
+		}
+		return nil, err
+	}
+	rec, _, tailGen, tailOff, err := recoverState(dir, walGens, snapGens)
+	if err != nil {
+		return nil, err
+	}
+	r := &Recovered{
+		rounds:  rec.sortedRounds(),
+		roster:  rec.roster,
+		cfgVer:  rec.configVersion,
+		rosVer:  rec.rosterVersion,
+		tailGen: tailGen,
+		tailOff: tailOff,
+	}
+	for _, g := range snapGens {
+		if st, err := os.Stat(filepath.Join(dir, snapName(g))); err == nil {
+			r.files = append(r.files, FileInfo{Kind: FileSnapshot, Gen: g, Size: st.Size(), Sealed: true})
+		}
+	}
+	for _, g := range walGens {
+		if st, err := os.Stat(filepath.Join(dir, walName(g))); err == nil {
+			r.files = append(r.files, FileInfo{Kind: FileWAL, Gen: g, Size: st.Size(), Sealed: g != tailGen})
+		}
+	}
+	return r, nil
+}
+
+// TailGen returns the generation of the last WAL segment the recovery
+// replayed — the segment a follower resumes tailing — or 0 if the
+// directory held no segments.
+func (r *Recovered) TailGen() uint64 { return r.tailGen }
+
+// TailOff returns the byte offset just past the last valid record in
+// the tail segment. Bytes after it (a torn fetch or torn append) were
+// not applied; a follower truncates its local tail to this offset and
+// re-requests from here, which is what makes a torn shipped tail
+// converge instead of wedging.
+func (r *Recovered) TailOff() int64 { return r.tailOff }
+
+// Files returns the store files present in the recovered directory,
+// ordered as scanned (snapshots then segments, each by generation). The
+// tail segment is reported unsealed; everything else sealed.
+func (r *Recovered) Files() []FileInfo { return r.files }
+
+// Rounds implements Store.
+func (r *Recovered) Rounds() []*RoundState { return r.rounds }
+
+// Roster implements Store.
+func (r *Recovered) Roster() map[int][]byte {
+	out := make(map[int][]byte, len(r.roster))
+	for u, k := range r.roster {
+		out[u] = append([]byte(nil), k...)
+	}
+	return out
+}
+
+// ConfigVersions implements Store.
+func (r *Recovered) ConfigVersions() (uint32, uint32) { return r.cfgVer, r.rosVer }
+
+// AppendRegister implements Store: it fails with ErrReadOnlyStore.
+func (r *Recovered) AppendRegister(int, []byte) error { return ErrReadOnlyStore }
+
+// AppendConfig implements Store: it fails with ErrReadOnlyStore.
+func (r *Recovered) AppendConfig(uint32, uint32) error { return ErrReadOnlyStore }
+
+// AppendOpen implements Store: it fails with ErrReadOnlyStore.
+func (r *Recovered) AppendOpen(uint64, int, int, int, uint64, byte, uint32, uint32) error {
+	return ErrReadOnlyStore
+}
+
+// AppendReport implements Store: it fails with ErrReadOnlyStore.
+func (r *Recovered) AppendReport(uint64, int, int, int, uint64, uint64, byte, uint32, []uint64) error {
+	return ErrReadOnlyStore
+}
+
+// AppendAdjust implements Store: it fails with ErrReadOnlyStore.
+func (r *Recovered) AppendAdjust(uint64, int, []uint64) error { return ErrReadOnlyStore }
+
+// AppendClose implements Store: it fails with ErrReadOnlyStore.
+func (r *Recovered) AppendClose(uint64) error { return ErrReadOnlyStore }
+
+// Sync implements Store: a no-op (nothing was appended).
+func (r *Recovered) Sync() error { return nil }
+
+// ShouldSnapshot implements Store: always false.
+func (r *Recovered) ShouldSnapshot() bool { return false }
+
+// Snapshot implements Store: it fails with ErrReadOnlyStore.
+func (r *Recovered) Snapshot(func() ([]*RoundState, error)) error { return ErrReadOnlyStore }
+
+// Close implements Store: a no-op (no file handles are held).
+func (r *Recovered) Close() error { return nil }

@@ -20,6 +20,11 @@ import (
 // top of it may contain records the snapshot already reflects; the
 // duplicate/closed checks make re-applying them a no-op, which is what
 // lets recovery compose a fuzzy snapshot with its overlapping segment.
+//
+// The replication follower applies the same record stream to a *live*
+// replica back-end (backend.ApplyEvent); both appliers consume the
+// typed events of DecodeEvent, so their acceptance rules can only drift
+// if one of them diverges from this file's documented semantics.
 
 // recovered accumulates state during recovery: the bulletin board, the
 // per-round states keyed by round ID, and the deployment-wide
@@ -63,99 +68,81 @@ func (rec *recovered) bumpVersions(cv, rv uint32) {
 // does not parse at all returns ErrBadRecord (the caller treats it like
 // a corrupt record and ends the segment).
 func (rec *recovered) apply(kind byte, body []byte) error {
-	switch kind {
-	case recRegister:
-		r, err := decodeRegisterBody(body)
-		if err != nil {
-			return err
-		}
-		rec.roster[int(r.User)] = append([]byte(nil), r.Key...)
+	ev, err := DecodeEvent(kind, body)
+	if err != nil {
+		return err
+	}
+	rec.applyEvent(ev)
+	return nil
+}
 
-	case recOpen:
-		r, err := decodeOpenBody(body)
-		if err != nil {
-			return err
+// applyEvent folds one typed event into the recovered state, skipping
+// whatever the live acceptance rules would have rejected.
+func (rec *recovered) applyEvent(ev Event) {
+	switch e := ev.(type) {
+	case *RegisterEvent:
+		rec.roster[e.User] = append([]byte(nil), e.PublicKey...)
+
+	case *OpenEvent:
+		rec.bumpVersions(e.ConfigVersion, e.RosterVersion)
+		if _, ok := rec.rounds[e.Round]; ok {
+			return // round already open (snapshot overlap): idempotent
 		}
-		rec.bumpVersions(r.ConfigVersion, r.RosterVersion)
-		if _, ok := rec.rounds[r.Round]; ok {
-			return nil // round already open (snapshot overlap): idempotent
-		}
-		rec.rounds[r.Round] = &RoundState{
-			Round:         r.Round,
-			RosterSize:    int(r.Roster),
-			ConfigVersion: r.ConfigVersion,
-			RosterVersion: r.RosterVersion,
-			D:             int(r.D),
-			W:             int(r.W),
-			Seed:          r.Seed,
-			Keystream:     r.Keystream,
-			Cells:         make([]uint64, r.D*r.W),
-			Reported:      make([]bool, r.Roster),
+		rec.rounds[e.Round] = &RoundState{
+			Round:         e.Round,
+			RosterSize:    e.RosterSize,
+			ConfigVersion: e.ConfigVersion,
+			RosterVersion: e.RosterVersion,
+			D:             e.D,
+			W:             e.W,
+			Seed:          e.Seed,
+			Keystream:     e.Keystream,
+			Cells:         make([]uint64, e.D*e.W),
+			Reported:      make([]bool, e.RosterSize),
 			Adjusts:       make(map[int][]uint64),
 		}
 
-	case recConfig:
-		cv, rv, err := decodeConfigBody(body)
-		if err != nil {
-			return err
-		}
-		rec.bumpVersions(cv, rv)
+	case *ConfigEvent:
+		rec.bumpVersions(e.ConfigVersion, e.RosterVersion)
 
-	case recReport:
-		r, err := decodeReportBody(body)
-		if err != nil {
-			return err
-		}
-		rs, ok := rec.rounds[r.Round]
+	case *ReportEvent:
+		rs, ok := rec.rounds[e.Round]
 		if !ok || rs.Closed {
-			return nil // unknown or closed round: the live path rejects too
+			return // unknown or closed round: the live path rejects too
 		}
-		user := int(r.User)
-		if user < 0 || user >= rs.RosterSize || rs.Reported[user] {
-			return nil // out-of-roster or duplicate: skip, as live
+		if e.User < 0 || e.User >= rs.RosterSize || rs.Reported[e.User] {
+			return // out-of-roster or duplicate: skip, as live
 		}
-		if int(r.D) != rs.D || int(r.W) != rs.W || r.Seed != rs.Seed || r.Keystream != rs.Keystream {
-			return nil // layout or blinding-suite mismatch: skip, as live
+		if e.D != rs.D || e.W != rs.W || e.Seed != rs.Seed || e.Keystream != rs.Keystream {
+			return // layout or blinding-suite mismatch: skip, as live
 		}
-		if r.ConfigVersion != 0 && rs.ConfigVersion != 0 && r.ConfigVersion != rs.ConfigVersion {
-			return nil // stale config version: skip, as live (ErrIncompatibleConfig)
+		if e.ConfigVersion != 0 && rs.ConfigVersion != 0 && e.ConfigVersion != rs.ConfigVersion {
+			return // stale config version: skip, as live (ErrIncompatibleConfig)
 		}
-		rs.Reported[user] = true
-		rs.N += r.N
-		raw := r.Cells
+		rs.Reported[e.User] = true
+		rs.N += e.N
+		raw := e.Cells
 		for i := range rs.Cells {
 			rs.Cells[i] += binary.LittleEndian.Uint64(raw[8*i:])
 		}
 
-	case recAdjust:
-		r, err := decodeAdjustBody(body)
-		if err != nil {
-			return err
-		}
-		rs, ok := rec.rounds[r.Round]
+	case *AdjustEvent:
+		rs, ok := rec.rounds[e.Round]
 		if !ok || rs.Closed {
-			return nil
+			return
 		}
-		user := int(r.User)
-		if user < 0 || user >= rs.RosterSize || len(r.Cells) != 8*len(rs.Cells) {
-			return nil
+		if e.User < 0 || e.User >= rs.RosterSize || len(e.Cells) != 8*len(rs.Cells) {
+			return
 		}
 		cells := make([]uint64, len(rs.Cells))
-		vec.GetLE(cells, r.Cells)
-		rs.Adjusts[user] = cells // overwrite, as the live map store does
+		vec.GetLE(cells, e.Cells)
+		rs.Adjusts[e.User] = cells // overwrite, as the live map store does
 
-	case recClose:
-		if len(body) != 8 {
-			return ErrBadRecord
-		}
-		if rs, ok := rec.rounds[binary.LittleEndian.Uint64(body)]; ok {
+	case *CloseEvent:
+		if rs, ok := rec.rounds[e.Round]; ok {
 			rs.Closed = true
 		}
-
-	default:
-		return ErrBadRecord // unknown kind under a valid checksum
 	}
-	return nil
 }
 
 // sortedRounds returns the recovered rounds ordered by round ID, so

@@ -1,0 +1,166 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Segment shipping: the store-side API the replication layer is built
+// on. A primary's store directory is a set of immutable-once-sealed
+// files — WAL segments and snapshots, both generation-named — plus one
+// active WAL segment that only ever grows. That shape is what makes
+// replication a file-shipping problem: a follower mirrors the directory
+// by fetching byte ranges, and the only file whose content can change
+// under it is the active segment, which changes by append only.
+//
+// Manifest is the shipping index (which files exist, how many bytes of
+// each are safe to read, which are sealed), ReadFileAt serves the byte
+// ranges, and Seal force-rotates the active segment so a follower can
+// cheaply catch up on a quiet primary. The invariants the follower
+// leans on:
+//
+//   - A sealed file never changes or grows. Once fetched in full it is
+//     final; re-fetching is never needed.
+//   - The active segment grows append-only. A follower holding n bytes
+//     of it fetches [n, size) and never re-reads the prefix.
+//   - Files disappear only by pruning (snapshot compaction), and only
+//     after a newer snapshot covers them. A vanished file means "fetch
+//     the newer snapshot instead", never data loss.
+//   - Manifest sizes count flushed bytes (the file's size in the
+//     filesystem), which may trail appends still in the write buffer
+//     and may *lead* the fsync horizon. The byte-identical promotion
+//     guarantee is anchored on acknowledged records: the wire layer
+//     syncs before acking, so every acked record is durable on the
+//     primary and fetchable by the follower.
+
+// FileKind identifies the kind of a store file in a shipping manifest.
+type FileKind uint8
+
+const (
+	// FileWAL is a WAL segment (wal-<gen>.log).
+	FileWAL FileKind = iota + 1
+	// FileSnapshot is a snapshot (snap-<gen>.snap).
+	FileSnapshot
+)
+
+// String names the kind for logs and errors.
+func (k FileKind) String() string {
+	switch k {
+	case FileWAL:
+		return "wal"
+	case FileSnapshot:
+		return "snap"
+	}
+	return "unknown"
+}
+
+// name returns the store file name for a kind and generation.
+func (k FileKind) name(gen uint64) string {
+	if k == FileSnapshot {
+		return snapName(gen)
+	}
+	return walName(gen)
+}
+
+// FileInfo describes one store file in a shipping manifest.
+type FileInfo struct {
+	// Kind is the file's kind (WAL segment or snapshot).
+	Kind FileKind
+	// Gen is the file's generation number.
+	Gen uint64
+	// Size is the file's flushed size in bytes. For a sealed file this
+	// is its final size; for the active segment it is the current safe
+	// read horizon, which only grows.
+	Size int64
+	// Sealed reports whether the file can still change: snapshots and
+	// rotated-away WAL segments are sealed (immutable), the active WAL
+	// segment is not.
+	Sealed bool
+}
+
+// Name returns the file's name inside the store directory.
+func (fi FileInfo) Name() string { return fi.Kind.name(fi.Gen) }
+
+// Manifest returns the store's current shipping manifest: every WAL
+// segment and snapshot in the directory, with flushed sizes and seal
+// states, ordered by generation (snapshots before segments within a
+// generation). Safe to call concurrently with appends, Sync, and
+// Snapshot.
+func (d *Disk) Manifest() ([]FileInfo, error) {
+	walGens, snapGens, _, err := scanStoreDir(d.dir, false)
+	if err != nil {
+		return nil, err
+	}
+	// Read the active generation only AFTER the directory scan: an
+	// in-flight rotation pre-creates its next segment before d.gen
+	// advances, and scanning after the gen read could list that segment
+	// while activeGen still names its predecessor — marking the segment
+	// that is about to keep growing as sealed. Scanning first makes the
+	// race harmless: the pre-created segment reads as gen > activeGen,
+	// which is treated as unsealed below.
+	d.mu.Lock()
+	if err := d.usableLocked(); err != nil {
+		d.mu.Unlock()
+		return nil, err
+	}
+	activeGen := d.gen
+	d.mu.Unlock()
+
+	files := make([]FileInfo, 0, len(walGens)+len(snapGens))
+	for _, g := range snapGens {
+		st, err := os.Stat(filepath.Join(d.dir, snapName(g)))
+		if err != nil {
+			continue // pruned between scan and stat
+		}
+		files = append(files, FileInfo{Kind: FileSnapshot, Gen: g, Size: st.Size(), Sealed: true})
+	}
+	for _, g := range walGens {
+		st, err := os.Stat(filepath.Join(d.dir, walName(g)))
+		if err != nil {
+			continue
+		}
+		files = append(files, FileInfo{Kind: FileWAL, Gen: g, Size: st.Size(), Sealed: g < activeGen})
+	}
+	sort.Slice(files, func(i, j int) bool {
+		if files[i].Gen != files[j].Gen {
+			return files[i].Gen < files[j].Gen
+		}
+		return files[i].Kind == FileSnapshot && files[j].Kind == FileWAL
+	})
+	return files, nil
+}
+
+// ReadFileAt reads up to len(p) bytes from the named store file at
+// offset off, for shipping to a follower. It returns the count read and
+// any error, with io.EOF semantics as os.File.ReadAt: a read past the
+// current flushed size returns what is there plus io.EOF. A file that
+// no longer exists (pruned by snapshot compaction) returns an error
+// satisfying errors.Is(err, fs.ErrNotExist); the shipper translates
+// that into "fetch the newer snapshot". Safe to call concurrently with
+// appends.
+func (d *Disk) ReadFileAt(kind FileKind, gen uint64, off int64, p []byte) (int, error) {
+	f, err := os.Open(filepath.Join(d.dir, kind.name(gen)))
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	return f.ReadAt(p, off)
+}
+
+// Seal force-rotates the WAL: the active segment is flushed, fsynced,
+// and sealed, and appends move to a fresh segment of the next
+// generation. It returns the sealed segment's generation. Unlike
+// Snapshot, no snapshot is written and nothing is pruned — the sealed
+// segment stays until a later snapshot covers it, and the snapshot
+// cadence counter keeps running. Sealing an empty active segment is
+// legal and cheap: the sealed file then holds only the 8-byte magic.
+func (d *Disk) Seal() (uint64, error) {
+	d.snapMu.Lock()
+	defer d.snapMu.Unlock()
+	rot, err := d.rotate()
+	if err != nil {
+		return 0, err
+	}
+	return rot.oldGen, nil
+}

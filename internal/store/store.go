@@ -209,6 +209,13 @@ type Options struct {
 	// snapshot). 0 picks DefaultSnapshotEvery; negative disables
 	// snapshotting (the WAL grows until the owner calls Snapshot).
 	SnapshotEvery int
+	// RetainSegments keeps the newest N sealed WAL segments (and their
+	// generation's snapshots) across snapshot pruning. 0 prunes
+	// everything below the new snapshot — the original behavior. A
+	// replicated primary sets this so a follower that is one poll
+	// behind a rotation can still fetch the just-sealed segment instead
+	// of falling back to a full snapshot resync (see internal/repl).
+	RetainSegments int
 }
 
 // snapshotEvery resolves the configured snapshot cadence.

@@ -33,6 +33,10 @@ const (
 	// Back-end ↔ crawler.
 	TypeCrawlVisit   = "crawler.visit"
 	TypeCrawlVisitOK = "crawler.visit_ok"
+
+	// Operator ↔ follower (replication admin; see internal/repl).
+	TypePromote   = "repl.promote"
+	TypePromoteOK = "repl.promote_ok"
 )
 
 // OPRFEvaluateReq carries a blinded group element (big-endian bytes).
@@ -188,6 +192,19 @@ type AuditAdReq struct {
 // AuditAdResp returns the estimated user count.
 type AuditAdResp struct {
 	Users uint64 `json:"users"`
+}
+
+// PromoteReq asks a follower to stop replicating and take over as
+// primary (the admin-op twin of SIGUSR1; see internal/repl). The
+// follower detaches from its primary, re-opens its mirrored data
+// directory through the recovery path, and starts serving writes.
+type PromoteReq struct{}
+
+// PromoteResp acknowledges a promotion. Rounds is the number of rounds
+// the promoted store recovered — the operator's quick sanity check that
+// the mirror actually held state.
+type PromoteResp struct {
+	Rounds int `json:"rounds"`
 }
 
 // CrawlVisitReq instructs the crawler to visit a site with a clean

@@ -1,0 +1,162 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestReplHelloRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteReplHello(&buf); err != nil {
+		t.Fatalf("WriteReplHello: %v", err)
+	}
+	rev, err := ReadReplHello(&buf)
+	if err != nil {
+		t.Fatalf("ReadReplHello: %v", err)
+	}
+	if rev != ReplRevision {
+		t.Fatalf("revision = %d, want %d", rev, ReplRevision)
+	}
+}
+
+func TestReplHelloRejects(t *testing.T) {
+	cases := map[string][]byte{
+		"short":        []byte("EYWNREPL"),
+		"bad magic":    append([]byte("NOTMAGIC"), 0, 0, 0, 1),
+		"bad revision": append([]byte(ReplMagic), 0, 0, 0, 99),
+	}
+	for name, raw := range cases {
+		if _, err := ReadReplHello(bytes.NewReader(raw)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestReplFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	bodies := [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte{0xAB}, 4096)}
+	for i, body := range bodies {
+		if err := WriteReplFrame(&buf, byte(i+1), body); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	var scratch []byte
+	for i, want := range bodies {
+		kind, body, nbuf, err := ReadReplFrame(&buf, scratch)
+		scratch = nbuf
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if kind != byte(i+1) || !bytes.Equal(body, want) {
+			t.Fatalf("frame %d: kind %d body %d bytes", i, kind, len(body))
+		}
+	}
+	if _, _, _, err := ReadReplFrame(&buf, scratch); err != io.EOF {
+		t.Fatalf("tail read err = %v, want EOF", err)
+	}
+}
+
+func TestReplFrameCorruptionDetected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteReplFrame(&buf, ReplChunk, []byte("some chunk data")); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for bit := 0; bit < len(raw); bit++ {
+		mut := append([]byte(nil), raw...)
+		mut[bit] ^= 0x40
+		_, body, _, err := ReadReplFrame(bytes.NewReader(mut), nil)
+		if err == nil && bytes.Equal(body, []byte("some chunk data")) {
+			continue // flipped a bit that round-trips (kind byte covered by CRC, so it can't)
+		}
+		if err == nil {
+			t.Fatalf("bit %d: corruption accepted", bit)
+		}
+	}
+}
+
+func TestReplManifestRoundTrip(t *testing.T) {
+	files := []ReplFileInfo{
+		{FileKind: 2, Gen: 3, Size: 1234, Sealed: true},
+		{FileKind: 1, Gen: 3, Size: 99, Sealed: true},
+		{FileKind: 1, Gen: 4, Size: 8, Sealed: false},
+	}
+	got, err := DecodeReplManifest(EncodeReplManifest(files))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(got) != len(files) {
+		t.Fatalf("%d entries, want %d", len(got), len(files))
+	}
+	for i := range files {
+		if got[i] != files[i] {
+			t.Fatalf("entry %d: %+v != %+v", i, got[i], files[i])
+		}
+	}
+	if empty, err := DecodeReplManifest(EncodeReplManifest(nil)); err != nil || len(empty) != 0 {
+		t.Fatalf("empty manifest: %v %v", empty, err)
+	}
+}
+
+func TestReplManifestRejectsMalformed(t *testing.T) {
+	if _, err := DecodeReplManifest([]byte{0, 0}); err == nil {
+		t.Error("short manifest accepted")
+	}
+	body := EncodeReplManifest([]ReplFileInfo{{FileKind: 1, Gen: 1, Size: 10, Sealed: true}})
+	if _, err := DecodeReplManifest(body[:len(body)-1]); err == nil {
+		t.Error("truncated manifest accepted")
+	}
+}
+
+func TestReplFetchRoundTrip(t *testing.T) {
+	req := ReplFetchReq{FileKind: 1, Gen: 7, Off: 4096, MaxLen: 1 << 20}
+	got, err := DecodeReplFetch(EncodeReplFetch(req))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got != req {
+		t.Fatalf("%+v != %+v", got, req)
+	}
+	if _, err := DecodeReplFetch([]byte{1, 2, 3}); err == nil {
+		t.Error("short fetch accepted")
+	}
+}
+
+// FuzzReadReplFrame throws arbitrary bytes at the repl frame decoder:
+// it must never panic, and whatever it accepts must re-encode to the
+// bytes it consumed (the frame codec is bijective on valid frames).
+func FuzzReadReplFrame(f *testing.F) {
+	var seed bytes.Buffer
+	WriteReplFrame(&seed, ReplManifestReq, nil)
+	WriteReplFrame(&seed, ReplManifest, EncodeReplManifest([]ReplFileInfo{{FileKind: 1, Gen: 1, Size: 8}}))
+	WriteReplFrame(&seed, ReplFetch, EncodeReplFetch(ReplFetchReq{FileKind: 1, Gen: 1, MaxLen: 64}))
+	WriteReplFrame(&seed, ReplChunk, append([]byte{ReplChunkEOF}, []byte("data")...))
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		var buf []byte
+		for {
+			kind, body, nbuf, err := ReadReplFrame(r, buf)
+			buf = nbuf
+			if err != nil {
+				if errors.Is(err, ErrReplProto) || err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) {
+					return
+				}
+				return
+			}
+			var re bytes.Buffer
+			if err := WriteReplFrame(&re, kind, body); err != nil {
+				t.Fatalf("re-encode: %v", err)
+			}
+			// The re-encoded frame must be parseable back to the same kind/body.
+			k2, b2, _, err := ReadReplFrame(&re, nil)
+			if err != nil || k2 != kind || !bytes.Equal(b2, body) {
+				t.Fatalf("round trip diverged: %v", err)
+			}
+		}
+	})
+}
