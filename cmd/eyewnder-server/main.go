@@ -35,6 +35,7 @@ import (
 	"eyewnder/internal/blind"
 	"eyewnder/internal/detector"
 	"eyewnder/internal/group"
+	"eyewnder/internal/obs"
 	"eyewnder/internal/oprf"
 	"eyewnder/internal/privacy"
 	"eyewnder/internal/repl"
@@ -63,6 +64,8 @@ func main() {
 		replPoll    = flag.Duration("repl-poll", repl.DefaultPoll, "follower manifest poll interval with -follow (how far the warm replica may trail the primary)")
 		replChunk   = flag.Int("repl-chunk", repl.DefaultChunk, "replication fetch chunk size in bytes with -follow")
 		replRetain  = flag.Int("repl-retain", 2, "sealed WAL segments kept across snapshot pruning with -repl, so a briefly-lagging follower avoids a full snapshot resync")
+		adminAddr   = flag.String("admin", "", "admin HTTP listen address serving /metrics (Prometheus text), /metrics.json, /statusz, /healthz, and /debug/pprof (empty = off)")
+		replStatus  = flag.Duration("repl-status-every", 30*time.Second, "interval between follower replication status log lines with -follow (0 disables; the same state is always live on -admin's /statusz)")
 	)
 	flag.Parse()
 
@@ -81,7 +84,14 @@ func main() {
 	default:
 		log.Fatalf("-fsync %q: want batch, always, or off", *fsync)
 	}
-	storeOpts := store.Options{Sync: mode, SnapshotEvery: *snapEvery}
+	// One registry for the whole process: every layer registers its
+	// instruments here, and the admin endpoint (when enabled) serves the
+	// same registry — so /metrics, /statusz, and the log lines are views
+	// over one set of counters. Registration is idempotent by name, so a
+	// promotion (which builds a fresh back-end and store) continues the
+	// same counters.
+	reg := obs.New()
+	storeOpts := store.Options{Sync: mode, SnapshotEvery: *snapEvery, Metrics: reg}
 	if *replAddr != "" {
 		storeOpts.RetainSegments = *replRetain
 	}
@@ -93,6 +103,7 @@ func main() {
 		MergeStripes:   *stripes,
 		AckBatch:       *ackBatch,
 		RetainRounds:   *retain,
+		Metrics:        reg,
 	}
 	osrv, err := oprf.NewServer(*rsaBits)
 	if err != nil {
@@ -100,11 +111,16 @@ func main() {
 	}
 
 	if *follow != "" {
-		runFollower(*follow, *backendAddr, *oprfAddr, *replAddr, osrv, beCfg, repl.Options{
+		runFollower(followerConfig{
+			primary: *follow, backendAddr: *backendAddr, oprfAddr: *oprfAddr,
+			replAddr: *replAddr, adminAddr: *adminAddr,
+			statusEvery: *replStatus, fsync: mode, reg: reg,
+		}, osrv, beCfg, repl.Options{
 			Dir: *dataDir, Addr: *follow,
 			Poll: *replPoll, Chunk: *replChunk,
 			StoreOpts: storeOpts,
 			Logf:      log.Printf,
+			Metrics:   reg,
 		})
 		return
 	}
@@ -148,6 +164,22 @@ func main() {
 		defer rp.Close()
 		log.Printf("segment shipping on %s (retaining %d sealed segments across snapshots)", rp.Addr(), *replRetain)
 	}
+	if *adminAddr != "" {
+		admin, err := obs.ServeAdmin(*adminAddr, obs.AdminOptions{
+			Registry: reg,
+			Status: func() any {
+				return primaryStatusz(be, disk, mode)
+			},
+			Health: func() obs.Health {
+				return obs.Health{OK: true, Role: "primary", Detail: "serving"}
+			},
+		})
+		if err != nil {
+			log.Fatalf("admin listen: %v", err)
+		}
+		defer admin.Close()
+		log.Printf("admin endpoint on %s (/metrics, /statusz, /healthz, /debug/pprof)", admin.Addr())
+	}
 
 	cfg := be.CurrentConfig()
 	log.Printf("back-end on %s (config v%d, roster v%d with %d users, ε=%g δ=%g |A|=%d, streamed reports on, merge stripes=%d, ack batch=%d, keystream=%s, durable=%v, retain=%d)",
@@ -159,6 +191,69 @@ func main() {
 	signal.Notify(sig, os.Interrupt)
 	<-sig
 	log.Print("shutting down")
+}
+
+// statusz is the one consistent process-state snapshot /statusz
+// serves: role, negotiated versions, per-round progress, and (when
+// present) durable-store and replication state. Every field is read
+// from the same live objects the serving path uses, so the page can
+// never drift from reality.
+type statusz struct {
+	Role          string                  `json:"role"`
+	ConfigVersion uint32                  `json:"config_version"`
+	RosterVersion uint32                  `json:"roster_version"`
+	Rounds        []backend.RoundSnapshot `json:"rounds"`
+	Store         *storeStatusz           `json:"store,omitempty"`
+	Repl          *replStatusz            `json:"repl,omitempty"`
+}
+
+// storeStatusz is the durable-store section of /statusz.
+type storeStatusz struct {
+	Generation uint64 `json:"generation"`
+	Fsync      string `json:"fsync"`
+}
+
+// replStatusz is the replication section of a follower's /statusz —
+// repl.Status rendered for JSON.
+type replStatusz struct {
+	Connected bool   `json:"connected"`
+	CaughtUp  bool   `json:"caught_up"`
+	TailGen   uint64 `json:"tail_gen"`
+	TailOff   int64  `json:"tail_off"`
+	RemoteGen uint64 `json:"remote_gen"`
+	RemoteOff int64  `json:"remote_off"`
+	Events    uint64 `json:"events"`
+	Resyncs   uint64 `json:"resyncs"`
+	Err       string `json:"error,omitempty"`
+}
+
+// primaryStatusz snapshots a primary's state for /statusz.
+func primaryStatusz(be *backend.Backend, disk *store.Disk, mode store.SyncMode) statusz {
+	cfg := be.CurrentConfig()
+	st := statusz{
+		Role:          "primary",
+		ConfigVersion: cfg.Version,
+		RosterVersion: cfg.RosterVersion,
+		Rounds:        be.RoundsProgress(),
+	}
+	if disk != nil {
+		st.Store = &storeStatusz{Generation: disk.Generation(), Fsync: mode.String()}
+	}
+	return st
+}
+
+// replStatuszOf renders a follower's replication status for /statusz.
+func replStatuszOf(s repl.Status) *replStatusz {
+	out := &replStatusz{
+		Connected: s.Connected, CaughtUp: s.CaughtUp,
+		TailGen: s.TailGen, TailOff: s.TailOff,
+		RemoteGen: s.RemoteGen, RemoteOff: s.RemoteOff,
+		Events: s.Events, Resyncs: s.Resyncs,
+	}
+	if s.Err != nil {
+		out.Err = s.Err.Error()
+	}
+	return out
 }
 
 // node is the follower front-end: one wire server whose handler and
@@ -243,10 +338,22 @@ func (n *node) promote() (int, error) {
 	return n.rounds, nil
 }
 
+// followerConfig bundles runFollower's flag-derived settings.
+type followerConfig struct {
+	primary     string
+	backendAddr string
+	oprfAddr    string
+	replAddr    string
+	adminAddr   string
+	statusEvery time.Duration
+	fsync       store.SyncMode
+	reg         *obs.Registry
+}
+
 // runFollower is the -follow main loop: start the follower, serve the
 // warm replica on the ordinary back-end address, and wait for a
 // promotion trigger or shutdown.
-func runFollower(primary, backendAddr, oprfAddr, replAddr string, osrv *oprf.Server, beCfg backend.Config, opts repl.Options) {
+func runFollower(fc followerConfig, osrv *oprf.Server, beCfg backend.Config, opts repl.Options) {
 	if opts.Dir == "" {
 		log.Fatal("-follow requires -data-dir (the local mirror promotion re-opens)")
 	}
@@ -256,37 +363,58 @@ func runFollower(primary, backendAddr, oprfAddr, replAddr string, osrv *oprf.Ser
 	}
 	n := &node{
 		follower:  f,
-		replAddr:  replAddr,
+		replAddr:  fc.replAddr,
 		replRet:   opts.StoreOpts.RetainSegments,
 		storeOpts: opts.StoreOpts,
 	}
-	srv, err := wire.ServeWithSinkOpts(backendAddr, n.handler(), n, wire.StreamOpts{
+	srv, err := wire.ServeWithSinkOpts(fc.backendAddr, n.handler(), n, wire.StreamOpts{
 		AckBatch: beCfg.AckBatch,
 		Config:   func() wire.ConfigFrame { return n.backend().WireConfig() },
+		Metrics:  fc.reg,
 	})
 	if err != nil {
 		log.Fatalf("follower listen: %v", err)
 	}
 	defer srv.Close()
+	if fc.adminAddr != "" {
+		admin, err := obs.ServeAdmin(fc.adminAddr, obs.AdminOptions{
+			Registry: fc.reg,
+			Status:   func() any { return n.statusz(f, fc.fsync) },
+			Health:   func() obs.Health { return n.health(f) },
+		})
+		if err != nil {
+			log.Fatalf("admin listen: %v", err)
+		}
+		defer admin.Close()
+		log.Printf("admin endpoint on %s (/metrics, /statusz, /healthz, /debug/pprof)", admin.Addr())
+	}
 	// The follower runs its own oprf-server with a fresh key: the OPRF
 	// key is per-process and never persisted (by design — it maps ad
 	// IDs, not round state). After promotion, clients re-fetch the
 	// public key; see OPERATIONS.md for what that means for audits.
-	opSrv, err := backend.ServeOPRF(oprfAddr, osrv)
+	opSrv, err := backend.ServeOPRF(fc.oprfAddr, osrv)
 	if err != nil {
 		log.Fatalf("oprf listen: %v", err)
 	}
 	defer opSrv.Close()
 	s := f.Status()
 	log.Printf("following %s into %s (poll %s, tail gen %d, %d events applied, serving warm replica on %s)",
-		primary, opts.Dir, opts.Poll, s.TailGen, s.Events, srv.Addr())
+		fc.primary, opts.Dir, opts.Poll, s.TailGen, s.Events, srv.Addr())
 	log.Printf("oprf-server on %s", opSrv.Addr())
 
 	interrupt := make(chan os.Signal, 1)
 	signal.Notify(interrupt, os.Interrupt)
 	promoteCh := notifyPromote()
-	statusTick := time.NewTicker(30 * time.Second)
-	defer statusTick.Stop()
+	// -repl-status-every 0 disables the periodic line: a nil channel
+	// never fires. The line renders the same repl.Status snapshot the
+	// /statusz page and the registry gauges read, so the views cannot
+	// disagree.
+	var statusC <-chan time.Time
+	if fc.statusEvery > 0 {
+		statusTick := time.NewTicker(fc.statusEvery)
+		defer statusTick.Stop()
+		statusC = statusTick.C
+	}
 	for {
 		select {
 		case <-interrupt:
@@ -308,18 +436,62 @@ func runFollower(primary, backendAddr, oprfAddr, replAddr string, osrv *oprf.Ser
 			if _, err := n.promote(); err != nil {
 				log.Printf("promotion failed: %v", err)
 			}
-		case <-statusTick.C:
+		case <-statusC:
 			if n.backendIsReplica() {
 				s := f.Status()
 				if s.Err != nil {
 					log.Printf("replication stopped: %v (warm replica still serving; promotion refused)", s.Err)
 				} else {
-					log.Printf("replication: connected=%v caught_up=%v tail=%d@%d events=%d resyncs=%d",
-						s.Connected, s.CaughtUp, s.TailGen, s.TailOff, s.Events, s.Resyncs)
+					log.Printf("replication: connected=%v caught_up=%v tail=%d@%d remote=%d@%d events=%d resyncs=%d",
+						s.Connected, s.CaughtUp, s.TailGen, s.TailOff, s.RemoteGen, s.RemoteOff, s.Events, s.Resyncs)
 				}
 			}
 		}
 	}
+}
+
+// statusz snapshots the node's state for /statusz: the replication
+// view while following, the store view after promotion — always over
+// whichever back-end is currently serving.
+func (n *node) statusz(f *repl.Follower, mode store.SyncMode) statusz {
+	b := n.backend()
+	cfg := b.CurrentConfig()
+	st := statusz{
+		Role:          "follower",
+		ConfigVersion: cfg.Version,
+		RosterVersion: cfg.RosterVersion,
+		Rounds:        b.RoundsProgress(),
+	}
+	n.mu.Lock()
+	promoted, disk := n.promoted != nil, n.disk
+	n.mu.Unlock()
+	if promoted {
+		st.Role = "primary"
+		if disk != nil {
+			st.Store = &storeStatusz{Generation: disk.Generation(), Fsync: mode.String()}
+		}
+		return st
+	}
+	st.Repl = replStatuszOf(f.Status())
+	return st
+}
+
+// health answers /healthz: a promoted node is a serving primary; a
+// follower is healthy while replication runs (reporting warm-replica
+// vs caught-up) and unhealthy only once replication has fatally
+// stopped — the state in which promotion would be refused.
+func (n *node) health(f *repl.Follower) obs.Health {
+	if !n.backendIsReplica() {
+		return obs.Health{OK: true, Role: "primary", Detail: "promoted"}
+	}
+	s := f.Status()
+	switch {
+	case s.Err != nil:
+		return obs.Health{OK: false, Role: "follower", Detail: "replication stopped: " + s.Err.Error()}
+	case s.CaughtUp:
+		return obs.Health{OK: true, Role: "follower", Detail: "caught-up"}
+	}
+	return obs.Health{OK: true, Role: "follower", Detail: "warm-replica"}
 }
 
 // backendIsReplica reports whether the node is still in standby mode.

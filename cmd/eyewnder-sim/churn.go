@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"eyewnder/internal/churn"
+	"eyewnder/internal/obs"
 	"eyewnder/internal/vec"
 )
 
@@ -31,6 +32,7 @@ type churnConfig struct {
 	adjustWait time.Duration
 	dataDir    string
 	artifacts  string
+	scrape     string
 }
 
 // churnSummary is the final stdout line (single-line JSON), the
@@ -51,6 +53,9 @@ type churnSummary struct {
 	MaxProcs  int     `json:"maxprocs"`
 	Seconds   float64 `json:"seconds"`
 	Digest    string  `json:"digest"`
+	// Metrics holds the run's /metrics counter deltas when -scrape was
+	// set (see loadSummary.Metrics).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // runChurn generates the seeded trace, replays it, and prints one
@@ -71,6 +76,22 @@ func runChurn(cfg churnConfig) error {
 		DataDir:     cfg.dataDir,
 		ArtifactDir: cfg.artifacts,
 	}
+	// With -scrape the harness owns a registry the replayed back-end
+	// registers in, serves it on the admin endpoint during the run, and
+	// folds the counter deltas into the summary line.
+	var reg *obs.Registry
+	var before map[string]float64
+	if cfg.scrape != "" {
+		reg = obs.New()
+		ccfg.Metrics = reg
+		admin, err := obs.ServeAdmin(cfg.scrape, obs.AdminOptions{Registry: reg})
+		if err != nil {
+			return fmt.Errorf("-scrape listen: %w", err)
+		}
+		defer admin.Close()
+		fmt.Printf("churn: admin endpoint on %s\n", admin.Addr())
+		before = reg.Snapshot()
+	}
 	fmt.Printf("churn: %d users × %d rounds, seed %d%s\n",
 		cfg.users, cfg.rounds, cfg.seed, durabilityNote(cfg.dataDir))
 	start := time.Now()
@@ -81,15 +102,15 @@ func runChurn(cfg churnConfig) error {
 		// The partial summary still goes out: CI's failure path uploads
 		// it next to the trace/diff artifacts.
 		if res != nil {
-			printChurnSummary(cfg, res, time.Since(start))
+			printChurnSummary(cfg, res, time.Since(start), reg, before)
 		}
 		return err
 	}
-	printChurnSummary(cfg, res, time.Since(start))
+	printChurnSummary(cfg, res, time.Since(start), reg, before)
 	return nil
 }
 
-func printChurnSummary(cfg churnConfig, res *churn.Result, elapsed time.Duration) {
+func printChurnSummary(cfg churnConfig, res *churn.Result, elapsed time.Duration, reg *obs.Registry, before map[string]float64) {
 	sum := churnSummary{
 		Schema:    "eyewnder-churn/v1",
 		Users:     cfg.users,
@@ -110,6 +131,9 @@ func printChurnSummary(cfg churnConfig, res *churn.Result, elapsed time.Duration
 		if rr.Skipped {
 			sum.Skipped++
 		}
+	}
+	if reg != nil {
+		sum.Metrics = metricsDelta(before, reg.Snapshot())
 	}
 	if line, err := json.Marshal(sum); err == nil {
 		os.Stdout.Write(append(line, '\n'))

@@ -8,6 +8,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strings"
 	"time"
 
 	"eyewnder/internal/backend"
@@ -15,6 +16,7 @@ import (
 	"eyewnder/internal/client"
 	"eyewnder/internal/detector"
 	"eyewnder/internal/group"
+	"eyewnder/internal/obs"
 	"eyewnder/internal/privacy"
 	"eyewnder/internal/sketch"
 	"eyewnder/internal/store"
@@ -37,6 +39,7 @@ type loadConfig struct {
 	window  int
 	adsEach int
 	dataDir string
+	scrape  string
 }
 
 // loadSummary is the machine-readable result the harness prints as its
@@ -60,6 +63,31 @@ type loadSummary struct {
 	ReportsPerMin float64 `json:"reports_per_min"`
 	P50AckMs      float64 `json:"p50_ack_ms"`
 	P99AckMs      float64 `json:"p99_ack_ms"`
+	// Metrics holds the run's /metrics counter deltas when -scrape was
+	// set: every _total/_count/_sum sample that advanced during the
+	// run, keyed by its rendered Prometheus name. CI cross-checks
+	// eyewnder_reports_accepted_total against Reports.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// metricsDelta folds a run's counter movement for the summary line:
+// every counter or histogram sample (_total, _count, _sum) that
+// advanced between the two snapshots. Gauges are skipped — they
+// describe state, not work done by the run.
+func metricsDelta(before, after map[string]float64) map[string]float64 {
+	out := make(map[string]float64)
+	for k, v := range after {
+		base := strings.SplitN(k, "{", 2)[0]
+		if !strings.HasSuffix(base, "_total") &&
+			!strings.HasSuffix(base, "_count") &&
+			!strings.HasSuffix(base, "_sum") {
+			continue
+		}
+		if d := v - before[k]; d != 0 {
+			out[k] = d
+		}
+	}
+	return out
 }
 
 // ackTracker pairs submit timestamps with the stream's cumulative ack
@@ -69,6 +97,7 @@ type ackTracker struct {
 	submitted []time.Time // index = sequence slot - 1
 	observed  uint64      // acks attributed so far
 	latencies []time.Duration
+	hist      *obs.Histogram // optional: -scrape mirrors latencies here
 }
 
 func (a *ackTracker) submit(t time.Time) { a.submitted = append(a.submitted, t) }
@@ -78,6 +107,9 @@ func (a *ackTracker) onAck(acked uint64) {
 	for ; a.observed < acked && a.observed < uint64(len(a.submitted)); a.observed++ {
 		if t := a.submitted[a.observed]; !t.IsZero() {
 			a.latencies = append(a.latencies, now.Sub(t))
+			if a.hist != nil {
+				a.hist.Observe(now.Sub(t))
+			}
 		}
 	}
 }
@@ -105,9 +137,16 @@ func (a *ackTracker) percentileMs(p float64) float64 {
 // closes each round, printing per-round throughput.
 func runLoad(cfg loadConfig) error {
 	params := privacy.Params{Epsilon: 0.01, Delta: 0.01, IDSpace: 100000, Suite: group.P256()}
+	// With -scrape the harness owns a registry, serves it over the admin
+	// endpoint for the duration of the run (CI samples it mid-load), and
+	// folds the counter deltas into the summary line at the end.
+	var reg *obs.Registry
+	if cfg.scrape != "" {
+		reg = obs.New()
+	}
 	var st store.Store
 	if cfg.dataDir != "" {
-		disk, err := store.Open(cfg.dataDir, store.Options{})
+		disk, err := store.Open(cfg.dataDir, store.Options{Metrics: reg})
 		if err != nil {
 			return err
 		}
@@ -119,6 +158,7 @@ func runLoad(cfg loadConfig) error {
 		Users:          cfg.users,
 		UsersEstimator: detector.EstimatorMean,
 		Store:          st,
+		Metrics:        reg,
 	})
 	if err != nil {
 		return err
@@ -129,6 +169,23 @@ func runLoad(cfg loadConfig) error {
 		return err
 	}
 	defer srv.Close()
+
+	var before map[string]float64
+	var ackHist *obs.Histogram
+	if reg != nil {
+		admin, err := obs.ServeAdmin(cfg.scrape, obs.AdminOptions{
+			Registry: reg,
+			Status:   func() any { return be.RoundsProgress() },
+		})
+		if err != nil {
+			return fmt.Errorf("-scrape listen: %w", err)
+		}
+		defer admin.Close()
+		fmt.Printf("load: admin endpoint on %s\n", admin.Addr())
+		ackHist = reg.Histogram("eyewnder_sim_ack_seconds",
+			"Client-observed submit-to-ack latency per streamed report.", nil)
+		before = reg.Snapshot()
+	}
 
 	cli, err := wire.Dial(srv.Addr())
 	if err != nil {
@@ -165,7 +222,7 @@ func runLoad(cfg loadConfig) error {
 
 	// Sequence slots are cumulative per connection, so one tracker spans
 	// every round's stream on cli.
-	track := &ackTracker{submitted: make([]time.Time, 0, (cfg.users+1)*cfg.rounds)}
+	track := &ackTracker{submitted: make([]time.Time, 0, (cfg.users+1)*cfg.rounds), hist: ackHist}
 	var ingest time.Duration
 
 	for round := uint64(1); round <= uint64(cfg.rounds); round++ {
@@ -244,6 +301,9 @@ func runLoad(cfg loadConfig) error {
 		ReportsPerMin: float64(reports) / ingest.Seconds() * 60,
 		P50AckMs:      track.percentileMs(50),
 		P99AckMs:      track.percentileMs(99),
+	}
+	if reg != nil {
+		sum.Metrics = metricsDelta(before, reg.Snapshot())
 	}
 	// The final stdout line is the machine-readable summary; CI greps it
 	// out and feeds it to jq.

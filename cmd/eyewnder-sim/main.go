@@ -48,6 +48,8 @@ func main() {
 		churnWait  = flag.Duration("churn-adjust-wait", 10*time.Second, "adjustment-share deadline for closing rounds in -churn mode")
 		churnDir   = flag.String("churn-data-dir", "", "run the -churn back-end on a durable round store in this directory")
 		churnArts  = flag.String("churn-artifacts", "", "directory for trace + oracle-diff artifacts on a -churn failure")
+
+		scrape = flag.String("scrape", "", "with -load or -churn: serve the harness's admin endpoint (/metrics, /statusz, /healthz, pprof) on this address during the run and fold the /metrics counter deltas into the JSON summary line")
 	)
 	flag.Parse()
 
@@ -68,6 +70,7 @@ func main() {
 			pDark: *churnDark, pDrop: *churnDrop,
 			pArrive: *churnJoin, pRereg: *churnRereg,
 			adjustWait: *churnWait, dataDir: *churnDir, artifacts: *churnArts,
+			scrape: *scrape,
 		}); err != nil {
 			log.Fatal(err)
 		}
@@ -75,7 +78,7 @@ func main() {
 	case *load > 0:
 		if err := runLoad(loadConfig{
 			users: *load, rounds: *loadRnds, window: *loadWin,
-			adsEach: *loadAds, dataDir: *loadDir,
+			adsEach: *loadAds, dataDir: *loadDir, scrape: *scrape,
 		}); err != nil {
 			log.Fatal(err)
 		}

@@ -17,6 +17,7 @@ import (
 
 	"eyewnder/internal/blind"
 	"eyewnder/internal/detector"
+	"eyewnder/internal/obs"
 	"eyewnder/internal/oprf"
 	"eyewnder/internal/privacy"
 	"eyewnder/internal/sketch"
@@ -104,6 +105,15 @@ type Config struct {
 	// so a follower answers queries from its warm copy. See
 	// internal/repl.
 	Replica bool
+	// Metrics is the observability registry the back-end's instruments
+	// (reports accepted/rejected by reason, round lifecycle counters,
+	// adjustment shares and failures, config/roster version gauges)
+	// register in. nil means a private registry: the instrumented paths
+	// run identically, nothing is exported. Instrument registration is
+	// idempotent by name, so a promoted back-end constructed over the
+	// same registry as the replica it replaces continues the same
+	// counters and repoints the gauges at itself.
+	Metrics *obs.Registry
 }
 
 // Backend is the server state. All methods are safe for concurrent use.
@@ -118,7 +128,8 @@ type Config struct {
 // round's ingestion serialized even on many-core hosts.
 type Backend struct {
 	cfg   Config
-	cells int // sketch cell count implied by Params, for share validation
+	cells int             // sketch cell count implied by Params, for share validation
+	m     *backendMetrics // pre-registered instrument handles, always non-nil
 
 	// store is the durability sink (store.Null when Config.Store is
 	// nil); durable is false for the null store, gating the snapshot
@@ -207,8 +218,44 @@ func New(cfg Config) (*Backend, error) {
 		roster:  make([][]byte, cfg.Users),
 		rounds:  make(map[uint64]*round),
 	}
+	b.m = newBackendMetrics(cfg.Metrics)
 	if err := b.restore(); err != nil {
 		return nil, err
+	}
+	if cfg.Metrics != nil {
+		// Gauges read live state through the closure; re-registering
+		// (promotion builds a fresh back-end over the same registry)
+		// replaces the callback, so the gauges follow the active
+		// back-end.
+		cfg.Metrics.GaugeFunc("eyewnder_config_version",
+			"Deployment-wide negotiated config version.",
+			func() float64 {
+				b.mu.Lock()
+				defer b.mu.Unlock()
+				return float64(b.configVersion)
+			})
+		cfg.Metrics.GaugeFunc("eyewnder_roster_version",
+			"Deployment-wide negotiated roster version.",
+			func() float64 {
+				b.mu.Lock()
+				defer b.mu.Unlock()
+				return float64(b.rosterVersion)
+			})
+		cfg.Metrics.GaugeFunc("eyewnder_rounds_live",
+			"Rounds currently in memory (open plus retained closed).",
+			func() float64 {
+				b.mu.Lock()
+				defer b.mu.Unlock()
+				return float64(len(b.rounds))
+			})
+		cfg.Metrics.GaugeFunc("eyewnder_replica",
+			"1 when this back-end is a read-only hot-standby replica.",
+			func() float64 {
+				if b.cfg.Replica {
+					return 1
+				}
+				return 0
+			})
 	}
 	if b.durable {
 		b.snapC = make(chan struct{}, 1)
@@ -583,6 +630,7 @@ func (b *Backend) getRound(id uint64) (*round, error) {
 		}
 		r = &round{agg: agg, adjusts: make(map[int][]uint64)}
 		b.rounds[id] = r
+		b.m.roundsOpened.Inc()
 	}
 	return r, nil
 }
@@ -607,6 +655,19 @@ func (b *Backend) lookupRound(id uint64) (*round, bool) {
 // before returning — its callers (JSON wire handler, in-process
 // clients) treat the return as the acknowledgement.
 func (b *Backend) SubmitReport(rep *privacy.Report) error {
+	err := b.submitReport(rep)
+	if err != nil {
+		b.m.reportReason(err).Inc()
+	} else {
+		b.m.accepted.Inc()
+	}
+	return err
+}
+
+// submitReport is SubmitReport's body; the wrapper owns the
+// accept/reject accounting so every return path is counted exactly
+// once.
+func (b *Backend) submitReport(rep *privacy.Report) error {
 	if b.cfg.Replica {
 		return ErrReadOnlyReplica
 	}
@@ -659,15 +720,29 @@ func (b *Backend) SubmitReport(rep *privacy.Report) error {
 // each acknowledgement, so one group-committed fsync covers a whole
 // batched-ack window instead of every report paying its own.
 func (b *Backend) ConsumeReport(f *wire.ReportFrame) error {
-	if b.cfg.Replica {
-		return ErrReadOnlyReplica
-	}
 	if f.Kind == wire.FrameKindAdjust {
 		// A streamed second-round share: same batched connection, same
 		// ack slots and durability barrier as reports (the ack's
 		// SyncReports covers the share's WAL append), different store.
+		// submitAdjustment owns the share/failure accounting (and the
+		// replica refusal).
 		return b.submitAdjustment(f.User, f.Round, f.ConfigVersion,
 			blind.Keystream(f.Keystream), true, f.Cells, false)
+	}
+	err := b.consumeReport(f)
+	if err != nil {
+		b.m.reportReason(err).Inc()
+	} else {
+		b.m.accepted.Inc()
+	}
+	return err
+}
+
+// consumeReport is ConsumeReport's report-frame body; the wrapper owns
+// the accept/reject accounting.
+func (b *Backend) consumeReport(f *wire.ReportFrame) error {
+	if b.cfg.Replica {
+		return ErrReadOnlyReplica
 	}
 	r, err := b.getRound(f.Round)
 	if err != nil {
@@ -726,6 +801,47 @@ func (b *Backend) RoundProgressOf(id uint64) (RoundProgress, error) {
 	}, nil
 }
 
+// RoundSnapshot is one round's progress as /statusz reports it: the
+// same consistent observation as RoundProgressOf, with the missing set
+// reduced to its size (a status page wants counts, not a roster-sized
+// list).
+type RoundSnapshot struct {
+	Round    uint64 `json:"round"`
+	Reported int    `json:"reported"`
+	Missing  int    `json:"missing"`
+	Adjusted int    `json:"adjusted"`
+	Sealed   bool   `json:"sealed"`
+	Closed   bool   `json:"closed"`
+}
+
+// RoundsProgress snapshots every live round's progress, sorted by
+// round ID. Unlike RoundProgressOf it never creates a round: it
+// enumerates the existing map under the global lock and then reads
+// each round under its own read lock, so a status poll is observation
+// only — on a primary, a follower, and everything in between.
+func (b *Backend) RoundsProgress() []RoundSnapshot {
+	b.mu.Lock()
+	ids := make([]uint64, 0, len(b.rounds))
+	rounds := make([]*round, 0, len(b.rounds))
+	for id, r := range b.rounds {
+		ids = append(ids, id)
+		rounds = append(rounds, r)
+	}
+	b.mu.Unlock()
+	out := make([]RoundSnapshot, 0, len(rounds))
+	for i, r := range rounds {
+		r.mu.RLock()
+		reported, missing := r.agg.Progress()
+		out = append(out, RoundSnapshot{
+			Round: ids[i], Reported: reported, Missing: len(missing),
+			Adjusted: len(r.adjusts), Sealed: r.sealed, Closed: r.closed,
+		})
+		r.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Round < out[j].Round })
+	return out
+}
+
 // RoundStatus reports progress of a round.
 func (b *Backend) RoundStatus(id uint64) (reported int, missing []int, closed bool, err error) {
 	p, err := b.RoundProgressOf(id)
@@ -764,6 +880,19 @@ func (b *Backend) SubmitAdjustmentVersion(user int, id uint64, cv uint32, cells 
 // lets the wire layer's ack barrier (SyncReports) cover the append, so
 // batched adjustment uploads amortize fsyncs exactly like reports.
 func (b *Backend) submitAdjustment(user int, id uint64, cv uint32, ks blind.Keystream, checkKS bool, cells []uint64, syncNow bool) error {
+	err := b.applyAdjustment(user, id, cv, ks, checkKS, cells, syncNow)
+	if err != nil {
+		b.m.adjustReason(err).Inc()
+	} else {
+		b.m.adjShares.Inc()
+	}
+	return err
+}
+
+// applyAdjustment is submitAdjustment's body; the wrapper owns the
+// share/failure accounting so every return path is counted exactly
+// once.
+func (b *Backend) applyAdjustment(user int, id uint64, cv uint32, ks blind.Keystream, checkKS bool, cells []uint64, syncNow bool) error {
 	if b.cfg.Replica {
 		return ErrReadOnlyReplica
 	}
@@ -771,7 +900,8 @@ func (b *Backend) submitAdjustment(user int, id uint64, cv uint32, ks blind.Keys
 		return ErrBadUser
 	}
 	if len(cells) != b.cells {
-		return fmt.Errorf("backend: adjustment share has %d cells, want %d", len(cells), b.cells)
+		return fmt.Errorf("%w: adjustment share has %d cells, want %d",
+			sketch.ErrDimensionMismatch, len(cells), b.cells)
 	}
 	// Unlike reports, an adjustment never opens a round: a share can
 	// only repair a round that reports have already touched.
@@ -812,6 +942,11 @@ func (b *Backend) submitAdjustment(user int, id uint64, cv uint32, ks blind.Keys
 	if err := b.store.AppendAdjust(id, user, cells); err != nil {
 		r.mu.Unlock()
 		return err
+	}
+	if len(r.adjusts) == 0 {
+		// First share into this round: it has entered the adjustment
+		// round.
+		b.m.roundsAdjusted.Inc()
 	}
 	r.adjusts[user] = append([]uint64(nil), cells...)
 	if r.adjCond != nil {
@@ -900,7 +1035,10 @@ func (b *Backend) CloseRoundWait(id uint64, wait time.Duration) (usersTh float64
 		defer r.mu.Unlock()
 		return r.usersTh, len(r.counts), nil
 	}
-	r.sealed = true
+	if !r.sealed {
+		r.sealed = true
+		b.m.roundsSealed.Inc()
+	}
 	deadline := time.Now().Add(wait)
 	var timer *time.Timer
 	for {
@@ -1001,6 +1139,7 @@ func (b *Backend) closeLocked(id uint64, r *round) error {
 		return err
 	}
 	r.closed = true
+	b.m.roundsClosed.Inc()
 	return nil
 }
 
@@ -1275,6 +1414,7 @@ func (b *Backend) Serve(addr string) (*wire.Server, error) {
 	return wire.ServeWithSinkOpts(addr, b.Handler(), b, wire.StreamOpts{
 		AckBatch: b.cfg.AckBatch,
 		Config:   b.wireConfig,
+		Metrics:  b.cfg.Metrics,
 	})
 }
 

@@ -72,7 +72,7 @@ func Replay(tr *Trace, logf func(format string, args ...interface{})) (*Result, 
 
 	var st store.Store
 	if cfg.DataDir != "" {
-		disk, err := store.Open(cfg.DataDir, store.Options{})
+		disk, err := store.Open(cfg.DataDir, store.Options{Metrics: cfg.Metrics})
 		if err != nil {
 			return nil, err
 		}
@@ -84,6 +84,7 @@ func Replay(tr *Trace, logf func(format string, args ...interface{})) (*Result, 
 		Users:          cfg.Users,
 		UsersEstimator: detector.EstimatorMean,
 		Store:          st,
+		Metrics:        cfg.Metrics,
 	})
 	if err != nil {
 		return nil, err

@@ -11,7 +11,11 @@
 // identical finalized counts — the property CI pins.
 package churn
 
-import "time"
+import (
+	"time"
+
+	"eyewnder/internal/obs"
+)
 
 // Config parameterizes a churn run. The zero value of any field picks
 // the default noted on it (withDefaults), except Users and Seed, which
@@ -77,6 +81,10 @@ type Config struct {
 	// ArtifactDir, when set, receives trace.json and a per-round oracle
 	// diff on the first mismatch — the debugging artifact CI uploads.
 	ArtifactDir string `json:"-"`
+	// Metrics, when set, is the observability registry the replayed
+	// back-end and store register their instruments in (the harness's
+	// -scrape option). Not part of the trace.
+	Metrics *obs.Registry `json:"-"`
 }
 
 // withDefaults fills zero fields with the documented defaults.

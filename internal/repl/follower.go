@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"eyewnder/internal/backend"
+	"eyewnder/internal/obs"
 	"eyewnder/internal/store"
 	"eyewnder/internal/wire"
 )
@@ -60,6 +61,13 @@ type Options struct {
 	StoreOpts store.Options
 	// Logf, when set, receives replication progress and warnings.
 	Logf func(format string, args ...any)
+	// Metrics is the observability registry the follower's instruments
+	// (events applied, resyncs, chunk fetch latency, connection and lag
+	// gauges) register in. nil means a private registry: the
+	// instrumented paths run identically, nothing is exported. The
+	// counters are written at the same sites as the Status fields, so
+	// the /metrics view and the status line always agree.
+	Metrics *obs.Registry
 }
 
 // Status is a snapshot of a follower's replication state.
@@ -83,6 +91,12 @@ type Status struct {
 	// Resyncs counts snapshot resyncs (startup's initial sync is the
 	// first).
 	Resyncs uint64
+	// RemoteGen and RemoteOff locate the primary's newest WAL segment
+	// as of the last manifest poll — the tip the follower is chasing.
+	RemoteGen uint64
+	// RemoteOff is the flushed byte size of the primary's newest WAL
+	// segment as of the last manifest poll.
+	RemoteOff int64
 	// Err is the fatal error that stopped tailing, if any. The replica
 	// still serves its last state; promotion is refused until the
 	// operator intervenes.
@@ -96,6 +110,7 @@ type Status struct {
 type Follower struct {
 	opts Options
 	cfg  backend.Config
+	m    *replMetrics // pre-registered instrument handles, always non-nil
 
 	mu      sync.Mutex
 	replica *backend.Backend
@@ -147,6 +162,10 @@ func StartFollower(opts Options, cfg backend.Config) (*Follower, error) {
 		cfg:  cfg,
 		stop: make(chan struct{}),
 		done: make(chan struct{}),
+	}
+	f.m = newReplMetrics(opts.Metrics)
+	if opts.Metrics != nil {
+		registerFollowerGauges(opts.Metrics, f)
 	}
 	c, err := dialPrimary(opts.Addr)
 	if err != nil {
@@ -360,6 +379,7 @@ func (f *Follower) resync() error {
 	f.parser = store.NewSegmentParser()
 	f.parser.SkipTo(rec.TailOff())
 
+	f.m.resyncs.Inc()
 	f.mu.Lock()
 	old := f.replica
 	f.replica = replica
@@ -428,7 +448,7 @@ func (f *Follower) fetchInto(fi wire.ReplFileInfo, size int64) (gone bool, err e
 		if want > int64(f.opts.Chunk) {
 			want = int64(f.opts.Chunk)
 		}
-		data, flags, err := f.c.fetch(byte(info.Kind), info.Gen, off, uint32(want))
+		data, flags, err := f.fetch(byte(info.Kind), info.Gen, off, uint32(want))
 		if err != nil {
 			return false, err
 		}
@@ -444,6 +464,15 @@ func (f *Follower) fetchInto(fi wire.ReplFileInfo, size int64) (gone bool, err e
 		off += int64(len(data))
 	}
 	return false, nil
+}
+
+// fetch is conn.fetch with the exchange latency recorded (failures
+// included — a slow refusal is still a slow exchange).
+func (f *Follower) fetch(fileKind byte, gen uint64, off int64, maxLen uint32) (data []byte, flags byte, err error) {
+	start := time.Now()
+	data, flags, err = f.c.fetch(fileKind, gen, off, maxLen)
+	observeSince(f.m.fetchLat, start)
+	return data, flags, err
 }
 
 // localSize returns the local mirror size of a store file (0 when
@@ -479,6 +508,7 @@ func (f *Follower) pollOnce() error {
 	}
 	wals := make(map[uint64]wire.ReplFileInfo)
 	var minWal uint64
+	var remote wire.ReplFileInfo // newest WAL segment (the primary's tip)
 	var newest wire.ReplFileInfo // newest snapshot
 	for _, fi := range files {
 		switch store.FileKind(fi.FileKind) {
@@ -487,11 +517,20 @@ func (f *Follower) pollOnce() error {
 			if minWal == 0 || fi.Gen < minWal {
 				minWal = fi.Gen
 			}
+			if fi.Gen > remote.Gen {
+				remote = fi
+			}
 		case store.FileSnapshot:
 			if fi.Gen > newest.Gen {
 				newest = fi
 			}
 		}
+	}
+	if remote.Gen > 0 {
+		f.mu.Lock()
+		f.status.RemoteGen = remote.Gen
+		f.status.RemoteOff = remote.Size
+		f.mu.Unlock()
 	}
 	if f.curGen == 0 {
 		// Nothing mirrored yet (a fake-source test primary with no WAL
@@ -579,7 +618,7 @@ func (f *Follower) tailSegment(info wire.ReplFileInfo) error {
 		if want > int64(f.opts.Chunk) {
 			want = int64(f.opts.Chunk)
 		}
-		data, flags, err := f.c.fetch(byte(store.FileWAL), f.curGen, f.curOff, uint32(want))
+		data, flags, err := f.fetch(byte(store.FileWAL), f.curGen, f.curOff, uint32(want))
 		if err != nil {
 			return err
 		}
@@ -630,6 +669,7 @@ func (f *Follower) applyChunk(data []byte) error {
 		if err := replica.ApplyEvent(ev); err != nil {
 			return fatalError{err}
 		}
+		f.m.events.Inc()
 		f.mu.Lock()
 		f.status.Events++
 		f.mu.Unlock()

@@ -1,0 +1,83 @@
+package repl
+
+import (
+	"time"
+
+	"eyewnder/internal/obs"
+)
+
+// replMetrics holds the follower's pre-registered instrument handles.
+// Counters mirror the Status fields exactly — both are written at the
+// same sites — so the /metrics view and the replication status line
+// can never disagree.
+type replMetrics struct {
+	events   *obs.Counter
+	resyncs  *obs.Counter
+	fetchLat *obs.Histogram
+}
+
+// newReplMetrics registers the follower instruments in reg (or a
+// private registry when reg is nil, so the handles are always real).
+func newReplMetrics(reg *obs.Registry) *replMetrics {
+	reg = obs.Ensure(reg)
+	return &replMetrics{
+		events: reg.Counter("eyewnder_repl_events_total",
+			"WAL events applied to the warm replica since the follower started."),
+		resyncs: reg.Counter("eyewnder_repl_resyncs_total",
+			"Snapshot resyncs (startup's initial sync is the first)."),
+		fetchLat: reg.Histogram("eyewnder_repl_fetch_seconds",
+			"Latency of one chunk fetch exchange with the primary.", nil),
+	}
+}
+
+// registerFollowerGauges exposes the follower's live replication state
+// as gauges derived from Status() — the same snapshot /statusz and the
+// periodic status log line render.
+func registerFollowerGauges(reg *obs.Registry, f *Follower) {
+	reg.GaugeFunc("eyewnder_repl_connected",
+		"1 when the last exchange with the primary succeeded.",
+		func() float64 { return b2f(f.Status().Connected) })
+	reg.GaugeFunc("eyewnder_repl_caught_up",
+		"1 when the last poll fetched and applied every manifest byte.",
+		func() float64 { return b2f(f.Status().CaughtUp) })
+	reg.GaugeFunc("eyewnder_repl_tail_generation",
+		"WAL segment generation the follower is tailing.",
+		func() float64 { return float64(f.Status().TailGen) })
+	reg.GaugeFunc("eyewnder_repl_tail_bytes",
+		"Bytes of the tail segment fetched locally.",
+		func() float64 { return float64(f.Status().TailOff) })
+	reg.GaugeFunc("eyewnder_repl_lag_generations",
+		"WAL segment generations the follower trails the primary by.",
+		func() float64 {
+			s := f.Status()
+			if s.RemoteGen > s.TailGen {
+				return float64(s.RemoteGen - s.TailGen)
+			}
+			return 0
+		})
+	reg.GaugeFunc("eyewnder_repl_lag_bytes",
+		"Bytes the follower trails the primary's newest WAL segment by (a lower bound while whole segments are still outstanding).",
+		func() float64 {
+			s := f.Status()
+			switch {
+			case s.RemoteGen > s.TailGen:
+				return float64(s.RemoteOff)
+			case s.RemoteGen == s.TailGen && s.RemoteOff > s.TailOff:
+				return float64(s.RemoteOff - s.TailOff)
+			}
+			return 0
+		})
+}
+
+// b2f renders a bool as a 0/1 gauge value.
+func b2f(v bool) float64 {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// observeSince records the elapsed time since start in h.
+func observeSince(h *obs.Histogram, start time.Time) {
+	h.Observe(time.Since(start))
+}

@@ -10,6 +10,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // walMagic heads every WAL segment file.
@@ -57,6 +58,8 @@ type Disk struct {
 	rosVer uint32
 
 	reports atomic.Int64 // report appends since the last snapshot
+
+	m *storeMetrics // pre-registered instrument handles, always non-nil
 
 	snapMu sync.Mutex // serializes Snapshot calls
 
@@ -122,7 +125,22 @@ func Open(dir string, opts Options) (*Disk, error) {
 	}
 	d.cond = sync.NewCond(&d.mu)
 	d.roster = rec.roster
+	d.m = newStoreMetrics(opts.Metrics)
+	if opts.Metrics != nil {
+		opts.Metrics.GaugeFunc("eyewnder_store_generation",
+			"Active WAL segment generation.",
+			func() float64 { return float64(d.Generation()) })
+	}
 	return d, nil
+}
+
+// Generation returns the active WAL segment's generation. It advances
+// on every rotation (and by one at Open, which always starts a fresh
+// segment).
+func (d *Disk) Generation() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.gen
 }
 
 // scanStoreDir lists the WAL and snapshot generations present in dir,
@@ -310,11 +328,16 @@ func (d *Disk) append(encode func(w io.Writer) error) error {
 		return err
 	}
 	d.seq++
+	wrote := d.enc.lastWrote
 	if d.opts.Sync != SyncAlways {
 		d.mu.Unlock()
+		d.m.walAppends.Inc()
+		d.m.walBytes.Add(uint64(wrote))
 		return nil
 	}
 	d.mu.Unlock()
+	d.m.walAppends.Inc()
+	d.m.walBytes.Add(uint64(wrote))
 	return d.Sync()
 }
 
@@ -353,12 +376,15 @@ func (d *Disk) AppendRegister(user int, publicKey []byte) error {
 		return err
 	}
 	d.seq++
+	wrote := d.enc.lastWrote
 	if d.roster == nil {
 		d.roster = make(map[int][]byte)
 	}
 	d.roster[user] = append([]byte(nil), publicKey...)
 	sync := d.opts.Sync == SyncAlways
 	d.mu.Unlock()
+	d.m.walAppends.Inc()
+	d.m.walBytes.Add(uint64(wrote))
 	if sync {
 		return d.Sync()
 	}
@@ -381,6 +407,7 @@ func (d *Disk) AppendConfig(configVersion, rosterVersion uint32) error {
 		return err
 	}
 	d.seq++
+	wrote := d.enc.lastWrote
 	if configVersion > d.cfgVer {
 		d.cfgVer = configVersion
 	}
@@ -389,6 +416,8 @@ func (d *Disk) AppendConfig(configVersion, rosterVersion uint32) error {
 	}
 	sync := d.opts.Sync == SyncAlways
 	d.mu.Unlock()
+	d.m.walAppends.Inc()
+	d.m.walBytes.Add(uint64(wrote))
 	if sync {
 		return d.Sync()
 	}
@@ -417,9 +446,12 @@ func (d *Disk) AppendReport(round uint64, user, dRows, wCols int, n, seed uint64
 		return err
 	}
 	d.seq++
+	wrote := d.enc.lastWrote
 	sync := d.opts.Sync == SyncAlways
 	d.mu.Unlock()
 	d.reports.Add(1)
+	d.m.walAppends.Inc()
+	d.m.walBytes.Add(uint64(wrote))
 	if sync {
 		return d.Sync()
 	}
@@ -470,7 +502,10 @@ func (d *Disk) Sync() error {
 
 	var err error
 	if d.opts.Sync != SyncOff {
+		start := time.Now()
 		err = f.Sync()
+		d.m.fsyncs.Inc()
+		observeSince(d.m.fsyncLat, start)
 	}
 
 	d.mu.Lock()
@@ -512,6 +547,7 @@ func (d *Disk) ShouldSnapshot() bool {
 func (d *Disk) Snapshot(capture func() ([]*RoundState, error)) error {
 	d.snapMu.Lock()
 	defer d.snapMu.Unlock()
+	start := time.Now()
 
 	rot, err := d.rotate()
 	if err != nil {
@@ -547,10 +583,15 @@ func (d *Disk) Snapshot(capture func() ([]*RoundState, error)) error {
 		p1 := filepath.Join(d.dir, walName(g))
 		p2 := filepath.Join(d.dir, snapName(g))
 		e1, e2 := os.Remove(p1), os.Remove(p2)
+		if e1 == nil {
+			d.m.segsPruned.Inc()
+		}
 		if os.IsNotExist(e1) && os.IsNotExist(e2) {
 			break
 		}
 	}
+	d.m.snapshots.Inc()
+	observeSince(d.m.snapshotLat, start)
 	return nil
 }
 
@@ -630,6 +671,7 @@ func (d *Disk) rotate() (rotation, error) {
 	cfgVer, rosVer := d.cfgVer, d.rosVer
 	d.mu.Unlock()
 	old.Close()
+	d.m.segsSealed.Inc()
 	return rotation{oldGen: oldGen, newGen: newGen, roster: roster, cfgVer: cfgVer, rosVer: rosVer}, nil
 }
 

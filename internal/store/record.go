@@ -113,6 +113,11 @@ type RecordEncoder struct {
 	pre  [reportPreamble]byte // largest fixed body prefix
 	tail [4]byte
 	cell []byte // cell-block scratch for hosts without a zero-copy byte view
+
+	// lastWrote is the framed size (overhead + body) of the last record
+	// successfully written — read by the store's byte counters under
+	// the same lock that serializes the encoder.
+	lastWrote int
 }
 
 // cellBytes returns the little-endian byte block for cells: the slice's
@@ -163,8 +168,11 @@ func (e *RecordEncoder) record(w io.Writer, kind byte, fixed, rest []byte) error
 		crc = crc32.Update(crc, castagnoli, rest)
 	}
 	binary.LittleEndian.PutUint32(e.tail[:], crc)
-	_, err := w.Write(e.tail[:])
-	return err
+	if _, err := w.Write(e.tail[:]); err != nil {
+		return err
+	}
+	e.lastWrote = walRecordOverhead + n
+	return nil
 }
 
 // ReadWALRecord reads one framed record from r. buf is an optional

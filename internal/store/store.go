@@ -40,6 +40,8 @@
 // — fail their CRC and cleanly end that segment's replay.
 package store
 
+import "eyewnder/internal/obs"
+
 // RoundState is one round's complete durable state: everything needed
 // to rebuild the back-end's in-memory aggregator byte-identically. It
 // is the unit both snapshots and recovery speak in.
@@ -216,6 +218,11 @@ type Options struct {
 	// behind a rotation can still fetch the just-sealed segment instead
 	// of falling back to a full snapshot resync (see internal/repl).
 	RetainSegments int
+	// Metrics is the observability registry the store's instruments
+	// (WAL appends/bytes, fsync count and latency, snapshot duration,
+	// segment seals/prunes) register in. nil means a private registry:
+	// the instrumented paths run identically, nothing is exported.
+	Metrics *obs.Registry
 }
 
 // snapshotEvery resolves the configured snapshot cadence.

@@ -7,6 +7,8 @@ import (
 	"io"
 	"net"
 	"sync"
+
+	"eyewnder/internal/obs"
 )
 
 // Batched acknowledgements and per-connection report pipelining.
@@ -100,6 +102,12 @@ type StreamOpts struct {
 	// config — the server, not the flag set of any one binary, is the
 	// source of truth. nil answers Hellos with WelcomeNoConfig.
 	Config func() ConfigFrame
+	// Metrics is the observability registry the server's wire
+	// instruments (report frames decoded, ack batches emitted,
+	// handshakes answered/rejected) register in. nil means a private
+	// registry: the instrumented paths run identically, nothing is
+	// exported.
+	Metrics *obs.Registry
 }
 
 // appendAckFrame appends one encoded ack frame to dst. An empty errMsg
@@ -240,6 +248,7 @@ func (s *Server) foldLoop(conn net.Conn, wmu *sync.Mutex, st *connStream) {
 	defer s.wg.Done()
 	defer close(st.done)
 	dur, _ := s.sink.(ReportDurability)
+	m := s.metrics()
 	var (
 		k         = st.k // current batch; adjusts when st.adaptive
 		seq       uint64 // sequence slots consumed, cumulative
@@ -273,6 +282,7 @@ func (s *Server) foldLoop(conn net.Conn, wmu *sync.Mutex, st *connStream) {
 		wmu.Lock()
 		_, err := conn.Write(scratch)
 		wmu.Unlock()
+		m.ackBatches.Inc()
 		if err != nil {
 			connDead = true
 		}

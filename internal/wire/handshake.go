@@ -230,15 +230,18 @@ func (s *Server) answerHello(conn net.Conn, wmu *sync.Mutex) error {
 	if err != nil {
 		return err
 	}
+	m := s.metrics()
 	status, cfg := byte(WelcomeOK), ConfigFrame{}
 	switch {
 	case minRev > HandshakeRevision || maxRev < HandshakeRevision:
 		status = WelcomeIncompatible
+		m.handshakeRejected.Inc()
 	case s.opts.Config == nil:
 		status = WelcomeNoConfig
 	default:
 		cfg = s.opts.Config()
 	}
+	m.handshakes.Inc()
 	wmu.Lock()
 	defer wmu.Unlock()
 	return WriteWelcomeFrame(conn, status, cfg)

@@ -1,0 +1,54 @@
+package wire
+
+import (
+	"sync"
+
+	"eyewnder/internal/obs"
+)
+
+// wireMetrics holds the server's pre-registered instrument handles.
+// The decode counter is sharded: every streamed report bumps it, and
+// many connections decode concurrently, so each connection takes its
+// own padded shard at accept time. All updates are plain atomics — the
+// streamed-report path stays 0 allocs/op (see backend's alloc
+// regression test).
+type wireMetrics struct {
+	framesDecoded     *obs.ShardedCounter
+	ackBatches        *obs.Counter
+	handshakes        *obs.Counter
+	handshakeRejected *obs.Counter
+}
+
+// metrics returns the server's instrument handles, falling back to a
+// process-wide private set for Server values constructed without the
+// Serve entry points (tests drive foldLoop on bare literals).
+func (s *Server) metrics() *wireMetrics {
+	if s.m != nil {
+		return s.m
+	}
+	fallbackWireMetricsOnce.Do(func() {
+		fallbackWireMetrics = newWireMetrics(nil)
+	})
+	return fallbackWireMetrics
+}
+
+var (
+	fallbackWireMetricsOnce sync.Once
+	fallbackWireMetrics     *wireMetrics
+)
+
+// newWireMetrics registers the wire instruments in reg (or a private
+// registry when reg is nil).
+func newWireMetrics(reg *obs.Registry) *wireMetrics {
+	reg = obs.Ensure(reg)
+	return &wireMetrics{
+		framesDecoded: reg.ShardedCounter("eyewnder_wire_report_frames_total",
+			"Streamed report frames decoded off connections (batched and legacy paths)."),
+		ackBatches: reg.Counter("eyewnder_wire_ack_batches_total",
+			"Binary batched-ack frames emitted by fold goroutines."),
+		handshakes: reg.Counter("eyewnder_wire_handshakes_total",
+			"Hello/Welcome config handshakes answered."),
+		handshakeRejected: reg.Counter("eyewnder_wire_handshake_rejected_total",
+			"Handshakes refused for revision incompatibility."),
+	}
+}

@@ -120,6 +120,7 @@ type Server struct {
 	handler Handler
 	sink    ReportSink // nil: streamed report frames are rejected
 	opts    StreamOpts
+	m       *wireMetrics // pre-registered instrument handles, always non-nil
 
 	mu    sync.Mutex
 	conns map[net.Conn]struct{}
@@ -151,6 +152,7 @@ func ServeWithSinkOpts(addr string, handler Handler, sink ReportSink, opts Strea
 		handler: handler,
 		sink:    sink,
 		opts:    opts,
+		m:       newWireMetrics(opts.Metrics),
 		conns:   make(map[net.Conn]struct{}),
 		done:    make(chan struct{}),
 	}
@@ -217,6 +219,11 @@ func (s *Server) serveConn(conn net.Conn) {
 	// Msg.Payload (RawMessage), so nothing handed to the handler aliases
 	// buf.
 	var buf []byte
+	// shard is this connection's slot in the sharded decode counter —
+	// taken once here so the per-frame bump below is one uncontended
+	// atomic add.
+	m := s.metrics()
+	shard := m.framesDecoded.NextShard()
 	for {
 		var hdr [4]byte
 		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
@@ -254,6 +261,7 @@ func (s *Server) serveConn(conn net.Conn) {
 					reportBufPool.Put(rb)
 					return
 				}
+				m.framesDecoded.Inc(shard)
 				st.ch <- streamItem{rb: rb, f: frame}
 				continue
 			}
@@ -273,6 +281,7 @@ func (s *Server) serveConn(conn net.Conn) {
 				reportBufPool.Put(rb)
 				return
 			}
+			m.framesDecoded.Inc(shard)
 			sinkErr := ErrNoSink
 			if s.sink != nil {
 				sinkErr = s.sink.ConsumeReport(frame)
