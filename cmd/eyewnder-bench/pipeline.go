@@ -15,6 +15,7 @@ import (
 
 	"eyewnder/internal/backend"
 	"eyewnder/internal/blind"
+	"eyewnder/internal/campaign"
 	"eyewnder/internal/client"
 	"eyewnder/internal/detector"
 	"eyewnder/internal/group"
@@ -235,6 +236,11 @@ func runPipeline(outPath, baselinePath string, checkPct, checkNsPct float64) err
 		return err
 	}
 
+	fmt.Fprintln(os.Stderr, "pipeline: multi-campaign ingest, 8 campaigns multiplexed over one stream ...")
+	if err := benchMultiCampaignIngest(rep); err != nil {
+		return err
+	}
+
 	fmt.Fprintln(os.Stderr, "pipeline: close round (8 reports, 20k-ID enumeration) ...")
 	params := privacy.Params{Epsilon: 0.001, Delta: 0.001, IDSpace: 20000, Suite: group.P256()}
 	reports := make([]*privacy.Report, len(roster.Parties[:8]))
@@ -337,6 +343,9 @@ func runPipeline(outPath, baselinePath string, checkPct, checkNsPct float64) err
 	}
 	if e2e, ok := rep.Benchmarks["e2e_ingest_durable"]; ok && e2e.NsPerOp > 0 {
 		fmt.Printf("  e2e durable ingest: %.0f reports/min (GOMAXPROCS=%d)\n", 60e9/e2e.NsPerOp, rep.MaxProcs)
+	}
+	if mc, ok := rep.Benchmarks["multi_campaign_ingest"]; ok && mc.NsPerOp > 0 {
+		fmt.Printf("  multi-campaign ingest (8 campaigns, one stream): %.0f reports/min (GOMAXPROCS=%d)\n", 60e9/mc.NsPerOp, rep.MaxProcs)
 	}
 	if checkPct > 0 || checkNsPct > 0 {
 		return checkRegressions(rep, checkPct, checkNsPct)
@@ -483,7 +492,7 @@ func benchStore(rep *pipelineReport, newCMS func() *sketch.CMS) error {
 	var enc store.RecordEncoder
 	rep.Benchmarks["wal_append"] = measure(func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if err := enc.Report(io.Discard, 1, 1, d, w, 50, 0, 0, 0, cells); err != nil {
+			if err := enc.Report(io.Discard, 0, 1, 1, d, w, 50, 0, 0, 0, cells); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -499,11 +508,11 @@ func benchStore(rep *pipelineReport, newCMS func() *sketch.CMS) error {
 	if err != nil {
 		return err
 	}
-	if err := st.AppendOpen(1, reporters, d, w, 0, 0, 0, 0); err != nil {
+	if err := st.AppendOpen(0, 1, reporters, d, w, 0, 0, 0, 0); err != nil {
 		return err
 	}
 	for u := 0; u < reporters; u++ {
-		if err := st.AppendReport(1, u, d, w, 50, 0, 0, 0, cells); err != nil {
+		if err := st.AppendReport(0, 1, u, d, w, 50, 0, 0, 0, cells); err != nil {
 			return err
 		}
 	}
@@ -631,6 +640,112 @@ func benchE2EIngest(rep *pipelineReport) error {
 			frame.User = next % users
 			next++
 			if err := s.Submit(frame); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := s.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if err := s.Close(); err != nil {
+			b.Fatal(err)
+		}
+	})
+	return nil
+}
+
+// benchMultiCampaignIngest measures the multi-tenant hot path: one
+// batched connection carrying report frames for eight concurrent
+// campaigns with distinct geometries, demultiplexed by the binary
+// preamble tag and folded into eight independent per-campaign rounds.
+// The op is one submitted frame (campaigns round-robin across submits),
+// so the row is directly comparable with e2e_ingest_durable minus the
+// WAL: any regression in the campaign routing, per-campaign config
+// resolution, or keyed round lookup shows up here.
+func benchMultiCampaignIngest(rep *pipelineReport) error {
+	const (
+		users     = 1 << 21
+		campaigns = 8
+	)
+	params := privacy.Params{Epsilon: 0.01, Delta: 0.01, IDSpace: 20000, Suite: group.P256()}
+	be, err := backend.New(backend.Config{
+		Params:         params,
+		Users:          users,
+		UsersEstimator: detector.EstimatorMean,
+	})
+	if err != nil {
+		return err
+	}
+	defer be.Close()
+	for i := 1; i <= campaigns; i++ {
+		if err := be.AddCampaign(campaign.Campaign{
+			ID:      uint32(i),
+			Name:    fmt.Sprintf("bench-%d", i),
+			Epsilon: 0.01 * float64(1+(i-1)%4),
+			Delta:   0.01,
+			IDSpace: uint64(20000 + 2000*i),
+		}); err != nil {
+			return err
+		}
+	}
+	srv, err := be.Serve("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	cli, err := wire.Dial(srv.Addr())
+	if err != nil {
+		return err
+	}
+	defer cli.Close()
+	cf, err := cli.Handshake()
+	if err != nil {
+		return err
+	}
+	rcfg, err := client.RoundConfigFromFrame(cf)
+	if err != nil {
+		return err
+	}
+	dir, err := cli.CampaignDirectory()
+	if err != nil {
+		return err
+	}
+	if len(dir) != campaigns {
+		return fmt.Errorf("directory advertises %d campaigns, want %d", len(dir), campaigns)
+	}
+	// One prototype frame per campaign, sized for that campaign's
+	// geometry; the timed loop only rotates the user and campaign tag.
+	frames := make([]*wire.ReportFrame, campaigns)
+	for i, c := range dir {
+		cp := c.Params(rcfg.Params)
+		cms, err := cp.NewSketch()
+		if err != nil {
+			return err
+		}
+		cells := cms.FlatCells()
+		for j := range cells {
+			cells[j] = uint64(j) * 2_654_435_761
+		}
+		frames[i] = &wire.ReportFrame{
+			Campaign: c.ID, Round: 1,
+			D: cms.Depth(), W: cms.Width(), N: 50, Seed: cms.Seed(),
+			Keystream:     byte(cp.Keystream),
+			ConfigVersion: rcfg.Version,
+			Cells:         cells,
+		}
+	}
+	next := 0
+	rep.Benchmarks["multi_campaign_ingest"] = measure(func(b *testing.B) {
+		s, err := cli.OpenReportStream(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			f := frames[next%campaigns]
+			f.User = next % users
+			next++
+			if err := s.Submit(f); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -33,6 +33,7 @@ import (
 
 	"eyewnder/internal/backend"
 	"eyewnder/internal/blind"
+	"eyewnder/internal/campaign"
 	"eyewnder/internal/detector"
 	"eyewnder/internal/group"
 	"eyewnder/internal/obs"
@@ -65,6 +66,7 @@ func main() {
 		replChunk   = flag.Int("repl-chunk", repl.DefaultChunk, "replication fetch chunk size in bytes with -follow")
 		replRetain  = flag.Int("repl-retain", 2, "sealed WAL segments kept across snapshot pruning with -repl, so a briefly-lagging follower avoids a full snapshot resync")
 		adminAddr   = flag.String("admin", "", "admin HTTP listen address serving /metrics (Prometheus text), /metrics.json, /statusz, /healthz, and /debug/pprof (empty = off)")
+		campaigns   = flag.String("campaigns", "", "counting campaigns to provision at startup, as semicolon-separated specs: \"id=1,name=autos,eps=0.02,delta=0.01,idspace=4096,keystream=aes-ctr,retain=4,cadence=600;id=2,...\" — zero fields inherit the deployment base; re-provisioning an existing ID is last-write-wins and applies to future rounds only")
 		replStatus  = flag.Duration("repl-status-every", 30*time.Second, "interval between follower replication status log lines with -follow (0 disables; the same state is always live on -admin's /statusz)")
 	)
 	flag.Parse()
@@ -143,6 +145,18 @@ func main() {
 		log.Fatalf("back-end: %v", err)
 	}
 	defer be.Close()
+	if *campaigns != "" {
+		list, err := campaign.ParseSpec(*campaigns)
+		if err != nil {
+			log.Fatalf("-campaigns: %v", err)
+		}
+		for _, c := range list {
+			if err := be.AddCampaign(c); err != nil {
+				log.Fatalf("-campaigns: provisioning campaign %d: %v", c.ID, err)
+			}
+		}
+		log.Printf("provisioned %d campaigns (directory now %d entries)", len(list), len(be.Campaigns()))
+	}
 	beSrv, err := be.Serve(*backendAddr)
 	if err != nil {
 		log.Fatalf("back-end listen: %v", err)
@@ -202,9 +216,47 @@ type statusz struct {
 	Role          string                  `json:"role"`
 	ConfigVersion uint32                  `json:"config_version"`
 	RosterVersion uint32                  `json:"roster_version"`
+	Campaigns     []campaignStatusz       `json:"campaigns,omitempty"`
 	Rounds        []backend.RoundSnapshot `json:"rounds"`
 	Store         *storeStatusz           `json:"store,omitempty"`
 	Repl          *replStatusz            `json:"repl,omitempty"`
+}
+
+// campaignStatusz is one provisioned campaign as /statusz renders it:
+// the directory entry plus the number of live rounds keyed to it.
+type campaignStatusz struct {
+	ID         uint32  `json:"id"`
+	Name       string  `json:"name,omitempty"`
+	Epsilon    float64 `json:"epsilon,omitempty"`
+	Delta      float64 `json:"delta,omitempty"`
+	IDSpace    uint64  `json:"id_space,omitempty"`
+	Keystream  byte    `json:"keystream,omitempty"`
+	Retain     int     `json:"retain_rounds,omitempty"`
+	CadenceSec uint32  `json:"cadence_sec,omitempty"`
+	Rounds     int     `json:"rounds"`
+}
+
+// campaignStatuszOf renders the back-end's campaign directory with
+// per-campaign live-round counts from the same progress snapshot the
+// rounds section shows.
+func campaignStatuszOf(be *backend.Backend, rounds []backend.RoundSnapshot) []campaignStatusz {
+	byCampaign := make(map[uint32]int)
+	for _, r := range rounds {
+		byCampaign[r.Campaign]++
+	}
+	list := be.Campaigns()
+	out := make([]campaignStatusz, len(list))
+	for i, c := range list {
+		out[i] = campaignStatusz{
+			ID: c.ID, Name: c.Name,
+			Epsilon: c.Epsilon, Delta: c.Delta, IDSpace: c.IDSpace,
+			Keystream:  byte(c.Keystream),
+			Retain:     c.RetainRounds,
+			CadenceSec: c.CadenceSec,
+			Rounds:     byCampaign[c.ID],
+		}
+	}
+	return out
 }
 
 // storeStatusz is the durable-store section of /statusz.
@@ -230,11 +282,13 @@ type replStatusz struct {
 // primaryStatusz snapshots a primary's state for /statusz.
 func primaryStatusz(be *backend.Backend, disk *store.Disk, mode store.SyncMode) statusz {
 	cfg := be.CurrentConfig()
+	rounds := be.RoundsProgress()
 	st := statusz{
 		Role:          "primary",
 		ConfigVersion: cfg.Version,
 		RosterVersion: cfg.RosterVersion,
-		Rounds:        be.RoundsProgress(),
+		Campaigns:     campaignStatuszOf(be, rounds),
+		Rounds:        rounds,
 	}
 	if disk != nil {
 		st.Store = &storeStatusz{Generation: disk.Generation(), Fsync: mode.String()}
@@ -368,9 +422,10 @@ func runFollower(fc followerConfig, osrv *oprf.Server, beCfg backend.Config, opt
 		storeOpts: opts.StoreOpts,
 	}
 	srv, err := wire.ServeWithSinkOpts(fc.backendAddr, n.handler(), n, wire.StreamOpts{
-		AckBatch: beCfg.AckBatch,
-		Config:   func() wire.ConfigFrame { return n.backend().WireConfig() },
-		Metrics:  fc.reg,
+		AckBatch:  beCfg.AckBatch,
+		Config:    func() wire.ConfigFrame { return n.backend().WireConfig() },
+		Campaigns: func() []campaign.Campaign { return n.backend().Campaigns() },
+		Metrics:   fc.reg,
 	})
 	if err != nil {
 		log.Fatalf("follower listen: %v", err)
@@ -456,11 +511,13 @@ func runFollower(fc followerConfig, osrv *oprf.Server, beCfg backend.Config, opt
 func (n *node) statusz(f *repl.Follower, mode store.SyncMode) statusz {
 	b := n.backend()
 	cfg := b.CurrentConfig()
+	rounds := b.RoundsProgress()
 	st := statusz{
 		Role:          "follower",
 		ConfigVersion: cfg.Version,
 		RosterVersion: cfg.RosterVersion,
-		Rounds:        b.RoundsProgress(),
+		Campaigns:     campaignStatuszOf(b, rounds),
+		Rounds:        rounds,
 	}
 	n.mu.Lock()
 	promoted, disk := n.promoted != nil, n.disk

@@ -30,6 +30,7 @@ type churnConfig struct {
 	pArrive    float64
 	pRereg     float64
 	adjustWait time.Duration
+	campaign   uint32
 	dataDir    string
 	artifacts  string
 	scrape     string
@@ -73,6 +74,7 @@ func runChurn(cfg churnConfig) error {
 		PArrive:     cfg.pArrive,
 		PRereg:      cfg.pRereg,
 		AdjustWait:  cfg.adjustWait,
+		Campaign:    cfg.campaign,
 		DataDir:     cfg.dataDir,
 		ArtifactDir: cfg.artifacts,
 	}

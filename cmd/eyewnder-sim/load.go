@@ -13,6 +13,7 @@ import (
 
 	"eyewnder/internal/backend"
 	"eyewnder/internal/blind"
+	"eyewnder/internal/campaign"
 	"eyewnder/internal/client"
 	"eyewnder/internal/detector"
 	"eyewnder/internal/group"
@@ -34,12 +35,13 @@ import (
 // durable round store so every report also pays its group-committed
 // WAL append.
 type loadConfig struct {
-	users   int
-	rounds  int
-	window  int
-	adsEach int
-	dataDir string
-	scrape  string
+	users     int
+	rounds    int
+	window    int
+	adsEach   int
+	campaigns int
+	dataDir   string
+	scrape    string
 }
 
 // loadSummary is the machine-readable result the harness prints as its
@@ -53,6 +55,7 @@ type loadSummary struct {
 	Users         int     `json:"users"`
 	Rounds        int     `json:"rounds"`
 	Reports       int     `json:"reports"`
+	Campaigns     int     `json:"campaigns,omitempty"`
 	Cells         int     `json:"cells"`
 	Window        int     `json:"window"`
 	Durable       bool    `json:"durable"`
@@ -164,6 +167,23 @@ func runLoad(cfg loadConfig) error {
 		return err
 	}
 	defer be.Close()
+	// With -load-campaigns N the harness provisions N campaigns with
+	// deliberately distinct geometries and ID spaces (cycling ε over
+	// four widths), then multiplexes every campaign's population over
+	// the same single batched stream — the multi-tenant deployment
+	// shape, where one connection carries frames for many concurrent
+	// campaigns and the server demultiplexes by the preamble tag.
+	for i := 1; i <= cfg.campaigns; i++ {
+		if err := be.AddCampaign(campaign.Campaign{
+			ID:      uint32(i),
+			Name:    fmt.Sprintf("load-%d", i),
+			Epsilon: 0.01 * float64(1+(i-1)%4),
+			Delta:   0.01,
+			IDSpace: uint64(50000 + 10000*i),
+		}); err != nil {
+			return fmt.Errorf("provisioning campaign %d: %w", i, err)
+		}
+	}
 	srv, err := be.Serve("127.0.0.1:0")
 	if err != nil {
 		return err
@@ -207,6 +227,36 @@ func runLoad(cfg loadConfig) error {
 	}
 	params = rcfg.Params
 
+	// The campaign set the run drives: the implicit campaign 0 plus
+	// whatever the server's directory advertises — fetched over the
+	// wire, not assumed, so the harness exercises the directory
+	// exchange too.
+	type loadCampaign struct {
+		id     uint32
+		params privacy.Params
+		cells  int
+	}
+	camps := []loadCampaign{{id: 0, params: params}}
+	if cfg.campaigns > 0 {
+		dir, err := cli.CampaignDirectory()
+		if err != nil {
+			return fmt.Errorf("campaign directory: %w", err)
+		}
+		if len(dir) != cfg.campaigns {
+			return fmt.Errorf("directory advertises %d campaigns, provisioned %d", len(dir), cfg.campaigns)
+		}
+		for _, c := range dir {
+			camps = append(camps, loadCampaign{id: c.ID, params: c.Params(params)})
+		}
+	}
+	for i := range camps {
+		cd, cw, err := sketch.Dimensions(camps[i].params.Epsilon, camps[i].params.Delta)
+		if err != nil {
+			return err
+		}
+		camps[i].cells = cd * cw
+	}
+
 	roster, err := blind.NewRosterKeystream(params.Suite, cfg.users, rand.Reader, params.Keystream)
 	if err != nil {
 		return err
@@ -216,40 +266,46 @@ func runLoad(cfg loadConfig) error {
 	if err != nil {
 		return err
 	}
-	frameBytes := 8 * d * w
-	fmt.Printf("load: %d users × %d rounds over one batched stream (config v%d, window %d, %d ads/user, %d-cell sketches%s)\n",
-		cfg.users, cfg.rounds, rcfg.Version, cfg.window, cfg.adsEach, d*w, durabilityNote(cfg.dataDir))
+	fmt.Printf("load: %d users × %d rounds × %d campaigns over one batched stream (config v%d, window %d, %d ads/user, %d-cell base sketches%s)\n",
+		cfg.users, cfg.rounds, len(camps), rcfg.Version, cfg.window, cfg.adsEach, d*w, durabilityNote(cfg.dataDir))
 
 	// Sequence slots are cumulative per connection, so one tracker spans
 	// every round's stream on cli.
-	track := &ackTracker{submitted: make([]time.Time, 0, (cfg.users+1)*cfg.rounds), hist: ackHist}
+	track := &ackTracker{submitted: make([]time.Time, 0, (cfg.users*len(camps)+1)*cfg.rounds), hist: ackHist}
 	var ingest time.Duration
 
 	for round := uint64(1); round <= uint64(cfg.rounds); round++ {
 		// Blind the whole population's reports for this round first, so
 		// the timed section measures the wire+fold path, not the client
-		// crypto.
-		frames := make([]*wire.ReportFrame, cfg.users)
-		for u := 0; u < cfg.users; u++ {
-			cms, err := params.NewSketch()
-			if err != nil {
-				return err
-			}
-			var key [8]byte
-			for a := 0; a < cfg.adsEach; a++ {
-				binary.LittleEndian.PutUint64(key[:], uint64((u*131+a*17)%int(params.IDSpace)))
-				cms.Update(key[:])
-			}
-			cells := cms.FlatCells()
-			if err := blind.ApplyBlinding(cells, roster.Parties[u].Blinding(round, len(cells))); err != nil {
-				return err
-			}
-			frames[u] = &wire.ReportFrame{
-				User: u, Round: round,
-				D: cms.Depth(), W: cms.Width(), N: cms.N(), Seed: cms.Seed(),
-				Keystream:     byte(params.Keystream),
-				ConfigVersion: rcfg.Version,
-				Cells:         cells,
+		// crypto. Campaign c's frames blind under the campaign-derived
+		// pairwise keys (ForCampaign), so concurrent campaigns carry
+		// independent pads.
+		frames := make([]*wire.ReportFrame, 0, cfg.users*len(camps))
+		var roundBytes int
+		for _, lc := range camps {
+			for u := 0; u < cfg.users; u++ {
+				cms, err := lc.params.NewSketch()
+				if err != nil {
+					return err
+				}
+				var key [8]byte
+				for a := 0; a < cfg.adsEach; a++ {
+					binary.LittleEndian.PutUint64(key[:], uint64((u*131+a*17)%int(lc.params.IDSpace)))
+					cms.Update(key[:])
+				}
+				cells := cms.FlatCells()
+				party := roster.Parties[u].ForCampaignKeystream(lc.id, lc.params.Keystream)
+				if err := blind.ApplyBlinding(cells, party.Blinding(round, len(cells))); err != nil {
+					return err
+				}
+				roundBytes += 8 * len(cells)
+				frames = append(frames, &wire.ReportFrame{
+					User: u, Campaign: lc.id, Round: round,
+					D: cms.Depth(), W: cms.Width(), N: cms.N(), Seed: cms.Seed(),
+					Keystream:     byte(lc.params.Keystream),
+					ConfigVersion: rcfg.Version,
+					Cells:         cells,
+				})
 			}
 		}
 
@@ -274,23 +330,37 @@ func runLoad(cfg loadConfig) error {
 		elapsed := time.Since(start)
 		ingest += elapsed
 
-		var resp wire.CloseRoundResp
-		if err := cli.Do(wire.TypeCloseRound, wire.CloseRoundReq{Round: round}, &resp); err != nil {
-			return err
+		for _, lc := range camps {
+			var resp wire.CloseRoundResp
+			if err := cli.Do(wire.TypeCloseRound, wire.CloseRoundReq{Campaign: lc.id, Round: round}, &resp); err != nil {
+				return fmt.Errorf("close campaign %d round %d: %w", lc.id, round, err)
+			}
+			if len(camps) > 1 {
+				fmt.Printf("  round %d campaign %d: Users_th=%.2f distinct ads=%d\n",
+					round, lc.id, resp.UsersTh, resp.DistinctAds)
+			} else {
+				mb := float64(roundBytes) / (1 << 20)
+				fmt.Printf("  round %d: %d reports in %v  (%.0f reports/s, %.1f MB/s)  Users_th=%.2f distinct ads=%d\n",
+					round, len(frames), elapsed.Round(time.Millisecond),
+					float64(len(frames))/elapsed.Seconds(), mb/elapsed.Seconds(),
+					resp.UsersTh, resp.DistinctAds)
+			}
 		}
-		mb := float64(frameBytes) * float64(cfg.users) / (1 << 20)
-		fmt.Printf("  round %d: %d reports in %v  (%.0f reports/s, %.1f MB/s)  Users_th=%.2f distinct ads=%d\n",
-			round, cfg.users, elapsed.Round(time.Millisecond),
-			float64(cfg.users)/elapsed.Seconds(), mb/elapsed.Seconds(),
-			resp.UsersTh, resp.DistinctAds)
+		if len(camps) > 1 {
+			mb := float64(roundBytes) / (1 << 20)
+			fmt.Printf("  round %d: %d reports across %d campaigns in %v  (%.0f reports/s, %.1f MB/s)\n",
+				round, len(frames), len(camps), elapsed.Round(time.Millisecond),
+				float64(len(frames))/elapsed.Seconds(), mb/elapsed.Seconds())
+		}
 	}
 
-	reports := cfg.users * cfg.rounds
+	reports := cfg.users * cfg.rounds * len(camps)
 	sum := loadSummary{
 		Schema:        "eyewnder-load/v1",
 		Users:         cfg.users,
 		Rounds:        cfg.rounds,
 		Reports:       reports,
+		Campaigns:     cfg.campaigns,
 		Cells:         d * w,
 		Window:        cfg.window,
 		Durable:       cfg.dataDir != "",

@@ -34,6 +34,13 @@ func main() {
 		loadWin  = flag.Int("load-window", 0, "in-flight frame window in -load mode (0 = twice the server's ack batch)")
 		loadAds  = flag.Int("load-ads", 50, "distinct ads per user per round in -load mode")
 		loadDir  = flag.String("load-data-dir", "", "run the -load back-end on a durable round store in this directory")
+		loadCamp = flag.Int("load-campaigns", 0, "in -load mode, provision N extra campaigns with distinct geometries and multiplex all of them (plus campaign 0) over the one batched connection")
+
+		pipeline  = flag.Bool("pipeline", false, "run the end-to-end pipeline demo: adsim pages → detector → campaign mapper → blinded multi-campaign reporting, byte-matched against an unblinded oracle")
+		pipeUsers = flag.Int("pipeline-users", 16, "population size in -pipeline mode")
+		pipeWeeks = flag.Int("pipeline-weeks", 2, "simulated weeks (reporting rounds) in -pipeline mode")
+		pipeCamps = flag.Int("pipeline-campaigns", 8, "counting campaigns to provision in -pipeline mode")
+		pipeWin   = flag.Int("pipeline-window", 0, "in-flight frame window in -pipeline mode (0 = twice the server's ack batch)")
 
 		churnN     = flag.Int("churn", 0, "replay a deterministic N-user population-lifecycle trace (the churn harness)")
 		seed       = flag.Uint64("seed", 1, "master seed for -churn (same seed → identical trace and finalized counts)")
@@ -48,6 +55,7 @@ func main() {
 		churnWait  = flag.Duration("churn-adjust-wait", 10*time.Second, "adjustment-share deadline for closing rounds in -churn mode")
 		churnDir   = flag.String("churn-data-dir", "", "run the -churn back-end on a durable round store in this directory")
 		churnArts  = flag.String("churn-artifacts", "", "directory for trace + oracle-diff artifacts on a -churn failure")
+		churnCamp  = flag.Uint("churn-campaign", 0, "scope the whole -churn replay to this campaign ID (0 = the implicit legacy campaign)")
 
 		scrape = flag.String("scrape", "", "with -load or -churn: serve the harness's admin endpoint (/metrics, /statusz, /healthz, pprof) on this address during the run and fold the /metrics counter deltas into the JSON summary line")
 	)
@@ -70,7 +78,16 @@ func main() {
 			pDark: *churnDark, pDrop: *churnDrop,
 			pArrive: *churnJoin, pRereg: *churnRereg,
 			adjustWait: *churnWait, dataDir: *churnDir, artifacts: *churnArts,
-			scrape: *scrape,
+			campaign: uint32(*churnCamp), scrape: *scrape,
+		}); err != nil {
+			log.Fatal(err)
+		}
+
+	case *pipeline:
+		if err := runPipeline(pipelineConfig{
+			users: *pipeUsers, weeks: *pipeWeeks,
+			campaigns: *pipeCamps, window: *pipeWin,
+			seed: int64(*seed),
 		}); err != nil {
 			log.Fatal(err)
 		}
@@ -78,7 +95,8 @@ func main() {
 	case *load > 0:
 		if err := runLoad(loadConfig{
 			users: *load, rounds: *loadRnds, window: *loadWin,
-			adsEach: *loadAds, dataDir: *loadDir, scrape: *scrape,
+			adsEach: *loadAds, campaigns: *loadCamp,
+			dataDir: *loadDir, scrape: *scrape,
 		}); err != nil {
 			log.Fatal(err)
 		}

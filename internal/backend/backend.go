@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"eyewnder/internal/blind"
+	"eyewnder/internal/campaign"
 	"eyewnder/internal/detector"
 	"eyewnder/internal/obs"
 	"eyewnder/internal/oprf"
@@ -54,6 +55,12 @@ var (
 	// without the submitter's blinded report there is nothing for it to
 	// cancel — subtracting it would corrupt the round.
 	ErrAdjustNotReporter = errors.New("backend: adjustment share from a user who has not reported")
+	// ErrUnknownCampaign rejects traffic tagged with a campaign ID the
+	// deployment has not provisioned: reports, adjustments, and round
+	// queries for an unprovisioned campaign can never be meaningful, and
+	// silently opening rounds for one would let a typo'd ID accumulate
+	// state forever.
+	ErrUnknownCampaign = errors.New("backend: unknown campaign")
 	// ErrReadOnlyReplica rejects every mutating operation on a replica
 	// back-end (Config.Replica): a follower's state is defined entirely
 	// by the primary's WAL stream, and a local write would fork it. The
@@ -151,13 +158,21 @@ type Backend struct {
 
 	mu     sync.Mutex
 	roster [][]byte // bulletin board; nil slot = unregistered
-	rounds map[uint64]*round
-	// retiredBelow is the retention cutoff (guarded by mu): rounds with
-	// ID below it have had their Users_th served for the full horizon
-	// and were dropped. getRound refuses to re-create them — a retired
-	// round must answer ErrUnknownRound, not silently reopen with a
-	// fresh reported bitmap. 0 = nothing retired.
-	retiredBelow uint64
+	rounds map[roundKey]*round
+	// campaigns is the provisioned-campaign registry (guarded by mu):
+	// campaign ID → resolved state. Campaign 0 — the deployment's
+	// implicit legacy campaign, defined by Config.Params — is never in
+	// the map. Re-provisioning an existing ID replaces its definition
+	// (last write wins, like the WAL record); rounds already open keep
+	// the config they pinned at their open.
+	campaigns map[uint32]*campaignState
+	// retiredBelow is the per-campaign retention cutoff (guarded by mu):
+	// rounds of campaign c with ID below retiredBelow[c] have had their
+	// Users_th served for the full horizon and were dropped. getRound
+	// refuses to re-create them — a retired round must answer
+	// ErrUnknownRound, not silently reopen with a fresh reported bitmap.
+	// Absent key = nothing retired for that campaign.
+	retiredBelow map[uint32]uint64
 	// configVersion and rosterVersion are the deployment-wide negotiated
 	// round-config counters (guarded by mu). The back-end is the single
 	// source of truth for them: the wire handshake advertises the
@@ -167,6 +182,35 @@ type Backend struct {
 	// snapshot headers).
 	configVersion uint32
 	rosterVersion uint32
+}
+
+// roundKey identifies one round of one counting campaign — the unit
+// every piece of round state keys on. Campaign 0 is the implicit
+// legacy campaign, so single-campaign deployments see exactly the old
+// behavior.
+type roundKey struct {
+	campaign uint32
+	round    uint64
+}
+
+// campaignState is one provisioned campaign's resolved runtime state.
+type campaignState struct {
+	// def is the provisioned definition and enc its canonical encoding —
+	// the bytes the WAL carries, the snapshot stores, and the wire
+	// directory serves.
+	def campaign.Campaign
+	enc []byte
+	// params is the campaign's round geometry: def's overrides resolved
+	// over the deployment base (campaign.Params).
+	params privacy.Params
+	// cells is the sketch cell count params implies.
+	cells int
+	// retain is the campaign's closed-round retention horizon:
+	// def.RetainRounds, falling back to Config.RetainRounds when unset.
+	retain int
+	// accepted is the campaign's pre-registered accepted-report counter
+	// (eyewnder_campaign_reports_accepted_total{campaign="<id>"}).
+	accepted *obs.Counter
 }
 
 type round struct {
@@ -214,9 +258,11 @@ func New(cfg Config) (*Backend, error) {
 		// A replica is never durable from its own point of view: its
 		// store is a read-only recovered view, the primary owns the WAL,
 		// and the snapshot machinery must stay off.
-		durable: !isNull && !cfg.Replica,
-		roster:  make([][]byte, cfg.Users),
-		rounds:  make(map[uint64]*round),
+		durable:      !isNull && !cfg.Replica,
+		roster:       make([][]byte, cfg.Users),
+		rounds:       make(map[roundKey]*round),
+		campaigns:    make(map[uint32]*campaignState),
+		retiredBelow: make(map[uint32]uint64),
 	}
 	b.m = newBackendMetrics(cfg.Metrics)
 	if err := b.restore(); err != nil {
@@ -247,6 +293,13 @@ func New(cfg Config) (*Backend, error) {
 				b.mu.Lock()
 				defer b.mu.Unlock()
 				return float64(len(b.rounds))
+			})
+		cfg.Metrics.GaugeFunc("eyewnder_campaigns",
+			"Campaigns provisioned beyond the implicit campaign 0.",
+			func() float64 {
+				b.mu.Lock()
+				defer b.mu.Unlock()
+				return float64(len(b.campaigns))
 			})
 		cfg.Metrics.GaugeFunc("eyewnder_replica",
 			"1 when this back-end is a read-only hot-standby replica.",
@@ -286,34 +339,63 @@ func (b *Backend) restore() error {
 	}
 	cv, rv := b.store.ConfigVersions()
 	b.configVersion, b.rosterVersion = max32(cv, 1), max32(rv, 1)
+	// The campaign directory recovers before the rounds: a recovered
+	// round of campaign c needs c's resolved geometry to validate
+	// against, exactly as a replayed report needs its round open first.
+	for id, def := range b.store.Campaigns() {
+		c, _, err := campaign.DecodeBinary(def)
+		if err != nil {
+			return fmt.Errorf("backend: recovered campaign %d does not decode: %w", id, err)
+		}
+		if c.ID != id {
+			return fmt.Errorf("backend: recovered campaign body claims ID %d under directory key %d", c.ID, id)
+		}
+		cs, err := b.newCampaignState(c)
+		if err != nil {
+			return fmt.Errorf("backend: recovered campaign %d (%s): %w", id, c.Name, err)
+		}
+		b.campaigns[id] = cs
+	}
 	recovered := b.store.Rounds()
-	var closed []uint64
+	closedBy := make(map[uint32][]uint64)
 	for _, rs := range recovered {
 		if rs.Closed {
-			closed = append(closed, rs.Round)
+			closedBy[rs.Campaign] = append(closedBy[rs.Campaign], rs.Round)
 		}
 	}
-	b.retiredBelow = retentionCutoff(closed, b.cfg.RetainRounds)
+	for c, closed := range closedBy {
+		if cut := retentionCutoff(closed, b.retainFor(c)); cut > 0 {
+			b.retiredBelow[c] = cut
+		}
+	}
 	for _, rs := range recovered {
-		if rs.D*rs.W != b.cells {
-			return fmt.Errorf("backend: recovered round %d has %dx%d cells, config wants %d — data dir from a different geometry?", rs.Round, rs.D, rs.W, b.cells)
+		params, cells := b.cfg.Params, b.cells
+		if rs.Campaign != 0 {
+			cs, ok := b.campaigns[rs.Campaign]
+			if !ok {
+				return fmt.Errorf("backend: recovered round %d belongs to unprovisioned campaign %d — data dir from a different deployment?", rs.Round, rs.Campaign)
+			}
+			params, cells = cs.params, cs.cells
+		}
+		if rs.D*rs.W != cells {
+			return fmt.Errorf("backend: recovered round %d (campaign %d) has %dx%d cells, config wants %d — data dir from a different geometry?", rs.Round, rs.Campaign, rs.D, rs.W, cells)
 		}
 		if rs.RosterSize != b.cfg.Users {
 			return fmt.Errorf("backend: recovered round %d expects %d users, config says %d", rs.Round, rs.RosterSize, b.cfg.Users)
 		}
-		if rs.Keystream != byte(b.cfg.Params.Keystream) {
-			return fmt.Errorf("backend: recovered round %d used keystream suite %#02x, config says %#02x", rs.Round, rs.Keystream, byte(b.cfg.Params.Keystream))
+		if rs.Keystream != byte(params.Keystream) {
+			return fmt.Errorf("backend: recovered round %d (campaign %d) used keystream suite %#02x, config says %#02x", rs.Round, rs.Campaign, rs.Keystream, byte(params.Keystream))
 		}
 		b.configVersion = max32(b.configVersion, rs.ConfigVersion)
 		b.rosterVersion = max32(b.rosterVersion, rs.RosterVersion)
-		if rs.Closed && rs.Round < b.retiredBelow {
+		if rs.Closed && rs.Round < b.retiredBelow[rs.Campaign] {
 			continue // aged out: its Users_th has been served long enough
 		}
 		rcfg := privacy.RoundConfig{
 			Version:       rs.ConfigVersion,
 			RosterVersion: rs.RosterVersion,
 			RosterSize:    b.cfg.Users,
-			Params:        b.cfg.Params,
+			Params:        params,
 		}
 		agg, err := privacy.RestoreAggregatorStripes(rcfg, rs.Round, b.cfg.MergeStripes,
 			rs.Cells, rs.N, rs.Seed, rs.Reported)
@@ -334,9 +416,64 @@ func (b *Backend) restore() error {
 			}
 			r.closed = true
 		}
-		b.rounds[rs.Round] = r
+		b.rounds[roundKey{rs.Campaign, rs.Round}] = r
 	}
 	return nil
+}
+
+// newCampaignState resolves one campaign definition into runtime state:
+// validate, resolve the geometry over the deployment base, check the
+// geometry actually yields a sketch, pre-register the campaign's
+// metric handle.
+func (b *Backend) newCampaignState(c campaign.Campaign) (*campaignState, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	params := c.Params(b.cfg.Params)
+	d, w, err := sketch.Dimensions(params.Epsilon, params.Delta)
+	if err != nil {
+		return nil, err
+	}
+	retain := c.RetainRounds
+	if retain == 0 {
+		retain = b.cfg.RetainRounds
+	}
+	return &campaignState{
+		def:      c,
+		enc:      c.AppendBinary(nil),
+		params:   params,
+		cells:    d * w,
+		retain:   retain,
+		accepted: b.m.campaignAccepted(c.ID),
+	}, nil
+}
+
+// retainFor resolves the retention horizon for a campaign: the
+// campaign's own RetainRounds when provisioned and set, else the
+// deployment default.
+func (b *Backend) retainFor(c uint32) int {
+	if c != 0 {
+		if cs, ok := b.campaigns[c]; ok && cs.retain != 0 {
+			return cs.retain
+		}
+	}
+	return b.cfg.RetainRounds
+}
+
+// campaignCells resolves the flat cell count a campaign's reports and
+// adjustment shares must carry: the campaign's own geometry when
+// provisioned, the deployment default for campaign 0 or (conservatively)
+// an unknown ID — the round lookup right behind every caller rejects the
+// unknown campaign anyway.
+func (b *Backend) campaignCells(c uint32) int {
+	if c != 0 {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		if cs, ok := b.campaigns[c]; ok {
+			return cs.cells
+		}
+	}
+	return b.cells
 }
 
 // retentionCutoff returns the exclusive round-ID bound below which
@@ -402,10 +539,10 @@ func (b *Backend) maybeSnapshot() {
 // folded between two captures is replayed idempotently on top.
 func (b *Backend) captureRoundStates() ([]*store.RoundState, error) {
 	b.mu.Lock()
-	ids := make([]uint64, 0, len(b.rounds))
+	keys := make([]roundKey, 0, len(b.rounds))
 	rounds := make([]*round, 0, len(b.rounds))
-	for id, r := range b.rounds {
-		ids = append(ids, id)
+	for k, r := range b.rounds {
+		keys = append(keys, k)
 		rounds = append(rounds, r)
 	}
 	b.mu.Unlock()
@@ -421,7 +558,8 @@ func (b *Backend) captureRoundStates() ([]*store.RoundState, error) {
 		closed := r.closed
 		r.mu.Unlock()
 		out = append(out, &store.RoundState{
-			Round: ids[i], RosterSize: b.cfg.Users,
+			Campaign: keys[i].campaign,
+			Round:    keys[i].round, RosterSize: b.cfg.Users,
 			ConfigVersion: rcfg.Version, RosterVersion: rcfg.RosterVersion,
 			D: d, W: w, Seed: seed, N: n, Keystream: byte(ks),
 			Closed: closed, Cells: cells, Reported: reported, Adjusts: adjusts,
@@ -487,7 +625,11 @@ func (b *Backend) WireConfig() wire.ConfigFrame { return b.wireConfig() }
 // (wire.StreamOpts.Config).
 func (b *Backend) wireConfig() wire.ConfigFrame {
 	cfg := b.CurrentConfig()
+	b.mu.Lock()
+	campaigns := uint16(len(b.campaigns))
+	b.mu.Unlock()
 	return wire.ConfigFrame{
+		Campaigns:     campaigns,
 		ConfigVersion: cfg.Version,
 		RosterVersion: cfg.RosterVersion,
 		RosterSize:    uint32(cfg.RosterSize),
@@ -595,10 +737,51 @@ func (b *Backend) Roster() (keys [][]byte, configVersion, rosterVersion uint32) 
 // close) group-commits everything appended before it, open record
 // included, and an open that was never followed by an acked event is
 // trivially recreated on demand after a crash.
-func (b *Backend) getRound(id uint64) (*round, error) {
+// AddCampaign provisions (or re-provisions) a counting campaign: the
+// definition is validated, resolved against the deployment's base
+// params, logged durably, and published to the wire directory. Last
+// write wins — a re-provision replaces the stored definition — but only
+// *future* rounds see the change: every live round pinned its config at
+// open. Re-provisioning with a different geometry or keystream is legal
+// only once the campaign's old rounds are closed and retired; recovery
+// hard-checks recovered rounds against the current definition and
+// refuses to start otherwise, so operators change cadence/retention
+// freely and change geometry only at a round boundary.
+func (b *Backend) AddCampaign(c campaign.Campaign) error {
+	if b.cfg.Replica {
+		return ErrReadOnlyReplica
+	}
+	cs, err := b.newCampaignState(c)
+	if err != nil {
+		return err
+	}
+	b.mu.Lock()
+	if err := b.store.AppendCampaign(cs.enc); err != nil {
+		b.mu.Unlock()
+		return err
+	}
+	b.campaigns[c.ID] = cs
+	b.mu.Unlock()
+	return b.store.Sync()
+}
+
+// Campaigns lists the provisioned campaigns in ID order — the wire
+// directory's source of truth.
+func (b *Backend) Campaigns() []campaign.Campaign {
+	b.mu.Lock()
+	out := make([]campaign.Campaign, 0, len(b.campaigns))
+	for _, cs := range b.campaigns {
+		out = append(out, cs.def)
+	}
+	b.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+func (b *Backend) getRound(c uint32, id uint64) (*round, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	r, ok := b.rounds[id]
+	r, ok := b.rounds[roundKey{c, id}]
 	if !ok {
 		if b.cfg.Replica {
 			// A replica's rounds exist exactly when the primary's WAL
@@ -606,7 +789,7 @@ func (b *Backend) getRound(id uint64) (*round, error) {
 			// open record the primary never wrote.
 			return nil, ErrUnknownRound
 		}
-		if id < b.retiredBelow {
+		if id < b.retiredBelow[c] {
 			// The round was retired: its Users_th has already been
 			// published and served. Re-creating it here would hand out a
 			// fresh reported bitmap (breaking the duplicate invariant
@@ -614,32 +797,41 @@ func (b *Backend) getRound(id uint64) (*round, error) {
 			// second, different threshold for the same round ID.
 			return nil, ErrUnknownRound
 		}
+		params := b.cfg.Params
+		if c != 0 {
+			cs, ok := b.campaigns[c]
+			if !ok {
+				return nil, ErrUnknownCampaign
+			}
+			params = cs.params
+		}
 		// The round pins the config current at its open: later version
-		// bumps (roster changes) open *future* rounds under the new
-		// config, while this one keeps accepting exactly the cohort that
-		// negotiated it.
+		// bumps (roster changes, campaign re-provisioning) open *future*
+		// rounds under the new config, while this one keeps accepting
+		// exactly the cohort that negotiated it.
 		rcfg := b.currentConfigLocked()
+		rcfg.Params = params
 		agg, err := privacy.NewAggregatorStripes(rcfg, id, b.cfg.MergeStripes)
 		if err != nil {
 			return nil, err
 		}
 		d, w, seed := agg.Layout()
-		if err := b.store.AppendOpen(id, b.cfg.Users, d, w, seed, byte(b.cfg.Params.Keystream),
+		if err := b.store.AppendOpen(c, id, b.cfg.Users, d, w, seed, byte(params.Keystream),
 			rcfg.Version, rcfg.RosterVersion); err != nil {
 			return nil, err
 		}
 		r = &round{agg: agg, adjusts: make(map[int][]uint64)}
-		b.rounds[id] = r
+		b.rounds[roundKey{c, id}] = r
 		b.m.roundsOpened.Inc()
 	}
 	return r, nil
 }
 
 // lookupRound returns an existing round without creating one.
-func (b *Backend) lookupRound(id uint64) (*round, bool) {
+func (b *Backend) lookupRound(c uint32, id uint64) (*round, bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	r, ok := b.rounds[id]
+	r, ok := b.rounds[roundKey{c, id}]
 	return r, ok
 }
 
@@ -660,8 +852,26 @@ func (b *Backend) SubmitReport(rep *privacy.Report) error {
 		b.m.reportReason(err).Inc()
 	} else {
 		b.m.accepted.Inc()
+		if ctr := b.campaignAcceptedCounter(rep.Campaign); ctr != nil {
+			ctr.Inc()
+		}
 	}
 	return err
+}
+
+// campaignAcceptedCounter resolves a campaign's pre-registered
+// accepted-report counter (nil for an unprovisioned nonzero ID, which
+// can only happen on paths that already rejected the report).
+func (b *Backend) campaignAcceptedCounter(c uint32) *obs.Counter {
+	if c == 0 {
+		return b.m.acceptedC0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if cs, ok := b.campaigns[c]; ok {
+		return cs.accepted
+	}
+	return nil
 }
 
 // submitReport is SubmitReport's body; the wrapper owns the
@@ -671,7 +881,7 @@ func (b *Backend) submitReport(rep *privacy.Report) error {
 	if b.cfg.Replica {
 		return ErrReadOnlyReplica
 	}
-	r, err := b.getRound(rep.Round)
+	r, err := b.getRound(rep.Campaign, rep.Round)
 	if err != nil {
 		return err
 	}
@@ -689,7 +899,7 @@ func (b *Backend) submitReport(rep *privacy.Report) error {
 		return err
 	}
 	sk := rep.Sketch
-	if err := b.store.AppendReport(rep.Round, rep.User, sk.Depth(), sk.Width(), sk.N(), sk.Seed(),
+	if err := b.store.AppendReport(rep.Campaign, rep.Round, rep.User, sk.Depth(), sk.Width(), sk.N(), sk.Seed(),
 		byte(rep.Keystream), rep.ConfigVersion, sk.FlatCells()); err != nil {
 		r.agg.Unreserve(rep.User, sk.N())
 		r.mu.RUnlock()
@@ -726,7 +936,7 @@ func (b *Backend) ConsumeReport(f *wire.ReportFrame) error {
 		// SyncReports covers the share's WAL append), different store.
 		// submitAdjustment owns the share/failure accounting (and the
 		// replica refusal).
-		return b.submitAdjustment(f.User, f.Round, f.ConfigVersion,
+		return b.submitAdjustment(f.Campaign, f.User, f.Round, f.ConfigVersion,
 			blind.Keystream(f.Keystream), true, f.Cells, false)
 	}
 	err := b.consumeReport(f)
@@ -734,6 +944,9 @@ func (b *Backend) ConsumeReport(f *wire.ReportFrame) error {
 		b.m.reportReason(err).Inc()
 	} else {
 		b.m.accepted.Inc()
+		if ctr := b.campaignAcceptedCounter(f.Campaign); ctr != nil {
+			ctr.Inc()
+		}
 	}
 	return err
 }
@@ -744,7 +957,7 @@ func (b *Backend) consumeReport(f *wire.ReportFrame) error {
 	if b.cfg.Replica {
 		return ErrReadOnlyReplica
 	}
-	r, err := b.getRound(f.Round)
+	r, err := b.getRound(f.Campaign, f.Round)
 	if err != nil {
 		return err
 	}
@@ -760,7 +973,7 @@ func (b *Backend) consumeReport(f *wire.ReportFrame) error {
 	if err := r.agg.ReserveCells(f.User, f.D, f.W, f.N, f.Seed, ks, f.ConfigVersion, len(f.Cells)); err != nil {
 		return err
 	}
-	if err := b.store.AppendReport(f.Round, f.User, f.D, f.W, f.N, f.Seed, f.Keystream, f.ConfigVersion, f.Cells); err != nil {
+	if err := b.store.AppendReport(f.Campaign, f.Round, f.User, f.D, f.W, f.N, f.Seed, f.Keystream, f.ConfigVersion, f.Cells); err != nil {
 		r.agg.Unreserve(f.User, f.N)
 		return err
 	}
@@ -786,11 +999,20 @@ type RoundProgress struct {
 	Closed   bool
 }
 
-// RoundProgressOf reports a round's progress as one consistent snapshot.
+// RoundProgressOf reports a round's progress as one consistent
+// snapshot. It is a campaign-0 shorthand for CampaignRoundProgress.
 func (b *Backend) RoundProgressOf(id uint64) (RoundProgress, error) {
-	r, err := b.getRound(id)
-	if err != nil {
-		return RoundProgress{}, err
+	return b.CampaignRoundProgress(0, id)
+}
+
+// CampaignRoundProgress reports a (campaign, round)'s progress as one
+// consistent snapshot. A status query is observation only: asking about
+// a round no reports have touched returns ErrUnknownRound instead of
+// opening (and logging) fresh round state.
+func (b *Backend) CampaignRoundProgress(c uint32, id uint64) (RoundProgress, error) {
+	r, ok := b.lookupRound(c, id)
+	if !ok {
+		return RoundProgress{}, ErrUnknownRound
 	}
 	r.mu.RLock()
 	defer r.mu.RUnlock()
@@ -806,6 +1028,7 @@ func (b *Backend) RoundProgressOf(id uint64) (RoundProgress, error) {
 // reduced to its size (a status page wants counts, not a roster-sized
 // list).
 type RoundSnapshot struct {
+	Campaign uint32 `json:"campaign"`
 	Round    uint64 `json:"round"`
 	Reported int    `json:"reported"`
 	Missing  int    `json:"missing"`
@@ -821,10 +1044,10 @@ type RoundSnapshot struct {
 // only — on a primary, a follower, and everything in between.
 func (b *Backend) RoundsProgress() []RoundSnapshot {
 	b.mu.Lock()
-	ids := make([]uint64, 0, len(b.rounds))
+	keys := make([]roundKey, 0, len(b.rounds))
 	rounds := make([]*round, 0, len(b.rounds))
-	for id, r := range b.rounds {
-		ids = append(ids, id)
+	for k, r := range b.rounds {
+		keys = append(keys, k)
 		rounds = append(rounds, r)
 	}
 	b.mu.Unlock()
@@ -833,12 +1056,18 @@ func (b *Backend) RoundsProgress() []RoundSnapshot {
 		r.mu.RLock()
 		reported, missing := r.agg.Progress()
 		out = append(out, RoundSnapshot{
-			Round: ids[i], Reported: reported, Missing: len(missing),
+			Campaign: keys[i].campaign, Round: keys[i].round,
+			Reported: reported, Missing: len(missing),
 			Adjusted: len(r.adjusts), Sealed: r.sealed, Closed: r.closed,
 		})
 		r.mu.RUnlock()
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Round < out[j].Round })
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Campaign != out[j].Campaign {
+			return out[i].Campaign < out[j].Campaign
+		}
+		return out[i].Round < out[j].Round
+	})
 	return out
 }
 
@@ -862,7 +1091,7 @@ func (b *Backend) RoundStatus(id uint64) (reported int, missing []int, closed bo
 // is refused (ErrAdjustConflict) — the client computed against two
 // different missing sets and the server cannot tell which one is right.
 func (b *Backend) SubmitAdjustment(user int, id uint64, cells []uint64) error {
-	return b.submitAdjustment(user, id, 0, 0, false, cells, true)
+	return b.submitAdjustment(0, user, id, 0, 0, false, cells, true)
 }
 
 // SubmitAdjustmentVersion is SubmitAdjustment for a share derived under
@@ -870,7 +1099,13 @@ func (b *Backend) SubmitAdjustment(user int, id uint64, cells []uint64) error {
 // rejected (the share's pairwise terms come from a superseded roster
 // and could not cancel), exactly as stale reports are.
 func (b *Backend) SubmitAdjustmentVersion(user int, id uint64, cv uint32, cells []uint64) error {
-	return b.submitAdjustment(user, id, cv, 0, false, cells, true)
+	return b.submitAdjustment(0, user, id, cv, 0, false, cells, true)
+}
+
+// SubmitCampaignAdjustment is SubmitAdjustmentVersion for a specific
+// campaign's round.
+func (b *Backend) SubmitCampaignAdjustment(c uint32, user int, id uint64, cv uint32, cells []uint64) error {
+	return b.submitAdjustment(c, user, id, cv, 0, false, cells, true)
 }
 
 // submitAdjustment is the shared adjustment-upload path. checkKS
@@ -879,8 +1114,8 @@ func (b *Backend) SubmitAdjustmentVersion(user int, id uint64, cv uint32, cells 
 // fsync barrier before returning — the streamed path passes false and
 // lets the wire layer's ack barrier (SyncReports) cover the append, so
 // batched adjustment uploads amortize fsyncs exactly like reports.
-func (b *Backend) submitAdjustment(user int, id uint64, cv uint32, ks blind.Keystream, checkKS bool, cells []uint64, syncNow bool) error {
-	err := b.applyAdjustment(user, id, cv, ks, checkKS, cells, syncNow)
+func (b *Backend) submitAdjustment(c uint32, user int, id uint64, cv uint32, ks blind.Keystream, checkKS bool, cells []uint64, syncNow bool) error {
+	err := b.applyAdjustment(c, user, id, cv, ks, checkKS, cells, syncNow)
 	if err != nil {
 		b.m.adjustReason(err).Inc()
 	} else {
@@ -892,20 +1127,20 @@ func (b *Backend) submitAdjustment(user int, id uint64, cv uint32, ks blind.Keys
 // applyAdjustment is submitAdjustment's body; the wrapper owns the
 // share/failure accounting so every return path is counted exactly
 // once.
-func (b *Backend) applyAdjustment(user int, id uint64, cv uint32, ks blind.Keystream, checkKS bool, cells []uint64, syncNow bool) error {
+func (b *Backend) applyAdjustment(c uint32, user int, id uint64, cv uint32, ks blind.Keystream, checkKS bool, cells []uint64, syncNow bool) error {
 	if b.cfg.Replica {
 		return ErrReadOnlyReplica
 	}
 	if user < 0 || user >= b.cfg.Users {
 		return ErrBadUser
 	}
-	if len(cells) != b.cells {
+	if len(cells) != b.campaignCells(c) {
 		return fmt.Errorf("%w: adjustment share has %d cells, want %d",
-			sketch.ErrDimensionMismatch, len(cells), b.cells)
+			sketch.ErrDimensionMismatch, len(cells), b.campaignCells(c))
 	}
 	// Unlike reports, an adjustment never opens a round: a share can
 	// only repair a round that reports have already touched.
-	r, ok := b.lookupRound(id)
+	r, ok := b.lookupRound(c, id)
 	if !ok {
 		return ErrUnknownRound
 	}
@@ -939,7 +1174,7 @@ func (b *Backend) applyAdjustment(user int, id uint64, cv uint32, ks blind.Keyst
 	}
 	// An identical duplicate still appends and (re-)syncs: the retry may
 	// be recovering from a Sync failure, and replay is last-wins.
-	if err := b.store.AppendAdjust(id, user, cells); err != nil {
+	if err := b.store.AppendAdjust(c, id, user, cells); err != nil {
 		r.mu.Unlock()
 		return err
 	}
@@ -983,19 +1218,27 @@ func cellsEqual(a, b []uint64) bool {
 // Config.RetainRounds set, a successful close also ages out closed
 // rounds whose Users_th has now been served for the retention horizon.
 func (b *Backend) CloseRound(id uint64) (usersTh float64, distinctAds int, err error) {
+	return b.CloseCampaignRound(0, id)
+}
+
+// CloseCampaignRound is CloseRound for a specific campaign's round. A
+// close is a query about accumulated state: closing a round no reports
+// have touched returns ErrUnknownRound instead of opening (and logging)
+// an empty round that could only ever fail with ErrNoReports.
+func (b *Backend) CloseCampaignRound(c uint32, id uint64) (usersTh float64, distinctAds int, err error) {
 	if b.cfg.Replica {
 		return 0, 0, ErrReadOnlyReplica
 	}
-	r, err := b.getRound(id)
-	if err != nil {
-		return 0, 0, err
+	r, ok := b.lookupRound(c, id)
+	if !ok {
+		return 0, 0, ErrUnknownRound
 	}
 	r.mu.Lock()
 	if r.closed {
 		defer r.mu.Unlock()
 		return r.usersTh, len(r.counts), nil
 	}
-	if err := b.closeLocked(id, r); err != nil {
+	if err := b.closeLocked(c, id, r); err != nil {
 		r.mu.Unlock()
 		return 0, 0, err
 	}
@@ -1023,12 +1266,18 @@ func (b *Backend) CloseRound(id uint64) (usersTh float64, distinctAds int, err e
 // proceeds immediately. Sealing is in-memory: a crash recovers the
 // round unsealed, and the retried deadline close re-seals it.
 func (b *Backend) CloseRoundWait(id uint64, wait time.Duration) (usersTh float64, distinctAds int, err error) {
+	return b.CloseCampaignRoundWait(0, id, wait)
+}
+
+// CloseCampaignRoundWait is CloseRoundWait for a specific campaign's
+// round; like CloseCampaignRound it never creates round state.
+func (b *Backend) CloseCampaignRoundWait(c uint32, id uint64, wait time.Duration) (usersTh float64, distinctAds int, err error) {
 	if b.cfg.Replica {
 		return 0, 0, ErrReadOnlyReplica
 	}
-	r, err := b.getRound(id)
-	if err != nil {
-		return 0, 0, err
+	r, ok := b.lookupRound(c, id)
+	if !ok {
+		return 0, 0, ErrUnknownRound
 	}
 	r.mu.Lock()
 	if r.closed {
@@ -1079,7 +1328,7 @@ func (b *Backend) CloseRoundWait(id uint64, wait time.Duration) (usersTh float64
 	if timer != nil {
 		timer.Stop()
 	}
-	closeErr := b.closeLocked(id, r)
+	closeErr := b.closeLocked(c, id, r)
 	usersTh, distinctAds = r.usersTh, len(r.counts)
 	r.mu.Unlock()
 	if closeErr != nil {
@@ -1123,7 +1372,7 @@ func owedLocked(r *round) []int {
 // first: a partial share set subtracts a partial set of pairwise terms
 // and would publish corrupted counts that look plausible. CloseRoundWait
 // waits for the stragglers; the plain close refuses immediately.
-func (b *Backend) closeLocked(id uint64, r *round) error {
+func (b *Backend) closeLocked(c uint32, id uint64, r *round) error {
 	if owed := owedLocked(r); len(owed) > 0 {
 		reported, _ := r.agg.Progress()
 		return fmt.Errorf("%w: %d of %d reporters (first: user %d)",
@@ -1132,7 +1381,7 @@ func (b *Backend) closeLocked(id uint64, r *round) error {
 	if err := b.finalizeLocked(r); err != nil {
 		return err
 	}
-	if err := b.store.AppendClose(id); err != nil {
+	if err := b.store.AppendClose(c, id); err != nil {
 		return err
 	}
 	if err := b.store.Sync(); err != nil {
@@ -1152,48 +1401,58 @@ func (b *Backend) closeLocked(id uint64, r *round) error {
 // until compaction — because the same cutoff is re-derived at recovery
 // (restore), so an aged-out round stays gone across restarts.
 func (b *Backend) retireRounds() {
-	if b.cfg.RetainRounds <= 0 {
-		return
-	}
 	// Pass 1: snapshot the round map under b.mu only. Checking a
 	// round's closed flag takes its lock, and a round mid-close holds
 	// its write lock across an fsync — blocking on that while holding
 	// b.mu would stall every reporter's round lookup behind a disk
 	// flush.
 	b.mu.Lock()
-	ids := make([]uint64, 0, len(b.rounds))
+	keys := make([]roundKey, 0, len(b.rounds))
 	rounds := make([]*round, 0, len(b.rounds))
-	for rid, r := range b.rounds {
-		ids = append(ids, rid)
+	for k, r := range b.rounds {
+		keys = append(keys, k)
 		rounds = append(rounds, r)
 	}
 	b.mu.Unlock()
-	var closed []uint64
-	closedSet := make(map[uint64]bool)
+	// Retention is per campaign: each campaign ages out its own closed
+	// rounds against its own horizon (falling back to the deployment
+	// default), so a slow-cadence campaign never loses rounds because a
+	// fast one churned through its window.
+	closedBy := make(map[uint32][]uint64)
+	closedSet := make(map[roundKey]bool)
 	for i, r := range rounds {
 		r.mu.RLock()
 		c := r.closed
 		r.mu.RUnlock()
 		if c {
-			closed = append(closed, ids[i])
-			closedSet[ids[i]] = true
+			closedBy[keys[i].campaign] = append(closedBy[keys[i].campaign], keys[i].round)
+			closedSet[keys[i]] = true
 		}
 	}
-	cutoff := retentionCutoff(closed, b.cfg.RetainRounds)
-	if cutoff == 0 {
+	cutoffs := make(map[uint32]uint64)
+	b.mu.Lock()
+	for c, rounds := range closedBy {
+		if cut := retentionCutoff(rounds, b.retainFor(c)); cut > 0 {
+			cutoffs[c] = cut
+		}
+	}
+	if len(cutoffs) == 0 {
+		b.mu.Unlock()
 		return
 	}
-	// Pass 2: delete under b.mu. Rounds are only ever created or
-	// deleted, never replaced, and closed is sticky — a round observed
-	// closed in pass 1 is still the same closed round now.
-	b.mu.Lock()
-	for rid := range b.rounds {
-		if rid < cutoff && closedSet[rid] {
-			delete(b.rounds, rid)
+	// Pass 2: delete under the same b.mu hold. Rounds are only ever
+	// created or deleted, never replaced, and closed is sticky — a
+	// round observed closed in pass 1 is still the same closed round
+	// now.
+	for k := range b.rounds {
+		if k.round < cutoffs[k.campaign] && closedSet[k] {
+			delete(b.rounds, k)
 		}
 	}
-	if cutoff > b.retiredBelow {
-		b.retiredBelow = cutoff
+	for c, cut := range cutoffs {
+		if cut > b.retiredBelow[c] {
+			b.retiredBelow[c] = cut
+		}
 	}
 	b.mu.Unlock()
 }
@@ -1223,7 +1482,9 @@ func (b *Backend) finalizeLocked(r *round) error {
 		return err
 	}
 	r.final = final
-	r.counts = privacy.UserCounts(final, b.cfg.Params)
+	// The round's pinned params — not the deployment defaults — scope
+	// the count extraction: each campaign queries its own ID space.
+	r.counts = privacy.UserCounts(final, r.agg.Config().Params)
 	sample := make([]float64, 0, len(r.counts))
 	for _, c := range r.counts {
 		sample = append(sample, float64(c))
@@ -1234,7 +1495,12 @@ func (b *Backend) finalizeLocked(r *round) error {
 
 // Threshold returns a closed round's Users_th (Figure 1, arrow 5).
 func (b *Backend) Threshold(id uint64) (float64, error) {
-	r, ok := b.lookupRound(id)
+	return b.CampaignThreshold(0, id)
+}
+
+// CampaignThreshold is Threshold for a specific campaign's round.
+func (b *Backend) CampaignThreshold(c uint32, id uint64) (float64, error) {
+	r, ok := b.lookupRound(c, id)
 	if !ok {
 		return 0, ErrUnknownRound
 	}
@@ -1249,7 +1515,12 @@ func (b *Backend) Threshold(id uint64) (float64, error) {
 // AuditAd answers a real-time audit: the estimated #Users for an ad ID in
 // a closed round.
 func (b *Backend) AuditAd(id uint64, adID uint64) (uint64, error) {
-	r, ok := b.lookupRound(id)
+	return b.AuditCampaignAd(0, id, adID)
+}
+
+// AuditCampaignAd is AuditAd scoped to a campaign's round.
+func (b *Backend) AuditCampaignAd(c uint32, id uint64, adID uint64) (uint64, error) {
+	r, ok := b.lookupRound(c, id)
 	if !ok {
 		return 0, ErrUnknownRound
 	}
@@ -1264,7 +1535,12 @@ func (b *Backend) AuditAd(id uint64, adID uint64) (uint64, error) {
 // UserCountsOfRound exposes a closed round's per-ad-ID counts (used by the
 // evaluation harness and the Figure 2 experiment).
 func (b *Backend) UserCountsOfRound(id uint64) (map[uint64]uint64, error) {
-	r, ok := b.lookupRound(id)
+	return b.CampaignUserCounts(0, id)
+}
+
+// CampaignUserCounts is UserCountsOfRound scoped to a campaign.
+func (b *Backend) CampaignUserCounts(c uint32, id uint64) (map[uint64]uint64, error) {
+	r, ok := b.lookupRound(c, id)
 	if !ok {
 		return nil, ErrUnknownRound
 	}
@@ -1311,7 +1587,7 @@ func (b *Backend) Handler() wire.Handler {
 				return "", nil, err
 			}
 			rep := &privacy.Report{
-				User: req.User, Round: req.Round, Sketch: &cms,
+				User: req.User, Campaign: req.Campaign, Round: req.Round, Sketch: &cms,
 				Keystream:     blind.Keystream(req.Keystream),
 				ConfigVersion: req.ConfigVersion,
 			}
@@ -1325,12 +1601,13 @@ func (b *Backend) Handler() wire.Handler {
 			if err := m.Decode(&req); err != nil {
 				return "", nil, err
 			}
-			p, err := b.RoundProgressOf(req.Round)
+			p, err := b.CampaignRoundProgress(req.Campaign, req.Round)
 			if err != nil {
 				return "", nil, err
 			}
 			return wire.TypeRoundStatusOK, wire.RoundStatusResp{
-				Round: req.Round, Reported: p.Reported, Missing: p.Missing,
+				Campaign: req.Campaign, Round: req.Round,
+				Reported: p.Reported, Missing: p.Missing,
 				Closed: p.Closed, Sealed: p.Sealed, Adjusted: p.Adjusted,
 			}, nil
 
@@ -1339,7 +1616,7 @@ func (b *Backend) Handler() wire.Handler {
 			if err := m.Decode(&req); err != nil {
 				return "", nil, err
 			}
-			if err := b.SubmitAdjustmentVersion(req.User, req.Round, req.ConfigVersion, req.Cells); err != nil {
+			if err := b.SubmitCampaignAdjustment(req.Campaign, req.User, req.Round, req.ConfigVersion, req.Cells); err != nil {
 				return "", nil, err
 			}
 			return wire.TypeSubmitAdjustOK, struct{}{}, nil
@@ -1353,15 +1630,15 @@ func (b *Backend) Handler() wire.Handler {
 			var ads int
 			var err error
 			if req.AdjustWaitMS > 0 {
-				th, ads, err = b.CloseRoundWait(req.Round, time.Duration(req.AdjustWaitMS)*time.Millisecond)
+				th, ads, err = b.CloseCampaignRoundWait(req.Campaign, req.Round, time.Duration(req.AdjustWaitMS)*time.Millisecond)
 			} else {
-				th, ads, err = b.CloseRound(req.Round)
+				th, ads, err = b.CloseCampaignRound(req.Campaign, req.Round)
 			}
 			if err != nil {
 				return "", nil, err
 			}
 			return wire.TypeCloseRoundOK, wire.CloseRoundResp{
-				Round: req.Round, UsersTh: th, DistinctAds: ads,
+				Campaign: req.Campaign, Round: req.Round, UsersTh: th, DistinctAds: ads,
 			}, nil
 
 		case wire.TypeRoundCounts:
@@ -1369,12 +1646,12 @@ func (b *Backend) Handler() wire.Handler {
 			if err := m.Decode(&req); err != nil {
 				return "", nil, err
 			}
-			counts, err := b.UserCountsOfRound(req.Round)
+			counts, err := b.CampaignUserCounts(req.Campaign, req.Round)
 			if err != nil {
 				return "", nil, err
 			}
 			return wire.TypeRoundCountsOK, wire.RoundCountsResp{
-				Round: req.Round, Counts: counts,
+				Campaign: req.Campaign, Round: req.Round, Counts: counts,
 			}, nil
 
 		case wire.TypeThreshold:
@@ -1382,22 +1659,55 @@ func (b *Backend) Handler() wire.Handler {
 			if err := m.Decode(&req); err != nil {
 				return "", nil, err
 			}
-			th, err := b.Threshold(req.Round)
+			th, err := b.CampaignThreshold(req.Campaign, req.Round)
 			if err != nil {
 				return "", nil, err
 			}
-			return wire.TypeThresholdOK, wire.ThresholdResp{Round: req.Round, UsersTh: th}, nil
+			return wire.TypeThresholdOK, wire.ThresholdResp{Campaign: req.Campaign, Round: req.Round, UsersTh: th}, nil
 
 		case wire.TypeAuditAd:
 			var req wire.AuditAdReq
 			if err := m.Decode(&req); err != nil {
 				return "", nil, err
 			}
-			users, err := b.AuditAd(req.Round, req.AdID)
+			users, err := b.AuditCampaignAd(req.Campaign, req.Round, req.AdID)
 			if err != nil {
 				return "", nil, err
 			}
 			return wire.TypeAuditAdOK, wire.AuditAdResp{Users: users}, nil
+
+		case wire.TypeCampaignAdd:
+			var req wire.CampaignAddReq
+			if err := m.Decode(&req); err != nil {
+				return "", nil, err
+			}
+			c := campaign.Campaign{
+				ID: req.ID, Name: req.Name,
+				Epsilon: req.Epsilon, Delta: req.Delta, IDSpace: req.IDSpace,
+				Keystream:    blind.Keystream(req.Keystream),
+				KeystreamSet: req.KeystreamSet,
+				RetainRounds: req.RetainRounds, CadenceSec: req.CadenceSec,
+			}
+			if err := b.AddCampaign(c); err != nil {
+				return "", nil, err
+			}
+			return wire.TypeCampaignAddOK, wire.CampaignAddResp{
+				ID: req.ID, Campaigns: len(b.Campaigns()),
+			}, nil
+
+		case wire.TypeCampaigns:
+			list := b.Campaigns()
+			out := make([]wire.CampaignInfo, len(list))
+			for i, c := range list {
+				out[i] = wire.CampaignInfo{
+					ID: c.ID, Name: c.Name,
+					Epsilon: c.Epsilon, Delta: c.Delta, IDSpace: c.IDSpace,
+					Keystream:    byte(c.Keystream),
+					KeystreamSet: c.KeystreamSet,
+					RetainRounds: c.RetainRounds, CadenceSec: c.CadenceSec,
+				}
+			}
+			return wire.TypeCampaignsOK, wire.CampaignsResp{Campaigns: out}, nil
 		}
 		return "", nil, fmt.Errorf("backend: unknown message %q", m.Type)
 	}
@@ -1412,9 +1722,10 @@ func (b *Backend) Handler() wire.Handler {
 // operator flag set — the source of truth for protocol state.
 func (b *Backend) Serve(addr string) (*wire.Server, error) {
 	return wire.ServeWithSinkOpts(addr, b.Handler(), b, wire.StreamOpts{
-		AckBatch: b.cfg.AckBatch,
-		Config:   b.wireConfig,
-		Metrics:  b.cfg.Metrics,
+		AckBatch:  b.cfg.AckBatch,
+		Config:    b.wireConfig,
+		Campaigns: b.Campaigns,
+		Metrics:   b.cfg.Metrics,
 	})
 }
 

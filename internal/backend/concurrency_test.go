@@ -53,7 +53,10 @@ func TestConcurrentSubmitAndClose(t *testing.T) {
 		}()
 		go func() {
 			defer wg.Done()
-			if _, _, _, err := b.RoundStatus(round); err != nil {
+			// A status poll is observation only: racing ahead of the
+			// first report it sees ErrUnknownRound (the round does not
+			// exist yet), never a freshly created empty round.
+			if _, _, _, err := b.RoundStatus(round); err != nil && !errors.Is(err, ErrUnknownRound) {
 				errs <- err
 			}
 		}()

@@ -2,6 +2,7 @@ package backend
 
 import (
 	"errors"
+	"strconv"
 
 	"eyewnder/internal/obs"
 	"eyewnder/internal/privacy"
@@ -15,7 +16,15 @@ import (
 // pre-registered reason counter with errors.Is over the package's
 // sentinel errors, which walks the wrap chain without allocating.
 type backendMetrics struct {
+	// reg is kept so per-campaign handles can be registered lazily at
+	// provision time (campaign counters are resolved once per campaign,
+	// cached in campaignState, never looked up on the hot path).
+	reg *obs.Registry
+
 	accepted *obs.Counter
+	// acceptedC0 is campaign 0's pre-registered per-campaign handle:
+	// legacy traffic bumps it without a map lookup.
+	acceptedC0 *obs.Counter
 
 	rejReplica   *obs.Counter
 	rejUnknown   *obs.Counter
@@ -59,7 +68,8 @@ func newBackendMetrics(reg *obs.Registry) *backendMetrics {
 		return reg.Counter("eyewnder_adjust_failures_total",
 			"Adjustment-share uploads refused, by rejection reason.", "reason", reason)
 	}
-	return &backendMetrics{
+	m := &backendMetrics{
+		reg: reg,
 		accepted: reg.Counter("eyewnder_reports_accepted_total",
 			"Blinded reports reserved, logged, and folded into a round aggregate."),
 
@@ -97,6 +107,18 @@ func newBackendMetrics(reg *obs.Registry) *backendMetrics {
 		adjConflict:    adjFail("conflict"),
 		adjOther:       adjFail("other"),
 	}
+	m.acceptedC0 = m.campaignAccepted(0)
+	return m
+}
+
+// campaignAccepted resolves the per-campaign accepted-report counter —
+// one "campaign"-labeled series per provisioned campaign (and the
+// implicit campaign 0). Re-resolving an existing label returns the same
+// handle, so a campaign re-provision keeps its running count.
+func (m *backendMetrics) campaignAccepted(id uint32) *obs.Counter {
+	return m.reg.Counter("eyewnder_campaign_reports_accepted_total",
+		"Blinded reports accepted, by campaign.",
+		"campaign", strconv.FormatUint(uint64(id), 10))
 }
 
 // reportReason maps a report-path error to its rejection counter.

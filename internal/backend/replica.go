@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"eyewnder/internal/campaign"
 	"eyewnder/internal/privacy"
 	"eyewnder/internal/store"
 	"eyewnder/internal/vec"
@@ -51,38 +52,71 @@ func (b *Backend) ApplyEvent(ev store.Event) error {
 		b.rosterVersion = max32(b.rosterVersion, e.RosterVersion)
 		b.mu.Unlock()
 
+	case *store.CampaignEvent:
+		// A campaign provisioned on the primary: resolve it into a live
+		// campaignState (no store write — the follower's mirror already
+		// carries the primary's record). Last write wins, exactly like
+		// the recovery applier. A definition the replica cannot resolve
+		// is a stream it must not follow.
+		c, _, err := campaign.DecodeBinary(e.Def)
+		if err != nil || c.ID != e.ID {
+			return fmt.Errorf("backend: replicated campaign %d: bad definition: %v", e.ID, err)
+		}
+		cs, err := b.newCampaignState(c)
+		if err != nil {
+			return fmt.Errorf("backend: replicated campaign %d: %w", e.ID, err)
+		}
+		b.mu.Lock()
+		b.campaigns[c.ID] = cs
+		b.mu.Unlock()
+
 	case *store.OpenEvent:
-		if e.D*e.W != b.cells {
-			return fmt.Errorf("backend: replicated round %d has %dx%d cells, config wants %d — primary from a different geometry?", e.Round, e.D, e.W, b.cells)
+		params := b.cfg.Params
+		cells := b.cells
+		if e.Campaign != 0 {
+			b.mu.Lock()
+			cs, ok := b.campaigns[e.Campaign]
+			b.mu.Unlock()
+			if !ok {
+				// Unlike an unknown round, an unknown campaign is a
+				// stream-order violation: the primary logs the campaign
+				// record before any round it opens in it.
+				return fmt.Errorf("backend: replicated open of round %d in unknown campaign %d", e.Round, e.Campaign)
+			}
+			params = cs.params
+			cells = cs.cells
+		}
+		if e.D*e.W != cells {
+			return fmt.Errorf("backend: replicated round %d has %dx%d cells, campaign %d wants %d — primary from a different geometry?", e.Round, e.D, e.W, e.Campaign, cells)
 		}
 		if e.RosterSize != b.cfg.Users {
 			return fmt.Errorf("backend: replicated round %d expects %d users, config says %d", e.Round, e.RosterSize, b.cfg.Users)
 		}
-		if e.Keystream != byte(b.cfg.Params.Keystream) {
-			return fmt.Errorf("backend: replicated round %d used keystream suite %#02x, config says %#02x", e.Round, e.Keystream, byte(b.cfg.Params.Keystream))
+		if e.Keystream != byte(params.Keystream) {
+			return fmt.Errorf("backend: replicated round %d used keystream suite %#02x, campaign %d says %#02x", e.Round, e.Keystream, e.Campaign, byte(params.Keystream))
 		}
 		b.mu.Lock()
 		defer b.mu.Unlock()
 		b.configVersion = max32(b.configVersion, e.ConfigVersion)
 		b.rosterVersion = max32(b.rosterVersion, e.RosterVersion)
-		if _, ok := b.rounds[e.Round]; ok {
+		if _, ok := b.rounds[roundKey{e.Campaign, e.Round}]; ok {
 			return nil // already open (snapshot overlap): idempotent
 		}
 		rcfg := privacy.RoundConfig{
 			Version:       e.ConfigVersion,
 			RosterVersion: e.RosterVersion,
 			RosterSize:    b.cfg.Users,
-			Params:        b.cfg.Params,
+			Params:        params,
 		}
 		agg, err := privacy.RestoreAggregatorStripes(rcfg, e.Round, b.cfg.MergeStripes,
-			make([]uint64, b.cells), 0, e.Seed, make([]bool, e.RosterSize))
+			make([]uint64, cells), 0, e.Seed, make([]bool, e.RosterSize))
 		if err != nil {
 			return err
 		}
-		b.rounds[e.Round] = &round{agg: agg, adjusts: make(map[int][]uint64)}
+		b.rounds[roundKey{e.Campaign, e.Round}] = &round{agg: agg, adjusts: make(map[int][]uint64)}
 
 	case *store.ReportEvent:
-		r, ok := b.lookupRound(e.Round)
+		r, ok := b.lookupRound(e.Campaign, e.Round)
 		if !ok {
 			return nil // unknown round: the recovery applier skips too
 		}
@@ -98,7 +132,7 @@ func (b *Backend) ApplyEvent(ev store.Event) error {
 		// mismatch, stale config version. A refusal means the record is
 		// already reflected (overlap) or would have been rejected live:
 		// skip, don't fail.
-		ks := b.cfg.Params.Keystream
+		ks := r.agg.Config().Params.Keystream
 		if e.Keystream != byte(ks) {
 			return nil
 		}
@@ -108,7 +142,7 @@ func (b *Backend) ApplyEvent(ev store.Event) error {
 		r.agg.FoldReserved(cells)
 
 	case *store.AdjustEvent:
-		r, ok := b.lookupRound(e.Round)
+		r, ok := b.lookupRound(e.Campaign, e.Round)
 		if !ok {
 			return nil
 		}
@@ -117,15 +151,16 @@ func (b *Backend) ApplyEvent(ev store.Event) error {
 		if r.closed {
 			return nil
 		}
-		if e.User < 0 || e.User >= b.cfg.Users || len(e.Cells) != 8*b.cells {
+		d, w, _ := r.agg.Layout()
+		if e.User < 0 || e.User >= b.cfg.Users || len(e.Cells) != 8*d*w {
 			return nil
 		}
-		cells := make([]uint64, b.cells)
+		cells := make([]uint64, d*w)
 		vec.GetLE(cells, e.Cells)
 		r.adjusts[e.User] = cells // last write wins, like the recovery applier
 
 	case *store.CloseEvent:
-		r, ok := b.lookupRound(e.Round)
+		r, ok := b.lookupRound(e.Campaign, e.Round)
 		if !ok {
 			return nil
 		}

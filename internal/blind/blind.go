@@ -104,6 +104,9 @@ type Party struct {
 	peers    []int    // every roster index except our own
 	n        int
 	ks       Keystream // factor expansion suite (must match roster-wide)
+
+	// derivedCache memoizes per-campaign derived parties (campaign.go).
+	derivedCache
 }
 
 // NewParty derives the pairwise secrets between the holder of priv (whose

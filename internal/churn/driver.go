@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"eyewnder/internal/backend"
+	"eyewnder/internal/campaign"
 	"eyewnder/internal/detector"
 	"eyewnder/internal/group"
 	"eyewnder/internal/privacy"
@@ -90,6 +91,18 @@ func Replay(tr *Trace, logf func(format string, args ...interface{})) (*Result, 
 		return nil, err
 	}
 	defer be.Close()
+	if cfg.Campaign != 0 {
+		// Same geometry as the deployment base: the harness's ring
+		// blinding is campaign-agnostic, so what the campaign run
+		// proves is the keying — every record, status answer, and
+		// finalized count lives under (campaign, round).
+		if err := be.AddCampaign(campaign.Campaign{
+			ID: cfg.Campaign, Name: "churn",
+			Epsilon: cfg.Epsilon, Delta: cfg.Delta, IDSpace: cfg.IDSpace,
+		}); err != nil {
+			return nil, fmt.Errorf("provisioning campaign %d: %w", cfg.Campaign, err)
+		}
+	}
 	srv, err := be.Serve("127.0.0.1:0")
 	if err != nil {
 		return nil, err
@@ -261,7 +274,7 @@ func Replay(tr *Trace, logf func(format string, args ...interface{})) (*Result, 
 			nb[0], nb[1] = a, b
 			blindCells(blindBuf, cfg.Seed, round, u, nb[:n], pop.gen)
 			if err := rs.Submit(&wire.ReportFrame{
-				User: u, Round: round, D: d, W: w,
+				User: u, Campaign: cfg.Campaign, Round: round, D: d, W: w,
 				N: scratch.N(), Seed: scratch.Seed(),
 				Keystream:     byte(params.Keystream),
 				ConfigVersion: cv,
@@ -278,7 +291,7 @@ func Replay(tr *Trace, logf func(format string, args ...interface{})) (*Result, 
 		// Status assertion: the server's view of the round — reported
 		// count and the exact missing set — must match the trace.
 		var status wire.RoundStatusResp
-		if err := ctrl.Do(wire.TypeRoundStatus, wire.CloseRoundReq{Round: round}, &status); err != nil {
+		if err := ctrl.Do(wire.TypeRoundStatus, wire.CloseRoundReq{Campaign: cfg.Campaign, Round: round}, &status); err != nil {
 			return res, fmt.Errorf("round %d: status: %w", round, err)
 		}
 		if status.Reported != reporters {
@@ -303,7 +316,9 @@ func Replay(tr *Trace, logf func(format string, args ...interface{})) (*Result, 
 				a, b, n := ringNeighbors(active, i)
 				nb[0], nb[1] = a, b
 				adjustShare(shareBuf, cfg.Seed, round, u, nb[:n], pop.gen, isMissing)
-				if err := rs.Submit(wire.AdjustFrame(u, round, d, w, byte(params.Keystream), cv, shareBuf)); err != nil {
+				af := wire.AdjustFrame(u, round, d, w, byte(params.Keystream), cv, shareBuf)
+				af.Campaign = cfg.Campaign
+				if err := rs.Submit(af); err != nil {
 					return res, fmt.Errorf("round %d: share from user %d: %w", round, u, err)
 				}
 				rr.Shares++
@@ -320,7 +335,7 @@ func Replay(tr *Trace, logf func(format string, args ...interface{})) (*Result, 
 		// healthy run), finalizes.
 		var closed wire.CloseRoundResp
 		if err := ctrl.Do(wire.TypeCloseRound, wire.CloseRoundReq{
-			Round: round, AdjustWaitMS: cfg.AdjustWait.Milliseconds(),
+			Campaign: cfg.Campaign, Round: round, AdjustWaitMS: cfg.AdjustWait.Milliseconds(),
 		}, &closed); err != nil {
 			return res, fmt.Errorf("round %d: close: %w", round, err)
 		}
@@ -336,7 +351,7 @@ func Replay(tr *Trace, logf func(format string, args ...interface{})) (*Result, 
 		}
 		oracle := privacy.UserCounts(oracleCMS, params)
 		var counts wire.RoundCountsResp
-		if err := ctrl.Do(wire.TypeRoundCounts, wire.RoundCountsReq{Round: round}, &counts); err != nil {
+		if err := ctrl.Do(wire.TypeRoundCounts, wire.RoundCountsReq{Campaign: cfg.Campaign, Round: round}, &counts); err != nil {
 			return res, fmt.Errorf("round %d: counts: %w", round, err)
 		}
 		if diff := countsDiff(counts.Counts, oracle); len(diff) > 0 {

@@ -41,6 +41,14 @@ type Config struct {
 	// one process).
 	Epsilon float64 `json:"epsilon"`
 	Delta   float64 `json:"delta"`
+	// Campaign, when nonzero, scopes the whole replay to one counting
+	// campaign: the harness provisions it (with the trace's own
+	// geometry) on the back-end and tags every report, share, status
+	// poll, close, and counts fetch with it — so the oracle comparison
+	// exercises the (campaign, round) keyed paths end to end. Zero
+	// replays into the implicit legacy campaign, byte-identical to the
+	// pre-campaign harness.
+	Campaign uint32 `json:"campaign,omitempty"`
 
 	// InitialActive is the fraction of the roster that registers before
 	// round 1 (default 0.8).

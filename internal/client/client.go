@@ -335,7 +335,7 @@ func (w *WireBackend) Roster() ([][]byte, uint32, uint32, error) {
 func (w *WireBackend) SubmitReport(rep *privacy.Report) error {
 	cms := rep.Sketch
 	return w.C.SubmitReportFrame(&wire.ReportFrame{
-		User: rep.User, Round: rep.Round,
+		User: rep.User, Campaign: rep.Campaign, Round: rep.Round,
 		D: cms.Depth(), W: cms.Width(),
 		N: cms.N(), Seed: cms.Seed(),
 		Keystream:     byte(rep.Keystream),

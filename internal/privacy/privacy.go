@@ -154,6 +154,9 @@ type Client struct {
 	party   *blind.Party
 	oprfCli *oprf.Client
 	eval    Evaluator
+	// campaign scopes the client's reports to one counting campaign; 0
+	// (the zero value) is the deployment's implicit legacy campaign.
+	campaign uint32
 
 	idCache map[string]uint64 // ad URL -> ad ID, computed once per unique ad
 	seen    map[uint64]bool   // distinct ad IDs observed in the open round
@@ -180,6 +183,29 @@ func NewClient(cfg RoundConfig, party *blind.Party, oprfPub oprf.PublicKey, eval
 
 // UserIndex returns the client's roster position.
 func (c *Client) UserIndex() int { return c.party.Index() }
+
+// ForCampaign returns a client view scoped to one counting campaign:
+// its reports carry the campaign ID, its sketches use the campaign's
+// geometry and ID space, and its blinding expands the campaign-derived
+// pairwise keys under the campaign's keystream suite — so concurrent
+// campaigns blind with independent pads over the same roster. params
+// must be the campaign's resolved params (campaign.Params over the
+// deployment base). The view keeps its own observation state (ad IDs
+// depend on the campaign's ID space) but shares the roster-derived
+// party material, so N campaigns cost one DH exchange, not N.
+func (c *Client) ForCampaign(id uint32, params Params) *Client {
+	cfg := c.cfg
+	cfg.Params = params
+	return &Client{
+		cfg:      cfg,
+		campaign: id,
+		party:    c.party.ForCampaignKeystream(id, params.Keystream),
+		oprfCli:  c.oprfCli,
+		eval:     c.eval,
+		idCache:  make(map[string]uint64),
+		seen:     make(map[uint64]bool),
+	}
+}
 
 // ObserveAd records that the user saw the ad with the given URL during the
 // current round, resolving the ad ID through the OPRF on first encounter.
@@ -232,6 +258,7 @@ func (c *Client) Report(round uint64) (*Report, error) {
 	c.seen = make(map[uint64]bool)
 	return &Report{
 		User:          c.party.Index(),
+		Campaign:      c.campaign,
 		Round:         round,
 		Sketch:        cms,
 		Keystream:     c.party.Keystream(),
@@ -258,6 +285,10 @@ type Report struct {
 	Sketch        *sketch.CMS
 	Keystream     blind.Keystream
 	ConfigVersion uint32
+	// Campaign is the counting campaign the report folds into. 0 — the
+	// zero value — is the deployment's implicit legacy campaign, so
+	// pre-campaign callers need not set it.
+	Campaign uint32
 }
 
 // SizeBytes returns the wire size of the report payload assuming the given

@@ -2,6 +2,7 @@ package store
 
 import (
 	"bufio"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -71,6 +72,12 @@ type Disk struct {
 	// depending on any caller-side locking.
 	roster map[int][]byte
 
+	// campaigns is the live campaign directory (ID → opaque canonical
+	// encoding), guarded by mu with the same discipline as roster: it
+	// advances in AppendCampaign's critical section, so a rotation's
+	// copy reflects every recCampaign record the snapshot supersedes.
+	campaigns map[uint32][]byte
+
 	rounds []*RoundState // recovered at Open, consumed by the back-end
 }
 
@@ -125,6 +132,7 @@ func Open(dir string, opts Options) (*Disk, error) {
 	}
 	d.cond = sync.NewCond(&d.mu)
 	d.roster = rec.roster
+	d.campaigns = rec.campaigns
 	d.m = newStoreMetrics(opts.Metrics)
 	if opts.Metrics != nil {
 		opts.Metrics.GaugeFunc("eyewnder_store_generation",
@@ -314,6 +322,17 @@ func (d *Disk) ConfigVersions() (uint32, uint32) {
 	return d.cfgVer, d.rosVer
 }
 
+// Campaigns implements Store.
+func (d *Disk) Campaigns() map[uint32][]byte {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make(map[uint32][]byte, len(d.campaigns))
+	for id, def := range d.campaigns {
+		out[id] = append([]byte(nil), def...)
+	}
+	return out
+}
+
 // append runs one encoded record append under the store lock, honoring
 // the sticky error and the SyncAlways policy.
 func (d *Disk) append(encode func(w io.Writer) error) error {
@@ -425,22 +444,22 @@ func (d *Disk) AppendConfig(configVersion, rosterVersion uint32) error {
 }
 
 // AppendOpen implements Store.
-func (d *Disk) AppendOpen(round uint64, rosterSize, dRows, wCols int, seed uint64, keystream byte, configVersion, rosterVersion uint32) error {
+func (d *Disk) AppendOpen(campaign uint32, round uint64, rosterSize, dRows, wCols int, seed uint64, keystream byte, configVersion, rosterVersion uint32) error {
 	return d.append(func(w io.Writer) error {
-		return d.enc.open(w, round, rosterSize, dRows, wCols, seed, keystream, configVersion, rosterVersion)
+		return d.enc.open(w, campaign, round, rosterSize, dRows, wCols, seed, keystream, configVersion, rosterVersion)
 	})
 }
 
 // AppendReport implements Store. This is the ingestion hot path: the
 // locking is inlined (no encode closure) and the encoder's scratch is
 // reused, so a steady-state report append allocates nothing.
-func (d *Disk) AppendReport(round uint64, user, dRows, wCols int, n, seed uint64, keystream byte, configVersion uint32, cells []uint64) error {
+func (d *Disk) AppendReport(campaign uint32, round uint64, user, dRows, wCols int, n, seed uint64, keystream byte, configVersion uint32, cells []uint64) error {
 	d.mu.Lock()
 	if err := d.usableLocked(); err != nil {
 		d.mu.Unlock()
 		return err
 	}
-	if err := d.enc.Report(d.bw, round, user, dRows, wCols, n, seed, keystream, configVersion, cells); err != nil {
+	if err := d.enc.Report(d.bw, campaign, round, user, dRows, wCols, n, seed, keystream, configVersion, cells); err != nil {
 		d.failLocked(err)
 		d.mu.Unlock()
 		return err
@@ -459,13 +478,44 @@ func (d *Disk) AppendReport(round uint64, user, dRows, wCols int, n, seed uint64
 }
 
 // AppendAdjust implements Store.
-func (d *Disk) AppendAdjust(round uint64, user int, cells []uint64) error {
-	return d.append(func(w io.Writer) error { return d.enc.adjust(w, round, user, cells) })
+func (d *Disk) AppendAdjust(campaign uint32, round uint64, user int, cells []uint64) error {
+	return d.append(func(w io.Writer) error { return d.enc.adjust(w, campaign, round, user, cells) })
 }
 
 // AppendClose implements Store.
-func (d *Disk) AppendClose(round uint64) error {
-	return d.append(func(w io.Writer) error { return d.enc.close(w, round) })
+func (d *Disk) AppendClose(campaign uint32, round uint64) error {
+	return d.append(func(w io.Writer) error { return d.enc.close(w, campaign, round) })
+}
+
+// AppendCampaign implements Store. Like AppendRegister, the live
+// directory advances in the same critical section as the append, so a
+// snapshot rotation captures a directory consistent with the segments
+// it supersedes.
+func (d *Disk) AppendCampaign(def []byte) error {
+	d.mu.Lock()
+	if err := d.usableLocked(); err != nil {
+		d.mu.Unlock()
+		return err
+	}
+	if err := d.enc.campaignDef(d.bw, def); err != nil {
+		d.failLocked(err)
+		d.mu.Unlock()
+		return err
+	}
+	d.seq++
+	wrote := d.enc.lastWrote
+	if d.campaigns == nil {
+		d.campaigns = make(map[uint32][]byte)
+	}
+	d.campaigns[binary.LittleEndian.Uint32(def)] = append([]byte(nil), def...)
+	sync := d.opts.Sync == SyncAlways
+	d.mu.Unlock()
+	d.m.walAppends.Inc()
+	d.m.walBytes.Add(uint64(wrote))
+	if sync {
+		return d.Sync()
+	}
+	return nil
 }
 
 // Sync implements Store: the group-committed durability barrier. The
@@ -563,7 +613,7 @@ func (d *Disk) Snapshot(capture func() ([]*RoundState, error)) error {
 	if err != nil {
 		return err // WAL already rotated: harmless, the next snapshot retries
 	}
-	if err := writeSnapshot(filepath.Join(d.dir, snapName(rot.newGen)), rot.roster, states, rot.cfgVer, rot.rosVer); err != nil {
+	if err := writeSnapshot(filepath.Join(d.dir, snapName(rot.newGen)), rot.roster, rot.campaigns, states, rot.cfgVer, rot.rosVer); err != nil {
 		return err
 	}
 	// Retention holds the newest RetainSegments sealed segments back
@@ -602,6 +652,7 @@ func (d *Disk) Snapshot(capture func() ([]*RoundState, error)) error {
 type rotation struct {
 	oldGen, newGen uint64
 	roster         map[int][]byte
+	campaigns      map[uint32][]byte
 	cfgVer, rosVer uint32
 }
 
@@ -668,11 +719,15 @@ func (d *Disk) rotate() (rotation, error) {
 	for u, k := range d.roster {
 		roster[u] = k
 	}
+	campaigns := make(map[uint32][]byte, len(d.campaigns))
+	for id, def := range d.campaigns {
+		campaigns[id] = def
+	}
 	cfgVer, rosVer := d.cfgVer, d.rosVer
 	d.mu.Unlock()
 	old.Close()
 	d.m.segsSealed.Inc()
-	return rotation{oldGen: oldGen, newGen: newGen, roster: roster, cfgVer: cfgVer, rosVer: rosVer}, nil
+	return rotation{oldGen: oldGen, newGen: newGen, roster: roster, campaigns: campaigns, cfgVer: cfgVer, rosVer: rosVer}, nil
 }
 
 // Close implements Store: flushes, fsyncs, and releases the segment.

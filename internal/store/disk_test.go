@@ -39,11 +39,11 @@ func openTestStore(t *testing.T, dir string, opts Options) *Disk {
 // logRound writes a round open plus reports from the given users.
 func logRound(t *testing.T, d *Disk, round uint64, roster int, users ...int) {
 	t.Helper()
-	if err := d.AppendOpen(round, roster, testD, testW, 0, 1, 0, 0); err != nil {
+	if err := d.AppendOpen(0, round, roster, testD, testW, 0, 1, 0, 0); err != nil {
 		t.Fatalf("AppendOpen: %v", err)
 	}
 	for _, u := range users {
-		if err := d.AppendReport(round, u, testD, testW, 5, 0, 1, 0, testCells(uint64(u))); err != nil {
+		if err := d.AppendReport(0, round, u, testD, testW, 5, 0, 1, 0, testCells(uint64(u))); err != nil {
 			t.Fatalf("AppendReport(%d): %v", u, err)
 		}
 	}
@@ -69,7 +69,7 @@ func TestRecoverFromWALOnly(t *testing.T) {
 	dir := t.TempDir()
 	d := openTestStore(t, dir, Options{})
 	logRound(t, d, 7, 8, 0, 2, 5)
-	if err := d.AppendAdjust(7, 2, testCells(99)); err != nil {
+	if err := d.AppendAdjust(0, 7, 2, testCells(99)); err != nil {
 		t.Fatal(err)
 	}
 	if err := d.AppendRegister(3, []byte("pubkey-3")); err != nil {
@@ -120,32 +120,32 @@ func TestReplayMirrorsAggregatorInvariants(t *testing.T) {
 	logRound(t, d, 1, 4, 0)
 	// Duplicate of user 0: skipped on replay (the live path would never
 	// log it, but replay must reject it anyway for snapshot overlap).
-	if err := d.AppendReport(1, 0, testD, testW, 5, 0, 1, 0, testCells(42)); err != nil {
+	if err := d.AppendReport(0, 1, 0, testD, testW, 5, 0, 1, 0, testCells(42)); err != nil {
 		t.Fatal(err)
 	}
 	// Out-of-roster user.
-	if err := d.AppendReport(1, 9, testD, testW, 5, 0, 1, 0, testCells(9)); err != nil {
+	if err := d.AppendReport(0, 1, 9, testD, testW, 5, 0, 1, 0, testCells(9)); err != nil {
 		t.Fatal(err)
 	}
 	// Wrong suite byte.
-	if err := d.AppendReport(1, 1, testD, testW, 5, 0, 0, 0, testCells(1)); err != nil {
+	if err := d.AppendReport(0, 1, 1, testD, testW, 5, 0, 0, 0, testCells(1)); err != nil {
 		t.Fatal(err)
 	}
 	// Wrong geometry (fresh round so the record itself is valid).
-	if err := d.AppendOpen(2, 4, testD, testW, 0, 1, 0, 0); err != nil {
+	if err := d.AppendOpen(0, 2, 4, testD, testW, 0, 1, 0, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := d.AppendReport(2, 0, testD+1, testW, 5, 0, 1, 0, make([]uint64, (testD+1)*testW)); err != nil {
+	if err := d.AppendReport(0, 2, 0, testD+1, testW, 5, 0, 1, 0, make([]uint64, (testD+1)*testW)); err != nil {
 		t.Fatal(err)
 	}
 	// Close round 2, then try to sneak in a report and an adjustment.
-	if err := d.AppendClose(2); err != nil {
+	if err := d.AppendClose(0, 2); err != nil {
 		t.Fatal(err)
 	}
-	if err := d.AppendReport(2, 1, testD, testW, 5, 0, 1, 0, testCells(1)); err != nil {
+	if err := d.AppendReport(0, 2, 1, testD, testW, 5, 0, 1, 0, testCells(1)); err != nil {
 		t.Fatal(err)
 	}
-	if err := d.AppendAdjust(2, 1, testCells(1)); err != nil {
+	if err := d.AppendAdjust(0, 2, 1, testCells(1)); err != nil {
 		t.Fatal(err)
 	}
 	if err := d.Close(); err != nil {
@@ -212,7 +212,7 @@ func TestRecoveryTruncatedTail(t *testing.T) {
 		}
 		// The store must keep working: append the lost report again and
 		// recover once more.
-		if err := d2.AppendReport(1, 1, testD, testW, 5, 0, 1, 0, testCells(1)); err != nil {
+		if err := d2.AppendReport(0, 1, 1, testD, testW, 5, 0, 1, 0, testCells(1)); err != nil {
 			t.Fatal(err)
 		}
 		if err := d2.Close(); err != nil {
@@ -352,10 +352,10 @@ func TestSnapshotCycleAndPrune(t *testing.T) {
 	}
 	// Post-snapshot traffic, including a replay-overlap record (user 1
 	// again — already in the snapshot, must be rejected on replay).
-	if err := d.AppendReport(1, 1, testD, testW, 5, 0, 1, 0, testCells(77)); err != nil {
+	if err := d.AppendReport(0, 1, 1, testD, testW, 5, 0, 1, 0, testCells(77)); err != nil {
 		t.Fatal(err)
 	}
-	if err := d.AppendReport(1, 2, testD, testW, 5, 0, 1, 0, testCells(2)); err != nil {
+	if err := d.AppendReport(0, 1, 2, testD, testW, 5, 0, 1, 0, testCells(2)); err != nil {
 		t.Fatal(err)
 	}
 	if err := d.Close(); err != nil {
@@ -407,14 +407,14 @@ func TestShouldSnapshotCadence(t *testing.T) {
 	dir := t.TempDir()
 	d := openTestStore(t, dir, Options{SnapshotEvery: 3})
 	defer d.Close()
-	if err := d.AppendOpen(1, 4, testD, testW, 0, 0, 0, 0); err != nil {
+	if err := d.AppendOpen(0, 1, 4, testD, testW, 0, 0, 0, 0); err != nil {
 		t.Fatal(err)
 	}
 	for u := 0; u < 3; u++ {
 		if d.ShouldSnapshot() {
 			t.Fatalf("ShouldSnapshot true after %d reports", u)
 		}
-		if err := d.AppendReport(1, u, testD, testW, 1, 0, 0, 0, testCells(uint64(u))); err != nil {
+		if err := d.AppendReport(0, 1, u, testD, testW, 1, 0, 0, 0, testCells(uint64(u))); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -435,7 +435,7 @@ func TestConcurrentAppendsGroupCommit(t *testing.T) {
 	dir := t.TempDir()
 	d := openTestStore(t, dir, Options{})
 	const users = 32
-	if err := d.AppendOpen(1, users, testD, testW, 0, 0, 0, 0); err != nil {
+	if err := d.AppendOpen(0, 1, users, testD, testW, 0, 0, 0, 0); err != nil {
 		t.Fatal(err)
 	}
 	var wg sync.WaitGroup
@@ -444,7 +444,7 @@ func TestConcurrentAppendsGroupCommit(t *testing.T) {
 		wg.Add(1)
 		go func(u int) {
 			defer wg.Done()
-			if err := d.AppendReport(1, u, testD, testW, 1, 0, 0, 0, testCells(uint64(u))); err != nil {
+			if err := d.AppendReport(0, 1, u, testD, testW, 1, 0, 0, 0, testCells(uint64(u))); err != nil {
 				errs <- err
 				return
 			}
@@ -482,7 +482,7 @@ func TestClosedStoreFails(t *testing.T) {
 	if err := d.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := d.AppendClose(1); !errors.Is(err, ErrStoreClosed) {
+	if err := d.AppendClose(0, 1); !errors.Is(err, ErrStoreClosed) {
 		t.Fatalf("append after close = %v", err)
 	}
 	if err := d.Close(); err != nil {
@@ -498,7 +498,7 @@ func TestRecordEncoderReportZeroAllocs(t *testing.T) {
 	var enc RecordEncoder
 	cells := testCells(1)
 	allocs := testing.AllocsPerRun(200, func() {
-		if err := enc.Report(io.Discard, 1, 1, testD, testW, 5, 0, 1, 3, cells); err != nil {
+		if err := enc.Report(io.Discard, 0, 1, 1, testD, testW, 5, 0, 1, 3, cells); err != nil {
 			t.Fatal(err)
 		}
 	})
@@ -515,19 +515,19 @@ func TestRecordRoundTrip(t *testing.T) {
 	if err := enc.register(&buf, 3, []byte("key")); err != nil {
 		t.Fatal(err)
 	}
-	if err := enc.open(&buf, 9, 16, testD, testW, 77, 1, 6, 2); err != nil {
+	if err := enc.open(&buf, 0, 9, 16, testD, testW, 77, 1, 6, 2); err != nil {
 		t.Fatal(err)
 	}
-	if err := enc.Report(&buf, 9, 3, testD, testW, 11, 77, 1, 6, cells); err != nil {
+	if err := enc.Report(&buf, 0, 9, 3, testD, testW, 11, 77, 1, 6, cells); err != nil {
 		t.Fatal(err)
 	}
-	if err := enc.adjust(&buf, 9, 3, cells); err != nil {
+	if err := enc.adjust(&buf, 0, 9, 3, cells); err != nil {
 		t.Fatal(err)
 	}
 	if err := enc.config(&buf, 7, 3); err != nil {
 		t.Fatal(err)
 	}
-	if err := enc.close(&buf, 9); err != nil {
+	if err := enc.close(&buf, 0, 9); err != nil {
 		t.Fatal(err)
 	}
 

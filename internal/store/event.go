@@ -13,8 +13,8 @@ import "encoding/binary"
 // event *does* to round state) are documented on recovered.apply.
 
 // Event is one decoded WAL record. The concrete types are
-// RegisterEvent, ConfigEvent, OpenEvent, ReportEvent, AdjustEvent, and
-// CloseEvent. Byte-slice fields alias the record buffer handed to
+// RegisterEvent, ConfigEvent, OpenEvent, ReportEvent, AdjustEvent,
+// CloseEvent, and CampaignEvent. Byte-slice fields alias the record buffer handed to
 // DecodeEvent and are valid only until that buffer's next reuse — copy
 // to retain.
 type Event interface {
@@ -65,6 +65,9 @@ type OpenEvent struct {
 	Seed uint64
 	// Keystream is the round's blinding-suite byte.
 	Keystream byte
+	// Campaign is the counting campaign the round belongs to (0 = the
+	// deployment's implicit legacy campaign).
+	Campaign uint32
 	// ConfigVersion and RosterVersion pin the negotiated config current
 	// at the open (0/0 = the unversioned pre-handshake style).
 	ConfigVersion uint32
@@ -90,6 +93,9 @@ type ReportEvent struct {
 	Seed uint64
 	// Keystream is the report's blinding-suite byte.
 	Keystream byte
+	// Campaign is the counting campaign the report folds into (0 = the
+	// legacy campaign).
+	Campaign uint32
 	// ConfigVersion is the negotiated config version the report was
 	// built under (0 = unversioned).
 	ConfigVersion uint32
@@ -105,6 +111,8 @@ func (*ReportEvent) recordKind() byte { return recReport }
 type AdjustEvent struct {
 	// Round is the round the share repairs.
 	Round uint64
+	// Campaign is the counting campaign the round belongs to.
+	Campaign uint32
 	// User is the submitting reporter's roster index.
 	User int
 	// Cells is the share's raw little-endian cell block; it aliases the
@@ -118,9 +126,25 @@ func (*AdjustEvent) recordKind() byte { return recAdjust }
 type CloseEvent struct {
 	// Round is the round that closed.
 	Round uint64
+	// Campaign is the counting campaign the round belongs to.
+	Campaign uint32
 }
 
 func (*CloseEvent) recordKind() byte { return recClose }
+
+// CampaignEvent is a campaign provisioning: the campaign registry's
+// canonical encoding, carried opaquely (last write wins per ID). The
+// store does not interpret the geometry inside — the backend decodes
+// it through the campaign registry on recovery.
+type CampaignEvent struct {
+	// ID is the campaign identifier, read from the encoding prefix.
+	ID uint32
+	// Def is the opaque canonical campaign encoding; it aliases the
+	// record buffer.
+	Def []byte
+}
+
+func (*CampaignEvent) recordKind() byte { return recCampaign }
 
 // DecodeEvent parses one WAL record body (as returned by ReadWALRecord)
 // into its typed event. A body that does not parse for its kind — or an
@@ -152,6 +176,7 @@ func DecodeEvent(kind byte, body []byte) (Event, error) {
 		return &OpenEvent{
 			Round: r.Round, RosterSize: int(r.Roster),
 			D: int(r.D), W: int(r.W), Seed: r.Seed, Keystream: r.Keystream,
+			Campaign:      r.Campaign,
 			ConfigVersion: r.ConfigVersion, RosterVersion: r.RosterVersion,
 		}, nil
 
@@ -163,8 +188,9 @@ func DecodeEvent(kind byte, body []byte) (Event, error) {
 		return &ReportEvent{
 			Round: r.Round, User: int(r.User),
 			D: int(r.D), W: int(r.W), N: r.N, Seed: r.Seed,
-			Keystream: r.Keystream, ConfigVersion: r.ConfigVersion,
-			Cells: r.Cells,
+			Keystream: r.Keystream, Campaign: r.Campaign,
+			ConfigVersion: r.ConfigVersion,
+			Cells:         r.Cells,
 		}, nil
 
 	case recAdjust:
@@ -172,13 +198,27 @@ func DecodeEvent(kind byte, body []byte) (Event, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &AdjustEvent{Round: r.Round, User: int(r.User), Cells: r.Cells}, nil
+		return &AdjustEvent{Round: r.Round, User: int(r.User), Campaign: r.Campaign, Cells: r.Cells}, nil
 
 	case recClose:
-		if len(body) != 8 {
-			return nil, ErrBadRecord
+		switch len(body) {
+		case 8:
+			return &CloseEvent{Round: binary.LittleEndian.Uint64(body)}, nil
+		case 12:
+			c := binary.LittleEndian.Uint32(body[8:])
+			if c == 0 || c > maxRecordCampaign {
+				return nil, ErrBadRecord
+			}
+			return &CloseEvent{Round: binary.LittleEndian.Uint64(body), Campaign: c}, nil
 		}
-		return &CloseEvent{Round: binary.LittleEndian.Uint64(body)}, nil
+		return nil, ErrBadRecord
+
+	case recCampaign:
+		id, def, err := decodeCampaignBody(body)
+		if err != nil {
+			return nil, err
+		}
+		return &CampaignEvent{ID: id, Def: def}, nil
 	}
 	return nil, ErrBadRecord
 }

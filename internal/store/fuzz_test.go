@@ -23,11 +23,11 @@ func FuzzReadWALRecord(f *testing.F) {
 	var seed bytes.Buffer
 	var enc RecordEncoder
 	enc.register(&seed, 2, []byte("pk"))
-	enc.open(&seed, 4, 8, 2, 4, 7, 1, 3, 2)
-	enc.Report(&seed, 4, 2, 2, 4, 3, 7, 1, 3, make([]uint64, 8))
-	enc.adjust(&seed, 4, 2, []uint64{1, 2, 3})
+	enc.open(&seed, 0, 4, 8, 2, 4, 7, 1, 3, 2)
+	enc.Report(&seed, 0, 4, 2, 2, 4, 3, 7, 1, 3, make([]uint64, 8))
+	enc.adjust(&seed, 0, 4, 2, []uint64{1, 2, 3})
 	enc.config(&seed, 3, 2)
-	enc.close(&seed, 4)
+	enc.close(&seed, 0, 4)
 	f.Add(seed.Bytes())
 	f.Add([]byte{})
 	f.Add([]byte{5})
@@ -68,7 +68,7 @@ func FuzzReadWALRecord(f *testing.F) {
 				}
 				var out bytes.Buffer
 				var enc RecordEncoder
-				if err := enc.Report(&out, rec.Round, int(rec.User), int(rec.D), int(rec.W),
+				if err := enc.Report(&out, 0, rec.Round, int(rec.User), int(rec.D), int(rec.W),
 					rec.N, rec.Seed, rec.Keystream, rec.ConfigVersion, cells); err != nil {
 					t.Fatalf("re-encode of accepted report failed: %v", err)
 				}

@@ -28,13 +28,14 @@ import (
 //
 //	recRegister  user(8) publicKey(rest)
 //	recOpen      round(8) roster(8) d(8) w(8) seed(8) keystream(1)
-//	             [configVersion(4) rosterVersion(4)]
+//	             [configVersion(4) rosterVersion(4) [campaign(4)]]
 //	recReport    user(8) round(8) d(8) w(8) n(8) seed(8) keystream(1)
-//	             reserved(3) configVersion(4) cells(8·d·w)
+//	             reserved(1) campaign(2) configVersion(4) cells(8·d·w)
 //	             — the wire frame payload
-//	recAdjust    round(8) user(8) cells(8·c)
-//	recClose     round(8)
+//	recAdjust    round(8) user(8) [campaign(4)] cells(8·c)
+//	recClose     round(8) [campaign(4)]
 //	recConfig    configVersion(4) rosterVersion(4)
+//	recCampaign  one canonical campaign encoding (campaign.AppendBinary)
 //
 // The report body deliberately mirrors the streamed wire frame's
 // payload byte-for-byte (wire/stream.go): the back-end logs the report
@@ -47,6 +48,17 @@ import (
 // version counters (a registration changed the bulletin board), so
 // recovery restores the exact negotiated state, not just the round
 // contents.
+//
+// Campaign tagging rode in with the multi-campaign service: a report's
+// campaign occupies two formerly reserved preamble bytes (still the
+// wire frame payload, byte-for-byte), while recOpen, recAdjust, and
+// recClose grew length-discriminated campaign variants. Campaign 0 —
+// the implicit legacy campaign — always writes the legacy layouts, so
+// a single-campaign deployment's WAL is byte-identical to one written
+// by a pre-campaign release, and old data dirs keep recovering.
+// recCampaign logs a campaign provisioning; its body is the campaign
+// registry's canonical encoding, stored and replayed opaquely so the
+// recovered directory is byte-identical to what was advertised.
 
 // Record kinds.
 const (
@@ -56,19 +68,33 @@ const (
 	recAdjust   = 0x04
 	recClose    = 0x05
 	recConfig   = 0x06
+	recCampaign = 0x07
 )
 
 // reportPreamble is the fixed prefix of a report body: user(8) round(8)
-// d(8) w(8) n(8) seed(8) keystream(1) reserved(3) configVersion(4) —
-// identical to the wire report frame's preamble.
+// d(8) w(8) n(8) seed(8) keystream(1) reserved(1) campaign(2)
+// configVersion(4) — identical to the wire report frame's preamble.
 const reportPreamble = 56
 
+// maxRecordCampaign caps the campaign ID a record can carry, mirroring
+// the wire layer's 16-bit frame field so a logged report body stays a
+// byte-for-byte copy of its frame payload.
+const maxRecordCampaign = 0xFFFF
+
 // Round-open body sizes: openBodyV1 predates the config handshake,
-// openBody appends configVersion(4) rosterVersion(4).
+// openBody appends configVersion(4) rosterVersion(4), and
+// openBodyCampaign appends campaign(4) — written only for campaign ≠ 0
+// so legacy deployments stay byte-identical.
 const (
-	openBodyV1 = 41
-	openBody   = 49
+	openBodyV1       = 41
+	openBody         = 49
+	openBodyCampaign = 53
 )
+
+// campaignBodyMin is the smallest valid recCampaign body — the campaign
+// registry's fixed encoding prefix (campaign.AppendBinary); the store
+// treats the body opaquely beyond the leading little-endian ID.
+const campaignBodyMin = 40
 
 // configBody is the size of a recConfig body.
 const configBody = 8
@@ -222,10 +248,13 @@ func ReadWALRecord(r io.Reader, buf []byte) (kind byte, body, newBuf []byte, err
 // view, so the append is one header write plus one bulk copy of memory
 // the wire layer already holds. Exported so the pipeline bench measures
 // exactly the encoder the hot path runs.
-func (e *RecordEncoder) Report(w io.Writer, round uint64, user, d, wd int, n, seed uint64, keystream byte, configVersion uint32, cells []uint64) error {
+func (e *RecordEncoder) Report(w io.Writer, campaign uint32, round uint64, user, d, wd int, n, seed uint64, keystream byte, configVersion uint32, cells []uint64) error {
 	if d < 1 || wd < 1 || uint64(d) > maxReportDepth || uint64(wd) >= maxReportWidth ||
 		uint64(d)*uint64(wd) != uint64(len(cells)) {
 		return fmt.Errorf("%w: report geometry d=%d w=%d cells=%d", ErrBadRecord, d, wd, len(cells))
+	}
+	if campaign > maxRecordCampaign {
+		return fmt.Errorf("%w: campaign %d", ErrBadRecord, campaign)
 	}
 	pre := e.pre[:reportPreamble]
 	binary.LittleEndian.PutUint64(pre[0:], uint64(user))
@@ -234,7 +263,8 @@ func (e *RecordEncoder) Report(w io.Writer, round uint64, user, d, wd int, n, se
 	binary.LittleEndian.PutUint64(pre[24:], uint64(wd))
 	binary.LittleEndian.PutUint64(pre[32:], n)
 	binary.LittleEndian.PutUint64(pre[40:], seed)
-	pre[48], pre[49], pre[50], pre[51] = keystream, 0, 0, 0
+	pre[48], pre[49] = keystream, 0
+	binary.LittleEndian.PutUint16(pre[50:], uint16(campaign))
 	binary.LittleEndian.PutUint32(pre[52:], configVersion)
 	return e.record(w, recReport, pre, e.cellBytes(cells))
 }
@@ -248,6 +278,7 @@ type reportRecord struct {
 	N             uint64
 	Seed          uint64
 	Keystream     byte
+	Campaign      uint32
 	ConfigVersion uint32
 	Cells         []byte
 }
@@ -267,6 +298,7 @@ func decodeReportBody(body []byte) (reportRecord, error) {
 		N:             binary.LittleEndian.Uint64(body[32:]),
 		Seed:          binary.LittleEndian.Uint64(body[40:]),
 		Keystream:     body[48],
+		Campaign:      uint32(binary.LittleEndian.Uint16(body[50:])),
 		ConfigVersion: binary.LittleEndian.Uint32(body[52:]),
 	}
 	if rec.User > 1<<31 || rec.D < 1 || rec.W < 1 || rec.D > maxReportDepth || rec.W > maxReportWidth {
@@ -281,9 +313,10 @@ func decodeReportBody(body []byte) (reportRecord, error) {
 }
 
 // open frames a round-open event onto w, carrying the round config the
-// round is pinned to.
-func (e *RecordEncoder) open(w io.Writer, round uint64, roster, d, wd int, seed uint64, keystream byte, configVersion, rosterVersion uint32) error {
-	body := e.pre[:openBody]
+// round is pinned to. Campaign 0 writes the legacy 49-byte body;
+// provisioned campaigns append their ID.
+func (e *RecordEncoder) open(w io.Writer, campaign uint32, round uint64, roster, d, wd int, seed uint64, keystream byte, configVersion, rosterVersion uint32) error {
+	body := e.pre[:openBodyCampaign]
 	binary.LittleEndian.PutUint64(body[0:], round)
 	binary.LittleEndian.PutUint64(body[8:], uint64(roster))
 	binary.LittleEndian.PutUint64(body[16:], uint64(d))
@@ -292,6 +325,10 @@ func (e *RecordEncoder) open(w io.Writer, round uint64, roster, d, wd int, seed 
 	body[40] = keystream
 	binary.LittleEndian.PutUint32(body[41:], configVersion)
 	binary.LittleEndian.PutUint32(body[45:], rosterVersion)
+	if campaign == 0 {
+		return e.record(w, recOpen, body[:openBody], nil)
+	}
+	binary.LittleEndian.PutUint32(body[49:], campaign)
 	return e.record(w, recOpen, body, nil)
 }
 
@@ -302,15 +339,17 @@ type openRecord struct {
 	D, W          uint64
 	Seed          uint64
 	Keystream     byte
+	Campaign      uint32
 	ConfigVersion uint32
 	RosterVersion uint32
 }
 
 // decodeOpenBody parses a recOpen body. The 41-byte pre-handshake
 // layout decodes with zero config/roster versions — the unversioned
-// deployment style, accepted so old data dirs keep recovering.
+// deployment style, accepted so old data dirs keep recovering — and
+// the 49-byte pre-campaign layout decodes as campaign 0.
 func decodeOpenBody(body []byte) (openRecord, error) {
-	if len(body) != openBody && len(body) != openBodyV1 {
+	if len(body) != openBody && len(body) != openBodyV1 && len(body) != openBodyCampaign {
 		return openRecord{}, fmt.Errorf("%w: open body %d bytes", ErrBadRecord, len(body))
 	}
 	rec := openRecord{
@@ -321,9 +360,17 @@ func decodeOpenBody(body []byte) (openRecord, error) {
 		Seed:      binary.LittleEndian.Uint64(body[32:]),
 		Keystream: body[40],
 	}
-	if len(body) == openBody {
+	if len(body) >= openBody {
 		rec.ConfigVersion = binary.LittleEndian.Uint32(body[41:])
 		rec.RosterVersion = binary.LittleEndian.Uint32(body[45:])
+	}
+	if len(body) == openBodyCampaign {
+		rec.Campaign = binary.LittleEndian.Uint32(body[49:])
+		if rec.Campaign == 0 {
+			// A campaign-variant body claiming campaign 0 is an encoder
+			// bug: campaign 0 always writes the legacy layout.
+			return openRecord{}, fmt.Errorf("%w: campaign-variant open for campaign 0", ErrBadRecord)
+		}
 	}
 	if rec.Roster > 1<<31 || rec.D < 1 || rec.W < 1 || rec.D > maxReportDepth || rec.W > maxReportWidth ||
 		rec.D*rec.W > maxSnapshotCells {
@@ -348,31 +395,59 @@ func decodeConfigBody(body []byte) (configVersion, rosterVersion uint32, err err
 	return binary.LittleEndian.Uint32(body[0:]), binary.LittleEndian.Uint32(body[4:]), nil
 }
 
-// adjust frames an adjustment-share upload onto w.
-func (e *RecordEncoder) adjust(w io.Writer, round uint64, user int, cells []uint64) error {
-	pre := e.pre[:16]
+// adjust frames an adjustment-share upload onto w. Campaign 0 writes
+// the legacy 16-byte prefix; provisioned campaigns append their ID,
+// which the decoder discriminates by the prefix remainder (cells are
+// always whole 8-byte words).
+func (e *RecordEncoder) adjust(w io.Writer, campaign uint32, round uint64, user int, cells []uint64) error {
+	if campaign > maxRecordCampaign {
+		return fmt.Errorf("%w: campaign %d", ErrBadRecord, campaign)
+	}
+	pre := e.pre[:20]
 	binary.LittleEndian.PutUint64(pre[0:], round)
 	binary.LittleEndian.PutUint64(pre[8:], uint64(user))
+	if campaign == 0 {
+		return e.record(w, recAdjust, pre[:16], e.cellBytes(cells))
+	}
+	binary.LittleEndian.PutUint32(pre[16:], campaign)
 	return e.record(w, recAdjust, pre, e.cellBytes(cells))
 }
 
 // adjustRecord is a decoded adjustment body. Cells aliases the record
 // buffer.
 type adjustRecord struct {
-	Round uint64
-	User  uint64
-	Cells []byte
+	Round    uint64
+	User     uint64
+	Campaign uint32
+	Cells    []byte
 }
 
-// decodeAdjustBody parses a recAdjust body.
+// decodeAdjustBody parses a recAdjust body. The prefix length mod 8
+// distinguishes the layouts: 16-byte legacy prefix leaves the cell
+// region a multiple of 8, the 20-byte campaign prefix leaves remainder
+// 4.
 func decodeAdjustBody(body []byte) (adjustRecord, error) {
-	if len(body) < 16 || (len(body)-16)%8 != 0 {
+	if len(body) < 16 {
 		return adjustRecord{}, fmt.Errorf("%w: adjust body %d bytes", ErrBadRecord, len(body))
 	}
 	rec := adjustRecord{
 		Round: binary.LittleEndian.Uint64(body[0:]),
 		User:  binary.LittleEndian.Uint64(body[8:]),
-		Cells: body[16:],
+	}
+	switch (len(body) - 16) % 8 {
+	case 0:
+		rec.Cells = body[16:]
+	case 4:
+		if len(body) < 20 {
+			return adjustRecord{}, fmt.Errorf("%w: adjust body %d bytes", ErrBadRecord, len(body))
+		}
+		rec.Campaign = binary.LittleEndian.Uint32(body[16:])
+		rec.Cells = body[20:]
+		if rec.Campaign == 0 || rec.Campaign > maxRecordCampaign {
+			return adjustRecord{}, fmt.Errorf("%w: adjust campaign %d", ErrBadRecord, rec.Campaign)
+		}
+	default:
+		return adjustRecord{}, fmt.Errorf("%w: adjust body %d bytes", ErrBadRecord, len(body))
 	}
 	if rec.User > 1<<31 {
 		return adjustRecord{}, fmt.Errorf("%w: adjust user", ErrBadRecord)
@@ -380,11 +455,45 @@ func decodeAdjustBody(body []byte) (adjustRecord, error) {
 	return rec, nil
 }
 
-// close frames a round-close event onto w.
-func (e *RecordEncoder) close(w io.Writer, round uint64) error {
-	body := e.pre[:8]
+// close frames a round-close event onto w. Campaign 0 writes the
+// legacy 8-byte body; provisioned campaigns append their ID.
+func (e *RecordEncoder) close(w io.Writer, campaign uint32, round uint64) error {
+	if campaign > maxRecordCampaign {
+		return fmt.Errorf("%w: campaign %d", ErrBadRecord, campaign)
+	}
+	body := e.pre[:12]
 	binary.LittleEndian.PutUint64(body, round)
+	if campaign == 0 {
+		return e.record(w, recClose, body[:8], nil)
+	}
+	binary.LittleEndian.PutUint32(body[8:], campaign)
 	return e.record(w, recClose, body, nil)
+}
+
+// campaignDef frames a campaign provisioning onto w. The body is the
+// campaign registry's canonical encoding, carried opaquely: the store
+// persists and replays it without understanding the geometry inside.
+func (e *RecordEncoder) campaignDef(w io.Writer, def []byte) error {
+	if len(def) < campaignBodyMin {
+		return fmt.Errorf("%w: campaign body %d bytes", ErrBadRecord, len(def))
+	}
+	if id := binary.LittleEndian.Uint32(def[0:]); id == 0 || id > maxRecordCampaign {
+		return fmt.Errorf("%w: campaign id %d", ErrBadRecord, binary.LittleEndian.Uint32(def[0:]))
+	}
+	return e.record(w, recCampaign, def, nil)
+}
+
+// decodeCampaignBody parses a recCampaign body: the opaque canonical
+// campaign encoding, checked just enough to extract a plausible ID.
+func decodeCampaignBody(body []byte) (uint32, []byte, error) {
+	if len(body) < campaignBodyMin {
+		return 0, nil, fmt.Errorf("%w: campaign body %d bytes", ErrBadRecord, len(body))
+	}
+	id := binary.LittleEndian.Uint32(body[0:])
+	if id == 0 || id > maxRecordCampaign {
+		return 0, nil, fmt.Errorf("%w: campaign id %d", ErrBadRecord, id)
+	}
+	return id, body, nil
 }
 
 // register frames a bulletin-board registration onto w.

@@ -24,13 +24,14 @@ var ErrReadOnlyStore = errors.New("store: read-only")
 // with it. Promotion is the moment the follower finally does call Open,
 // on the same directory, and takes ownership of the generation space.
 type Recovered struct {
-	rounds  []*RoundState
-	roster  map[int][]byte
-	cfgVer  uint32
-	rosVer  uint32
-	tailGen uint64
-	tailOff int64
-	files   []FileInfo
+	rounds    []*RoundState
+	roster    map[int][]byte
+	campaigns map[uint32][]byte
+	cfgVer    uint32
+	rosVer    uint32
+	tailGen   uint64
+	tailOff   int64
+	files     []FileInfo
 }
 
 // Recover rebuilds round state from the store directory at dir without
@@ -40,7 +41,7 @@ func Recover(dir string) (*Recovered, error) {
 	walGens, snapGens, _, err := scanStoreDir(dir, false)
 	if err != nil {
 		if os.IsNotExist(err) {
-			return &Recovered{roster: map[int][]byte{}}, nil
+			return &Recovered{roster: map[int][]byte{}, campaigns: map[uint32][]byte{}}, nil
 		}
 		return nil, err
 	}
@@ -49,12 +50,13 @@ func Recover(dir string) (*Recovered, error) {
 		return nil, err
 	}
 	r := &Recovered{
-		rounds:  rec.sortedRounds(),
-		roster:  rec.roster,
-		cfgVer:  rec.configVersion,
-		rosVer:  rec.rosterVersion,
-		tailGen: tailGen,
-		tailOff: tailOff,
+		rounds:    rec.sortedRounds(),
+		roster:    rec.roster,
+		campaigns: rec.campaigns,
+		cfgVer:    rec.configVersion,
+		rosVer:    rec.rosterVersion,
+		tailGen:   tailGen,
+		tailOff:   tailOff,
 	}
 	for _, g := range snapGens {
 		if st, err := os.Stat(filepath.Join(dir, snapName(g))); err == nil {
@@ -101,6 +103,18 @@ func (r *Recovered) Roster() map[int][]byte {
 // ConfigVersions implements Store.
 func (r *Recovered) ConfigVersions() (uint32, uint32) { return r.cfgVer, r.rosVer }
 
+// Campaigns implements Store.
+func (r *Recovered) Campaigns() map[uint32][]byte {
+	out := make(map[uint32][]byte, len(r.campaigns))
+	for id, def := range r.campaigns {
+		out[id] = append([]byte(nil), def...)
+	}
+	return out
+}
+
+// AppendCampaign implements Store: it fails with ErrReadOnlyStore.
+func (r *Recovered) AppendCampaign([]byte) error { return ErrReadOnlyStore }
+
 // AppendRegister implements Store: it fails with ErrReadOnlyStore.
 func (r *Recovered) AppendRegister(int, []byte) error { return ErrReadOnlyStore }
 
@@ -108,20 +122,20 @@ func (r *Recovered) AppendRegister(int, []byte) error { return ErrReadOnlyStore 
 func (r *Recovered) AppendConfig(uint32, uint32) error { return ErrReadOnlyStore }
 
 // AppendOpen implements Store: it fails with ErrReadOnlyStore.
-func (r *Recovered) AppendOpen(uint64, int, int, int, uint64, byte, uint32, uint32) error {
+func (r *Recovered) AppendOpen(uint32, uint64, int, int, int, uint64, byte, uint32, uint32) error {
 	return ErrReadOnlyStore
 }
 
 // AppendReport implements Store: it fails with ErrReadOnlyStore.
-func (r *Recovered) AppendReport(uint64, int, int, int, uint64, uint64, byte, uint32, []uint64) error {
+func (r *Recovered) AppendReport(uint32, uint64, int, int, int, uint64, uint64, byte, uint32, []uint64) error {
 	return ErrReadOnlyStore
 }
 
 // AppendAdjust implements Store: it fails with ErrReadOnlyStore.
-func (r *Recovered) AppendAdjust(uint64, int, []uint64) error { return ErrReadOnlyStore }
+func (r *Recovered) AppendAdjust(uint32, uint64, int, []uint64) error { return ErrReadOnlyStore }
 
 // AppendClose implements Store: it fails with ErrReadOnlyStore.
-func (r *Recovered) AppendClose(uint64) error { return ErrReadOnlyStore }
+func (r *Recovered) AppendClose(uint32, uint64) error { return ErrReadOnlyStore }
 
 // Sync implements Store: a no-op (nothing was appended).
 func (r *Recovered) Sync() error { return nil }

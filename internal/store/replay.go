@@ -26,25 +26,42 @@ import (
 // typed events of DecodeEvent, so their acceptance rules can only drift
 // if one of them diverges from this file's documented semantics.
 
+// roundKey identifies one round of one campaign. Every piece of round
+// state in the multi-campaign service keys on the pair: campaign 0 is
+// the implicit legacy campaign, so pre-campaign WAL records and
+// snapshots recover under {0, round} byte-identically.
+type roundKey struct {
+	Campaign uint32
+	Round    uint64
+}
+
 // recovered accumulates state during recovery: the bulletin board, the
-// per-round states keyed by round ID, and the deployment-wide
-// config/roster version counters.
+// per-round states keyed by (campaign, round), the opaque campaign
+// directory, and the deployment-wide config/roster version counters.
 type recovered struct {
-	rounds        map[uint64]*RoundState
+	rounds        map[roundKey]*RoundState
 	roster        map[int][]byte
+	campaigns     map[uint32][]byte
 	configVersion uint32
 	rosterVersion uint32
 }
 
 // newRecovered seeds recovery from a loaded snapshot (nil for none).
 func newRecovered(snap *snapshotData) *recovered {
-	rec := &recovered{rounds: make(map[uint64]*RoundState), roster: make(map[int][]byte)}
+	rec := &recovered{
+		rounds:    make(map[roundKey]*RoundState),
+		roster:    make(map[int][]byte),
+		campaigns: make(map[uint32][]byte),
+	}
 	if snap != nil {
 		for _, rs := range snap.rounds {
-			rec.rounds[rs.Round] = rs
+			rec.rounds[roundKey{rs.Campaign, rs.Round}] = rs
 		}
 		for u, k := range snap.roster {
 			rec.roster[u] = k
+		}
+		for id, def := range snap.campaigns {
+			rec.campaigns[id] = def
 		}
 		rec.configVersion, rec.rosterVersion = snap.configVersion, snap.rosterVersion
 	}
@@ -85,10 +102,11 @@ func (rec *recovered) applyEvent(ev Event) {
 
 	case *OpenEvent:
 		rec.bumpVersions(e.ConfigVersion, e.RosterVersion)
-		if _, ok := rec.rounds[e.Round]; ok {
+		if _, ok := rec.rounds[roundKey{e.Campaign, e.Round}]; ok {
 			return // round already open (snapshot overlap): idempotent
 		}
-		rec.rounds[e.Round] = &RoundState{
+		rec.rounds[roundKey{e.Campaign, e.Round}] = &RoundState{
+			Campaign:      e.Campaign,
 			Round:         e.Round,
 			RosterSize:    e.RosterSize,
 			ConfigVersion: e.ConfigVersion,
@@ -106,7 +124,7 @@ func (rec *recovered) applyEvent(ev Event) {
 		rec.bumpVersions(e.ConfigVersion, e.RosterVersion)
 
 	case *ReportEvent:
-		rs, ok := rec.rounds[e.Round]
+		rs, ok := rec.rounds[roundKey{e.Campaign, e.Round}]
 		if !ok || rs.Closed {
 			return // unknown or closed round: the live path rejects too
 		}
@@ -127,7 +145,7 @@ func (rec *recovered) applyEvent(ev Event) {
 		}
 
 	case *AdjustEvent:
-		rs, ok := rec.rounds[e.Round]
+		rs, ok := rec.rounds[roundKey{e.Campaign, e.Round}]
 		if !ok || rs.Closed {
 			return
 		}
@@ -139,19 +157,27 @@ func (rec *recovered) applyEvent(ev Event) {
 		rs.Adjusts[e.User] = cells // overwrite, as the live map store does
 
 	case *CloseEvent:
-		if rs, ok := rec.rounds[e.Round]; ok {
+		if rs, ok := rec.rounds[roundKey{e.Campaign, e.Round}]; ok {
 			rs.Closed = true
 		}
+
+	case *CampaignEvent:
+		rec.campaigns[e.ID] = append([]byte(nil), e.Def...)
 	}
 }
 
-// sortedRounds returns the recovered rounds ordered by round ID, so
-// recovery hands the back-end a deterministic sequence.
+// sortedRounds returns the recovered rounds ordered by (campaign,
+// round), so recovery hands the back-end a deterministic sequence.
 func (rec *recovered) sortedRounds() []*RoundState {
 	out := make([]*RoundState, 0, len(rec.rounds))
 	for _, rs := range rec.rounds {
 		out = append(out, rs)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Round < out[j].Round })
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Campaign != out[j].Campaign {
+			return out[i].Campaign < out[j].Campaign
+		}
+		return out[i].Round < out[j].Round
+	})
 	return out
 }

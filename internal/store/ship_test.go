@@ -125,7 +125,7 @@ func TestRetainSegmentsSurvivePrune(t *testing.T) {
 func TestShippingDuringRotation(t *testing.T) {
 	dir := t.TempDir()
 	d := openTestStore(t, dir, Options{RetainSegments: 1})
-	if err := d.AppendOpen(1, 256, testD, testW, 0, 1, 0, 0); err != nil {
+	if err := d.AppendOpen(0, 1, 256, testD, testW, 0, 1, 0, 0); err != nil {
 		t.Fatal(err)
 	}
 
@@ -183,7 +183,7 @@ func TestShippingDuringRotation(t *testing.T) {
 
 	// The primary: append, seal, snapshot — rotations landing constantly.
 	for u := 0; u < 200; u++ {
-		if err := d.AppendReport(1, u, testD, testW, 1, 0, 1, 0, testCells(uint64(u))); err != nil {
+		if err := d.AppendReport(0, 1, u, testD, testW, 1, 0, 1, 0, testCells(uint64(u))); err != nil {
 			t.Fatal(err)
 		}
 		switch {

@@ -15,14 +15,17 @@ import (
 // atomically (temp file, fsync, rename, directory fsync) so a crash
 // mid-snapshot leaves either the previous snapshot or the new one,
 // never a half-written file that recovery would trust. Layout (all
-// integers little-endian; bracketed fields are version ≥ 2 only):
+// integers little-endian; bracketed fields are version ≥ 2 only,
+// double-bracketed version ≥ 3 only):
 //
 //	magic "EYWSNAP1" (8)  version(4)
 //	[configVersion(4) rosterVersion(4)]
+//	[[campaignCount(8) { defLen(8) def }*]]   sorted by campaign ID
 //	rosterCount(8) { user(8) keyLen(8) key }*
 //	roundCount(8) {
 //	    round(8) roster(8) d(8) w(8) seed(8) n(8)
 //	    [roundConfigVersion(4) roundRosterVersion(4)]
+//	    [[campaign(4)]]
 //	    keystream(1) closed(1)
 //	    reportedBitmap(⌈roster/8⌉)
 //	    adjustCount(8) { user(8) cells(8·d·w) }*
@@ -33,7 +36,11 @@ import (
 // Version 2 added the negotiated-config versions: the deployment-wide
 // config/roster counters at the top, and per round the config the round
 // was opened under. Version-1 snapshots (pre-handshake releases) load
-// with all versions zero — the unversioned deployment style.
+// with all versions zero — the unversioned deployment style. Version 3
+// added the multi-campaign service: the opaque campaign directory
+// (canonical campaign encodings, stored exactly as their recCampaign
+// WAL records) and each round's campaign ID. Version-1/2 snapshots load
+// with an empty directory and every round on campaign 0.
 //
 // The trailing whole-file CRC is the validity marker: a snapshot that
 // fails it (torn write, partial disk) is ignored and recovery falls
@@ -41,10 +48,12 @@ import (
 
 const snapMagic = "EYWSNAP1"
 
-// snapVersion is the written format; snapVersionV1 is still readable.
+// snapVersion is the written format; snapVersionV1 and snapVersionV2
+// are still readable.
 const (
 	snapVersionV1 = 1
-	snapVersion   = 2
+	snapVersionV2 = 2
+	snapVersion   = 3
 )
 
 // maxSnapshotCells caps a single round's cell count on load (2²⁸ cells
@@ -56,13 +65,14 @@ const maxSnapshotCells = 1 << 28
 type snapshotData struct {
 	rounds        []*RoundState
 	roster        map[int][]byte
+	campaigns     map[uint32][]byte
 	configVersion uint32
 	rosterVersion uint32
 }
 
 // writeSnapshot writes the state to path atomically.
-func writeSnapshot(path string, roster map[int][]byte, rounds []*RoundState, configVersion, rosterVersion uint32) error {
-	buf := encodeSnapshot(roster, rounds, configVersion, rosterVersion)
+func writeSnapshot(path string, roster map[int][]byte, campaigns map[uint32][]byte, rounds []*RoundState, configVersion, rosterVersion uint32) error {
+	buf := encodeSnapshot(roster, campaigns, rounds, configVersion, rosterVersion)
 	tmp := path + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
@@ -90,15 +100,19 @@ func writeSnapshot(path string, roster map[int][]byte, rounds []*RoundState, con
 }
 
 // encodeSnapshot serializes the state with the trailing CRC.
-func encodeSnapshot(roster map[int][]byte, rounds []*RoundState, configVersion, rosterVersion uint32) []byte {
+func encodeSnapshot(roster map[int][]byte, campaigns map[uint32][]byte, rounds []*RoundState, configVersion, rosterVersion uint32) []byte {
 	size := len(snapMagic) + 4 + 8 + 8
+	camps := sortedCampaignIDs(campaigns)
+	for _, id := range camps {
+		size += 8 + len(campaigns[id])
+	}
 	users := sortedUsers(roster)
 	for _, u := range users {
 		size += 16 + len(roster[u])
 	}
 	size += 8
 	for _, rs := range rounds {
-		size += 58 + (rs.RosterSize+7)/8 + 8
+		size += 62 + (rs.RosterSize+7)/8 + 8
 		for range rs.Adjusts {
 			size += 8 + 8*len(rs.Cells)
 		}
@@ -110,6 +124,11 @@ func encodeSnapshot(roster map[int][]byte, rounds []*RoundState, configVersion, 
 	buf = binary.LittleEndian.AppendUint32(buf, snapVersion)
 	buf = binary.LittleEndian.AppendUint32(buf, configVersion)
 	buf = binary.LittleEndian.AppendUint32(buf, rosterVersion)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(camps)))
+	for _, id := range camps {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(len(campaigns[id])))
+		buf = append(buf, campaigns[id]...)
+	}
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(users)))
 	for _, u := range users {
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(u))
@@ -126,6 +145,7 @@ func encodeSnapshot(roster map[int][]byte, rounds []*RoundState, configVersion, 
 		buf = binary.LittleEndian.AppendUint64(buf, rs.N)
 		buf = binary.LittleEndian.AppendUint32(buf, rs.ConfigVersion)
 		buf = binary.LittleEndian.AppendUint32(buf, rs.RosterVersion)
+		buf = binary.LittleEndian.AppendUint32(buf, rs.Campaign)
 		flags := []byte{rs.Keystream, 0}
 		if rs.Closed {
 			flags[1] = 1
@@ -177,13 +197,32 @@ func loadSnapshot(path string) (*snapshotData, error) {
 	}
 	r := snapReader{buf: body[len(snapMagic):]}
 	v := r.uint32()
-	if v != snapVersion && v != snapVersionV1 {
+	if v != snapVersion && v != snapVersionV2 && v != snapVersionV1 {
 		return nil, fmt.Errorf("store: %s: snapshot version %d", path, v)
 	}
-	snap := &snapshotData{roster: make(map[int][]byte)}
-	if v >= snapVersion {
+	snap := &snapshotData{roster: make(map[int][]byte), campaigns: make(map[uint32][]byte)}
+	if v >= snapVersionV2 {
 		snap.configVersion = r.uint32()
 		snap.rosterVersion = r.uint32()
+	}
+	if v >= snapVersion {
+		camps := r.uint64()
+		var prev uint32
+		for i := uint64(0); i < camps && r.err == nil; i++ {
+			def := r.bytes(r.uint64())
+			if r.err != nil {
+				break
+			}
+			if len(def) < campaignBodyMin {
+				return nil, fmt.Errorf("store: %s: snapshot campaign entry", path)
+			}
+			id := binary.LittleEndian.Uint32(def[0:])
+			if id == 0 || id > maxRecordCampaign || (i > 0 && id <= prev) {
+				return nil, fmt.Errorf("store: %s: snapshot campaign order", path)
+			}
+			prev = id
+			snap.campaigns[id] = append([]byte(nil), def...)
+		}
 	}
 	users := r.uint64()
 	for i := uint64(0); i < users && r.err == nil; i++ {
@@ -202,9 +241,15 @@ func loadSnapshot(path string) (*snapshotData, error) {
 		d, w := r.uint64(), r.uint64()
 		rs.Seed = r.uint64()
 		rs.N = r.uint64()
-		if v >= snapVersion {
+		if v >= snapVersionV2 {
 			rs.ConfigVersion = r.uint32()
 			rs.RosterVersion = r.uint32()
+		}
+		if v >= snapVersion {
+			rs.Campaign = r.uint32()
+			if rs.Campaign > maxRecordCampaign {
+				return nil, fmt.Errorf("store: %s: snapshot round campaign", path)
+			}
 		}
 		flags := r.bytes(2)
 		if r.err != nil {
@@ -300,6 +345,17 @@ func sortedUsers(roster map[int][]byte) []int {
 		out = append(out, u)
 	}
 	sort.Ints(out)
+	return out
+}
+
+// sortedCampaignIDs returns a campaign directory's IDs in ascending
+// order, the canonical section order.
+func sortedCampaignIDs(campaigns map[uint32][]byte) []uint32 {
+	out := make([]uint32, 0, len(campaigns))
+	for id := range campaigns {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

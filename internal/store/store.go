@@ -46,7 +46,11 @@ import "eyewnder/internal/obs"
 // to rebuild the back-end's in-memory aggregator byte-identically. It
 // is the unit both snapshots and recovery speak in.
 type RoundState struct {
-	// Round is the round identifier.
+	// Campaign is the counting campaign the round belongs to. Campaign 0
+	// is the deployment's implicit legacy campaign; rounds recovered from
+	// pre-campaign WALs and snapshots land there.
+	Campaign uint32
+	// Round is the round identifier within its campaign.
 	Round uint64
 	// RosterSize is the enrolled-user count the round expects reports
 	// from; it bounds user indices and sizes the Reported bitmap.
@@ -97,26 +101,35 @@ type Store interface {
 	// roster version counters (0, 0 for a fresh or volatile store, or a
 	// data dir written before the config handshake existed).
 	ConfigVersions() (configVersion, rosterVersion uint32)
+	// Campaigns returns the recovered campaign directory: campaign ID →
+	// opaque canonical campaign encoding, exactly as provisioned. Nil or
+	// empty for a fresh, volatile, or pre-campaign store.
+	Campaigns() map[uint32][]byte
 
 	// AppendRegister logs a bulletin-board registration.
 	AppendRegister(user int, publicKey []byte) error
 	// AppendConfig logs a bump of the deployment-wide config/roster
 	// version counters (a registration changed the bulletin board).
 	AppendConfig(configVersion, rosterVersion uint32) error
-	// AppendOpen logs the creation of a round with the given geometry,
-	// roster size, blinding-suite byte, and the config/roster versions
-	// the round is pinned to.
-	AppendOpen(round uint64, rosterSize, d, w int, seed uint64, keystream byte, configVersion, rosterVersion uint32) error
+	// AppendOpen logs the creation of a round with the given campaign,
+	// geometry, roster size, blinding-suite byte, and the config/roster
+	// versions the round is pinned to. Campaign 0 writes the legacy
+	// record layout byte-identically.
+	AppendOpen(campaign uint32, round uint64, rosterSize, d, w int, seed uint64, keystream byte, configVersion, rosterVersion uint32) error
 	// AppendReport logs one accepted report — header fields plus the
 	// flat cell vector, i.e. exactly the streamed wire frame's payload
-	// (config version included) — before the cells are folded into the
-	// aggregate. The cells are consumed during the call and may be
-	// recycled as soon as it returns.
-	AppendReport(round uint64, user, d, w int, n, seed uint64, keystream byte, configVersion uint32, cells []uint64) error
+	// (campaign and config version included) — before the cells are
+	// folded into the aggregate. The cells are consumed during the call
+	// and may be recycled as soon as it returns.
+	AppendReport(campaign uint32, round uint64, user, d, w int, n, seed uint64, keystream byte, configVersion uint32, cells []uint64) error
 	// AppendAdjust logs an accepted second-round adjustment share.
-	AppendAdjust(round uint64, user int, cells []uint64) error
+	AppendAdjust(campaign uint32, round uint64, user int, cells []uint64) error
 	// AppendClose logs a round's finalization.
-	AppendClose(round uint64) error
+	AppendClose(campaign uint32, round uint64) error
+	// AppendCampaign logs a campaign provisioning. def is the campaign
+	// registry's canonical encoding; the store persists and replays it
+	// opaquely (last write wins per ID).
+	AppendCampaign(def []byte) error
 
 	// Sync is the durability barrier: it returns once every record
 	// appended before the call is on stable storage. Concurrent callers
@@ -149,6 +162,9 @@ func (Null) Roster() map[int][]byte { return nil }
 // ConfigVersions implements Store.
 func (Null) ConfigVersions() (uint32, uint32) { return 0, 0 }
 
+// Campaigns implements Store.
+func (Null) Campaigns() map[uint32][]byte { return nil }
+
 // AppendRegister implements Store.
 func (Null) AppendRegister(int, []byte) error { return nil }
 
@@ -156,18 +172,23 @@ func (Null) AppendRegister(int, []byte) error { return nil }
 func (Null) AppendConfig(uint32, uint32) error { return nil }
 
 // AppendOpen implements Store.
-func (Null) AppendOpen(uint64, int, int, int, uint64, byte, uint32, uint32) error { return nil }
+func (Null) AppendOpen(uint32, uint64, int, int, int, uint64, byte, uint32, uint32) error {
+	return nil
+}
 
 // AppendReport implements Store.
-func (Null) AppendReport(uint64, int, int, int, uint64, uint64, byte, uint32, []uint64) error {
+func (Null) AppendReport(uint32, uint64, int, int, int, uint64, uint64, byte, uint32, []uint64) error {
 	return nil
 }
 
 // AppendAdjust implements Store.
-func (Null) AppendAdjust(uint64, int, []uint64) error { return nil }
+func (Null) AppendAdjust(uint32, uint64, int, []uint64) error { return nil }
 
 // AppendClose implements Store.
-func (Null) AppendClose(uint64) error { return nil }
+func (Null) AppendClose(uint32, uint64) error { return nil }
+
+// AppendCampaign implements Store.
+func (Null) AppendCampaign([]byte) error { return nil }
 
 // Sync implements Store.
 func (Null) Sync() error { return nil }

@@ -8,6 +8,7 @@ import (
 	"net"
 	"sync"
 
+	"eyewnder/internal/campaign"
 	"eyewnder/internal/obs"
 )
 
@@ -102,6 +103,12 @@ type StreamOpts struct {
 	// config — the server, not the flag set of any one binary, is the
 	// source of truth. nil answers Hellos with WelcomeNoConfig.
 	Config func() ConfigFrame
+	// Campaigns, when non-nil, is called to answer each campaign
+	// directory request (see campaign.go) with the currently
+	// provisioned campaigns in strictly increasing ID order. It must be
+	// safe for concurrent use. nil answers requests with an empty
+	// directory.
+	Campaigns func() []campaign.Campaign
 	// Metrics is the observability registry the server's wire
 	// instruments (report frames decoded, ack batches emitted,
 	// handshakes answered/rejected) register in. nil means a private

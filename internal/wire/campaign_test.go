@@ -1,0 +1,242 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"eyewnder/internal/campaign"
+)
+
+func testCampaignList() []campaign.Campaign {
+	return []campaign.Campaign{
+		{ID: 1, Name: "cars", Epsilon: 0.01, Delta: 0.01},
+		{ID: 2, Name: "travel", IDSpace: 4096},
+		{ID: 7, Name: "fast-food", KeystreamSet: true, Keystream: 0x01, RetainRounds: 2, CadenceSec: 300},
+	}
+}
+
+func TestCampaignDirRoundTrip(t *testing.T) {
+	list := testCampaignList()
+	frame, err := AppendCampaignDirFrame(nil, list)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCampaignDirFrame(bytes.NewReader(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(list) {
+		t.Fatalf("got %d entries, want %d", len(got), len(list))
+	}
+	for i := range list {
+		if got[i] != list[i] {
+			t.Fatalf("entry %d: got %+v want %+v", i, got[i], list[i])
+		}
+	}
+	// Empty directory round-trips too.
+	frame, err = AppendCampaignDirFrame(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := ReadCampaignDirFrame(bytes.NewReader(frame)); err != nil || len(got) != 0 {
+		t.Fatalf("empty directory: %v %v", got, err)
+	}
+}
+
+func TestCampaignDirRejects(t *testing.T) {
+	// Unsorted and duplicate IDs refuse to encode.
+	if _, err := AppendCampaignDirFrame(nil, []campaign.Campaign{
+		{ID: 2, Name: "b"}, {ID: 1, Name: "a"},
+	}); err == nil {
+		t.Fatal("unsorted directory encoded")
+	}
+	if _, err := AppendCampaignDirFrame(nil, []campaign.Campaign{
+		{ID: 1, Name: "a"}, {ID: 1, Name: "b"},
+	}); err == nil {
+		t.Fatal("duplicate directory encoded")
+	}
+	frame, err := AppendCampaignDirFrame(nil, testCampaignList())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncated, trailing-garbage, and bad-magic frames all reject.
+	if _, err := ReadCampaignDirFrame(bytes.NewReader(frame[:len(frame)-3])); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+	bad := append(append([]byte(nil), frame...), 0xEE)
+	bad[0] = frame[0]
+	// Fix the header length to cover the trailing byte.
+	n := uint32(len(frame)) - 4 + 1
+	bad[0], bad[1], bad[2], bad[3] = byte(n>>24)|0x80, byte(n>>16), byte(n>>8), byte(n)
+	if _, err := ReadCampaignDirFrame(bytes.NewReader(bad)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+	badMagic := append([]byte(nil), frame...)
+	badMagic[4] ^= 0xFF
+	if _, err := ReadCampaignDirFrame(bytes.NewReader(badMagic)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestCampaignDirRequestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCampaignDirRequest(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if len(raw) != 4+campaignDirReqPayload {
+		t.Fatalf("request frame %d bytes", len(raw))
+	}
+	minRev, maxRev, err := ReadCampaignDirRequest(bytes.NewReader(raw[4:]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if minRev != HandshakeRevision || maxRev != HandshakeRevision {
+		t.Fatalf("revisions [%d, %d]", minRev, maxRev)
+	}
+	if _, _, err := ReadCampaignDirRequest(bytes.NewReader(raw[4 : 4+10])); err == nil {
+		t.Fatal("short request accepted")
+	}
+}
+
+// TestCampaignDirectoryExchange drives the full client/server exchange
+// over a real connection: directory advertised in the Welcome count,
+// fetched with CampaignDirectory, interleaved with JSON traffic.
+func TestCampaignDirectoryExchange(t *testing.T) {
+	list := testCampaignList()
+	echo := func(msg *Msg) (string, interface{}, error) {
+		return msg.Type + "_ok", struct{}{}, nil
+	}
+	srv, err := ServeWithSinkOpts("127.0.0.1:0", echo, nil, StreamOpts{
+		Config: func() ConfigFrame {
+			return ConfigFrame{Epsilon: 0.01, Delta: 0.01, IDSpace: 100, Campaigns: uint16(len(list))}
+		},
+		Campaigns: func() []campaign.Campaign { return list },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	cfg, err := c.Handshake()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Campaigns != uint16(len(list)) {
+		t.Fatalf("welcome campaign count %d, want %d", cfg.Campaigns, len(list))
+	}
+	got, err := c.CampaignDirectory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(list) {
+		t.Fatalf("directory %d entries, want %d", len(got), len(list))
+	}
+	for i := range list {
+		if got[i] != list[i] {
+			t.Fatalf("entry %d: got %+v want %+v", i, got[i], list[i])
+		}
+	}
+	// The exchange must leave the connection usable for JSON traffic.
+	if err := c.Do("backend.roster", struct{}{}, nil); err != nil {
+		t.Fatalf("Do after directory exchange: %v", err)
+	}
+}
+
+// TestCampaignDirectoryAgainstOldServer: a server with no Campaigns
+// callback answers with an empty directory (StreamOpts zero value), and
+// clients see no campaigns rather than an error.
+func TestCampaignDirectoryNoCallback(t *testing.T) {
+	echo := func(msg *Msg) (string, interface{}, error) {
+		return msg.Type + "_ok", struct{}{}, nil
+	}
+	srv, err := ServeWithSinkOpts("127.0.0.1:0", echo, nil, StreamOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	got, err := c.CampaignDirectory()
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty-directory exchange: %v %v", got, err)
+	}
+}
+
+// FuzzReadCampaignFrame fuzzes both campaign-directory decoders and the
+// campaign-tagged report-frame path: arbitrary bytes must either reject
+// with the right error class or decode to a frame that re-encodes
+// canonically.
+func FuzzReadCampaignFrame(f *testing.F) {
+	if frame, err := AppendCampaignDirFrame(nil, testCampaignList()); err == nil {
+		f.Add(frame)
+	}
+	if frame, err := AppendCampaignDirFrame(nil, nil); err == nil {
+		f.Add(frame)
+	}
+	var req bytes.Buffer
+	if err := WriteCampaignDirRequest(&req); err == nil {
+		f.Add(req.Bytes())
+	}
+	var rep bytes.Buffer
+	if err := WriteReportFrame(&rep, &ReportFrame{
+		User: 3, Round: 9, D: 2, W: 4, N: 1, Seed: 7, Campaign: 12, Cells: make([]uint64, 8),
+	}); err == nil {
+		f.Add(rep.Bytes())
+	}
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Directory response decoder.
+		list, err := ReadCampaignDirFrame(bytes.NewReader(data))
+		if err == nil {
+			reenc, err := AppendCampaignDirFrame(nil, list)
+			if err != nil {
+				t.Fatalf("accepted directory refuses to re-encode: %v", err)
+			}
+			if got, err := ReadCampaignDirFrame(bytes.NewReader(reenc)); err != nil || len(got) != len(list) {
+				t.Fatalf("canonical re-decode: %v (%d vs %d entries)", err, len(got), len(list))
+			}
+		}
+		// Directory request decoder (payload only, as the server reads it).
+		if minRev, maxRev, err := ReadCampaignDirRequest(bytes.NewReader(data)); err == nil {
+			if minRev == 0 || maxRev < minRev {
+				t.Fatalf("accepted impossible revision range [%d, %d]", minRev, maxRev)
+			}
+		} else if !errors.Is(err, ErrBadCampaignFrame) {
+			t.Fatalf("unexpected request error class: %v", err)
+		}
+		// Campaign-tagged report frames: strip a plausible header word
+		// and run the streamed-report decoder; an accepted frame must
+		// carry a wire-representable campaign and survive a write/read
+		// round trip.
+		if len(data) >= 4 {
+			n := uint32(len(data) - 4)
+			var buf reportBuf
+			frame, err := readReportFrame(bytes.NewReader(data[4:]), n, &buf)
+			if err != nil {
+				return
+			}
+			if frame.Campaign > maxWireCampaign {
+				t.Fatalf("decoded campaign %d above wire cap", frame.Campaign)
+			}
+			var out bytes.Buffer
+			cp := *frame
+			cp.Cells = append([]uint64(nil), frame.Cells...)
+			if err := WriteReportFrame(&out, &cp); err != nil {
+				t.Fatalf("accepted frame refuses to re-encode: %v", err)
+			}
+			if !bytes.Equal(out.Bytes()[4:], data[4:4+int(n)]) {
+				t.Fatal("report frame round-trip mismatch")
+			}
+		}
+	})
+}

@@ -129,6 +129,13 @@ type ConfigFrame struct {
 	// AckBatch is the server's streamed-report ack-batch policy: 0 =
 	// adaptive per connection, k ≥ 1 = fixed.
 	AckBatch uint32
+	// Campaigns is the number of provisioned campaigns beyond the
+	// implicit campaign 0, riding in two formerly reserved Welcome
+	// bytes. A nonzero count invites the client to fetch the campaign
+	// directory (CampaignDirectory); single-campaign servers wrote
+	// zeros there, so old peers read "no extra campaigns" — exactly
+	// their world — and old clients ignore the bytes entirely.
+	Campaigns uint16
 }
 
 // WriteHelloFrame writes a Hello advertising the revision range
@@ -181,7 +188,8 @@ func WriteWelcomeFrame(w io.Writer, status byte, cfg ConfigFrame) error {
 	p[50] = cfg.Group
 	p[51] = cfg.Estimator
 	binary.LittleEndian.PutUint32(p[52:], cfg.AckBatch)
-	// p[56:64] reserved, zero.
+	binary.LittleEndian.PutUint16(p[56:], cfg.Campaigns)
+	// p[58:64] reserved, zero.
 	_, err := w.Write(buf[:])
 	return err
 }
@@ -216,6 +224,7 @@ func ReadWelcomeFrame(r io.Reader) (status byte, cfg ConfigFrame, err error) {
 		Group:         p[50],
 		Estimator:     p[51],
 		AckBatch:      binary.LittleEndian.Uint32(p[52:]),
+		Campaigns:     binary.LittleEndian.Uint16(p[56:]),
 	}
 	return status, cfg, nil
 }

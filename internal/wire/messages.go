@@ -29,6 +29,10 @@ const (
 	TypeThresholdOK    = "backend.threshold_ok"
 	TypeAuditAd        = "backend.audit_ad"
 	TypeAuditAdOK      = "backend.audit_ad_ok"
+	TypeCampaignAdd    = "backend.campaign_add"
+	TypeCampaignAddOK  = "backend.campaign_add_ok"
+	TypeCampaigns      = "backend.campaigns"
+	TypeCampaignsOK    = "backend.campaigns_ok"
 
 	// Back-end ↔ crawler.
 	TypeCrawlVisit   = "crawler.visit"
@@ -88,8 +92,12 @@ type RosterResp struct {
 // clients' reports still verify. ConfigVersion is the negotiated
 // round-config version the report was built under (see handshake.go);
 // absent means 0, "unversioned", the flag-agreement deployment style.
+// Campaign scopes the report to a provisioned campaign's rounds;
+// absent means campaign 0, the implicit deployment-wide campaign, so
+// pre-campaign clients keep reporting unchanged.
 type SubmitReportReq struct {
 	User          int    `json:"user"`
+	Campaign      uint32 `json:"campaign,omitempty"`
 	Round         uint64 `json:"round"`
 	Sketch        []byte `json:"sketch"`
 	Keystream     byte   `json:"keystream,omitempty"`
@@ -116,6 +124,7 @@ type AckBatchResp struct {
 // shares have been stored so far. Both fields are absent from older
 // servers and decode as zero values.
 type RoundStatusResp struct {
+	Campaign uint32 `json:"campaign,omitempty"`
 	Round    uint64 `json:"round"`
 	Reported int    `json:"reported"`
 	Missing  []int  `json:"missing"`
@@ -131,6 +140,7 @@ type RoundStatusResp struct {
 // share's terms come from a superseded roster and could not cancel.
 type SubmitAdjustReq struct {
 	User          int      `json:"user"`
+	Campaign      uint32   `json:"campaign,omitempty"`
 	Round         uint64   `json:"round"`
 	Cells         []uint64 `json:"cells"`
 	ConfigVersion uint32   `json:"config_version,omitempty"`
@@ -145,12 +155,14 @@ type SubmitAdjustReq struct {
 // permanently-lost users. Absent (or 0) preserves the original
 // immediate-close behavior.
 type CloseRoundReq struct {
+	Campaign     uint32 `json:"campaign,omitempty"`
 	Round        uint64 `json:"round"`
 	AdjustWaitMS int64  `json:"adjust_wait_ms,omitempty"`
 }
 
 // CloseRoundResp reports the computed global statistics.
 type CloseRoundResp struct {
+	Campaign    uint32  `json:"campaign,omitempty"`
 	Round       uint64  `json:"round"`
 	UsersTh     float64 `json:"users_th"`
 	DistinctAds int     `json:"distinct_ads"`
@@ -161,37 +173,89 @@ type CloseRoundResp struct {
 // oracle against (auditing IDs one by one would cost IDSpace round
 // trips per round).
 type RoundCountsReq struct {
-	Round uint64 `json:"round"`
+	Campaign uint32 `json:"campaign,omitempty"`
+	Round    uint64 `json:"round"`
 }
 
 // RoundCountsResp returns the per-ad-ID estimated user counts of a
 // closed round (JSON object keys are the decimal ad IDs).
 type RoundCountsResp struct {
-	Round  uint64            `json:"round"`
-	Counts map[uint64]uint64 `json:"counts"`
+	Campaign uint32            `json:"campaign,omitempty"`
+	Round    uint64            `json:"round"`
+	Counts   map[uint64]uint64 `json:"counts"`
 }
 
 // ThresholdReq asks for a closed round's Users_th (Figure 1, arrow 5).
 type ThresholdReq struct {
-	Round uint64 `json:"round"`
+	Campaign uint32 `json:"campaign,omitempty"`
+	Round    uint64 `json:"round"`
 }
 
 // ThresholdResp returns the published threshold.
 type ThresholdResp struct {
-	Round   uint64  `json:"round"`
-	UsersTh float64 `json:"users_th"`
+	Campaign uint32  `json:"campaign,omitempty"`
+	Round    uint64  `json:"round"`
+	UsersTh  float64 `json:"users_th"`
 }
 
 // AuditAdReq asks the back-end for #Users of an ad ID so the extension
 // can finish a real-time audit.
 type AuditAdReq struct {
-	Round uint64 `json:"round"`
-	AdID  uint64 `json:"ad_id"`
+	Campaign uint32 `json:"campaign,omitempty"`
+	Round    uint64 `json:"round"`
+	AdID     uint64 `json:"ad_id"`
 }
 
 // AuditAdResp returns the estimated user count.
 type AuditAdResp struct {
 	Users uint64 `json:"users"`
+}
+
+// CampaignAddReq provisions (or re-provisions, last write wins) a
+// counting campaign on a primary. The fields mirror
+// campaign.Campaign; zero geometry fields inherit the deployment base
+// params. Admin-plane: served by eyewnder-server's admin listener, not
+// the public report endpoint.
+type CampaignAddReq struct {
+	ID           uint32  `json:"id"`
+	Name         string  `json:"name,omitempty"`
+	Epsilon      float64 `json:"epsilon,omitempty"`
+	Delta        float64 `json:"delta,omitempty"`
+	IDSpace      uint64  `json:"id_space,omitempty"`
+	Keystream    byte    `json:"keystream,omitempty"`
+	KeystreamSet bool    `json:"keystream_set,omitempty"`
+	RetainRounds int     `json:"retain_rounds,omitempty"`
+	CadenceSec   uint32  `json:"cadence_sec,omitempty"`
+}
+
+// CampaignAddResp acknowledges a provisioned campaign. Campaigns is the
+// directory size after the add — the operator's check that the
+// directory actually grew (or stayed put on a re-provision).
+type CampaignAddResp struct {
+	ID        uint32 `json:"id"`
+	Campaigns int    `json:"campaigns"`
+}
+
+// CampaignsReq lists the provisioned campaign directory.
+type CampaignsReq struct{}
+
+// CampaignInfo is one directory entry as the JSON admin plane renders
+// it (the binary directory frame is the client-facing form).
+type CampaignInfo struct {
+	ID           uint32  `json:"id"`
+	Name         string  `json:"name,omitempty"`
+	Epsilon      float64 `json:"epsilon,omitempty"`
+	Delta        float64 `json:"delta,omitempty"`
+	IDSpace      uint64  `json:"id_space,omitempty"`
+	Keystream    byte    `json:"keystream,omitempty"`
+	KeystreamSet bool    `json:"keystream_set,omitempty"`
+	RetainRounds int     `json:"retain_rounds,omitempty"`
+	CadenceSec   uint32  `json:"cadence_sec,omitempty"`
+}
+
+// CampaignsResp returns the directory in ID order.
+type CampaignsResp struct {
+	Campaigns []CampaignInfo `json:"campaigns"`
 }
 
 // PromoteReq asks a follower to stop replicating and take over as

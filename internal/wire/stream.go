@@ -27,7 +27,8 @@ import (
 // the bit is never set by the JSON path); the low 31 bits are the payload
 // length. The payload is a 56-byte preamble — user, round, d, w, n, seed
 // as little-endian uint64, then the blinding-keystream suite byte, the
-// frame-kind byte (report or adjustment share), two reserved bytes, and
+// frame-kind byte (report or adjustment share), the 16-bit campaign ID
+// (zero = the legacy single campaign; formerly reserved bytes), and
 // the negotiated config version as a little-endian
 // uint32 — followed by the 8·d·w-byte cell block. The
 // preamble length is itself protocol state: both endpoints must run the
@@ -44,8 +45,14 @@ import (
 const reportFlag = 1 << 31
 
 // reportPreamble is the fixed payload prefix: user(8) round(8) d(8) w(8)
-// n(8) seed(8) keystream(1) kind(1) reserved(2) configVersion(4).
+// n(8) seed(8) keystream(1) kind(1) campaign(2) configVersion(4).
 const reportPreamble = 56
+
+// maxWireCampaign is the largest campaign ID a frame can carry: the
+// campaign rides in the preamble's two formerly reserved bytes, so the
+// wire revision caps IDs at 16 bits (the registry's uint32 headroom is
+// for future frame widenings).
+const maxWireCampaign = 0xFFFF
 
 // Frame kinds, carried in the preamble byte after the keystream suite
 // (formerly the first reserved byte, so every pre-kind frame decodes as
@@ -114,8 +121,14 @@ type ReportFrame struct {
 	// FrameKindAdjust (a second-round adjustment share). For adjustment
 	// frames D and W still carry the sketch geometry (the share is one
 	// flat cell vector of the same shape) while N and Seed are zero.
-	Kind  byte
-	Cells []uint64
+	Kind byte
+	// Campaign is the counting campaign the frame belongs to, riding as
+	// a 16-bit value in the two formerly reserved preamble bytes. Zero
+	// is the implicit legacy campaign, so single-campaign peers (which
+	// write zeros there) interoperate byte-identically in both
+	// directions. The writer refuses values above 0xFFFF.
+	Campaign uint32
+	Cells    []uint64
 }
 
 // AdjustFrame builds a streamed second-round adjustment share: the
@@ -177,7 +190,7 @@ func (b *reportBuf) cellSlice(n int) []uint64 {
 // elsewhere it is encoded through a scratch buffer.
 func WriteReportFrame(w io.Writer, f *ReportFrame) error {
 	cells := uint64(f.D) * uint64(f.W)
-	if f.D < 1 || f.W < 1 || uint64(len(f.Cells)) != cells {
+	if f.D < 1 || f.W < 1 || uint64(len(f.Cells)) != cells || f.Campaign > maxWireCampaign {
 		return ErrBadReportFrame
 	}
 	payload := uint64(reportPreamble) + 8*cells
@@ -193,7 +206,8 @@ func WriteReportFrame(w io.Writer, f *ReportFrame) error {
 	binary.LittleEndian.PutUint64(hdr[36:], f.N)
 	binary.LittleEndian.PutUint64(hdr[44:], f.Seed)
 	hdr[52] = f.Keystream
-	hdr[53] = f.Kind // hdr[54:56] reserved, zero
+	hdr[53] = f.Kind
+	binary.LittleEndian.PutUint16(hdr[54:], uint16(f.Campaign))
 	binary.LittleEndian.PutUint32(hdr[56:], f.ConfigVersion)
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
@@ -226,7 +240,8 @@ func readReportFrame(r io.Reader, n uint32, buf *reportBuf) (*ReportFrame, error
 	nTotal := binary.LittleEndian.Uint64(pre[32:])
 	seed := binary.LittleEndian.Uint64(pre[40:])
 	ks := pre[48]
-	kind := pre[49] // pre[50:52] reserved for future protocol revisions
+	kind := pre[49]
+	campaign := binary.LittleEndian.Uint16(pre[50:])
 	cv := binary.LittleEndian.Uint32(pre[52:])
 	if user > 1<<31 || d64 < 1 || w64 < 1 || d64 > maxReportDepth || w64 > maxReportWidth {
 		return nil, ErrBadReportFrame
@@ -257,7 +272,8 @@ func readReportFrame(r io.Reader, n uint32, buf *reportBuf) (*ReportFrame, error
 	return &ReportFrame{
 		User: int(user), Round: round,
 		D: int(d64), W: int(w64),
-		N: nTotal, Seed: seed, Keystream: ks, ConfigVersion: cv, Kind: kind, Cells: dst,
+		N: nTotal, Seed: seed, Keystream: ks, ConfigVersion: cv, Kind: kind,
+		Campaign: uint32(campaign), Cells: dst,
 	}, nil
 }
 

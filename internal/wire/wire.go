@@ -245,6 +245,14 @@ func (s *Server) serveConn(conn net.Conn) {
 				}
 				continue
 			}
+			if n == campaignDirReqPayload {
+				// Campaign directory request (campaign.go), routed by
+				// payload length exactly like the Hello.
+				if err := s.answerCampaignDir(conn, &wmu); err != nil {
+					return
+				}
+				continue
+			}
 			if st != nil {
 				// Batched mode: pipeline the frame to the fold goroutine
 				// and immediately decode the next one. The channel bound

@@ -1,16 +1,23 @@
 #!/usr/bin/env bash
-# Cross-version compatibility e2e for the config-handshake protocol.
+# Cross-version compatibility e2e for the wire protocol.
 #
 # Usage: compat_e2e.sh <mode> <old-bin-dir> <new-bin-dir>
-#   mode old-client-new-server : the previous release's flag-driven
-#        clients must complete a full streamed-report round against the
-#        current server (their reports decode as config version 0,
-#        "unversioned", and the flag-derived geometry matches the
-#        server's defaults).
-#   mode new-client-old-server : the current zero-flag client must fail
-#        FAST and CLEANLY against the previous release's server — the
-#        old server drops the Hello, the client reports the missing
-#        handshake — never hang, never join, never submit.
+#   mode old-client-new-server : the previous release's clients must
+#        complete a full streamed-report round against the current
+#        server. A pre-handshake client's reports decode as config
+#        version 0 ("unversioned"); a handshake-era client lands in
+#        campaign 0, the implicit legacy campaign.
+#   mode new-client-old-server : the current zero-flag client against
+#        the previous release's server. If the old server serves the
+#        config handshake, the client must complete a full round — its
+#        campaign-0 traffic is byte-identical to a single-campaign
+#        release's. If the old server predates the handshake (drops
+#        the Hello), the client must fail FAST and CLEANLY, naming
+#        the handshake — never hang, never join, never submit.
+#
+# The previous release's era is detected from its client's own flag
+# set: the pre-negotiation client took protocol flags (-total); the
+# handshake-era client takes none.
 #
 # Both directions bind to fixed localhost ports; the script owns the
 # processes it starts and kills them on exit.
@@ -43,19 +50,30 @@ wait_port() { # host:port
     return 1
 }
 
+# The pre-negotiation client mirrored the server geometry through
+# protocol flags; its successors negotiate everything and define none
+# of them. tflag carries the era difference, old_era remembers it.
+old_era=0
+tflag=""
+if "$old/eyewnder-client" -h 2>&1 | grep -q -- '-total'; then
+    old_era=1
+    tflag="-total 3"
+fi
+
 case "$mode" in
 old-client-new-server)
-    # Current server, 3-user roster; the old clients mirror its default
-    # geometry through their own default flags (the legacy deployment
-    # style this PR keeps working).
+    # Current server, 3-user roster; the old clients either mirror its
+    # default geometry through their own default flags (pre-handshake
+    # era) or negotiate it (handshake era, reporting into campaign 0).
     "$new/eyewnder-server" -backend "$BE" -oprf "$OPRF" -users 3 >"$log/server.log" 2>&1 &
     pids+=($!)
     wait_port "$BE"
-    "$old/eyewnder-client" -backend "$BE" -oprf "$OPRF" -user 0 -total 3 -visits 10 >"$log/c0.log" 2>&1 &
+    # shellcheck disable=SC2086 # tflag is deliberately word-split
+    "$old/eyewnder-client" -backend "$BE" -oprf "$OPRF" -user 0 $tflag -visits 10 >"$log/c0.log" 2>&1 &
     c0=$!
-    "$old/eyewnder-client" -backend "$BE" -oprf "$OPRF" -user 1 -total 3 -visits 10 >"$log/c1.log" 2>&1 &
+    "$old/eyewnder-client" -backend "$BE" -oprf "$OPRF" -user 1 $tflag -visits 10 >"$log/c1.log" 2>&1 &
     c1=$!
-    if ! "$old/eyewnder-client" -backend "$BE" -oprf "$OPRF" -user 2 -total 3 -visits 10 -close >"$log/c2.log" 2>&1; then
+    if ! "$old/eyewnder-client" -backend "$BE" -oprf "$OPRF" -user 2 $tflag -visits 10 -close >"$log/c2.log" 2>&1; then
         echo "old client failed against new server:" >&2
         tail -n 20 "$log"/c2.log "$log"/server.log >&2
         exit 1
@@ -69,27 +87,46 @@ new-client-old-server)
     "$old/eyewnder-server" -backend "$BE" -oprf "$OPRF" -users 3 >"$log/server.log" 2>&1 &
     pids+=($!)
     wait_port "$BE"
-    # The new client must exit nonzero quickly with the handshake error,
-    # not hang waiting for a roster it can never negotiate.
-    set +e
-    timeout 30 "$new/eyewnder-client" -backend "$BE" -oprf "$OPRF" -user 0 >"$log/c.log" 2>&1
-    rc=$?
-    set -e
-    if [ "$rc" -eq 0 ]; then
-        echo "new client unexpectedly succeeded against the old server" >&2
-        exit 1
+    if [ "$old_era" = 1 ]; then
+        # Pre-handshake old server: the new client must exit nonzero
+        # quickly with the handshake error, not hang waiting for a
+        # roster it can never negotiate.
+        set +e
+        timeout 30 "$new/eyewnder-client" -backend "$BE" -oprf "$OPRF" -user 0 >"$log/c.log" 2>&1
+        rc=$?
+        set -e
+        if [ "$rc" -eq 0 ]; then
+            echo "new client unexpectedly succeeded against the old server" >&2
+            exit 1
+        fi
+        if [ "$rc" -eq 124 ]; then
+            echo "new client HUNG against the old server (timeout)" >&2
+            tail -n 20 "$log/c.log" >&2
+            exit 1
+        fi
+        if ! grep -qi "handshake" "$log/c.log"; then
+            echo "new client failed without naming the handshake:" >&2
+            tail -n 20 "$log/c.log" >&2
+            exit 1
+        fi
+        echo "OK: current client failed cleanly against the previous release's server"
+    else
+        # Handshake-era old server: the new client's campaign-0 traffic
+        # is byte-identical to a single-campaign release's, so a full
+        # roster round must complete against the old binary.
+        "$new/eyewnder-client" -backend "$BE" -oprf "$OPRF" -user 0 -visits 10 >"$log/c0.log" 2>&1 &
+        c0=$!
+        "$new/eyewnder-client" -backend "$BE" -oprf "$OPRF" -user 1 -visits 10 >"$log/c1.log" 2>&1 &
+        c1=$!
+        if ! "$new/eyewnder-client" -backend "$BE" -oprf "$OPRF" -user 2 -visits 10 -close >"$log/c2.log" 2>&1; then
+            echo "new client failed against the previous release's server:" >&2
+            tail -n 20 "$log"/c2.log "$log"/server.log >&2
+            exit 1
+        fi
+        wait "$c0" "$c1"
+        grep -q "closed: Users_th" "$log/c2.log"
+        echo "OK: current clients completed a round against the previous release's server"
     fi
-    if [ "$rc" -eq 124 ]; then
-        echo "new client HUNG against the old server (timeout)" >&2
-        tail -n 20 "$log/c.log" >&2
-        exit 1
-    fi
-    if ! grep -qi "handshake" "$log/c.log"; then
-        echo "new client failed without naming the handshake:" >&2
-        tail -n 20 "$log/c.log" >&2
-        exit 1
-    fi
-    echo "OK: current client failed cleanly against the previous release's server"
     ;;
 
 *)
